@@ -1,0 +1,104 @@
+// Command rstore-bench regenerates the paper's evaluation tables and
+// figures on the simulated testbed.
+//
+// Usage:
+//
+//	rstore-bench -exp e1          # one experiment
+//	rstore-bench -exp all         # everything (takes a few minutes)
+//
+// Experiment IDs follow DESIGN.md's per-experiment index: e1 latency,
+// e2 bandwidth, e3 control path, e4 pagerank, e5 sort, e6 notify,
+// e7 multi-client, a1 stripe width, a2 replication, a3 qp-sharing,
+// a4 kv-store.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rstore/internal/bench"
+	"rstore/internal/metrics"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(context.Context) (*metrics.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"e1", "read/write latency vs transfer size", bench.E1Latency},
+		{"e2", "aggregate bandwidth vs machines", bench.E2Bandwidth},
+		{"e3", "control path vs data path", bench.E3ControlPath},
+		{"e4", "PageRank vs message passing", func(ctx context.Context) (*metrics.Table, error) {
+			return bench.E4PageRank(ctx, nil)
+		}},
+		{"e5", "KV sort vs MapReduce", func(ctx context.Context) (*metrics.Table, error) {
+			return bench.E5Sort(ctx, nil)
+		}},
+		{"e6", "notification latency", bench.E6Notify},
+		{"e7", "small-op throughput vs clients", bench.E7MultiClient},
+		{"a1", "ablation: stripe width", bench.A1Stripe},
+		{"a2", "ablation: replication", bench.A2Replication},
+		{"a3", "ablation: QP sharing", bench.A3QPSharing},
+		{"a4", "KV store on the memory API", bench.A4KVStore},
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment id (e1..e7, a1..a4) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return nil
+	}
+
+	selected := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range exps {
+			selected[e.id] = true
+		}
+	} else {
+		selected[*exp] = true
+	}
+	var ids []string
+	for id := range selected {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	ctx := context.Background()
+	ran := false
+	for _, e := range exps {
+		if !selected[e.id] {
+			continue
+		}
+		ran = true
+		fmt.Printf("# %s: %s\n", e.id, e.desc)
+		tbl, err := e.run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(tbl.String())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rstore-bench:", err)
+		os.Exit(1)
+	}
+}

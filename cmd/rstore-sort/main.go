@@ -1,0 +1,73 @@
+// Command rstore-sort runs the distributed KV sorter (the paper's
+// TeraSort-class application) on an in-process cluster and prints the
+// per-phase breakdown against the MapReduce baseline.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"rstore/internal/baseline/mrsort"
+	"rstore/internal/core"
+	"rstore/internal/kvsort"
+	"rstore/internal/metrics"
+	"rstore/internal/workload"
+)
+
+func run() error {
+	machines := flag.Int("machines", 12, "cluster size (excluding the master)")
+	records := flag.Int("records", 500_000, "records to sort (100 bytes each)")
+	seed := flag.Int64("seed", 42, "input seed")
+	flag.Parse()
+
+	ctx := context.Background()
+	capacity := uint64(*records) * workload.RecordSize * 4 / uint64(*machines)
+	if capacity < 64<<20 {
+		capacity = 64 << 20
+	}
+	cluster, err := core.Start(ctx, core.Config{Machines: *machines + 1, ServerCapacity: capacity})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	s, err := kvsort.New(ctx, cluster, kvsort.Config{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.GenerateInput(ctx, "input", *records, *seed); err != nil {
+		return err
+	}
+	res, err := s.Run(ctx, "input", *records)
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(ctx, res.OutputRegion, *records); err != nil {
+		return err
+	}
+
+	mr, err := mrsort.Run(*records, *seed, mrsort.Config{Nodes: *machines})
+	if err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("KV sort: %d records (%d MB) on %d machines, output verified sorted",
+			*records, *records*workload.RecordSize>>20, *machines),
+		"system", "sample/map", "shuffle", "sort/reduce", "total")
+	tbl.AddRow("rstore", res.Sample.Modeled, res.Shuffle.Modeled, res.Sort.Modeled, res.Modeled)
+	tbl.AddRow("mapreduce", mr.Map.Modeled, mr.Shuffle.Modeled, mr.Reduce.Modeled, mr.Modeled)
+	fmt.Println(tbl.String())
+	fmt.Printf("speedup: %.1fx\n", float64(mr.Modeled)/float64(res.Modeled))
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rstore-sort:", err)
+		os.Exit(1)
+	}
+}

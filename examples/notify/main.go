@@ -1,0 +1,117 @@
+// Notify: a producer/consumer pipeline over shared distributed memory —
+// the producer deposits items with one-sided writes and signals consumers
+// through RStore's notification mechanism; consumers claim items with
+// FETCH_ADD so each item is processed exactly once.
+//
+// Run with: go run ./examples/notify
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"rstore/internal/core"
+	"rstore/internal/simnet"
+)
+
+const (
+	items    = 12
+	itemSize = 4096
+	// Layout: [0,8) claim cursor, [64, ...) item slots.
+	slotBase = 64
+)
+
+func main() {
+	ctx := context.Background()
+	cluster, err := core.Start(ctx, core.Config{Machines: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	producer, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := producer.Alloc(ctx, "pipeline", slotBase+items*itemSize, core.AllocOptions{StripeWidth: 1}); err != nil {
+		log.Fatal(err)
+	}
+	preg, err := producer.Map(ctx, "pipeline")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	processed := make([]int, 2)
+	for c := 0; c < 2; c++ {
+		consumer, err := cluster.NewClient(ctx, simnet.NodeID(2+c)) // nodes 2, 3
+		if err != nil {
+			log.Fatal(err)
+		}
+		creg, err := consumer.Map(ctx, "pipeline")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch, unsub, err := creg.Subscribe(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer unsub()
+			for range ch {
+				// Claim the next unprocessed item. Notifications wake every
+				// subscriber, so claims can momentarily outpace deposits;
+				// the ready flag in each slot closes that race.
+				idx, _, err := creg.FetchAdd(ctx, 0, 1)
+				if err != nil || idx >= items {
+					return
+				}
+				item := make([]byte, itemSize)
+				for {
+					if err := creg.Read(ctx, uint64(slotBase+idx*itemSize), item); err != nil {
+						log.Printf("consumer %d: %v", c, err)
+						return
+					}
+					if item[itemSize-1] == 1 { // ready flag
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				got := binary.LittleEndian.Uint64(item)
+				fmt.Printf("consumer %d processed item %d (payload %d)\n", c, idx, got)
+				processed[c]++
+				if idx == items-1 {
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Produce items, notifying after each deposit.
+	item := make([]byte, itemSize)
+	for i := 0; i < items; i++ {
+		binary.LittleEndian.PutUint64(item, uint64(i*i))
+		item[itemSize-1] = 1 // ready flag, written with the payload
+		if err := preg.Write(ctx, uint64(slotBase+i*itemSize), item); err != nil {
+			log.Fatal(err)
+		}
+		if err := preg.Notify(ctx, uint32(i)); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Wake any consumer still waiting.
+	for i := 0; i < 4; i++ {
+		_ = preg.Notify(ctx, 999)
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	fmt.Printf("done: consumer 0 handled %d items, consumer 1 handled %d (total %d)\n",
+		processed[0], processed[1], processed[0]+processed[1])
+}

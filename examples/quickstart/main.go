@@ -1,0 +1,56 @@
+// Quickstart: boot an RStore cluster in-process, allocate a region of
+// distributed DRAM, and access it like memory.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"rstore/internal/core"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A 4-machine cluster: node 0 runs the master, nodes 1-3 donate DRAM.
+	cluster, err := core.Start(ctx, core.Config{Machines: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// A client on machine 1.
+	cli, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Control path (slow, once): allocate 8 MiB striped across all
+	// memory servers and map it.
+	reg, err := cli.AllocMap(ctx, "quickstart/data", 8<<20, core.AllocOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped %q: %d MiB over servers %v\n",
+		reg.Name(), reg.Size()>>20, reg.Info().Servers())
+
+	// Data path (fast, forever after): one-sided writes and reads.
+	if err := reg.Write(ctx, 1024, []byte("distributed DRAM, memory-like API")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 33)
+	if err := reg.Read(ctx, 1024, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", buf)
+
+	// Atomics work on the same address space.
+	old, _, err := reg.FetchAdd(ctx, 0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetch-add: counter was %d, now 42\n", old)
+}

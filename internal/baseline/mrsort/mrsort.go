@@ -1,0 +1,228 @@
+// Package mrsort is the Hadoop-TeraSort-class comparator for the paper's
+// sort evaluation: a MapReduce sample sort whose phases pay the costs the
+// RStore sorter avoids — disk passes for input, spills, and output;
+// per-record (de)serialization; and a TCP shuffle.
+//
+// The sort itself executes for real (the output is validated), while phase
+// times come from the calibrated cost model: a disk-era MapReduce pipeline
+// makes roughly four disk passes over the data plus one network pass, with
+// JVM-class per-record CPU costs. Constants are chosen so a 12-machine
+// cluster sorts at the ~85 MB/s/node the paper's Hadoop comparison point
+// implies; see DESIGN.md.
+package mrsort
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rstore/internal/workload"
+)
+
+// Config tunes the modeled MapReduce cluster.
+type Config struct {
+	// Nodes is the cluster size (mappers == reducers == Nodes).
+	Nodes int
+	// DiskBandwidth is effective sequential disk bandwidth per node in
+	// bits/sec. Default 4 Gb/s (a small RAID).
+	DiskBandwidth float64
+	// NetBandwidth is the per-node shuffle bandwidth in bits/sec. Default
+	// 20 Gb/s (IPoIB on the same fabric).
+	NetBandwidth float64
+	// PerRecordMap is map-side per-record CPU (read, deserialize,
+	// partition, serialize). Default 150ns.
+	PerRecordMap time.Duration
+	// PerRecordReduce is reduce-side per-record CPU. Default 150ns.
+	PerRecordReduce time.Duration
+	// ComparePerLevel is the per-record-per-merge-level compare cost.
+	// Default 3ns.
+	ComparePerLevel time.Duration
+	// FetchOverhead is the per-shuffle-fetch TCP cost. Default 24us
+	// (both ends).
+	FetchOverhead time.Duration
+	// SamplesPerMapper drives splitter quality. Default 128.
+	SamplesPerMapper int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.DiskBandwidth <= 0 {
+		c.DiskBandwidth = 4e9
+	}
+	if c.NetBandwidth <= 0 {
+		c.NetBandwidth = 20e9
+	}
+	if c.PerRecordMap <= 0 {
+		c.PerRecordMap = 150 * time.Nanosecond
+	}
+	if c.PerRecordReduce <= 0 {
+		c.PerRecordReduce = 150 * time.Nanosecond
+	}
+	if c.ComparePerLevel <= 0 {
+		c.ComparePerLevel = 3 * time.Nanosecond
+	}
+	if c.FetchOverhead <= 0 {
+		c.FetchOverhead = 24 * time.Microsecond
+	}
+	if c.SamplesPerMapper <= 0 {
+		c.SamplesPerMapper = 128
+	}
+	return c
+}
+
+// PhaseStats reports one modeled phase.
+type PhaseStats struct {
+	Modeled time.Duration
+	Bytes   int64
+}
+
+// Result is a completed run.
+type Result struct {
+	Records int
+	Bytes   int64
+	Map     PhaseStats
+	Shuffle PhaseStats
+	Reduce  PhaseStats
+	Modeled time.Duration
+}
+
+func durationFor(bytes int64, bandwidthBits float64) time.Duration {
+	if bandwidthBits <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) * 8 / bandwidthBits * float64(time.Second))
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+// Run sorts records generated from seed and returns the modeled phase
+// times. The sorted output is validated internally; a validation failure
+// is an error.
+func Run(records int, seed int64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if records <= 0 {
+		return nil, fmt.Errorf("mrsort: no records")
+	}
+	N := cfg.Nodes
+	totalBytes := int64(records) * workload.RecordSize
+	res := &Result{Records: records, Bytes: totalBytes}
+
+	// ---- Execute the sort for real (sample sort in memory). ----
+	gen := workload.NewRecordGen(seed)
+	input := make([]byte, totalBytes)
+	if err := gen.Fill(input, 0, records); err != nil {
+		return nil, fmt.Errorf("mrsort: %w", err)
+	}
+	samples := workload.SampleKeys(input, cfg.SamplesPerMapper*N, seed+1)
+	sort.Slice(samples, func(i, j int) bool {
+		return string(samples[i]) < string(samples[j])
+	})
+	splitters := make([]string, 0, N-1)
+	for p := 1; p < N; p++ {
+		splitters = append(splitters, string(samples[p*len(samples)/N]))
+	}
+	parts := make([][]byte, N)
+	for r := 0; r < records; r++ {
+		rec := input[r*workload.RecordSize : (r+1)*workload.RecordSize]
+		key := string(workload.Key(rec))
+		p := sort.SearchStrings(splitters, key)
+		// SearchStrings finds the first splitter >= key; records equal to a
+		// splitter belong to the right partition, matching kvsort.
+		for p < len(splitters) && splitters[p] == key {
+			p++
+		}
+		parts[p] = append(parts[p], rec...)
+	}
+	out := make([]byte, 0, totalBytes)
+	for p := 0; p < N; p++ {
+		sortRecords(parts[p])
+		out = append(out, parts[p]...)
+	}
+	if !workload.Sorted(out) {
+		return nil, fmt.Errorf("mrsort: internal error: output not sorted")
+	}
+
+	model := ModelOnly(records, cfg)
+	res.Map, res.Shuffle, res.Reduce, res.Modeled = model.Map, model.Shuffle, model.Reduce, model.Modeled
+	return res, nil
+}
+
+// ModelOnly returns the modeled phase times for a volume without
+// executing the sort — used to extrapolate bench-scale runs to the
+// paper's 256 GB.
+func ModelOnly(records int, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	N := cfg.Nodes
+	totalBytes := int64(records) * workload.RecordSize
+	perNode := totalBytes / int64(N)
+	recsPerNode := records / N
+	if recsPerNode == 0 {
+		recsPerNode = 1
+	}
+	res := &Result{Records: records, Bytes: totalBytes}
+
+	// Map: read input split from disk, per-record CPU, sort spill, write
+	// spill to disk.
+	spillSortCPU := time.Duration(recsPerNode*log2ceil(recsPerNode)) * cfg.ComparePerLevel
+	res.Map = PhaseStats{
+		Modeled: durationFor(perNode, cfg.DiskBandwidth)*2 +
+			time.Duration(recsPerNode)*cfg.PerRecordMap +
+			spillSortCPU,
+		Bytes: 2 * perNode,
+	}
+
+	// Shuffle: every reducer fetches one segment from every mapper; each
+	// node both reads its spills from disk and transfers (N-1)/N of its
+	// data over the network.
+	remoteFrac := float64(N-1) / float64(N)
+	netBytes := int64(float64(perNode) * remoteFrac)
+	diskRead := durationFor(perNode, cfg.DiskBandwidth)
+	netTime := durationFor(netBytes, cfg.NetBandwidth)
+	shuffleIO := diskRead
+	if netTime > shuffleIO {
+		shuffleIO = netTime
+	}
+	res.Shuffle = PhaseStats{
+		Modeled: shuffleIO + time.Duration(N)*cfg.FetchOverhead,
+		Bytes:   perNode + netBytes,
+	}
+
+	// Reduce: merge (log2(N) levels), per-record CPU, write output.
+	mergeCPU := time.Duration(recsPerNode*log2ceil(N)) * cfg.ComparePerLevel
+	res.Reduce = PhaseStats{
+		Modeled: mergeCPU +
+			time.Duration(recsPerNode)*cfg.PerRecordReduce +
+			durationFor(perNode, cfg.DiskBandwidth),
+		Bytes: perNode,
+	}
+	res.Modeled = res.Map.Modeled + res.Shuffle.Modeled + res.Reduce.Modeled
+	return res
+}
+
+// sortRecords sorts 100-byte records in place by key.
+func sortRecords(buf []byte) {
+	n := len(buf) / workload.RecordSize
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return workload.CompareRecords(buf[idx[a]*workload.RecordSize:], buf[idx[b]*workload.RecordSize:]) < 0
+	})
+	tmp := make([]byte, len(buf))
+	for i, j := range idx {
+		copy(tmp[i*workload.RecordSize:(i+1)*workload.RecordSize], buf[j*workload.RecordSize:(j+1)*workload.RecordSize])
+	}
+	copy(buf, tmp)
+}

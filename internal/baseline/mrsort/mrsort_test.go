@@ -1,0 +1,91 @@
+package mrsort
+
+import (
+	"testing"
+	"time"
+
+	"rstore/internal/workload"
+)
+
+func TestRunSortsAndModels(t *testing.T) {
+	res, err := Run(20000, 42, Config{Nodes: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Records != 20000 || res.Bytes != 20000*workload.RecordSize {
+		t.Errorf("dims: %+v", res)
+	}
+	if res.Map.Modeled <= 0 || res.Shuffle.Modeled <= 0 || res.Reduce.Modeled <= 0 {
+		t.Errorf("phases: %+v", res)
+	}
+	if res.Modeled != res.Map.Modeled+res.Shuffle.Modeled+res.Reduce.Modeled {
+		t.Errorf("total %v != sum of phases", res.Modeled)
+	}
+}
+
+func TestRunSingleNode(t *testing.T) {
+	if _, err := Run(1000, 1, Config{Nodes: 1}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRunNoRecords(t *testing.T) {
+	if _, err := Run(0, 1, Config{}); err == nil {
+		t.Error("zero records must fail")
+	}
+}
+
+func TestModelScalesLinearly(t *testing.T) {
+	cfg := Config{Nodes: 12}
+	small := ModelOnly(1_000_000, cfg)
+	big := ModelOnly(10_000_000, cfg)
+	ratio := float64(big.Modeled) / float64(small.Modeled)
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("10x volume scaled modeled time by %.2fx", ratio)
+	}
+}
+
+func TestModelDominatedByDisk(t *testing.T) {
+	// For the disk-era pipeline, the four disk passes should account for
+	// the majority of the modeled time at scale.
+	cfg := Config{Nodes: 12}.withDefaults()
+	res := ModelOnly(100_000_000, cfg) // 10 GB
+	perNode := res.Bytes / 12
+	diskPass := durationFor(perNode, cfg.DiskBandwidth)
+	if res.Modeled < 3*diskPass {
+		t.Errorf("modeled %v below 3 disk passes %v", res.Modeled, 3*diskPass)
+	}
+}
+
+// TestPaperScaleEightXAnchor reproduces the headline comparison's MR side:
+// 256 GB on 12 nodes should land in the few-hundred-seconds class (the
+// paper's Hadoop comparison point is 8x31.7s ≈ 254s).
+func TestPaperScaleEightXAnchor(t *testing.T) {
+	const records = 2_560_000_000 // 256 GB of 100-byte records
+	res := ModelOnly(records, Config{Nodes: 12})
+	if res.Modeled < 150*time.Second || res.Modeled > 450*time.Second {
+		t.Errorf("256 GB modeled MR sort = %v, want the ~250s class", res.Modeled)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := log2ceil(tt.n); got != tt.want {
+			t.Errorf("log2ceil(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestSortRecordsHelper(t *testing.T) {
+	buf := make([]byte, 50*workload.RecordSize)
+	if err := workload.NewRecordGen(3).Fill(buf, 0, 50); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	sortRecords(buf)
+	if !workload.Sorted(buf) {
+		t.Error("not sorted")
+	}
+}

@@ -1,0 +1,584 @@
+// Package msggraph is the message-passing comparator for the paper's
+// graph-processing evaluation: a Pregel-style PageRank in which workers
+// exchange one message per edge through two-sided sends, batched per
+// destination worker.
+//
+// It runs on the same fabric and verbs layer as RStore's pull-based engine
+// (internal/graph), so the measured gap between them isolates exactly what
+// the paper claims: direct one-sided access to remote vertex state versus
+// per-message serialize/transmit/copy/apply machinery. Per-message CPU
+// costs are explicit model parameters calibrated to efficient (C++-class)
+// message-passing frameworks; see DESIGN.md.
+package msggraph
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+	"rstore/internal/workload"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the number of compute workers (one per node by default).
+	Workers int
+	// WorkerNodes pins workers to fabric nodes; required.
+	WorkerNodes []simnet.NodeID
+	// BatchBytes is the message batch size. Default 64 KiB.
+	BatchBytes int
+	// SerializePerMsg is the modeled CPU cost to marshal one message.
+	// Default 4ns.
+	SerializePerMsg time.Duration
+	// ApplyPerMsg is the modeled CPU cost to apply one received message.
+	// Default 4ns.
+	ApplyPerMsg time.Duration
+	// ComputePerEdge matches the RStore engine's compute model. Default 2ns.
+	ComputePerEdge time.Duration
+	// BarrierCost is the modeled end-of-superstep barrier. Default 10us.
+	BarrierCost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
+	if c.SerializePerMsg <= 0 {
+		c.SerializePerMsg = 4 * time.Nanosecond
+	}
+	if c.ApplyPerMsg <= 0 {
+		c.ApplyPerMsg = 4 * time.Nanosecond
+	}
+	if c.ComputePerEdge <= 0 {
+		c.ComputePerEdge = 2 * time.Nanosecond
+	}
+	if c.BarrierCost <= 0 {
+		c.BarrierCost = 10 * time.Microsecond
+	}
+	return c
+}
+
+// IterStats reports one superstep.
+type IterStats struct {
+	Modeled  time.Duration
+	Messages int64
+	Bytes    int64
+}
+
+// Result is a completed run.
+type Result struct {
+	Iterations []IterStats
+	Values     []float64
+}
+
+// TotalModeled sums the per-iteration modeled times.
+func (r *Result) TotalModeled() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.Modeled
+	}
+	return t
+}
+
+const (
+	msgSize   = 12 // u32 vertex + f64 contribution
+	hdrSize   = 5  // u8 kind + u32 count
+	kindData  = 1
+	kindDone  = 2
+	sendSlots = 8
+	recvSlots = 16
+)
+
+// batchMsg is one parsed inbound batch (or a done marker).
+type batchMsg struct {
+	done    bool
+	payload []byte
+	arrive  simnet.VTime
+}
+
+// peerLink is one worker's half of a QP to another worker.
+type peerLink struct {
+	qp     *rdma.QP
+	sendMR *rdma.MemoryRegion
+	slot   int
+	inUse  int // outstanding sends
+}
+
+// worker owns a partition and its mesh links.
+type worker struct {
+	id    int
+	dev   *rdma.Device
+	pd    *rdma.PD
+	lo    uint32
+	hi    uint32
+	peers map[int]*peerLink
+
+	// Out-CSR restricted to owned sources.
+	outOffsets []uint64
+	outTargets []uint32
+	outDeg     []uint32 // of owned vertices, indexed locally
+
+	vals []float64
+	acc  []float64
+
+	inbox  chan batchMsg
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// sendWin collects the modeled window of this superstep's sends.
+	mu       sync.Mutex
+	winFirst simnet.VTime
+	winLast  simnet.VTime
+}
+
+func (w *worker) extendWin(a, b simnet.VTime) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.winFirst == 0 || (a != 0 && a < w.winFirst) {
+		w.winFirst = a
+	}
+	if b > w.winLast {
+		w.winLast = b
+	}
+}
+
+func (w *worker) resetWin() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.winFirst, w.winLast = 0, 0
+}
+
+func (w *worker) winSpan() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.winLast <= w.winFirst {
+		return 0
+	}
+	return w.winLast.Sub(w.winFirst)
+}
+
+// Engine is a loaded message-passing PageRank.
+type Engine struct {
+	cfg     Config
+	n       int
+	m       int
+	bounds  []uint32
+	workers []*worker
+}
+
+// owner returns the worker owning vertex v.
+func (e *Engine) owner(v uint32) int {
+	lo, hi := 0, len(e.bounds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.bounds[mid+1] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Load partitions the graph and wires the worker mesh over the verbs
+// network.
+func Load(ctx context.Context, network *rdma.Network, name string, g *workload.Graph, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers <= 0 {
+		cfg.Workers = len(cfg.WorkerNodes)
+	}
+	if cfg.Workers == 0 || len(cfg.WorkerNodes) == 0 {
+		return nil, fmt.Errorf("msggraph: no worker nodes")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		n:      g.NumVertices,
+		m:      g.NumEdges(),
+		bounds: g.PartitionByEdges(cfg.Workers),
+	}
+
+	// Build per-worker out-CSR from the global in-CSR.
+	type edgeList struct{ srcs, dsts []uint32 }
+	perW := make([]edgeList, cfg.Workers)
+	for v := 0; v < g.NumVertices; v++ {
+		for _, u := range g.InNeighbors(uint32(v)) {
+			w := e.owner(u)
+			perW[w].srcs = append(perW[w].srcs, u)
+			perW[w].dsts = append(perW[w].dsts, uint32(v))
+		}
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		node := cfg.WorkerNodes[i%len(cfg.WorkerNodes)]
+		dev, err := network.OpenDevice(node)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("msggraph: %w", err)
+		}
+		pd := dev.AllocPD()
+		wk := &worker{
+			id:    i,
+			dev:   dev,
+			pd:    pd,
+			lo:    e.bounds[i],
+			hi:    e.bounds[i+1],
+			peers: make(map[int]*peerLink),
+			inbox: make(chan batchMsg, 256),
+		}
+		wk.buildLocalCSR(perW[i].srcs, perW[i].dsts, g)
+		own := int(wk.hi - wk.lo)
+		wk.vals = make([]float64, own)
+		wk.acc = make([]float64, own)
+		e.workers = append(e.workers, wk)
+	}
+	if err := e.wireMesh(ctx, name); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// buildLocalCSR builds the out-adjacency of owned vertices.
+func (w *worker) buildLocalCSR(srcs, dsts []uint32, g *workload.Graph) {
+	own := int(w.hi - w.lo)
+	counts := make([]uint64, own)
+	for _, s := range srcs {
+		counts[s-w.lo]++
+	}
+	w.outOffsets = make([]uint64, own+1)
+	for i := 0; i < own; i++ {
+		w.outOffsets[i+1] = w.outOffsets[i] + counts[i]
+	}
+	w.outTargets = make([]uint32, len(srcs))
+	cursor := make([]uint64, own)
+	copy(cursor, w.outOffsets[:own])
+	for k, s := range srcs {
+		li := s - w.lo
+		w.outTargets[cursor[li]] = dsts[k]
+		cursor[li]++
+	}
+	w.outDeg = make([]uint32, own)
+	for i := 0; i < own; i++ {
+		w.outDeg[i] = g.OutDegree[w.lo+uint32(i)]
+	}
+}
+
+// wireMesh connects every worker pair with a QP and starts receivers.
+func (e *Engine) wireMesh(ctx context.Context, name string) error {
+	W := len(e.workers)
+	bufLen := hdrSize + e.cfg.BatchBytes
+
+	listeners := make([]*rdma.Listener, W)
+	for i, wk := range e.workers {
+		lis, err := wk.dev.Listen(fmt.Sprintf("msggraph/%s/w%d", name, i), wk.pd, rdma.ConnOpts{SendDepth: sendSlots * W, RecvDepth: recvSlots * W})
+		if err != nil {
+			return fmt.Errorf("msggraph: %w", err)
+		}
+		listeners[i] = lis
+	}
+	defer func() {
+		for _, lis := range listeners {
+			lis.Close()
+		}
+	}()
+
+	// i dials j for i < j; accept on j's listener.
+	for i := 0; i < W; i++ {
+		for j := i + 1; j < W; j++ {
+			wi, wj := e.workers[i], e.workers[j]
+			cqp, err := wi.dev.Dial(ctx, wj.dev.Node(), fmt.Sprintf("msggraph/%s/w%d", name, j), wi.pd, rdma.ConnOpts{SendDepth: sendSlots * W, RecvDepth: recvSlots * W})
+			if err != nil {
+				return fmt.Errorf("msggraph: dial %d->%d: %w", i, j, err)
+			}
+			sqp, err := listeners[j].Accept(ctx)
+			if err != nil {
+				return fmt.Errorf("msggraph: accept %d->%d: %w", i, j, err)
+			}
+			if err := wi.addLink(j, cqp, bufLen); err != nil {
+				return err
+			}
+			if err := wj.addLink(i, sqp, bufLen); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addLink registers buffers on the QP, posts receives, and starts the
+// receiver goroutine.
+func (w *worker) addLink(peer int, qp *rdma.QP, bufLen int) error {
+	sendMR, err := w.pd.RegisterMemory(make([]byte, sendSlots*bufLen), 0)
+	if err != nil {
+		return fmt.Errorf("msggraph: link buffers: %w", err)
+	}
+	recvMR, err := w.pd.RegisterMemory(make([]byte, recvSlots*bufLen), rdma.AccessLocalWrite)
+	if err != nil {
+		return fmt.Errorf("msggraph: link buffers: %w", err)
+	}
+	for s := 0; s < recvSlots; s++ {
+		if err := qp.PostRecv(rdma.RecvWR{
+			WRID:  uint64(s),
+			Local: rdma.SGE{MR: recvMR, Offset: uint64(s * bufLen), Len: bufLen},
+		}); err != nil {
+			return fmt.Errorf("msggraph: post recv: %w", err)
+		}
+	}
+	w.peers[peer] = &peerLink{qp: qp, sendMR: sendMR}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if w.cancel == nil {
+		w.cancel = cancel
+	} else {
+		prev := w.cancel
+		w.cancel = func() { prev(); cancel() }
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			wc, err := qp.RecvCQ().Next(ctx)
+			if err != nil || wc.Status != rdma.StatusSuccess {
+				return
+			}
+			slot := int(wc.WRID)
+			frame := recvMR.Bytes()[slot*bufLen : slot*bufLen+wc.ByteLen]
+			m := batchMsg{arrive: wc.DoneV}
+			if frame[0] == kindDone {
+				m.done = true
+			} else {
+				count := int(binary.LittleEndian.Uint32(frame[1:]))
+				m.payload = make([]byte, count*msgSize)
+				copy(m.payload, frame[hdrSize:hdrSize+count*msgSize])
+			}
+			if err := qp.PostRecv(rdma.RecvWR{
+				WRID:  wc.WRID,
+				Local: rdma.SGE{MR: recvMR, Offset: uint64(slot * bufLen), Len: bufLen},
+			}); err != nil {
+				return
+			}
+			select {
+			case w.inbox <- m:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// sendBatch posts one frame, recycling completed slots.
+func (w *worker) sendBatch(link *peerLink, frame []byte, bufLen int) error {
+	// Recycle finished sends; block politely if the ring is full.
+	for {
+		for _, wc := range link.qp.SendCQ().Poll(sendSlots) {
+			link.inUse--
+			w.extendWin(wc.PostedV, wc.DoneV)
+		}
+		if link.inUse < sendSlots {
+			break
+		}
+		wc, err := link.qp.SendCQ().Next(context.Background())
+		if err != nil {
+			return err
+		}
+		link.inUse--
+		w.extendWin(wc.PostedV, wc.DoneV)
+	}
+	slot := link.slot % sendSlots
+	link.slot++
+	link.inUse++
+	off := slot * bufLen
+	copy(link.sendMR.Bytes()[off:off+len(frame)], frame)
+	return link.qp.PostSend(rdma.SendWR{
+		WRID:  uint64(slot),
+		Op:    rdma.OpSend,
+		Local: rdma.SGE{MR: link.sendMR, Offset: uint64(off), Len: len(frame)},
+	})
+}
+
+// Close tears down the mesh.
+func (e *Engine) Close() {
+	for _, wk := range e.workers {
+		if wk.cancel != nil {
+			wk.cancel()
+		}
+		for _, link := range wk.peers {
+			link.qp.Close()
+		}
+		wk.wg.Wait()
+	}
+	e.workers = nil
+}
+
+// PageRank runs the damped power iteration and returns per-superstep
+// stats plus the final values.
+func (e *Engine) PageRank(ctx context.Context, iters int, damping float64) (*Result, error) {
+	for _, wk := range e.workers {
+		for i := range wk.vals {
+			wk.vals[i] = 1 / float64(e.n)
+		}
+	}
+	res := &Result{}
+	for it := 0; it < iters; it++ {
+		st, err := e.superstep(ctx, damping)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = append(res.Iterations, st)
+	}
+	res.Values = make([]float64, e.n)
+	for _, wk := range e.workers {
+		copy(res.Values[wk.lo:wk.hi], wk.vals)
+	}
+	return res, nil
+}
+
+func (e *Engine) superstep(ctx context.Context, damping float64) (IterStats, error) {
+	W := len(e.workers)
+	bufLen := hdrSize + e.cfg.BatchBytes
+	base := (1 - damping) / float64(e.n)
+
+	type wres struct {
+		modeled time.Duration
+		msgs    int64
+		bytes   int64
+		err     error
+	}
+	results := make([]wres, W)
+	var wg sync.WaitGroup
+	for i, wk := range e.workers {
+		wg.Add(1)
+		go func(i int, wk *worker) {
+			defer wg.Done()
+			res := &results[i]
+			wk.resetWin()
+			for k := range wk.acc {
+				wk.acc[k] = 0
+			}
+
+			batches := make([][]byte, W)
+			for p := range batches {
+				if p != i {
+					batches[p] = make([]byte, hdrSize, bufLen)
+					batches[p][0] = kindData
+				}
+			}
+			flush := func(p int) error {
+				b := batches[p]
+				count := (len(b) - hdrSize) / msgSize
+				if count == 0 {
+					return nil
+				}
+				binary.LittleEndian.PutUint32(b[1:], uint32(count))
+				if err := wk.sendBatch(wk.peers[p], b, bufLen); err != nil {
+					return err
+				}
+				res.bytes += int64(len(b))
+				batches[p] = batches[p][:hdrSize]
+				return nil
+			}
+
+			var localApplied int64
+			own := int(wk.hi - wk.lo)
+			for v := 0; v < own; v++ {
+				deg := wk.outDeg[v]
+				if deg == 0 {
+					continue
+				}
+				contrib := wk.vals[v] / float64(deg)
+				for _, dst := range wk.outTargets[wk.outOffsets[v]:wk.outOffsets[v+1]] {
+					p := e.owner(dst)
+					if p == i {
+						wk.acc[dst-wk.lo] += contrib
+						localApplied++
+						continue
+					}
+					b := batches[p]
+					var rec [msgSize]byte
+					binary.LittleEndian.PutUint32(rec[:], dst)
+					binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(contrib))
+					b = append(b, rec[:]...)
+					batches[p] = b
+					res.msgs++
+					if len(b)+msgSize > bufLen {
+						if err := flush(p); err != nil {
+							res.err = err
+							return
+						}
+					}
+				}
+			}
+			for p := 0; p < W; p++ {
+				if p == i {
+					continue
+				}
+				if err := flush(p); err != nil {
+					res.err = err
+					return
+				}
+				done := []byte{kindDone, 0, 0, 0, 0}
+				if err := wk.sendBatch(wk.peers[p], done, bufLen); err != nil {
+					res.err = err
+					return
+				}
+			}
+
+			// Receive until every peer's done marker arrived.
+			var applied int64
+			for doneFrom := 0; doneFrom < W-1; {
+				select {
+				case m := <-wk.inbox:
+					wk.extendWin(m.arrive, m.arrive)
+					if m.done {
+						doneFrom++
+						continue
+					}
+					for o := 0; o < len(m.payload); o += msgSize {
+						dst := binary.LittleEndian.Uint32(m.payload[o:])
+						c := math.Float64frombits(binary.LittleEndian.Uint64(m.payload[o+4:]))
+						wk.acc[dst-wk.lo] += c
+						applied++
+					}
+				case <-ctx.Done():
+					res.err = ctx.Err()
+					return
+				}
+			}
+
+			for v := 0; v < own; v++ {
+				wk.vals[v] = base + damping*wk.acc[v]
+			}
+
+			edges := int(wk.outOffsets[own])
+			cpu := time.Duration(res.msgs)*e.cfg.SerializePerMsg +
+				time.Duration(applied+localApplied)*e.cfg.ApplyPerMsg +
+				time.Duration(edges)*e.cfg.ComputePerEdge
+			// Receiving also pays a copy of every inbound byte (kernel to
+			// user) that one-sided writes avoid.
+			inBytes := applied * msgSize
+			cpu += wk.dev.Network().Fabric().Params().MemCopyTime(int(inBytes))
+			res.modeled = wk.winSpan() + cpu
+		}(i, wk)
+	}
+	wg.Wait()
+
+	var st IterStats
+	for _, r := range results {
+		if r.err != nil {
+			return st, fmt.Errorf("msggraph: superstep: %w", r.err)
+		}
+		if r.modeled > st.Modeled {
+			st.Modeled = r.modeled
+		}
+		st.Messages += r.msgs
+		st.Bytes += r.bytes
+	}
+	st.Modeled += e.cfg.BarrierCost
+	return st, nil
+}

@@ -1,0 +1,141 @@
+package msggraph
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+	"rstore/internal/workload"
+)
+
+func refPageRank(g *workload.Graph, iters int, damping float64) []float64 {
+	n := g.NumVertices
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			var acc float64
+			for _, u := range g.InNeighbors(uint32(v)) {
+				if d := g.OutDegree[u]; d > 0 {
+					acc += cur[u] / float64(d)
+				}
+			}
+			next[v] = base + damping*acc
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func newEngine(t *testing.T, g *workload.Graph, workers int) *Engine {
+	t.Helper()
+	f := simnet.NewFabric(workers, simnet.DefaultParams())
+	network := rdma.NewNetwork(f)
+	nodes := make([]simnet.NodeID, workers)
+	for i := range nodes {
+		nodes[i] = simnet.NodeID(i)
+	}
+	e, err := Load(context.Background(), network, t.Name(), g, Config{Workers: workers, WorkerNodes: nodes})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g, err := workload.GenRMAT(256, 2048, 17)
+	if err != nil {
+		t.Fatalf("GenRMAT: %v", err)
+	}
+	e := newEngine(t, g, 4)
+	const iters = 8
+	res, err := e.PageRank(context.Background(), iters, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	want := refPageRank(g, iters, 0.85)
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+	if len(res.Iterations) != iters {
+		t.Errorf("iterations = %d", len(res.Iterations))
+	}
+	for i, st := range res.Iterations {
+		if st.Modeled <= 0 {
+			t.Errorf("iter %d modeled = %v", i, st.Modeled)
+		}
+		if st.Messages == 0 {
+			t.Errorf("iter %d sent no messages", i)
+		}
+	}
+}
+
+func TestPageRankTwoWorkers(t *testing.T) {
+	g, err := workload.GenUniform(100, 600, 3)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := newEngine(t, g, 2)
+	res, err := e.PageRank(context.Background(), 5, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	want := refPageRank(g, 5, 0.85)
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestOwnerPartition(t *testing.T) {
+	g, err := workload.GenUniform(100, 500, 1)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := newEngine(t, g, 3)
+	for v := uint32(0); v < uint32(g.NumVertices); v++ {
+		w := e.owner(v)
+		if v < e.bounds[w] || v >= e.bounds[w+1] {
+			t.Fatalf("owner(%d) = %d with bounds %v", v, w, e.bounds)
+		}
+	}
+}
+
+func TestMessagesBatched(t *testing.T) {
+	// Message count should equal cross-partition edges; batches should be
+	// far fewer than messages.
+	g, err := workload.GenUniform(200, 4000, 5)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := newEngine(t, g, 4)
+	res, err := e.PageRank(context.Background(), 1, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	st := res.Iterations[0]
+	var cross int64
+	for v := 0; v < g.NumVertices; v++ {
+		for _, u := range g.InNeighbors(uint32(v)) {
+			if e.owner(u) != e.owner(uint32(v)) && g.OutDegree[u] > 0 {
+				cross++
+			}
+		}
+	}
+	if st.Messages != cross {
+		t.Errorf("messages = %d, want %d cross edges", st.Messages, cross)
+	}
+	if st.Bytes >= st.Messages*msgSize+int64(len(e.workers)*(len(e.workers)-1))*hdrSize*1000 {
+		t.Errorf("bytes %d implausibly high for %d messages", st.Bytes, st.Messages)
+	}
+}

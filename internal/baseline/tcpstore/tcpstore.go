@@ -1,0 +1,167 @@
+// Package tcpstore implements the two-sided comparator for RStore's
+// latency evaluation: a conventional message-based DRAM store in which
+// every access is a request/response against the server's CPU.
+//
+// It runs on the same simulated fabric as RStore, but each operation pays
+// the costs one-sided RDMA avoids: a socket/kernel traversal on both ends
+// and a server-side memory copy between the store and the message buffer.
+// This reproduces the paper's "close-to-hardware latency" comparison — the
+// gap between RStore and a classic store is exactly these per-op taxes.
+package tcpstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// Message types.
+const (
+	mtGet uint16 = iota + 1
+	mtPut
+)
+
+// ErrBadRange reports an out-of-bounds access.
+var ErrBadRange = errors.New("tcpstore: bad range")
+
+// Costs models the per-operation overheads of the kernel TCP path.
+type Costs struct {
+	// StackOverhead is charged once per message per host (syscall,
+	// interrupt, protocol processing). Default 12us.
+	StackOverhead time.Duration
+}
+
+// DefaultCosts matches DESIGN.md's calibration.
+func DefaultCosts() Costs {
+	return Costs{StackOverhead: 12 * time.Microsecond}
+}
+
+// Server is a message-based DRAM store on one node.
+type Server struct {
+	srv   *rpc.Server
+	store []byte
+	costs Costs
+	param simnet.Params
+}
+
+// StartServer creates a store of the given capacity on the device.
+func StartServer(dev *rdma.Device, service string, capacity int, costs Costs) (*Server, error) {
+	srv, err := rpc.NewServer(dev, service, nil, rpc.Options{BufSize: 2 << 20})
+	if err != nil {
+		return nil, fmt.Errorf("tcpstore: %w", err)
+	}
+	s := &Server{
+		srv:   srv,
+		store: make([]byte, capacity),
+		costs: costs,
+		param: dev.Network().Fabric().Params(),
+	}
+	srv.Handle(mtGet, s.handleGet)
+	srv.Handle(mtPut, s.handlePut)
+	srv.Serve()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() { s.srv.Close() }
+
+// Store exposes the backing memory for test assertions.
+func (s *Server) Store() []byte { return s.store }
+
+func (s *Server) checkRange(off uint64, n int) error {
+	if n < 0 || off > uint64(len(s.store)) || uint64(n) > uint64(len(s.store))-off {
+		return fmt.Errorf("%w: off=%d len=%d store=%d", ErrBadRange, off, n, len(s.store))
+	}
+	return nil
+}
+
+func (s *Server) handleGet(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	off := req.U64()
+	n := int(req.U32())
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.checkRange(off, n); err != nil {
+		return nil, err
+	}
+	var e rpc.Encoder
+	// The server CPU copies store memory into the reply buffer — the copy
+	// one-sided RDMA eliminates.
+	e.Bytes32(s.store[off : off+uint64(n)])
+	return &e, nil
+}
+
+func (s *Server) handlePut(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	off := req.U64()
+	data := req.Bytes32()
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.checkRange(off, len(data)); err != nil {
+		return nil, err
+	}
+	copy(s.store[off:], data)
+	return &rpc.Encoder{}, nil
+}
+
+// Client accesses a tcpstore server.
+type Client struct {
+	conn  *rpc.Conn
+	costs Costs
+	param simnet.Params
+}
+
+// Dial connects to the named store service on the remote node.
+func Dial(ctx context.Context, dev *rdma.Device, node simnet.NodeID, service string, costs Costs) (*Client, error) {
+	conn, err := rpc.Dial(ctx, dev, node, service, nil, rpc.Options{BufSize: 2 << 20})
+	if err != nil {
+		return nil, fmt.Errorf("tcpstore: %w", err)
+	}
+	return &Client{conn: conn, costs: costs, param: dev.Network().Fabric().Params()}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() { c.conn.Close() }
+
+// overhead converts the executed message latency into the full modeled
+// two-sided latency: two stack traversals per direction plus the
+// server-side copy of the payload.
+func (c *Client) overhead(payload int) time.Duration {
+	return 2*c.costs.StackOverhead + c.param.MemCopyTime(payload)
+}
+
+// Get reads [off, off+n) and returns the data plus modeled latency.
+func (c *Client) Get(ctx context.Context, off uint64, n int) ([]byte, time.Duration, error) {
+	var e rpc.Encoder
+	e.U64(off)
+	e.U32(uint32(n))
+	resp, lat, err := c.conn.Call(ctx, mtGet, e.Bytes())
+	if err != nil {
+		return nil, 0, fmt.Errorf("tcpstore get: %w", err)
+	}
+	d := rpc.NewDecoder(resp)
+	data := d.Bytes32()
+	if derr := d.Err(); derr != nil {
+		return nil, 0, fmt.Errorf("tcpstore get: %w", derr)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, lat + c.overhead(n), nil
+}
+
+// Put writes data at off and returns the modeled latency.
+func (c *Client) Put(ctx context.Context, off uint64, data []byte) (time.Duration, error) {
+	var e rpc.Encoder
+	e.U64(off)
+	e.Bytes32(data)
+	_, lat, err := c.conn.Call(ctx, mtPut, e.Bytes())
+	if err != nil {
+		return 0, fmt.Errorf("tcpstore put: %w", err)
+	}
+	return lat + c.overhead(len(data)), nil
+}

@@ -1,0 +1,109 @@
+package tcpstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	sd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	srv, err := StartServer(sd, "kv", 1<<20, DefaultCosts())
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	cd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	cli, err := Dial(context.Background(), cd, 0, "kv", DefaultCosts())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(cli.Close)
+	return srv, cli
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	srv, cli := newPair(t)
+	ctx := context.Background()
+	payload := []byte("two-sided data")
+	lat, err := cli.Put(ctx, 128, payload)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if lat <= 0 {
+		t.Errorf("put latency = %v", lat)
+	}
+	if got := srv.Store()[128 : 128+len(payload)]; !bytes.Equal(got, payload) {
+		t.Errorf("store = %q", got)
+	}
+	data, lat, err := cli.Get(ctx, 128, len(payload))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Errorf("get = %q", data)
+	}
+	if lat <= 0 {
+		t.Errorf("get latency = %v", lat)
+	}
+}
+
+func TestTwoSidedLatencyIncludesStackCosts(t *testing.T) {
+	_, cli := newPair(t)
+	_, lat, err := cli.Get(context.Background(), 0, 8)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	// The two stack traversals alone are 24us; the whole op must exceed
+	// them — and dwarf RStore's ~2-3us one-sided read of the same size.
+	if lat < 24*time.Microsecond {
+		t.Errorf("latency %v below modeled stack costs", lat)
+	}
+}
+
+func TestLatencyGrowsWithSize(t *testing.T) {
+	_, cli := newPair(t)
+	ctx := context.Background()
+	_, small, err := cli.Get(ctx, 0, 8)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	_, big, err := cli.Get(ctx, 0, 512<<10)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if big <= small {
+		t.Errorf("512KiB latency %v <= 8B latency %v", big, small)
+	}
+}
+
+func TestBadRange(t *testing.T) {
+	_, cli := newPair(t)
+	ctx := context.Background()
+	if _, _, err := cli.Get(ctx, 1<<20, 1); err == nil {
+		t.Error("out of range get must fail")
+	}
+	if _, err := cli.Put(ctx, 1<<20-4, make([]byte, 8)); err == nil {
+		t.Error("out of range put must fail")
+	}
+	// Typed range errors do not survive the RPC boundary; a remote error
+	// is sufficient.
+	_, _, err := cli.Get(ctx, 2<<20, 1)
+	if err == nil || errors.Is(err, ErrBadRange) {
+		t.Errorf("err = %v; want remote error, not local sentinel", err)
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"rstore/internal/core"
+	"rstore/internal/kvstore"
+	"rstore/internal/metrics"
+)
+
+// A4Mixes are the workload mixes swept (fraction of operations that are
+// reads).
+var A4Mixes = []float64{1.0, 0.95, 0.5}
+
+// A4KVStore measures the key-value layer built on the memory API: per-op
+// modeled latency and aggregate throughput for read-heavy and mixed
+// workloads across several client machines. Reads are a single one-sided
+// read plus a seqlock check; writes are CAS + deposit.
+func A4KVStore(ctx context.Context) (*metricsTable, error) {
+	const (
+		servers = 8
+		clients = 4
+		keys    = 512
+		opsEach = 300
+	)
+	cluster, err := startCluster(ctx, servers+1, clients, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	admin, err := cluster.NewClient(ctx, cluster.MemoryServerNodes()[0])
+	if err != nil {
+		return nil, err
+	}
+	opts := kvstore.Options{Slots: 8192}
+	table, err := kvstore.Create(ctx, admin, "a4", opts)
+	if err != nil {
+		return nil, err
+	}
+	// Preload the key space.
+	for i := 0; i < keys; i++ {
+		if err := table.Put(ctx, a4Key(i), a4Val(i, 0)); err != nil {
+			return nil, err
+		}
+	}
+
+	tbl := newTable("A4: KV store on the memory API (modeled, 4 clients)",
+		"read-frac", "kops/s", "get-p50-us", "put-p50-us")
+	for _, mix := range A4Mixes {
+		kops, getP50, putP50, err := a4Run(ctx, cluster, mix, clients, keys, opsEach, opts)
+		if err != nil {
+			return nil, fmt.Errorf("a4 mix %.2f: %w", mix, err)
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f%%", mix*100), kops, getP50, putP50)
+	}
+	return tbl, nil
+}
+
+func a4Key(i int) []byte { return []byte(fmt.Sprintf("key-%05d", i)) }
+
+// retryContended retries an operation whose only failure is transient slot
+// contention (a writer held the seqlock through our retry budget).
+func retryContended(op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !errors.Is(err, kvstore.ErrContention) || attempt >= 16 {
+			return err
+		}
+	}
+}
+
+func a4Val(i, ver int) []byte {
+	return []byte(fmt.Sprintf("value-%d-version-%d-padding-padding-padding", i, ver))
+}
+
+func a4Run(ctx context.Context, cluster *core.Cluster, mix float64, clients, keys, opsEach int, opts kvstore.Options) (kops, getP50, putP50 float64, err error) {
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		getHist metrics.Histogram
+		putHist metrics.Histogram
+		aggOps  float64
+		errs    = make([]error, clients)
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			node := int32ToNode(cluster.Fabric().Size() - clients + c)
+			cli, err := cluster.NewClient(ctx, node)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			kv, err := kvstore.Open(ctx, cli, "a4", opts)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(c) + 77))
+			start := cli.VNow()
+			for i := 0; i < opsEach; i++ {
+				key := a4Key(rng.Intn(keys))
+				before := cli.VNow()
+				if rng.Float64() < mix {
+					if err := retryContended(func() error { _, e := kv.Get(ctx, key); return e }); err != nil {
+						errs[c] = err
+						return
+					}
+					getHist.Record(cli.VNow().Sub(before))
+				} else {
+					if err := retryContended(func() error { return kv.Put(ctx, key, a4Val(i, c)) }); err != nil {
+						errs[c] = err
+						return
+					}
+					putHist.Record(cli.VNow().Sub(before))
+				}
+			}
+			elapsed := cli.VNow().Sub(start)
+			if elapsed > 0 {
+				mu.Lock()
+				aggOps += float64(opsEach) / elapsed.Seconds()
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	getP50 = getHist.Quantile(0.5) / 1e3 // us
+	putP50 = putHist.Quantile(0.5) / 1e3
+	return aggOps / 1e3, getP50, putP50, nil
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rstore/internal/client"
+)
+
+// A1StripeWidths is the stripe-width sweep.
+var A1StripeWidths = []int{1, 2, 4, 8}
+
+// A1Stripe ablates the striping design choice: aggregate bandwidth of
+// many clients reading one region as the number of servers it is striped
+// over varies. Striping across servers is what turns per-link bandwidth
+// into aggregate bandwidth: a width-1 region bottlenecks on one server's
+// link no matter how many clients read it.
+func A1Stripe(ctx context.Context) (*metricsTable, error) {
+	const (
+		servers = 8
+		clients = 8
+		opSize  = 4 << 20
+		rounds  = 4
+	)
+	cluster, err := startCluster(ctx, servers+1, clients, 128<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	type endpoint struct {
+		cli *client.Client
+		buf *client.Buf
+	}
+	eps := make([]*endpoint, clients)
+	for i := range eps {
+		cli, err := cluster.NewClient(ctx, int32ToNode(servers+1+i))
+		if err != nil {
+			return nil, err
+		}
+		buf, err := cli.AllocBuf(opSize)
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = &endpoint{cli: cli, buf: buf}
+	}
+
+	tbl := newTable("A1: aggregate read bandwidth vs stripe width (modeled, 8 clients)",
+		"width", "agg-gbps")
+	for _, width := range A1StripeWidths {
+		name := fmt.Sprintf("a1-w%d", width)
+		if _, err := eps[0].cli.Alloc(ctx, name, uint64(width)*opSize, client.AllocOptions{StripeUnit: 1 << 20, StripeWidth: width}); err != nil {
+			return nil, err
+		}
+		regs := make([]*client.Region, clients)
+		wins := make([]window, clients)
+		for i, ep := range eps {
+			reg, err := ep.cli.Map(ctx, name)
+			if err != nil {
+				return nil, err
+			}
+			regs[i] = reg
+		}
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			for i := range eps {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					// Spread clients across the striped space.
+					off := (uint64(i) * opSize) % (uint64(width) * opSize)
+					st, err := regs[i].ReadAt(ctx, off, eps[i].buf, 0, opSize)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					wins[i].add(st, opSize)
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		var agg float64
+		for i := range wins {
+			agg += wins[i].gbps()
+		}
+		tbl.AddRow(width, agg)
+		for i := range regs {
+			if err := regs[i].Unmap(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if err := eps[0].cli.Free(ctx, name); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// A2Replication ablates write-through replication (an extension beyond
+// the paper): write latency and modeled bandwidth as the replica count
+// grows.
+func A2Replication(ctx context.Context) (*metricsTable, error) {
+	const opSize = 1 << 20
+	cluster, err := startCluster(ctx, 10, 1, 128<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	cli, err := cluster.NewClient(ctx, int32ToNode(cluster.Fabric().Size()-1))
+	if err != nil {
+		return nil, err
+	}
+	buf, err := cli.AllocBuf(opSize)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := newTable("A2: write cost vs replication factor (modeled)",
+		"replicas", "write-1MiB", "write-8B")
+	for _, r := range []int{0, 1, 2} {
+		name := fmt.Sprintf("a2-%d", r)
+		reg, err := cli.AllocMap(ctx, name, 16<<20, client.AllocOptions{StripeWidth: 3, Replicas: r})
+		if err != nil {
+			return nil, err
+		}
+		big, err := meanLatency(8, func() (time.Duration, error) {
+			st, err := reg.WriteAt(ctx, 0, buf, 0, opSize)
+			if err != nil {
+				return 0, err
+			}
+			return st.Latency().Duration(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		small, err := meanLatency(8, func() (time.Duration, error) {
+			st, err := reg.WriteAt(ctx, 0, buf, 0, 8)
+			if err != nil {
+				return 0, err
+			}
+			return st.Latency().Duration(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(r, big, small)
+	}
+	return tbl, nil
+}
+
+// A3QPSharing ablates connection amortization: the modeled cost of
+// mapping the Nth region, which reuses the per-server QPs the first map
+// established.
+func A3QPSharing(ctx context.Context) (*metricsTable, error) {
+	const servers = 12
+	cluster, err := startCluster(ctx, servers+1, 1, 128<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	cli, err := cluster.NewClient(ctx, int32ToNode(cluster.Fabric().Size()-1))
+	if err != nil {
+		return nil, err
+	}
+
+	const regions = 64
+	for i := 0; i < regions; i++ {
+		if _, err := cli.Alloc(ctx, fmt.Sprintf("a3-%d", i), 1<<20, client.AllocOptions{}); err != nil {
+			return nil, err
+		}
+	}
+
+	tbl := newTable("A3: Rmap cost vs region index (QP sharing, modeled)",
+		"region#", "map-cost", "new-connects")
+	for _, idx := range []int{0, 1, 7, 63} {
+		before := cli.ControlStats()
+		if _, err := cli.Map(ctx, fmt.Sprintf("a3-%d", idx)); err != nil {
+			return nil, err
+		}
+		d := cli.ControlStats().Sub(before)
+		tbl.AddRow(idx, d.Total(), d.Connects)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,107 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation on the simulated testbed. Each Ex function builds the cluster
+// it needs, drives the workload, and returns a metrics.Table whose rows
+// mirror what the paper reports; EXPERIMENTS.md records the side-by-side.
+//
+// Experiment IDs (see DESIGN.md per-experiment index):
+//
+//	E1  read/write latency vs transfer size (raw verbs / RStore / two-sided)
+//	E2  aggregate bandwidth vs cluster size (the 705 Gb/s figure)
+//	E3  control-path costs (alloc / map / register) vs data-path flatness
+//	E4  PageRank: RStore graph engine vs message-passing baseline
+//	E5  KV sort: RStore sorter vs MapReduce baseline (the 31.7s / 8x figure)
+//	E6  notification latency
+//	E7  small-op throughput vs client count
+//	A1-A3 ablations: stripe unit, replication, QP sharing
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/metrics"
+	"rstore/internal/simnet"
+)
+
+// metricsTable aliases the harness's table type to keep experiment files
+// terse.
+type metricsTable = metrics.Table
+
+func newTable(title string, headers ...string) *metricsTable {
+	return metrics.NewTable(title, headers...)
+}
+
+func int32ToNode(n int) simnet.NodeID { return simnet.NodeID(n) }
+
+// sizeLabel renders a byte size compactly.
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// startCluster boots a cluster sized for an experiment.
+func startCluster(ctx context.Context, machines, extraClients int, capacity uint64) (*core.Cluster, error) {
+	return core.Start(ctx, core.Config{
+		Machines:         machines,
+		ExtraClientNodes: extraClients,
+		ServerCapacity:   capacity,
+	})
+}
+
+// meanLatency runs fn count times and averages the modeled latencies it
+// returns. A few warmup calls absorb the virtual-time queueing debt a QP
+// may carry from earlier phases on shared links, so the mean reflects
+// steady state.
+func meanLatency(count int, fn func() (time.Duration, error)) (time.Duration, error) {
+	const warmup = 3
+	for i := 0; i < warmup; i++ {
+		if _, err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	var total time.Duration
+	for i := 0; i < count; i++ {
+		d, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total / time.Duration(count), nil
+}
+
+// window aggregates modeled [first-post, last-done] envelopes.
+type window struct {
+	first simnet.VTime
+	last  simnet.VTime
+	bytes int64
+}
+
+func (w *window) add(st client.IOStat, n int) {
+	if w.first == 0 || st.PostedV < w.first {
+		w.first = st.PostedV
+	}
+	if st.DoneV > w.last {
+		w.last = st.DoneV
+	}
+	w.bytes += int64(n)
+}
+
+// gbps returns the modeled throughput of the window.
+func (w *window) gbps() float64 {
+	if w.last <= w.first {
+		return 0
+	}
+	return metrics.Gbps(w.bytes, w.last.Sub(w.first))
+}

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parse helpers for rendered table cells.
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+func cellDuration(t *testing.T, s string) time.Duration {
+	t.Helper()
+	// metrics renders "500ns", "2.50us", "1.50ms", "2.00s" — match the
+	// most specific suffix first.
+	for _, suf := range []struct {
+		tag  string
+		unit time.Duration
+	}{{"ns", time.Nanosecond}, {"us", time.Microsecond}, {"ms", time.Millisecond}, {"s", time.Second}} {
+		if !strings.HasSuffix(s, suf.tag) {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, suf.tag), 64)
+		if err != nil {
+			continue
+		}
+		return time.Duration(v * float64(suf.unit))
+	}
+	t.Fatalf("cell %q not a duration", s)
+	return 0
+}
+
+func TestE1LatencyShape(t *testing.T) {
+	tbl, err := E1Latency(context.Background())
+	if err != nil {
+		t.Fatalf("E1Latency: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	if len(rows) != len(E1Sizes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		raw := cellDuration(t, row[1])
+		rstore := cellDuration(t, row[2])
+		tcp := cellDuration(t, row[4])
+		// Close to hardware: RStore within 2x of raw verbs.
+		if float64(rstore) > 2*float64(raw) {
+			t.Errorf("size %s: rstore %v not close to raw %v", row[0], rstore, raw)
+		}
+		// Far below the two-sided store for small transfers.
+		if row[0] == "8B" && tcp < 5*rstore {
+			t.Errorf("8B: two-sided %v should dwarf rstore %v", tcp, rstore)
+		}
+	}
+	// Small op stays in the close-to-hardware class (single digit us).
+	if small := cellDuration(t, rows[0][2]); small > 10*time.Microsecond {
+		t.Errorf("8B read latency %v too high", small)
+	}
+}
+
+func TestE2BandwidthShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := E2Bandwidth(context.Background())
+	if err != nil {
+		t.Fatalf("E2Bandwidth: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	// Aggregate bandwidth grows with machine count. (The smallest
+	// clusters see extra per-machine bandwidth from co-located locality —
+	// half of a 2-machine stripe is loopback — so compare from 4 up.)
+	fourUp := cellFloat(t, rows[1][2])
+	last := cellFloat(t, rows[len(rows)-1][2])
+	if last < 2*fourUp {
+		t.Errorf("aggregate bandwidth did not scale: %v@4 -> %v@12 Gb/s", fourUp, last)
+	}
+	// The 12-machine row lands in the paper's several-hundred-Gb/s class
+	// with healthy per-link efficiency.
+	if last < 400 || last > 900 {
+		t.Errorf("12-machine aggregate = %.0f Gb/s, want the ~700 Gb/s class", last)
+	}
+	if perMachine := cellFloat(t, rows[len(rows)-1][3]); perMachine < 35 {
+		t.Errorf("per-machine bandwidth = %.1f Gb/s, want >= 35 (56 Gb/s links)", perMachine)
+	}
+}
+
+func TestE3ControlShape(t *testing.T) {
+	tbl, err := E3ControlPath(context.Background())
+	if err != nil {
+		t.Fatalf("E3ControlPath: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	// Data path flat: 8B read latency identical (within 50%) across region
+	// sizes while register cost grows by orders of magnitude.
+	firstRead := cellDuration(t, rows[0][5])
+	lastRead := cellDuration(t, rows[len(rows)-1][5])
+	if ratio := float64(lastRead) / float64(firstRead); ratio > 1.5 || ratio < 0.67 {
+		t.Errorf("data path not flat: %v vs %v", firstRead, lastRead)
+	}
+	firstRegister := cellDuration(t, rows[0][4])
+	lastRegister := cellDuration(t, rows[len(rows)-1][4])
+	if lastRegister < 10*firstRegister {
+		t.Errorf("register cost did not grow with size: %v vs %v", firstRegister, lastRegister)
+	}
+	// Warm map far cheaper than cold map (QP reuse).
+	coldMap := cellDuration(t, rows[0][2])
+	warmMap := cellDuration(t, rows[0][3])
+	if warmMap*2 > coldMap {
+		t.Errorf("warm map %v not amortized vs cold %v", warmMap, coldMap)
+	}
+}
+
+func TestE4PageRankShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// One smaller case to keep test time in check; the full sweep runs in
+	// the root benches.
+	cases := []E4Graph{{Name: "rmat-16k", Vertices: 16 << 10, Edges: 160 << 10, Kind: "rmat", Machines: 8}}
+	tbl, err := E4PageRank(context.Background(), cases)
+	if err != nil {
+		t.Fatalf("E4PageRank: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	speedup := cellFloat(t, tbl.Rows()[0][5])
+	if speedup < 1.5 || speedup > 8 {
+		t.Errorf("speedup = %.2f, want the paper's 2.6-4.2x class", speedup)
+	}
+}
+
+func TestE5SortShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := E5Sort(context.Background(), []int{500_000, 2_000_000})
+	if err != nil {
+		t.Fatalf("E5Sort: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	// Extrapolated 256 GB row: RStore in the tens of seconds, speedup in
+	// the ~8x class.
+	last := rows[len(rows)-1]
+	rstore := cellDuration(t, last[2])
+	speedup := cellFloat(t, last[4])
+	if rstore < 10*time.Second || rstore > 120*time.Second {
+		t.Errorf("256GB extrapolation = %v, want the ~31.7s class", rstore)
+	}
+	if speedup < 4 || speedup > 16 {
+		t.Errorf("speedup = %.1f, want the ~8x class", speedup)
+	}
+}
+
+func TestE6NotifyShape(t *testing.T) {
+	tbl, err := E6Notify(context.Background())
+	if err != nil {
+		t.Fatalf("E6Notify: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	total := cellDuration(t, rows[0][3])
+	if total <= 0 || total > 100*time.Microsecond {
+		t.Errorf("notify e2e = %v, want a few microseconds", total)
+	}
+}
+
+func TestE7MultiClientShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := E7MultiClient(context.Background())
+	if err != nil {
+		t.Fatalf("E7MultiClient: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	first := cellFloat(t, rows[0][1])
+	last := cellFloat(t, rows[len(rows)-1][1])
+	if last < 4*first {
+		t.Errorf("throughput did not scale with clients: %v -> %v Mops/s", first, last)
+	}
+}
+
+func TestA1StripeShape(t *testing.T) {
+	tbl, err := A1Stripe(context.Background())
+	if err != nil {
+		t.Fatalf("A1Stripe: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	narrow := cellFloat(t, rows[0][1])
+	wide := cellFloat(t, rows[len(rows)-1][1])
+	// Width-1 is capped by a single server link (~56 Gb/s); width-8
+	// should multiply aggregate bandwidth severalfold.
+	if narrow > 70 {
+		t.Errorf("width-1 aggregate %.1f Gb/s exceeds one server link", narrow)
+	}
+	if wide < 2.5*narrow {
+		t.Errorf("striping did not scale: width-1 %.1f vs width-8 %.1f Gb/s", narrow, wide)
+	}
+}
+
+func TestA2ReplicationShape(t *testing.T) {
+	tbl, err := A2Replication(context.Background())
+	if err != nil {
+		t.Fatalf("A2Replication: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	r0 := cellDuration(t, rows[0][1])
+	r2 := cellDuration(t, rows[2][1])
+	if r2 <= r0 {
+		t.Errorf("replication should cost: r0=%v r2=%v", r0, r2)
+	}
+}
+
+func TestA4KVStoreShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := A4KVStore(context.Background())
+	if err != nil {
+		t.Fatalf("A4KVStore: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	// Read-only should be the fastest mix, and per-op latency stays in the
+	// close-to-hardware class (small multiple of a one-sided read).
+	readOnly := cellFloat(t, rows[0][1])
+	mixed := cellFloat(t, rows[len(rows)-1][1])
+	if readOnly < mixed {
+		t.Errorf("read-only %.1f kops/s slower than 50/50 %.1f", readOnly, mixed)
+	}
+	if p50 := cellFloat(t, rows[0][2]); p50 <= 0 || p50 > 50 {
+		t.Errorf("get p50 = %.2f us, want close-to-hardware", p50)
+	}
+}
+
+func TestA3QPSharingShape(t *testing.T) {
+	tbl, err := A3QPSharing(context.Background())
+	if err != nil {
+		t.Fatalf("A3QPSharing: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	firstConnects := cellFloat(t, rows[0][2])
+	laterConnects := cellFloat(t, rows[1][2])
+	if firstConnects == 0 {
+		t.Error("first map should establish connections")
+	}
+	if laterConnects != 0 {
+		t.Errorf("later maps should reuse QPs, got %v connects", laterConnects)
+	}
+}

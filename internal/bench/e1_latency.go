@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rstore/internal/baseline/tcpstore"
+	"rstore/internal/client"
+	"rstore/internal/rdma"
+)
+
+// E1Sizes is the transfer-size sweep of the latency experiment.
+var E1Sizes = []int{8, 64, 512, 4 << 10, 32 << 10, 256 << 10, 1 << 20}
+
+// E1Latency reproduces the paper's "close-to-hardware latency" comparison:
+// RStore's data-path read and write latencies track raw verbs across
+// transfer sizes, while a conventional two-sided store pays an order of
+// magnitude more on small transfers.
+func E1Latency(ctx context.Context) (*metricsTable, error) {
+	const reps = 16
+	cluster, err := startCluster(ctx, 2, 1, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	serverNode := cluster.MemoryServerNodes()[0]
+	clientNode := cluster.Fabric().Size() - 1
+
+	// Raw verbs path: a plain QP + MR pair, no RStore.
+	rawDev, err := cluster.Network().OpenDevice(int32ToNode(clientNode))
+	if err != nil {
+		return nil, err
+	}
+	rawSrvDev, err := cluster.Network().OpenDevice(serverNode)
+	if err != nil {
+		return nil, err
+	}
+	rawLis, err := rawSrvDev.Listen("e1-raw", nil, rdma.ConnOpts{})
+	if err != nil {
+		return nil, err
+	}
+	defer rawLis.Close()
+	rawRemote, err := rawLis.PD().RegisterMemory(make([]byte, 2<<20), rdma.AccessRemoteRead|rdma.AccessRemoteWrite)
+	if err != nil {
+		return nil, err
+	}
+	rawQP, err := rawDev.Dial(ctx, serverNode, "e1-raw", nil, rdma.ConnOpts{})
+	if err != nil {
+		return nil, err
+	}
+	defer rawQP.Close()
+	rawLocal, err := rawQP.PD().RegisterMemory(make([]byte, 2<<20), rdma.AccessLocalWrite)
+	if err != nil {
+		return nil, err
+	}
+
+	// RStore path.
+	cli, err := cluster.NewClient(ctx, int32ToNode(clientNode))
+	if err != nil {
+		return nil, err
+	}
+	reg, err := cli.AllocMap(ctx, "e1", 2<<20, client.AllocOptions{StripeWidth: 1})
+	if err != nil {
+		return nil, err
+	}
+	buf, err := cli.AllocBuf(2 << 20)
+	if err != nil {
+		return nil, err
+	}
+
+	// Two-sided path.
+	tcpSrv, err := tcpstore.StartServer(rawSrvDev, "e1-tcp", 2<<20, tcpstore.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	defer tcpSrv.Close()
+	tcpCli, err := tcpstore.Dial(ctx, rawDev, serverNode, "e1-tcp", tcpstore.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	defer tcpCli.Close()
+
+	tbl := newTable("E1: read latency vs transfer size (modeled)",
+		"size", "raw-verbs", "rstore", "rstore-write", "two-sided", "rstore/raw")
+	for _, size := range E1Sizes {
+		rawLat, err := meanLatency(reps, func() (time.Duration, error) {
+			if err := rawQP.PostSend(rdma.SendWR{
+				Op:        rdma.OpRead,
+				Local:     rdma.SGE{MR: rawLocal, Len: size},
+				RemoteKey: rawRemote.RKey(),
+			}); err != nil {
+				return 0, err
+			}
+			wc, err := rawQP.SendCQ().Next(ctx)
+			if err != nil {
+				return 0, err
+			}
+			if wc.Status != rdma.StatusSuccess {
+				return 0, fmt.Errorf("e1 raw read: %v", wc.Status)
+			}
+			return wc.Latency().Duration(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		rsLat, err := meanLatency(reps, func() (time.Duration, error) {
+			st, err := reg.ReadAt(ctx, 0, buf, 0, size)
+			if err != nil {
+				return 0, err
+			}
+			return st.Latency().Duration(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		rsWLat, err := meanLatency(reps, func() (time.Duration, error) {
+			st, err := reg.WriteAt(ctx, 0, buf, 0, size)
+			if err != nil {
+				return 0, err
+			}
+			return st.Latency().Duration(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		tcpLat, err := meanLatency(reps, func() (time.Duration, error) {
+			_, lat, err := tcpCli.Get(ctx, 0, size)
+			return lat, err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		tbl.AddRow(sizeLabel(size), rawLat, rsLat, rsWLat, tcpLat,
+			float64(rsLat)/float64(rawLat))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rstore/internal/client"
+)
+
+// E2Machines is the cluster-size sweep of the aggregate bandwidth
+// experiment (the paper scales to 12 machines).
+var E2Machines = []int{2, 4, 6, 8, 10, 12}
+
+// E2Bandwidth reproduces the paper's aggregate-bandwidth scaling figure:
+// with a region striped over all memory servers and one client per
+// machine issuing large reads, aggregate modeled bandwidth grows linearly
+// with machine count, reaching the ~700 Gb/s class at 12 FDR machines.
+func E2Bandwidth(ctx context.Context) (*metricsTable, error) {
+	tbl := newTable("E2: aggregate read bandwidth vs machines (modeled)",
+		"machines", "clients", "agg-gbps", "gbps/machine")
+	for _, n := range E2Machines {
+		agg, err := e2Run(ctx, n)
+		if err != nil {
+			return nil, fmt.Errorf("e2 with %d machines: %w", n, err)
+		}
+		tbl.AddRow(n, n, agg, agg/float64(n))
+	}
+	return tbl, nil
+}
+
+// e2Run measures one cluster size: n memory-server machines, one client
+// co-located on each (as on the paper's testbed). Every client issues
+// full-stripe bulk reads: each operation scatter-gathers one 1 MiB
+// fragment from every server, so all links stay engaged and balanced —
+// the access pattern the paper's bandwidth experiment uses.
+func e2Run(ctx context.Context, n int) (float64, error) {
+	const (
+		stripeUnit = 1 << 20
+		rounds     = 12
+	)
+	opSize := n * stripeUnit // one fragment per server
+	cluster, err := startCluster(ctx, n+1, 0, 256<<20)
+	if err != nil {
+		return 0, err
+	}
+	defer cluster.Close()
+
+	nodes := cluster.MemoryServerNodes()
+	admin, err := cluster.NewClient(ctx, nodes[0])
+	if err != nil {
+		return 0, err
+	}
+	regionSize := uint64(opSize)
+	if _, err := admin.Alloc(ctx, "e2", regionSize, client.AllocOptions{StripeUnit: stripeUnit}); err != nil {
+		return 0, err
+	}
+
+	// One client per machine, mapped up front.
+	type endpoint struct {
+		reg *client.Region
+		buf *client.Buf
+		win window
+	}
+	eps := make([]*endpoint, len(nodes))
+	for i, node := range nodes {
+		cli, err := cluster.NewClient(ctx, node)
+		if err != nil {
+			return 0, err
+		}
+		reg, err := cli.Map(ctx, "e2")
+		if err != nil {
+			return 0, err
+		}
+		buf, err := cli.AllocBuf(opSize)
+		if err != nil {
+			return 0, err
+		}
+		eps[i] = &endpoint{reg: reg, buf: buf}
+	}
+
+	// Lockstep rounds, as bandwidth tests run on real testbeds: every
+	// client issues one full-stripe read per round. The barrier keeps the
+	// clients contending for the same virtual-time window instead of one
+	// client racing many rounds ahead on the shared timeline.
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, len(eps))
+		for i, ep := range eps {
+			wg.Add(1)
+			go func(i int, ep *endpoint) {
+				defer wg.Done()
+				st, err := ep.reg.ReadAt(ctx, 0, ep.buf, 0, opSize)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				ep.win.add(st, opSize)
+			}(i, ep)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	var agg float64
+	for _, ep := range eps {
+		agg += ep.win.gbps()
+	}
+	return agg, nil
+}

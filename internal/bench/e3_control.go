@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rstore/internal/client"
+)
+
+// E3Sizes is the region-size sweep for the control-path experiment.
+var E3Sizes = []uint64{1 << 20, 16 << 20, 128 << 20, 1 << 30}
+
+// E3ControlPath reproduces the separation-philosophy measurement: the
+// control path (Ralloc, Rmap, buffer registration) costs grow with region
+// size and server count but are paid once, while data-path operations
+// stay flat at a few microseconds regardless of how big the mapped region
+// is.
+func E3ControlPath(ctx context.Context) (*metricsTable, error) {
+	const servers = 12
+	cluster, err := startCluster(ctx, servers+1, 1, 192<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	clientNode := int32ToNode(cluster.Fabric().Size() - 1)
+
+	tbl := newTable("E3: control path vs data path (modeled)",
+		"region", "alloc", "map(new-conns)", "map(warm)", "register-buf", "read-8B")
+	for _, size := range E3Sizes {
+		name := fmt.Sprintf("e3-%d", size)
+
+		// A fresh client pays the QP handshakes on first map.
+		cold, err := cluster.NewClient(ctx, clientNode)
+		if err != nil {
+			return nil, err
+		}
+		before := cold.ControlStats()
+		if _, err := cold.Alloc(ctx, name, size, client.AllocOptions{}); err != nil {
+			return nil, err
+		}
+		allocCost := cold.ControlStats().Sub(before).Total()
+
+		before = cold.ControlStats()
+		reg, err := cold.Map(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		coldMapCost := cold.ControlStats().Sub(before).Total()
+
+		// Mapping again on the same client reuses every QP.
+		before = cold.ControlStats()
+		reg2, err := cold.Map(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		warmMapCost := cold.ControlStats().Sub(before).Total()
+		if err := reg2.Unmap(ctx); err != nil {
+			return nil, err
+		}
+
+		// Registering a zero-copy buffer scales with its size (page
+		// pinning) — also control path, also amortized.
+		before = cold.ControlStats()
+		bufSize := int(size)
+		if bufSize > 64<<20 {
+			bufSize = 64 << 20
+		}
+		buf, err := cold.AllocBuf(bufSize)
+		if err != nil {
+			return nil, err
+		}
+		registerCost := cold.ControlStats().Sub(before).Total()
+
+		// Data path after setup: flat small-op latency.
+		readLat, err := meanLatency(16, func() (time.Duration, error) {
+			st, err := reg.ReadAt(ctx, 0, buf, 0, 8)
+			if err != nil {
+				return 0, err
+			}
+			return st.Latency().Duration(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		tbl.AddRow(sizeLabel(int(size)), allocCost, coldMapCost, warmMapCost, registerCost, readLat)
+	}
+	return tbl, nil
+}

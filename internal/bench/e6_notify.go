@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rstore/internal/client"
+)
+
+// E6Notify measures the memory-like API's producer/consumer notification:
+// end-to-end modeled latency from the producer's write completing to the
+// consumer observing the token, across the region's home server.
+func E6Notify(ctx context.Context) (*metricsTable, error) {
+	const reps = 32
+	cluster, err := startCluster(ctx, 4, 2, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	prodNode := int32ToNode(cluster.Fabric().Size() - 2)
+	consNode := int32ToNode(cluster.Fabric().Size() - 1)
+
+	producer, err := cluster.NewClient(ctx, prodNode)
+	if err != nil {
+		return nil, err
+	}
+	consumer, err := cluster.NewClient(ctx, consNode)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := producer.Alloc(ctx, "e6", 1<<20, client.AllocOptions{}); err != nil {
+		return nil, err
+	}
+	preg, err := producer.Map(ctx, "e6")
+	if err != nil {
+		return nil, err
+	}
+	creg, err := consumer.Map(ctx, "e6")
+	if err != nil {
+		return nil, err
+	}
+	ch, unsub, err := creg.Subscribe(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer unsub()
+	buf, err := producer.AllocBuf(64 << 10)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := newTable("E6: write+notify end-to-end latency (modeled)",
+		"payload", "write", "notify-e2e", "total")
+	for _, size := range []int{64, 4 << 10, 64 << 10} {
+		var writeLat, e2e time.Duration
+		for r := 0; r < reps; r++ {
+			st, err := preg.WriteAt(ctx, 0, buf, 0, size)
+			if err != nil {
+				return nil, err
+			}
+			if err := preg.Notify(ctx, uint32(r)); err != nil {
+				return nil, err
+			}
+			select {
+			case n := <-ch:
+				writeLat += st.Latency().Duration()
+				d := n.ArriveV.Sub(st.PostedV)
+				if d < 0 {
+					d = 0
+				}
+				e2e += d
+			case <-time.After(5 * time.Second):
+				return nil, fmt.Errorf("e6: notification lost at size %d rep %d", size, r)
+			}
+		}
+		writeLat /= reps
+		e2e /= reps
+		tbl.AddRow(sizeLabel(size), writeLat, e2e-writeLat, e2e)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rstore/internal/client"
+	"rstore/internal/simnet"
+)
+
+// E7Clients is the client-count sweep.
+var E7Clients = []int{1, 2, 4, 8, 16, 24}
+
+// E7MultiClient measures aggregate small-op throughput as clients are
+// added: because the data path bypasses every server CPU, throughput
+// scales with client count until the links saturate.
+func E7MultiClient(ctx context.Context) (*metricsTable, error) {
+	const (
+		servers = 12
+		opSize  = 4 << 10
+		opsEach = 256
+	)
+	maxClients := E7Clients[len(E7Clients)-1]
+	cluster, err := startCluster(ctx, servers+1, maxClients, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	admin, err := cluster.NewClient(ctx, cluster.MemoryServerNodes()[0])
+	if err != nil {
+		return nil, err
+	}
+	regionSize := uint64(servers) * 4 << 20
+	if _, err := admin.Alloc(ctx, "e7", regionSize, client.AllocOptions{StripeUnit: 64 << 10}); err != nil {
+		return nil, err
+	}
+
+	tbl := newTable("E7: aggregate 4KiB read throughput vs clients (modeled)",
+		"clients", "mops/s", "agg-gbps")
+	for _, clients := range E7Clients {
+		mops, gbps, err := e7Run(ctx, cluster, clients, servers, opSize, opsEach, regionSize)
+		if err != nil {
+			return nil, fmt.Errorf("e7 with %d clients: %w", clients, err)
+		}
+		tbl.AddRow(clients, mops, gbps)
+	}
+	return tbl, nil
+}
+
+func e7Run(ctx context.Context, cluster clusterIface, clients, servers, opSize, opsEach int, regionSize uint64) (float64, float64, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		aggGbps  float64
+		aggOpsPS float64
+		errs     = make([]error, clients)
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			node := simnet.NodeID(servers + 1 + c%((cluster.Fabric().Size())-servers-1))
+			cli, err := cluster.NewClient(ctx, node)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cli.Close()
+			reg, err := cli.Map(ctx, "e7")
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			buf, err := cli.AllocBuf(opSize)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			var win window
+			for i := 0; i < opsEach; i++ {
+				off := (uint64(c*opsEach+i) * 40961) % (regionSize - uint64(opSize))
+				st, err := reg.ReadAt(ctx, off, buf, 0, opSize)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				win.add(st, opSize)
+			}
+			span := win.last.Sub(win.first)
+			mu.Lock()
+			aggGbps += win.gbps()
+			if span > 0 {
+				aggOpsPS += float64(opsEach) / span.Seconds()
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return aggOpsPS / 1e6, aggGbps, nil
+}
+
+// clusterIface is the slice of core.Cluster the runner needs (kept small
+// for testability).
+type clusterIface interface {
+	Fabric() *simnet.Fabric
+	NewClient(ctx context.Context, node simnet.NodeID) (*client.Client, error)
+	MemoryServerNodes() []simnet.NodeID
+}

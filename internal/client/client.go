@@ -1,0 +1,434 @@
+// Package client implements the RStore client library: the memory-like API
+// the paper exposes to applications.
+//
+// The API follows the paper's separation philosophy:
+//
+//   - Control path (slow, amortized): Alloc reserves a named, striped
+//     region of cluster DRAM at the master; Map fetches its metadata and
+//     lazily establishes one-sided queue pairs to each memory server the
+//     region touches; AllocBuf registers local memory with the NIC.
+//   - Data path (fast, constant): ReadAt/WriteAt/FetchAdd translate region
+//     offsets to server fragments with a local table lookup and issue
+//     one-sided RDMA operations. No master, no server CPU, no metadata
+//     traffic.
+//
+// All control-path work is metered in ControlStats (modeled virtual time),
+// which the benchmark harness uses for the paper's control-path figures.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// Client-level errors.
+var (
+	ErrClosed       = errors.New("client: closed")
+	ErrRegionClosed = errors.New("client: region unmapped")
+	ErrIOFailed     = errors.New("client: io failed")
+
+	// ErrRegionExists / ErrRegionNotFound mirror the master's errors across
+	// the RPC boundary (matched by message prefix).
+	ErrRegionExists   = errors.New("client: region already exists")
+	ErrRegionNotFound = errors.New("client: region not found")
+)
+
+// Config tunes a client.
+type Config struct {
+	// Master is the node the master runs on.
+	Master simnet.NodeID
+	// RPC tunes the master control connection.
+	RPC rpc.Options
+	// StagingChunk is the size of each staging buffer backing the []byte
+	// convenience Read/Write path. Default 1 MiB.
+	StagingChunk int
+	// StagingCount is how many staging chunks to register. Default 4.
+	StagingCount int
+	// QPDepth is the send-queue depth per server connection. Default 512.
+	QPDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StagingChunk <= 0 {
+		c.StagingChunk = 1 << 20
+	}
+	if c.StagingCount <= 0 {
+		c.StagingCount = 4
+	}
+	if c.QPDepth <= 0 {
+		c.QPDepth = 512
+	}
+	return c
+}
+
+// ControlStats meters the modeled cost of control-path operations. All
+// durations are virtual (cost-model) time.
+type ControlStats struct {
+	RPCTime      time.Duration
+	ConnectTime  time.Duration
+	RegisterTime time.Duration
+	RPCs         int
+	Connects     int
+	Registers    int
+}
+
+// Total returns the summed modeled control time.
+func (s ControlStats) Total() time.Duration {
+	return s.RPCTime + s.ConnectTime + s.RegisterTime
+}
+
+// Sub returns the difference s - o, for measuring a single operation.
+func (s ControlStats) Sub(o ControlStats) ControlStats {
+	return ControlStats{
+		RPCTime:      s.RPCTime - o.RPCTime,
+		ConnectTime:  s.ConnectTime - o.ConnectTime,
+		RegisterTime: s.RegisterTime - o.RegisterTime,
+		RPCs:         s.RPCs - o.RPCs,
+		Connects:     s.Connects - o.Connects,
+		Registers:    s.Registers - o.Registers,
+	}
+}
+
+// Client is an RStore client endpoint on one fabric node.
+type Client struct {
+	cfg    Config
+	dev    *rdma.Device
+	pd     *rdma.PD
+	master *rpc.Conn
+
+	// vnow is the client's virtual-time cursor: the modeled completion of
+	// its most recent data-path operation. Operations are timestamped from
+	// it, so a synchronous caller's ops chain and measured latencies are
+	// per-operation service times.
+	vnow atomicVTime
+
+	mu      sync.Mutex
+	closed  bool
+	conns   map[simnet.NodeID]*serverConn
+	notify  map[simnet.NodeID]*notifyConn
+	ctrl    ControlStats
+	staging chan *Buf
+}
+
+// VNow returns the client's virtual-time cursor.
+func (c *Client) VNow() simnet.VTime { return c.vnow.load() }
+
+// advanceVNow lifts the cursor to at least v.
+func (c *Client) advanceVNow(v simnet.VTime) { c.vnow.max(v) }
+
+// Connect opens a client on the device and dials the master.
+func Connect(ctx context.Context, dev *rdma.Device, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	pd := dev.AllocPD()
+	c := &Client{
+		cfg:     cfg,
+		dev:     dev,
+		pd:      pd,
+		conns:   make(map[simnet.NodeID]*serverConn),
+		notify:  make(map[simnet.NodeID]*notifyConn),
+		staging: make(chan *Buf, cfg.StagingCount),
+	}
+	master, err := rpc.Dial(ctx, dev, cfg.Master, proto.MasterService, pd, cfg.RPC)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial master: %w", err)
+	}
+	c.master = master
+	// Join the fabric's virtual timeline at connect time.
+	c.advanceVNow(dev.Network().Fabric().VNow())
+	c.chargeConnect()
+	for i := 0; i < cfg.StagingCount; i++ {
+		b, err := c.AllocBuf(cfg.StagingChunk)
+		if err != nil {
+			master.Close()
+			return nil, fmt.Errorf("client: staging: %w", err)
+		}
+		c.staging <- b
+	}
+	return c, nil
+}
+
+// Device returns the client's device.
+func (c *Client) Device() *rdma.Device { return c.dev }
+
+// Node returns the client's fabric node.
+func (c *Client) Node() simnet.NodeID { return c.dev.Node() }
+
+// ControlStats returns a snapshot of the accumulated modeled control cost.
+func (c *Client) ControlStats() ControlStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrl
+}
+
+func (c *Client) chargeRPC(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctrl.RPCTime += d
+	c.ctrl.RPCs++
+}
+
+func (c *Client) chargeConnect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctrl.ConnectTime += c.dev.Costs().ConnectTime(c.dev.Network().Fabric().Params())
+	c.ctrl.Connects++
+}
+
+func (c *Client) chargeRegister(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctrl.RegisterTime += c.dev.Costs().RegisterTime(n)
+	c.ctrl.Registers++
+}
+
+// Close tears down all connections. Mapped regions become unusable.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := make([]*serverConn, 0, len(c.conns))
+	for _, sc := range c.conns {
+		conns = append(conns, sc)
+	}
+	c.conns = make(map[simnet.NodeID]*serverConn)
+	notifies := make([]*notifyConn, 0, len(c.notify))
+	for _, nc := range c.notify {
+		notifies = append(notifies, nc)
+	}
+	c.notify = make(map[simnet.NodeID]*notifyConn)
+	c.mu.Unlock()
+
+	for _, sc := range conns {
+		sc.close()
+	}
+	for _, nc := range notifies {
+		nc.close()
+	}
+	c.master.Close()
+}
+
+func (c *Client) checkOpen() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// call wraps a master RPC with control-time accounting and error mapping.
+func (c *Client) call(ctx context.Context, mt uint16, req []byte) ([]byte, error) {
+	if err := c.checkOpen(); err != nil {
+		return nil, err
+	}
+	resp, lat, err := c.master.Call(ctx, mt, req)
+	c.chargeRPC(lat)
+	if err != nil {
+		return nil, mapMasterError(err)
+	}
+	return resp, nil
+}
+
+// mapMasterError turns remote master errors into the client's typed
+// sentinels so callers can use errors.Is across the RPC boundary.
+func mapMasterError(err error) error {
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	switch {
+	case strings.Contains(re.Msg, "already exists"):
+		return fmt.Errorf("%w: %s", ErrRegionExists, re.Msg)
+	case strings.Contains(re.Msg, "not found"):
+		return fmt.Errorf("%w: %s", ErrRegionNotFound, re.Msg)
+	default:
+		return err
+	}
+}
+
+// AllocOptions tunes Alloc.
+type AllocOptions struct {
+	// StripeUnit is the striping granularity (0 = master default, 1 MiB).
+	StripeUnit uint64
+	// StripeWidth caps how many servers the region spans (0 = all alive).
+	StripeWidth int
+	// Replicas is the number of extra copies kept write-through.
+	Replicas int
+}
+
+// Alloc reserves a named region of distributed DRAM (the paper's ralloc).
+// The region exists until Free; use Map to access it.
+func (c *Client) Alloc(ctx context.Context, name string, size uint64, opts AllocOptions) (*proto.RegionInfo, error) {
+	req := proto.AllocRequest{
+		Name:        name,
+		Size:        size,
+		StripeUnit:  opts.StripeUnit,
+		StripeWidth: opts.StripeWidth,
+		Replicas:    opts.Replicas,
+	}
+	var e rpc.Encoder
+	req.Encode(&e)
+	resp, err := c.call(ctx, proto.MtAlloc, e.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("alloc %q: %w", name, err)
+	}
+	d := rpc.NewDecoder(resp)
+	info := proto.DecodeRegionInfo(d)
+	if derr := d.Err(); derr != nil {
+		return nil, fmt.Errorf("alloc %q: %w", name, derr)
+	}
+	return info, nil
+}
+
+// Map attaches to a named region (the paper's rmap): fetches its metadata
+// and establishes one-sided connections to every server it touches. After
+// Map returns, data-path operations need no further setup.
+func (c *Client) Map(ctx context.Context, name string) (*Region, error) {
+	var e rpc.Encoder
+	e.String(name)
+	resp, err := c.call(ctx, proto.MtMap, e.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("map %q: %w", name, err)
+	}
+	d := rpc.NewDecoder(resp)
+	info := proto.DecodeRegionInfo(d)
+	if derr := d.Err(); derr != nil {
+		return nil, fmt.Errorf("map %q: %w", name, derr)
+	}
+	// Eagerly connect to every participating server so the data path is
+	// setup-free, per the separation philosophy.
+	for _, node := range info.Servers() {
+		if _, err := c.serverConn(ctx, node); err != nil {
+			return nil, fmt.Errorf("map %q: connect %v: %w", name, node, err)
+		}
+	}
+	for _, rep := range info.Replicas {
+		for _, x := range rep {
+			if _, err := c.serverConn(ctx, x.Server); err != nil {
+				return nil, fmt.Errorf("map %q: connect replica %v: %w", name, x.Server, err)
+			}
+		}
+	}
+	return &Region{c: c, info: info}, nil
+}
+
+// AllocMap allocates and immediately maps a region.
+func (c *Client) AllocMap(ctx context.Context, name string, size uint64, opts AllocOptions) (*Region, error) {
+	if _, err := c.Alloc(ctx, name, size, opts); err != nil {
+		return nil, err
+	}
+	return c.Map(ctx, name)
+}
+
+// Free releases a region's memory at the master (the paper's rfree). All
+// mappings must have been unmapped first.
+func (c *Client) Free(ctx context.Context, name string) error {
+	var e rpc.Encoder
+	e.String(name)
+	if _, err := c.call(ctx, proto.MtFree, e.Bytes()); err != nil {
+		return fmt.Errorf("free %q: %w", name, err)
+	}
+	return nil
+}
+
+// RegionSummary is one row of the master's region listing.
+type RegionSummary struct {
+	Name     string
+	ID       proto.RegionID
+	Size     uint64
+	MapCount int
+}
+
+// ListRegions returns the master's region table.
+func (c *Client) ListRegions(ctx context.Context) ([]RegionSummary, error) {
+	resp, err := c.call(ctx, proto.MtListRegions, nil)
+	if err != nil {
+		return nil, fmt.Errorf("list regions: %w", err)
+	}
+	d := rpc.NewDecoder(resp)
+	n := d.U32()
+	out := make([]RegionSummary, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, RegionSummary{
+			Name:     d.String(),
+			ID:       proto.RegionID(d.U64()),
+			Size:     d.U64(),
+			MapCount: int(d.U32()),
+		})
+	}
+	if derr := d.Err(); derr != nil {
+		return nil, fmt.Errorf("list regions: %w", derr)
+	}
+	return out, nil
+}
+
+// ClusterInfo reports the master's view of the memory servers.
+func (c *Client) ClusterInfo(ctx context.Context) ([]proto.ServerInfo, error) {
+	resp, err := c.call(ctx, proto.MtClusterInfo, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster info: %w", err)
+	}
+	d := rpc.NewDecoder(resp)
+	n := d.U32()
+	out := make([]proto.ServerInfo, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, proto.DecodeServerInfo(d))
+	}
+	if derr := d.Err(); derr != nil {
+		return nil, fmt.Errorf("cluster info: %w", derr)
+	}
+	return out, nil
+}
+
+// serverConn returns (establishing if needed) the one-sided connection to
+// a memory server. Connections are shared across all regions — the QP
+// amortization the paper's control-path evaluation highlights.
+func (c *Client) serverConn(ctx context.Context, node simnet.NodeID) (*serverConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sc, ok := c.conns[node]; ok && sc.healthy() {
+		c.mu.Unlock()
+		return sc, nil
+	}
+	stale := c.conns[node]
+	c.mu.Unlock()
+	if stale != nil {
+		stale.close()
+	}
+
+	qp, err := c.dev.Dial(ctx, node, proto.MemDataService, c.pd, rdma.ConnOpts{SendDepth: c.cfg.QPDepth, RecvDepth: 16})
+	if err != nil {
+		return nil, err
+	}
+	sc := newServerConn(qp)
+	c.chargeConnect()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		sc.close()
+		return nil, ErrClosed
+	}
+	if cur, ok := c.conns[node]; ok && cur.healthy() {
+		// Lost a race with another mapper; keep the established one.
+		go sc.close()
+		return cur, nil
+	}
+	c.conns[node] = sc
+	return sc, nil
+}

@@ -1,0 +1,125 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+)
+
+func TestControlStatsArithmetic(t *testing.T) {
+	a := ControlStats{RPCTime: 10, ConnectTime: 20, RegisterTime: 30, RPCs: 1, Connects: 2, Registers: 3}
+	b := ControlStats{RPCTime: 4, ConnectTime: 5, RegisterTime: 6, RPCs: 1, Connects: 1, Registers: 1}
+	d := a.Sub(b)
+	if d.RPCTime != 6 || d.ConnectTime != 15 || d.RegisterTime != 24 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if d.RPCs != 0 || d.Connects != 1 || d.Registers != 2 {
+		t.Errorf("Sub counters = %+v", d)
+	}
+	if got := a.Total(); got != 60 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestMapMasterError(t *testing.T) {
+	tests := []struct {
+		name string
+		in   error
+		want error
+	}{
+		{"exists", &rpc.RemoteError{Msg: "master: region already exists: \"x\""}, ErrRegionExists},
+		{"not found", &rpc.RemoteError{Msg: "master: region not found: \"x\""}, ErrRegionNotFound},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := mapMasterError(tt.in); !errors.Is(got, tt.want) {
+				t.Errorf("mapMasterError = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// Non-remote errors pass through.
+	plain := errors.New("plain")
+	if got := mapMasterError(plain); got != plain {
+		t.Errorf("plain error = %v", got)
+	}
+	// Unknown remote errors stay remote.
+	other := &rpc.RemoteError{Msg: "something else"}
+	var re *rpc.RemoteError
+	if got := mapMasterError(other); !errors.As(got, &re) {
+		t.Errorf("other = %v", got)
+	}
+}
+
+func TestIOOpCompletion(t *testing.T) {
+	var clock atomicVTime
+	op := newIOOp(2, 100, clock.max)
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess, PostedV: 100, DoneV: 200})
+	select {
+	case <-op.done:
+		t.Fatal("done before all fragments")
+	default:
+	}
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess, PostedV: 150, DoneV: 300})
+	select {
+	case <-op.done:
+	default:
+		t.Fatal("not done after all fragments")
+	}
+	st, err := op.wait(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.PostedV != 100 || st.DoneV != 300 || st.Fragments != 2 {
+		t.Errorf("stat = %+v", st)
+	}
+	if st.Latency() != 200 {
+		t.Errorf("latency = %v", st.Latency())
+	}
+	if clock.load() != 300 {
+		t.Errorf("onDone clock = %v, want 300", clock.load())
+	}
+}
+
+func TestIOOpErrorPropagates(t *testing.T) {
+	op := newIOOp(2, 0, nil)
+	op.completeOne(rdma.WC{Status: rdma.StatusRetryExceeded, Err: rdma.ErrQPState})
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess})
+	if _, err := op.wait(context.Background(), 2); !errors.Is(err, ErrIOFailed) {
+		t.Errorf("wait = %v, want ErrIOFailed", err)
+	}
+}
+
+func TestIOOpFailShortCircuits(t *testing.T) {
+	op := newIOOp(3, 0, nil)
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess})
+	op.fail(errors.New("post failed"), 2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := op.wait(ctx, 3); err == nil {
+		t.Error("wait should fail after fail()")
+	}
+}
+
+func TestIOOpWaitContextCancel(t *testing.T) {
+	op := newIOOp(1, 0, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := op.wait(ctx, 1); !errors.Is(err, ErrIOFailed) {
+		t.Errorf("wait = %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.StagingChunk != 1<<20 || c.StagingCount != 4 || c.QPDepth != 512 {
+		t.Errorf("defaults = %+v", c)
+	}
+	c = Config{StagingChunk: 7, StagingCount: 2, QPDepth: 9}.withDefaults()
+	if c.StagingChunk != 7 || c.StagingCount != 2 || c.QPDepth != 9 {
+		t.Errorf("overrides = %+v", c)
+	}
+}

@@ -1,0 +1,196 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+)
+
+// atomicVTime is a monotonically increasing virtual-time cell.
+type atomicVTime struct {
+	v atomic.Int64
+}
+
+func (a *atomicVTime) load() simnet.VTime { return simnet.VTime(a.v.Load()) }
+
+func (a *atomicVTime) max(t simnet.VTime) {
+	for {
+		cur := a.v.Load()
+		if int64(t) <= cur || a.v.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// ioOp is a future covering all fragments of one data-path operation.
+type ioOp struct {
+	mu        sync.Mutex
+	remaining int
+	err       error
+	startV    simnet.VTime // caller's virtual time at issue
+	lastDone  simnet.VTime
+	old       uint64 // atomic result (single-fragment ops)
+	done      chan struct{}
+	// onDone receives the operation's completion time (last fragment) to
+	// advance the owning client's virtual clock.
+	onDone func(simnet.VTime)
+}
+
+func newIOOp(fragments int, startV simnet.VTime, onDone func(simnet.VTime)) *ioOp {
+	return &ioOp{remaining: fragments, startV: startV, onDone: onDone, done: make(chan struct{})}
+}
+
+// completeOne folds one work completion into the future.
+func (op *ioOp) completeOne(wc rdma.WC) {
+	op.mu.Lock()
+	if wc.Status != rdma.StatusSuccess && op.err == nil {
+		if wc.Err != nil {
+			op.err = fmt.Errorf("%w: %v: %v", ErrIOFailed, wc.Status, wc.Err)
+		} else {
+			op.err = fmt.Errorf("%w: %v", ErrIOFailed, wc.Status)
+		}
+	}
+	if wc.DoneV > op.lastDone {
+		op.lastDone = wc.DoneV
+	}
+	op.old = wc.Old
+	op.remaining--
+	finished := op.remaining == 0
+	lastDone := op.lastDone
+	onDone := op.onDone
+	op.mu.Unlock()
+	if finished {
+		if onDone != nil {
+			onDone(lastDone)
+		}
+		close(op.done)
+	}
+}
+
+// fail aborts the future before all fragments posted (post error).
+func (op *ioOp) fail(err error, unposted int) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if op.err == nil {
+		op.err = err
+	}
+	op.remaining -= unposted
+	if op.remaining <= 0 && op.done != nil {
+		select {
+		case <-op.done:
+		default:
+			close(op.done)
+		}
+	}
+}
+
+// IOStat describes one completed data-path operation in virtual time.
+type IOStat struct {
+	// Fragments is how many one-sided operations the access translated to.
+	Fragments int
+	// PostedV and DoneV bound the operation in modeled time; DoneV-PostedV
+	// is its modeled latency.
+	PostedV simnet.VTime
+	DoneV   simnet.VTime
+}
+
+// Latency returns the modeled service time.
+func (s IOStat) Latency() simnet.VTime { return s.DoneV - s.PostedV }
+
+// wait blocks until every fragment completed or ctx fires.
+func (op *ioOp) wait(ctx context.Context, fragments int) (IOStat, error) {
+	select {
+	case <-op.done:
+	case <-ctx.Done():
+		return IOStat{}, fmt.Errorf("%w: %v", ErrIOFailed, ctx.Err())
+	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if op.err != nil {
+		return IOStat{}, op.err
+	}
+	return IOStat{Fragments: fragments, PostedV: op.startV, DoneV: op.lastDone}, nil
+}
+
+// serverConn owns the one-sided QP to one memory server plus the
+// completion dispatcher that resolves futures.
+type serverConn struct {
+	qp *rdma.QP
+
+	mu      sync.Mutex
+	nextWR  uint64
+	pending map[uint64]*ioOp
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func newServerConn(qp *rdma.QP) *serverConn {
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := &serverConn{
+		qp:      qp,
+		pending: make(map[uint64]*ioOp),
+		cancel:  cancel,
+	}
+	sc.wg.Add(1)
+	go sc.dispatch(ctx)
+	return sc
+}
+
+func (sc *serverConn) healthy() bool {
+	return sc.qp.State() == rdma.QPReady
+}
+
+func (sc *serverConn) close() {
+	sc.cancel()
+	sc.qp.Close()
+	sc.wg.Wait()
+	// Fail anything still pending (flushed completions normally cover
+	// this; belt and braces for dispatcher teardown races).
+	sc.mu.Lock()
+	pend := sc.pending
+	sc.pending = make(map[uint64]*ioOp)
+	sc.mu.Unlock()
+	for _, op := range pend {
+		op.completeOne(rdma.WC{Status: rdma.StatusFlushed, Err: rdma.ErrQPState})
+	}
+}
+
+// dispatch resolves completions to futures.
+func (sc *serverConn) dispatch(ctx context.Context) {
+	defer sc.wg.Done()
+	cq := sc.qp.SendCQ()
+	for {
+		wc, err := cq.Next(ctx)
+		if err != nil {
+			return
+		}
+		sc.mu.Lock()
+		op, ok := sc.pending[wc.WRID]
+		delete(sc.pending, wc.WRID)
+		sc.mu.Unlock()
+		if ok {
+			op.completeOne(wc)
+		}
+	}
+}
+
+// post registers the WR with the future and posts it.
+func (sc *serverConn) post(wr rdma.SendWR, op *ioOp) error {
+	sc.mu.Lock()
+	sc.nextWR++
+	wr.WRID = sc.nextWR
+	sc.pending[wr.WRID] = op
+	sc.mu.Unlock()
+	if err := sc.qp.PostSend(wr); err != nil {
+		sc.mu.Lock()
+		delete(sc.pending, wr.WRID)
+		sc.mu.Unlock()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+)
+
+// Region is a mapped region: the client-side handle of a named, striped
+// window of cluster DRAM. All methods are safe for concurrent use.
+type Region struct {
+	c    *Client
+	info *proto.RegionInfo
+
+	mu       sync.Mutex
+	unmapped bool
+}
+
+// Info returns the region's metadata.
+func (r *Region) Info() *proto.RegionInfo { return r.info }
+
+// Name returns the region's name.
+func (r *Region) Name() string { return r.info.Name }
+
+// Size returns the region's size in bytes.
+func (r *Region) Size() uint64 { return r.info.Size }
+
+// Unmap detaches from the region (the paper's runmap). Data-path calls
+// fail afterwards; the region itself lives on until Free.
+func (r *Region) Unmap(ctx context.Context) error {
+	r.mu.Lock()
+	if r.unmapped {
+		r.mu.Unlock()
+		return nil
+	}
+	r.unmapped = true
+	r.mu.Unlock()
+	var e rpc.Encoder
+	e.String(r.info.Name)
+	if _, err := r.c.call(ctx, proto.MtUnmap, e.Bytes()); err != nil {
+		return fmt.Errorf("unmap %q: %w", r.info.Name, err)
+	}
+	return nil
+}
+
+func (r *Region) checkMapped() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.unmapped {
+		return fmt.Errorf("%w: %q", ErrRegionClosed, r.info.Name)
+	}
+	return nil
+}
+
+// Pending is an in-flight asynchronous operation.
+type Pending struct {
+	op    *ioOp
+	frags int
+}
+
+// Wait blocks until the operation completes and returns its stats.
+func (p *Pending) Wait(ctx context.Context) (IOStat, error) {
+	return p.op.wait(ctx, p.frags)
+}
+
+// issue posts one one-sided op per fragment against the shared futures.
+// Every fragment is timestamped with the operation's start (the client's
+// virtual clock), so per-QP cursors cannot leak earlier times into the
+// operation's latency.
+func (r *Region) issue(ctx context.Context, opcode rdma.OpCode, frags []proto.Fragment, buf *Buf, bufOff int, op *ioOp) {
+	for i, f := range frags {
+		sc, err := r.c.serverConn(ctx, f.Server)
+		if err != nil {
+			op.fail(fmt.Errorf("%w: %v", ErrIOFailed, err), len(frags)-i)
+			return
+		}
+		wr := rdma.SendWR{
+			Op:         opcode,
+			Local:      rdma.SGE{MR: buf.mr, Offset: uint64(bufOff + f.BufOff), Len: f.Len},
+			RemoteKey:  f.RKey,
+			RemoteAddr: f.Addr,
+			StartV:     op.startV,
+		}
+		if err := sc.post(wr, op); err != nil {
+			op.fail(fmt.Errorf("%w: %v", ErrIOFailed, err), len(frags)-i)
+			return
+		}
+	}
+}
+
+// newOp creates a future stamped at the client's current virtual time.
+func (r *Region) newOp(fragments int) *ioOp {
+	return newIOOp(fragments, r.c.VNow(), r.c.advanceVNow)
+}
+
+// StartWriteAt begins an asynchronous write of buf[bufOff:bufOff+n] into
+// the region at off. With replicas configured, the write goes to every
+// copy (write-through) inside the same pending operation.
+func (r *Region) StartWriteAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (*Pending, error) {
+	if err := r.checkMapped(); err != nil {
+		return nil, err
+	}
+	frags, err := r.info.Fragments(off, n)
+	if err != nil {
+		return nil, fmt.Errorf("write %q: %w", r.info.Name, err)
+	}
+	all := frags
+	for i := range r.info.Replicas {
+		rf, err := r.info.ReplicaFragments(i, off, n)
+		if err != nil {
+			return nil, fmt.Errorf("write %q replica %d: %w", r.info.Name, i, err)
+		}
+		all = append(all, rf...)
+	}
+	op := r.newOp(len(all))
+	r.issue(ctx, rdma.OpWrite, all, buf, bufOff, op)
+	return &Pending{op: op, frags: len(all)}, nil
+}
+
+// WriteAt writes buf[bufOff:bufOff+n] to the region at off, zero copy.
+func (r *Region) WriteAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (IOStat, error) {
+	p, err := r.StartWriteAt(ctx, off, buf, bufOff, n)
+	if err != nil {
+		return IOStat{}, err
+	}
+	return p.Wait(ctx)
+}
+
+// StartReadAt begins an asynchronous read of [off, off+n) into
+// buf[bufOff:].
+func (r *Region) StartReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (*Pending, error) {
+	if err := r.checkMapped(); err != nil {
+		return nil, err
+	}
+	frags, err := r.info.Fragments(off, n)
+	if err != nil {
+		return nil, fmt.Errorf("read %q: %w", r.info.Name, err)
+	}
+	op := r.newOp(len(frags))
+	r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
+	return &Pending{op: op, frags: len(frags)}, nil
+}
+
+// ReadAt reads [off, off+n) into buf[bufOff:], zero copy. If the primary
+// copy fails and the region has replicas, the read fails over to each
+// replica in turn.
+func (r *Region) ReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (IOStat, error) {
+	p, err := r.StartReadAt(ctx, off, buf, bufOff, n)
+	if err != nil {
+		return IOStat{}, err
+	}
+	st, err := p.Wait(ctx)
+	if err == nil || len(r.info.Replicas) == 0 || errors.Is(err, ErrRegionClosed) {
+		return st, err
+	}
+	for i := range r.info.Replicas {
+		frags, ferr := r.info.ReplicaFragments(i, off, n)
+		if ferr != nil {
+			continue
+		}
+		op := r.newOp(len(frags))
+		r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
+		if st, rerr := op.wait(ctx, len(frags)); rerr == nil {
+			return st, nil
+		}
+	}
+	return IOStat{}, fmt.Errorf("read %q: all copies failed: %w", r.info.Name, err)
+}
+
+// Write copies p into the region at off via an internal staging buffer.
+// Zero-copy callers should use WriteAt with a registered Buf instead.
+func (r *Region) Write(ctx context.Context, off uint64, p []byte) error {
+	for len(p) > 0 {
+		st := r.c.acquireStaging()
+		n := len(p)
+		if n > st.Len() {
+			n = st.Len()
+		}
+		copy(st.Bytes()[:n], p[:n])
+		_, err := r.WriteAt(ctx, off, st, 0, n)
+		r.c.releaseStaging(st)
+		if err != nil {
+			return err
+		}
+		off += uint64(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// Read copies [off, off+len(p)) of the region into p via an internal
+// staging buffer.
+func (r *Region) Read(ctx context.Context, off uint64, p []byte) error {
+	for len(p) > 0 {
+		st := r.c.acquireStaging()
+		n := len(p)
+		if n > st.Len() {
+			n = st.Len()
+		}
+		_, err := r.ReadAt(ctx, off, st, 0, n)
+		if err != nil {
+			r.c.releaseStaging(st)
+			return err
+		}
+		copy(p[:n], st.Bytes()[:n])
+		r.c.releaseStaging(st)
+		off += uint64(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// atomicFragment resolves the single fragment holding the 8-byte word at
+// off; the word must not straddle a stripe boundary.
+func (r *Region) atomicFragment(off uint64) (proto.Fragment, error) {
+	frags, err := r.info.Fragments(off, 8)
+	if err != nil {
+		return proto.Fragment{}, err
+	}
+	if len(frags) != 1 {
+		return proto.Fragment{}, fmt.Errorf("%w: atomic at %d straddles a stripe boundary", proto.ErrBadRange, off)
+	}
+	return frags[0], nil
+}
+
+// FetchAdd atomically adds delta to the 8-byte little-endian word at off
+// (primary copy) and returns the prior value. Atomicity holds against all
+// other RStore atomics targeting the same server.
+func (r *Region) FetchAdd(ctx context.Context, off uint64, delta uint64) (uint64, IOStat, error) {
+	return r.atomic(ctx, rdma.OpFetchAdd, off, delta, 0, 0)
+}
+
+// CompareSwap atomically replaces the word at off with swap if it equals
+// cmp, returning the prior value.
+func (r *Region) CompareSwap(ctx context.Context, off uint64, cmp, swap uint64) (uint64, IOStat, error) {
+	return r.atomic(ctx, rdma.OpCmpSwap, off, cmp, cmp, swap)
+}
+
+func (r *Region) atomic(ctx context.Context, opcode rdma.OpCode, off uint64, add, cmp, swap uint64) (uint64, IOStat, error) {
+	if err := r.checkMapped(); err != nil {
+		return 0, IOStat{}, err
+	}
+	frag, err := r.atomicFragment(off)
+	if err != nil {
+		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.info.Name, err)
+	}
+	sc, err := r.c.serverConn(ctx, frag.Server)
+	if err != nil {
+		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.info.Name, err)
+	}
+	st := r.c.acquireStaging()
+	defer r.c.releaseStaging(st)
+	op := r.newOp(1)
+	wr := rdma.SendWR{
+		Op:         opcode,
+		Local:      rdma.SGE{MR: st.mr, Len: 8},
+		RemoteKey:  frag.RKey,
+		RemoteAddr: frag.Addr,
+		Add:        add,
+		Compare:    cmp,
+		Swap:       swap,
+		StartV:     op.startV,
+	}
+	if err := sc.post(wr, op); err != nil {
+		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.info.Name, err)
+	}
+	stat, err := op.wait(ctx, 1)
+	if err != nil {
+		return 0, IOStat{}, err
+	}
+	op.mu.Lock()
+	old := op.old
+	op.mu.Unlock()
+	return old, stat, nil
+}

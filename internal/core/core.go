@@ -1,0 +1,236 @@
+// Package core assembles the full RStore system — fabric, RDMA network,
+// master, memory servers — into an in-process cluster, and re-exports the
+// client's memory-like API. It is the entry point examples, applications,
+// and the benchmark harness build on.
+//
+// A Cluster models the paper's testbed: N machines on a switched fabric,
+// one running the master, the rest donating DRAM as memory servers.
+// Clients may run on any machine (the paper co-locates compute with memory
+// servers).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/master"
+	"rstore/internal/memserver"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// Re-exported client types, so applications depend on core alone.
+type (
+	// Client is an RStore client endpoint.
+	Client = client.Client
+	// Region is a mapped region handle.
+	Region = client.Region
+	// Buf is a registered zero-copy buffer.
+	Buf = client.Buf
+	// AllocOptions tunes allocation.
+	AllocOptions = client.AllocOptions
+	// IOStat reports a data-path operation in virtual time.
+	IOStat = client.IOStat
+	// Notification is a region producer/consumer signal.
+	Notification = client.Notification
+	// ControlStats meters modeled control-path cost.
+	ControlStats = client.ControlStats
+)
+
+// ErrBadNode reports a node outside the cluster.
+var ErrBadNode = errors.New("core: node outside cluster")
+
+// Config sizes a cluster.
+type Config struct {
+	// Machines is the total node count (master + memory servers). The
+	// paper's testbed has 12. Default 4.
+	Machines int
+	// ExtraClientNodes adds client-only machines beyond Machines.
+	ExtraClientNodes int
+	// ServerCapacity is the DRAM each memory server donates. Default 64 MiB.
+	ServerCapacity uint64
+	// Params overrides the fabric cost model (zero value = calibrated
+	// defaults).
+	Params *simnet.Params
+	// Costs overrides the verbs CPU cost model.
+	Costs *rdma.Costs
+	// HeartbeatInterval speeds up failure detection in tests. Default 100ms.
+	HeartbeatInterval time.Duration
+	// RPC tunes all control connections.
+	RPC rpc.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.ServerCapacity == 0 {
+		c.ServerCapacity = 64 << 20
+	}
+	return c
+}
+
+// Cluster is a running in-process RStore deployment.
+type Cluster struct {
+	cfg     Config
+	fabric  *simnet.Fabric
+	network *rdma.Network
+	master  *master.Master
+	servers []*memserver.Server
+
+	mu      sync.Mutex
+	clients []*client.Client
+	closed  bool
+}
+
+// Start boots a cluster: node 0 runs the master, nodes 1..Machines-1 run
+// memory servers, and ExtraClientNodes further nodes are client-only.
+func Start(ctx context.Context, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	params := simnet.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	costs := rdma.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	fabric := simnet.NewFabric(cfg.Machines+cfg.ExtraClientNodes, params)
+	network := rdma.NewNetworkWithCosts(fabric, costs)
+
+	masterDev, err := network.OpenDevice(0)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m, err := master.Start(masterDev, master.Config{
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		RPC:               cfg.RPC,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: start master: %w", err)
+	}
+
+	cl := &Cluster{cfg: cfg, fabric: fabric, network: network, master: m}
+	for node := 1; node < cfg.Machines; node++ {
+		dev, err := network.OpenDevice(simnet.NodeID(node))
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		srv, err := memserver.Start(ctx, dev, memserver.Config{
+			Capacity:          cfg.ServerCapacity,
+			Master:            0,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			RPC:               cfg.RPC,
+		})
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("core: start memserver on node %d: %w", node, err)
+		}
+		cl.servers = append(cl.servers, srv)
+	}
+	return cl, nil
+}
+
+// Fabric exposes the simulated fabric (stats, failure injection).
+func (c *Cluster) Fabric() *simnet.Fabric { return c.fabric }
+
+// Network exposes the verbs network.
+func (c *Cluster) Network() *rdma.Network { return c.network }
+
+// Master exposes the coordinator.
+func (c *Cluster) Master() *master.Master { return c.master }
+
+// Servers returns the running memory servers.
+func (c *Cluster) Servers() []*memserver.Server {
+	out := make([]*memserver.Server, len(c.servers))
+	copy(out, c.servers)
+	return out
+}
+
+// MemoryServerNodes returns the fabric nodes hosting memory servers.
+func (c *Cluster) MemoryServerNodes() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(c.servers))
+	for _, s := range c.servers {
+		out = append(out, s.Node())
+	}
+	return out
+}
+
+// NewClient opens a client on the given fabric node. Multiple clients per
+// node are allowed (they model separate application processes).
+func (c *Cluster) NewClient(ctx context.Context, node simnet.NodeID) (*client.Client, error) {
+	if int(node) < 0 || int(node) >= c.fabric.Size() {
+		return nil, fmt.Errorf("%w: %v", ErrBadNode, node)
+	}
+	dev, err := c.network.OpenDevice(node)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cli, err := client.Connect(ctx, dev, client.Config{Master: 0, RPC: c.cfg.RPC})
+	if err != nil {
+		return nil, fmt.Errorf("core: connect client on %v: %w", node, err)
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cli)
+	c.mu.Unlock()
+	return cli, nil
+}
+
+// KillServer simulates a machine failure: the node drops off the fabric,
+// in-flight ops against it fail, and heartbeats stop reaching the master.
+func (c *Cluster) KillServer(node simnet.NodeID) error {
+	return c.fabric.SetNodeUp(node, false)
+}
+
+// ReviveServer brings a killed node's link back.
+func (c *Cluster) ReviveServer(node simnet.NodeID) error {
+	return c.fabric.SetNodeUp(node, true)
+}
+
+// WaitServerDead blocks until the master marks the node dead (or timeout).
+func (c *Cluster) WaitServerDead(node simnet.NodeID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		alive := false
+		for _, id := range c.master.AliveServers() {
+			if id == node {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("core: server %v still alive after %v", node, timeout)
+}
+
+// Close stops every component.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+
+	for _, cli := range clients {
+		cli.Close()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+	if c.master != nil {
+		c.master.Close()
+	}
+}

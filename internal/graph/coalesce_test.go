@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"rstore/internal/workload"
+)
+
+// TestGapCoalesceInvariance: the coalescing knob trades fragment count for
+// extra bytes read, but must never change results.
+func TestGapCoalesceInvariance(t *testing.T) {
+	c := startCluster(t, 4)
+	g, err := workload.GenRMAT(256, 1536, 11)
+	if err != nil {
+		t.Fatalf("GenRMAT: %v", err)
+	}
+	want := refPageRank(g, 4, 0.85)
+
+	var prevFrags int
+	for i, gap := range []int{1, 64, 4096} {
+		e, err := Load(context.Background(), c, nameFor("coalesce", gap), g, Config{
+			Workers:     3,
+			GapCoalesce: gap,
+			StripeUnit:  16 << 10,
+		})
+		if err != nil {
+			t.Fatalf("Load(gap=%d): %v", gap, err)
+		}
+		res, err := e.PageRank(context.Background(), 4, 0.85)
+		if err != nil {
+			t.Fatalf("PageRank(gap=%d): %v", gap, err)
+		}
+		for v := range want {
+			if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+				t.Fatalf("gap=%d: pr[%d] = %v, want %v", gap, v, res.Values[v], want[v])
+			}
+		}
+		frags := res.Iterations[0].Fragments
+		if i > 0 && frags > prevFrags {
+			t.Errorf("gap=%d issued %d fragments, more than smaller gap's %d", gap, frags, prevFrags)
+		}
+		prevFrags = frags
+		e.Close()
+	}
+}
+
+func nameFor(base string, v int) string {
+	return base + "/" + string(rune('a'+v%26))
+}
+
+// TestBFSUnreachable: vertices with no path stay at +Inf.
+func TestBFSUnreachable(t *testing.T) {
+	c := startCluster(t, 3)
+	// Two disjoint chains: 0->1->2 and 3->4.
+	g := workload.BuildCSR(5, []uint32{0, 1, 3}, []uint32{1, 2, 4})
+	e := loadEngine(t, c, "unreach", g, 2)
+	res, err := e.BFS(context.Background(), 0, 10)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if res.Values[1] != 1 || res.Values[2] != 2 {
+		t.Errorf("chain distances = %v", res.Values[:3])
+	}
+	for _, v := range []int{3, 4} {
+		if !math.IsInf(res.Values[v], 1) {
+			t.Errorf("vertex %d reachable: %v", v, res.Values[v])
+		}
+	}
+}
+
+// TestIterStatsBytesAccounting: read bytes per superstep must cover at
+// least the values a pull engine needs and at most the whole value array
+// per worker.
+func TestIterStatsBytesAccounting(t *testing.T) {
+	c := startCluster(t, 4)
+	g, err := workload.GenUniform(256, 2048, 5)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := loadEngine(t, c, "bytes", g, 3)
+	res, err := e.PageRank(context.Background(), 2, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	for i, st := range res.Iterations {
+		if st.WriteBytes != int64(g.NumVertices)*8 {
+			t.Errorf("iter %d write bytes = %d, want %d", i, st.WriteBytes, g.NumVertices*8)
+		}
+		maxRead := int64(3 * g.NumVertices * 8) // every worker reads at most all values
+		if st.ReadBytes <= 0 || st.ReadBytes > maxRead {
+			t.Errorf("iter %d read bytes = %d, want (0, %d]", i, st.ReadBytes, maxRead)
+		}
+	}
+}
+
+// refSSSP is a Bellman-Ford reference for weighted shortest paths.
+func refSSSP(g *workload.Graph, source uint32) []float64 {
+	dist := make([]float64, g.NumVertices)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	for iter := 0; iter < g.NumVertices; iter++ {
+		changed := false
+		for v := 0; v < g.NumVertices; v++ {
+			base := g.InOffsets[v]
+			for k, u := range g.InNeighbors(uint32(v)) {
+				w := float64(g.InWeights[base+uint64(k)])
+				if d := dist[u] + w; d < dist[v] {
+					dist[v] = d
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	c := startCluster(t, 4)
+	g, err := workload.GenUniform(128, 768, 19)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	wg := g.WithRandomWeights(10, 23)
+	e := loadEngine(t, c, "sssp", wg, 3)
+	res, err := e.SSSP(context.Background(), 0, 256)
+	if err != nil {
+		t.Fatalf("SSSP: %v", err)
+	}
+	want := refSSSP(wg, 0)
+	for v := range want {
+		gotInf, wantInf := math.IsInf(res.Values[v], 1), math.IsInf(want[v], 1)
+		if gotInf != wantInf || (!gotInf && math.Abs(res.Values[v]-want[v]) > 1e-9) {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestSSSPRequiresWeights(t *testing.T) {
+	c := startCluster(t, 3)
+	g, err := workload.GenUniform(32, 64, 1)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := loadEngine(t, c, "noW", g, 1)
+	if _, err := e.SSSP(context.Background(), 0, 8); err == nil {
+		t.Error("SSSP on unweighted graph must fail")
+	}
+}

@@ -1,0 +1,682 @@
+// Package graph implements the distributed graph processing framework the
+// paper builds on RStore's memory-like API (its first application study).
+//
+// The design mirrors the paper's: graph topology and vertex state live in
+// striped RStore regions; compute workers own contiguous vertex ranges and
+// run bulk-synchronous supersteps. The key property the paper evaluates —
+// low-latency direct access to remote graph state — shows up here as the
+// *pull model*: in each superstep a worker reads exactly the remote vertex
+// values its partition needs with one-sided RDMA reads, computes, and
+// writes its owned slice back. No messages, no server CPU, no
+// serialization.
+//
+// The message-passing comparator the paper beats lives in
+// internal/baseline/msggraph.
+package graph
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/simnet"
+	"rstore/internal/workload"
+)
+
+// Config tunes an engine.
+type Config struct {
+	// Workers is the number of compute workers. Default: one per memory
+	// server node.
+	Workers int
+	// WorkerNodes optionally pins workers to fabric nodes; default
+	// round-robins over the cluster's memory-server nodes (the paper
+	// co-locates compute and memory).
+	WorkerNodes []simnet.NodeID
+	// StripeUnit for the backing regions. Default 256 KiB.
+	StripeUnit uint64
+	// GapCoalesce merges needed-value ranges separated by fewer than this
+	// many vertices into one read. Default 512.
+	GapCoalesce int
+	// ComputePerEdge is the modeled CPU cost per edge per superstep.
+	// Default 2ns.
+	ComputePerEdge time.Duration
+	// BarrierCost is the modeled cost of the end-of-superstep barrier.
+	// Default 10us.
+	BarrierCost time.Duration
+}
+
+func (c Config) withDefaults(cluster *core.Cluster) Config {
+	if c.Workers <= 0 {
+		c.Workers = len(cluster.MemoryServerNodes())
+	}
+	if c.StripeUnit == 0 {
+		c.StripeUnit = 256 << 10
+	}
+	if c.GapCoalesce <= 0 {
+		c.GapCoalesce = 512
+	}
+	if c.ComputePerEdge <= 0 {
+		c.ComputePerEdge = 2 * time.Nanosecond
+	}
+	if c.BarrierCost <= 0 {
+		c.BarrierCost = 10 * time.Microsecond
+	}
+	return c
+}
+
+// IterStats reports one superstep.
+type IterStats struct {
+	// Modeled is the superstep's modeled wall time: the slowest worker's
+	// read+compute+write plus the barrier.
+	Modeled time.Duration
+	// ReadBytes and WriteBytes count one-sided data-path traffic.
+	ReadBytes  int64
+	WriteBytes int64
+	// Fragments counts one-sided operations issued.
+	Fragments int
+	// Changed counts vertices whose value changed (fixpoint programs).
+	Changed int64
+}
+
+// Result is a completed run.
+type Result struct {
+	Iterations []IterStats
+	// Values is the final vertex state.
+	Values []float64
+}
+
+// TotalModeled sums the per-iteration modeled times.
+func (r *Result) TotalModeled() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.Modeled
+	}
+	return t
+}
+
+// vrange is a half-open vertex range [Lo, Hi).
+type vrange struct {
+	lo, hi uint32
+}
+
+// worker is one compute participant.
+type worker struct {
+	id     int
+	cli    *client.Client
+	owned  vrange
+	needed []vrange // coalesced remote value ranges to read each superstep
+
+	// Locally cached immutable topology for the owned range.
+	inOffsets []uint64 // len owned+1, rebased to 0
+	inTargets []uint32
+	inWeights []float32 // parallel to inTargets; nil when unweighted
+	outDeg    []uint32  // full array (small, immutable)
+
+	valRegions [2]*client.Region
+	readBuf    *client.Buf // holds fetched neighbor values, indexed via blockIndex
+	writeBuf   *client.Buf // holds owned new values
+
+	// neededIndex maps a vertex id to its offset in readBuf (values are
+	// packed in needed-range order).
+	neededBase []uint32 // parallel to needed: cumulative value counts
+}
+
+// Engine is a loaded distributed graph ready to run vertex programs.
+type Engine struct {
+	cfg      Config
+	cluster  *core.Cluster
+	name     string
+	n        int // vertices
+	m        int // edges
+	bounds   []uint32
+	workers  []*worker
+	cur      int // index of the current value region (0 or 1)
+	weighted bool
+
+	setup core.ControlStats
+}
+
+// Load partitions the graph, writes topology and initial state into RStore
+// regions, and prepares one worker per partition. The returned engine owns
+// its clients; Close releases them.
+func Load(ctx context.Context, cluster *core.Cluster, name string, g *workload.Graph, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults(cluster)
+	e := &Engine{
+		cfg:      cfg,
+		cluster:  cluster,
+		name:     name,
+		n:        g.NumVertices,
+		m:        g.NumEdges(),
+		bounds:   g.PartitionByEdges(cfg.Workers),
+		weighted: g.Weighted(),
+	}
+
+	nodes := cfg.WorkerNodes
+	if len(nodes) == 0 {
+		nodes = cluster.MemoryServerNodes()
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("graph: cluster has no nodes for workers")
+	}
+
+	// The loader client seeds the regions.
+	loader, err := cluster.NewClient(ctx, nodes[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	if err := e.seedRegions(ctx, loader, g); err != nil {
+		loader.Close()
+		return nil, err
+	}
+	loader.Close()
+
+	for w := 0; w < cfg.Workers; w++ {
+		wk, err := e.newWorker(ctx, w, nodes[w%len(nodes)], g)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.workers = append(e.workers, wk)
+		e.setup = addStats(e.setup, wk.cli.ControlStats())
+	}
+	return e, nil
+}
+
+func addStats(a, b core.ControlStats) core.ControlStats {
+	a.RPCTime += b.RPCTime
+	a.ConnectTime += b.ConnectTime
+	a.RegisterTime += b.RegisterTime
+	a.RPCs += b.RPCs
+	a.Connects += b.Connects
+	a.Registers += b.Registers
+	return a
+}
+
+// SetupStats reports the modeled control-path cost of loading (all
+// workers' allocations, maps, connects, registrations).
+func (e *Engine) SetupStats() core.ControlStats { return e.setup }
+
+// Vertices returns the vertex count.
+func (e *Engine) Vertices() int { return e.n }
+
+// Edges returns the edge count.
+func (e *Engine) Edges() int { return e.m }
+
+func (e *Engine) regionName(kind string) string { return e.name + "/" + kind }
+
+// seedRegions allocates and populates the distributed graph state.
+func (e *Engine) seedRegions(ctx context.Context, cli *client.Client, g *workload.Graph) error {
+	opts := client.AllocOptions{StripeUnit: e.cfg.StripeUnit}
+	type seed struct {
+		kind string
+		size uint64
+		fill func([]byte)
+	}
+	seeds := []seed{
+		{"inoffsets", uint64(e.n+1) * 8, func(b []byte) {
+			for i, v := range g.InOffsets {
+				binary.LittleEndian.PutUint64(b[i*8:], v)
+			}
+		}},
+		{"intargets", uint64(e.m) * 4, func(b []byte) {
+			for i, v := range g.InTargets {
+				binary.LittleEndian.PutUint32(b[i*4:], v)
+			}
+		}},
+		{"outdeg", uint64(e.n) * 4, func(b []byte) {
+			for i, v := range g.OutDegree {
+				binary.LittleEndian.PutUint32(b[i*4:], v)
+			}
+		}},
+		{"val0", uint64(e.n) * 8, nil},
+		{"val1", uint64(e.n) * 8, nil},
+	}
+	if e.weighted {
+		seeds = append(seeds, seed{"inweights", uint64(e.m) * 4, func(b []byte) {
+			for i, w := range g.InWeights {
+				binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(w))
+			}
+		}})
+	}
+	for _, sd := range seeds {
+		reg, err := cli.AllocMap(ctx, e.regionName(sd.kind), sd.size, opts)
+		if err != nil {
+			return fmt.Errorf("graph: seed %s: %w", sd.kind, err)
+		}
+		if sd.fill != nil && sd.size > 0 {
+			buf := make([]byte, sd.size)
+			sd.fill(buf)
+			if err := reg.Write(ctx, 0, buf); err != nil {
+				return fmt.Errorf("graph: seed %s: %w", sd.kind, err)
+			}
+		}
+		if err := reg.Unmap(ctx); err != nil {
+			return fmt.Errorf("graph: seed %s: %w", sd.kind, err)
+		}
+	}
+	return nil
+}
+
+// newWorker builds worker w: maps regions, caches owned topology, computes
+// the coalesced needed-value ranges.
+func (e *Engine) newWorker(ctx context.Context, w int, node simnet.NodeID, g *workload.Graph) (*worker, error) {
+	cli, err := e.cluster.NewClient(ctx, node)
+	if err != nil {
+		return nil, fmt.Errorf("graph: worker %d: %w", w, err)
+	}
+	wk := &worker{
+		id:    w,
+		cli:   cli,
+		owned: vrange{e.bounds[w], e.bounds[w+1]},
+	}
+	for i, kind := range []string{"val0", "val1"} {
+		reg, err := cli.Map(ctx, e.regionName(kind))
+		if err != nil {
+			cli.Close()
+			return nil, fmt.Errorf("graph: worker %d map %s: %w", w, kind, err)
+		}
+		wk.valRegions[i] = reg
+	}
+
+	// Cache the owned slice of topology locally: read it from RStore once
+	// (this is setup, amortized over all supersteps).
+	lo, hi := wk.owned.lo, wk.owned.hi
+	own := int(hi - lo)
+	topo, err := cli.Map(ctx, e.regionName("inoffsets"))
+	if err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("graph: worker %d: %w", w, err)
+	}
+	offBytes := make([]byte, (own+1)*8)
+	if own > 0 {
+		if err := topo.Read(ctx, uint64(lo)*8, offBytes); err != nil {
+			cli.Close()
+			return nil, fmt.Errorf("graph: worker %d read offsets: %w", w, err)
+		}
+	}
+	wk.inOffsets = make([]uint64, own+1)
+	for i := range wk.inOffsets {
+		wk.inOffsets[i] = binary.LittleEndian.Uint64(offBytes[i*8:])
+	}
+
+	targets, err := cli.Map(ctx, e.regionName("intargets"))
+	if err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("graph: worker %d: %w", w, err)
+	}
+	edgeLo, edgeHi := uint64(0), uint64(0)
+	if own > 0 {
+		edgeLo, edgeHi = wk.inOffsets[0], wk.inOffsets[own]
+	}
+	tgtBytes := make([]byte, (edgeHi-edgeLo)*4)
+	if len(tgtBytes) > 0 {
+		if err := targets.Read(ctx, edgeLo*4, tgtBytes); err != nil {
+			cli.Close()
+			return nil, fmt.Errorf("graph: worker %d read targets: %w", w, err)
+		}
+	}
+	wk.inTargets = make([]uint32, edgeHi-edgeLo)
+	for i := range wk.inTargets {
+		wk.inTargets[i] = binary.LittleEndian.Uint32(tgtBytes[i*4:])
+	}
+	// Rebase offsets to the local target slice.
+	for i := range wk.inOffsets {
+		wk.inOffsets[i] -= edgeLo
+	}
+
+	if e.weighted {
+		weights, err := cli.Map(ctx, e.regionName("inweights"))
+		if err != nil {
+			cli.Close()
+			return nil, fmt.Errorf("graph: worker %d: %w", w, err)
+		}
+		wBytes := make([]byte, (edgeHi-edgeLo)*4)
+		if len(wBytes) > 0 {
+			if err := weights.Read(ctx, edgeLo*4, wBytes); err != nil {
+				cli.Close()
+				return nil, fmt.Errorf("graph: worker %d read weights: %w", w, err)
+			}
+		}
+		wk.inWeights = make([]float32, edgeHi-edgeLo)
+		for i := range wk.inWeights {
+			wk.inWeights[i] = math.Float32frombits(binary.LittleEndian.Uint32(wBytes[i*4:]))
+		}
+	}
+
+	outReg, err := cli.Map(ctx, e.regionName("outdeg"))
+	if err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("graph: worker %d: %w", w, err)
+	}
+	outBytes := make([]byte, e.n*4)
+	if err := outReg.Read(ctx, 0, outBytes); err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("graph: worker %d read outdeg: %w", w, err)
+	}
+	wk.outDeg = make([]uint32, e.n)
+	for i := range wk.outDeg {
+		wk.outDeg[i] = binary.LittleEndian.Uint32(outBytes[i*4:])
+	}
+
+	wk.computeNeeded(e.n, e.cfg.GapCoalesce)
+
+	// Buffers: fetched neighbor values plus owned output slice.
+	var neededVals int
+	for _, r := range wk.needed {
+		neededVals += int(r.hi - r.lo)
+	}
+	if neededVals == 0 {
+		neededVals = 1
+	}
+	wk.readBuf, err = cli.AllocBuf(neededVals * 8)
+	if err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("graph: worker %d: %w", w, err)
+	}
+	if own == 0 {
+		own = 1
+	}
+	wk.writeBuf, err = cli.AllocBuf(own * 8)
+	if err != nil {
+		cli.Close()
+		return nil, fmt.Errorf("graph: worker %d: %w", w, err)
+	}
+	return wk, nil
+}
+
+// computeNeeded builds the coalesced list of remote vertex ranges whose
+// values this worker reads each superstep: the distinct sources of its
+// owned vertices' in-edges.
+func (wk *worker) computeNeeded(n, gap int) {
+	need := make([]bool, n)
+	for _, u := range wk.inTargets {
+		need[u] = true
+	}
+	var ranges []vrange
+	i := 0
+	for i < n {
+		if !need[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		lastTrue := i
+		for j < n {
+			if need[j] {
+				lastTrue = j
+				j++
+				continue
+			}
+			// Look ahead: coalesce across a small gap.
+			k := j
+			for k < n && !need[k] && k-lastTrue <= gap {
+				k++
+			}
+			if k < n && need[k] && k-lastTrue <= gap {
+				j = k
+				continue
+			}
+			break
+		}
+		ranges = append(ranges, vrange{uint32(i), uint32(lastTrue + 1)})
+		i = lastTrue + 1
+	}
+	wk.needed = ranges
+	wk.neededBase = make([]uint32, len(ranges)+1)
+	for i, r := range ranges {
+		wk.neededBase[i+1] = wk.neededBase[i] + (r.hi - r.lo)
+	}
+}
+
+// lookup returns the fetched value of vertex u from the read buffer.
+func (wk *worker) lookup(u uint32) float64 {
+	// Binary search over needed ranges.
+	lo, hi := 0, len(wk.needed)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if wk.needed[mid].hi <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r := wk.needed[lo]
+	idx := wk.neededBase[lo] + (u - r.lo)
+	return math.Float64frombits(binary.LittleEndian.Uint64(wk.readBuf.Bytes()[idx*8:]))
+}
+
+// Close releases all workers' clients.
+func (e *Engine) Close() {
+	for _, wk := range e.workers {
+		wk.cli.Close()
+	}
+	e.workers = nil
+}
+
+// runSuperstep executes one BSP round of the program over all workers in
+// parallel and returns the iteration stats.
+func (e *Engine) runSuperstep(ctx context.Context, p program) (IterStats, error) {
+	type wres struct {
+		modeled time.Duration
+		readB   int64
+		writeB  int64
+		frags   int
+		changed int64
+		err     error
+	}
+	results := make([]wres, len(e.workers))
+	phase0 := e.cluster.Fabric().VNow()
+	var wg sync.WaitGroup
+	for i, wk := range e.workers {
+		wg.Add(1)
+		go func(i int, wk *worker) {
+			defer wg.Done()
+			res := &results[i]
+
+			// Phase 1: gather needed remote values (pipelined one-sided
+			// reads).
+			cur := wk.valRegions[e.cur]
+			var pendings []*client.Pending
+			for ri, r := range wk.needed {
+				n := int(r.hi-r.lo) * 8
+				pend, err := cur.StartReadAt(ctx, uint64(r.lo)*8, wk.readBuf, int(wk.neededBase[ri])*8, n)
+				if err != nil {
+					res.err = err
+					return
+				}
+				pendings = append(pendings, pend)
+				res.readB += int64(n)
+			}
+			readFirst, readLast := phase0, phase0
+			for _, pend := range pendings {
+				st, err := pend.Wait(ctx)
+				if err != nil {
+					res.err = err
+					return
+				}
+				if st.DoneV > readLast {
+					readLast = st.DoneV
+				}
+				res.frags += st.Fragments
+			}
+
+			// Phase 2: compute owned values.
+			own := int(wk.owned.hi - wk.owned.lo)
+			edges := 0
+			changed := int64(0)
+			for v := 0; v < own; v++ {
+				gv := wk.owned.lo + uint32(v)
+				acc, has := p.identity, false
+				base := wk.inOffsets[v]
+				for k, u := range wk.inTargets[base:wk.inOffsets[v+1]] {
+					var weight float32
+					if wk.inWeights != nil {
+						weight = wk.inWeights[base+uint64(k)]
+					}
+					c := p.edge(wk.lookup(u), wk.outDeg[u], weight)
+					acc = p.agg(acc, c)
+					has = true
+					edges++
+				}
+				old := math.Float64frombits(binary.LittleEndian.Uint64(wk.writeBuf.Bytes()[v*8:]))
+				nv := p.apply(gv, acc, has, old)
+				if nv != old {
+					changed++
+				}
+				binary.LittleEndian.PutUint64(wk.writeBuf.Bytes()[v*8:], math.Float64bits(nv))
+			}
+
+			// Phase 3: publish owned slice to the next region.
+			next := wk.valRegions[1-e.cur]
+			var wlat time.Duration
+			if own > 0 {
+				st, err := next.WriteAt(ctx, uint64(wk.owned.lo)*8, wk.writeBuf, 0, own*8)
+				if err != nil {
+					res.err = err
+					return
+				}
+				res.writeB += int64(own * 8)
+				res.frags += st.Fragments
+				wlat = st.Latency().Duration()
+			}
+
+			compute := time.Duration(edges) * e.cfg.ComputePerEdge
+			res.modeled = readLast.Sub(readFirst) + compute + wlat
+			res.changed = changed
+		}(i, wk)
+	}
+	wg.Wait()
+
+	var st IterStats
+	for _, r := range results {
+		if r.err != nil {
+			return st, fmt.Errorf("graph: superstep: %w", r.err)
+		}
+		if r.modeled > st.Modeled {
+			st.Modeled = r.modeled
+		}
+		st.ReadBytes += r.readB
+		st.WriteBytes += r.writeB
+		st.Fragments += r.frags
+		st.Changed += r.changed
+	}
+	st.Modeled += e.cfg.BarrierCost
+	e.cur = 1 - e.cur
+	return st, nil
+}
+
+// initValues seeds both value regions and the workers' write buffers with
+// the program's initial state.
+func (e *Engine) initValues(ctx context.Context, p program) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(e.workers))
+	for i, wk := range e.workers {
+		wg.Add(1)
+		go func(i int, wk *worker) {
+			defer wg.Done()
+			own := int(wk.owned.hi - wk.owned.lo)
+			for v := 0; v < own; v++ {
+				val := p.init(wk.owned.lo + uint32(v))
+				binary.LittleEndian.PutUint64(wk.writeBuf.Bytes()[v*8:], math.Float64bits(val))
+			}
+			if own == 0 {
+				return
+			}
+			for _, reg := range wk.valRegions {
+				if _, err := reg.WriteAt(ctx, uint64(wk.owned.lo)*8, wk.writeBuf, 0, own*8); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("graph: init values: %w", err)
+		}
+	}
+	return nil
+}
+
+// gather reads the final values through worker 0's client.
+func (e *Engine) gather(ctx context.Context) ([]float64, error) {
+	reg := e.workers[0].valRegions[e.cur]
+	raw := make([]byte, e.n*8)
+	if err := reg.Read(ctx, 0, raw); err != nil {
+		return nil, fmt.Errorf("graph: gather: %w", err)
+	}
+	vals := make([]float64, e.n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return vals, nil
+}
+
+// run drives supersteps until done(iter, stats) says stop.
+func (e *Engine) run(ctx context.Context, p program, done func(int, IterStats) bool) (*Result, error) {
+	if err := e.initValues(ctx, p); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for iter := 0; ; iter++ {
+		st, err := e.runSuperstep(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = append(res.Iterations, st)
+		if done(iter, st) {
+			break
+		}
+	}
+	vals, err := e.gather(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Values = vals
+	return res, nil
+}
+
+// PageRank runs the given number of power iterations with the damping
+// factor (0.85 in the paper's evaluation).
+func (e *Engine) PageRank(ctx context.Context, iters int, damping float64) (*Result, error) {
+	p := pageRankProgram(e.n, damping)
+	return e.run(ctx, p, func(i int, _ IterStats) bool { return i+1 >= iters })
+}
+
+// BFS computes hop distances from source, running until a fixpoint (at
+// most maxIters supersteps).
+func (e *Engine) BFS(ctx context.Context, source uint32, maxIters int) (*Result, error) {
+	p := bfsProgram(source)
+	return e.run(ctx, p, func(i int, st IterStats) bool {
+		return st.Changed == 0 || i+1 >= maxIters
+	})
+}
+
+// SSSP computes single-source shortest path distances over edge weights
+// (the graph must be loaded with weights; see
+// workload.Graph.WithRandomWeights), running until a fixpoint or maxIters.
+func (e *Engine) SSSP(ctx context.Context, source uint32, maxIters int) (*Result, error) {
+	if !e.weighted {
+		return nil, fmt.Errorf("graph: SSSP requires a weighted graph")
+	}
+	p := ssspProgram(source)
+	return e.run(ctx, p, func(i int, st IterStats) bool {
+		return st.Changed == 0 || i+1 >= maxIters
+	})
+}
+
+// WCC computes connected components via label propagation. The graph must
+// be symmetric (workload.Graph.Symmetrized) for weakly-connected
+// semantics.
+func (e *Engine) WCC(ctx context.Context, maxIters int) (*Result, error) {
+	p := wccProgram()
+	return e.run(ctx, p, func(i int, st IterStats) bool {
+		return st.Changed == 0 || i+1 >= maxIters
+	})
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"rstore/internal/core"
+	"rstore/internal/workload"
+)
+
+func startCluster(t *testing.T, machines int) *core.Cluster {
+	t.Helper()
+	c, err := core.Start(context.Background(), core.Config{
+		Machines:          machines,
+		ServerCapacity:    64 << 20,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("core.Start: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// refPageRank is a single-threaded reference implementation.
+func refPageRank(g *workload.Graph, iters int, damping float64) []float64 {
+	n := g.NumVertices
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			var acc float64
+			for _, u := range g.InNeighbors(uint32(v)) {
+				if d := g.OutDegree[u]; d > 0 {
+					acc += cur[u] / float64(d)
+				}
+			}
+			next[v] = base + damping*acc
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// refBFS is a reference breadth-first search.
+func refBFS(g *workload.Graph, source uint32) []float64 {
+	// Build out-adjacency from the in-CSR.
+	out := make([][]uint32, g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		for _, u := range g.InNeighbors(uint32(v)) {
+			out[u] = append(out[u], uint32(v))
+		}
+	}
+	dist := make([]float64, g.NumVertices)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	queue := []uint32{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range out[v] {
+			if math.IsInf(dist[w], 1) {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func loadEngine(t *testing.T, c *core.Cluster, name string, g *workload.Graph, workers int) *Engine {
+	t.Helper()
+	e, err := Load(context.Background(), c, name, g, Config{Workers: workers, StripeUnit: 16 << 10})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	c := startCluster(t, 4)
+	g, err := workload.GenRMAT(256, 2048, 17)
+	if err != nil {
+		t.Fatalf("GenRMAT: %v", err)
+	}
+	e := loadEngine(t, c, "pr", g, 3)
+
+	const iters = 8
+	res, err := e.PageRank(context.Background(), iters, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	want := refPageRank(g, iters, 0.85)
+	if len(res.Values) != len(want) {
+		t.Fatalf("values = %d, want %d", len(res.Values), len(want))
+	}
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+	if len(res.Iterations) != iters {
+		t.Errorf("iterations = %d", len(res.Iterations))
+	}
+	for i, st := range res.Iterations {
+		if st.Modeled <= 0 || st.ReadBytes == 0 || st.WriteBytes == 0 {
+			t.Errorf("iter %d stats = %+v", i, st)
+		}
+	}
+}
+
+func TestPageRankSingleWorker(t *testing.T) {
+	c := startCluster(t, 3)
+	g, err := workload.GenUniform(128, 512, 5)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := loadEngine(t, c, "pr1", g, 1)
+	res, err := e.PageRank(context.Background(), 5, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	want := refPageRank(g, 5, 0.85)
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestPageRankMassConservation(t *testing.T) {
+	// Without dangling vertices, total rank stays 1.
+	c := startCluster(t, 4)
+	g, err := workload.GenUniform(200, 3000, 23)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	// GenUniform may still produce zero-out-degree vertices; tolerate a
+	// small mass leak but require near-1 total.
+	e := loadEngine(t, c, "mass", g, 3)
+	res, err := e.PageRank(context.Background(), 10, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	var total float64
+	for _, v := range res.Values {
+		total += v
+	}
+	if total < 0.8 || total > 1.001 {
+		t.Errorf("total rank = %v", total)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	c := startCluster(t, 4)
+	g, err := workload.GenUniform(200, 1200, 31)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := loadEngine(t, c, "bfs", g, 3)
+	res, err := e.BFS(context.Background(), 0, 100)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	want := refBFS(g, 0)
+	for v := range want {
+		gotInf, wantInf := math.IsInf(res.Values[v], 1), math.IsInf(want[v], 1)
+		if gotInf != wantInf || (!gotInf && res.Values[v] != want[v]) {
+			t.Fatalf("dist[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+	// Fixpoint must have been reached before the iteration cap.
+	last := res.Iterations[len(res.Iterations)-1]
+	if last.Changed != 0 {
+		t.Errorf("BFS did not converge: %+v", last)
+	}
+}
+
+func TestWCCFindsComponents(t *testing.T) {
+	c := startCluster(t, 4)
+	// Two disjoint cliques: vertices 0..4 and 5..9.
+	srcsDsts := [][2]uint32{}
+	for i := uint32(0); i < 5; i++ {
+		for j := uint32(0); j < 5; j++ {
+			if i != j {
+				srcsDsts = append(srcsDsts, [2]uint32{i, j})
+				srcsDsts = append(srcsDsts, [2]uint32{i + 5, j + 5})
+			}
+		}
+	}
+	g := buildTestGraph(10, srcsDsts)
+	e := loadEngine(t, c, "wcc", g.Symmetrized(), 2)
+	res, err := e.WCC(context.Background(), 50)
+	if err != nil {
+		t.Fatalf("WCC: %v", err)
+	}
+	for v := 0; v < 5; v++ {
+		if res.Values[v] != 0 {
+			t.Errorf("wcc[%d] = %v, want 0", v, res.Values[v])
+		}
+	}
+	for v := 5; v < 10; v++ {
+		if res.Values[v] != 5 {
+			t.Errorf("wcc[%d] = %v, want 5", v, res.Values[v])
+		}
+	}
+}
+
+// buildTestGraph makes a graph from explicit edges via the public
+// generator path (GenUniform-compatible CSR invariants).
+func buildTestGraph(n int, edges [][2]uint32) *workload.Graph {
+	srcs := make([]uint32, len(edges))
+	dsts := make([]uint32, len(edges))
+	for i, e := range edges {
+		srcs[i], dsts[i] = e[0], e[1]
+	}
+	return workload.BuildCSR(n, srcs, dsts)
+}
+
+func TestEngineSetupStats(t *testing.T) {
+	c := startCluster(t, 4)
+	g, err := workload.GenUniform(64, 256, 2)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := loadEngine(t, c, "stats", g, 2)
+	st := e.SetupStats()
+	if st.RPCs == 0 || st.Connects == 0 || st.Registers == 0 {
+		t.Errorf("setup stats = %+v", st)
+	}
+	if e.Vertices() != 64 || e.Edges() != 256 {
+		t.Errorf("engine dims = %d/%d", e.Vertices(), e.Edges())
+	}
+}
+
+func TestMoreWorkersThanUsefulPartitions(t *testing.T) {
+	// More workers than vertices still works (some own nothing).
+	c := startCluster(t, 4)
+	g, err := workload.GenUniform(8, 20, 3)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	e := loadEngine(t, c, "tiny", g, 3)
+	res, err := e.PageRank(context.Background(), 3, 0.85)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	want := refPageRank(g, 3, 0.85)
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("pr[%d] = %v, want %v", v, res.Values[v], want[v])
+		}
+	}
+}

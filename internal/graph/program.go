@@ -1,0 +1,109 @@
+package graph
+
+import "math"
+
+// program is a vertex program in gather-apply form over float64 state:
+// each superstep, a vertex aggregates one contribution per in-edge and
+// applies the aggregate to produce its next value.
+type program struct {
+	// init seeds vertex state.
+	init func(v uint32) float64
+	// edge maps an in-neighbor's (value, out-degree, edge weight) to a
+	// contribution. Weight is 0 on unweighted graphs.
+	edge func(srcVal float64, srcOutDeg uint32, weight float32) float64
+	// agg folds contributions; identity is its unit.
+	agg      func(a, b float64) float64
+	identity float64
+	// apply produces the next value from the aggregate (has reports
+	// whether any contribution arrived) and the previous value.
+	apply func(v uint32, acc float64, has bool, old float64) float64
+}
+
+func sum(a, b float64) float64 { return a + b }
+
+func minAgg(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pageRankProgram is the standard damped power iteration:
+// pr'(v) = (1-d)/N + d * sum_{u->v} pr(u)/outdeg(u).
+func pageRankProgram(n int, damping float64) program {
+	base := (1 - damping) / float64(n)
+	return program{
+		init: func(uint32) float64 { return 1 / float64(n) },
+		edge: func(val float64, outDeg uint32, _ float32) float64 {
+			if outDeg == 0 {
+				return 0
+			}
+			return val / float64(outDeg)
+		},
+		agg:      sum,
+		identity: 0,
+		apply: func(_ uint32, acc float64, _ bool, _ float64) float64 {
+			return base + damping*acc
+		},
+	}
+}
+
+// bfsProgram computes hop counts from source via min-propagation.
+func bfsProgram(source uint32) program {
+	return program{
+		init: func(v uint32) float64 {
+			if v == source {
+				return 0
+			}
+			return math.Inf(1)
+		},
+		edge:     func(val float64, _ uint32, _ float32) float64 { return val + 1 },
+		agg:      minAgg,
+		identity: math.Inf(1),
+		apply: func(_ uint32, acc float64, has bool, old float64) float64 {
+			if has && acc < old {
+				return acc
+			}
+			return old
+		},
+	}
+}
+
+// ssspProgram computes single-source shortest paths over edge weights via
+// Bellman-Ford-style min-propagation.
+func ssspProgram(source uint32) program {
+	return program{
+		init: func(v uint32) float64 {
+			if v == source {
+				return 0
+			}
+			return math.Inf(1)
+		},
+		edge:     func(val float64, _ uint32, w float32) float64 { return val + float64(w) },
+		agg:      minAgg,
+		identity: math.Inf(1),
+		apply: func(_ uint32, acc float64, has bool, old float64) float64 {
+			if has && acc < old {
+				return acc
+			}
+			return old
+		},
+	}
+}
+
+// wccProgram labels every vertex with the smallest vertex id reachable
+// from it (on a symmetric graph: its weakly connected component).
+func wccProgram() program {
+	return program{
+		init:     func(v uint32) float64 { return float64(v) },
+		edge:     func(val float64, _ uint32, _ float32) float64 { return val },
+		agg:      minAgg,
+		identity: math.Inf(1),
+		apply: func(_ uint32, acc float64, has bool, old float64) float64 {
+			if has && acc < old {
+				return acc
+			}
+			return old
+		},
+	}
+}

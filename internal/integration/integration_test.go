@@ -1,0 +1,482 @@
+// Package integration exercises cross-module behaviour of the full
+// system: failure injection mid-workload, partitions, concurrent mixed
+// clients, and application pipelines sharing one cluster.
+package integration
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/graph"
+	"rstore/internal/kvsort"
+	"rstore/internal/kvstore"
+	"rstore/internal/simnet"
+	"rstore/internal/workload"
+)
+
+func startCluster(t *testing.T, machines, extraClients int) *core.Cluster {
+	t.Helper()
+	c, err := core.Start(context.Background(), core.Config{
+		Machines:          machines,
+		ExtraClientNodes:  extraClients,
+		ServerCapacity:    64 << 20,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("core.Start: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestGraphAndSortShareCluster(t *testing.T) {
+	// Both application frameworks coexist on one cluster without
+	// interfering: namespaces are distinct, arenas are shared.
+	c := startCluster(t, 5, 0)
+	ctx := context.Background()
+
+	g, err := workload.GenRMAT(1<<10, 8<<10, 3)
+	if err != nil {
+		t.Fatalf("GenRMAT: %v", err)
+	}
+	eng, err := graph.Load(ctx, c, "app1", g, graph.Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("graph.Load: %v", err)
+	}
+	defer eng.Close()
+
+	s, err := kvsort.New(ctx, c, kvsort.Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("kvsort.New: %v", err)
+	}
+	defer s.Close()
+	if err := s.GenerateInput(ctx, "app2", 5000, 9); err != nil {
+		t.Fatalf("GenerateInput: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	var prErr, sortErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, prErr = eng.PageRank(ctx, 5, 0.85)
+	}()
+	go func() {
+		defer wg.Done()
+		var res *kvsort.Result
+		res, sortErr = s.Run(ctx, "app2", 5000)
+		if sortErr == nil {
+			sortErr = s.Validate(ctx, res.OutputRegion, 5000)
+		}
+	}()
+	wg.Wait()
+	if prErr != nil {
+		t.Errorf("PageRank: %v", prErr)
+	}
+	if sortErr != nil {
+		t.Errorf("Sort: %v", sortErr)
+	}
+}
+
+func TestKillServerMidWorkload(t *testing.T) {
+	// Writes in flight when a server dies fail with typed IO errors; the
+	// cluster keeps serving regions on surviving servers.
+	c := startCluster(t, 5, 1)
+	ctx := context.Background()
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	victimReg, err := cli.AllocMap(ctx, "victim", 4<<20, client.AllocOptions{StripeWidth: 1})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	victim := victimReg.Info().Servers()[0]
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 256<<10)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				errCh <- nil
+				return
+			default:
+			}
+			if err := victimReg.Write(ctx, uint64(i%8)*(256<<10), buf); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := c.KillServer(victim); err != nil {
+		t.Fatalf("KillServer: %v", err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, client.ErrIOFailed) {
+			t.Fatalf("writer err = %v, want ErrIOFailed", err)
+		}
+	case <-time.After(5 * time.Second):
+		close(stop)
+		t.Fatal("writer never observed the failure")
+	}
+
+	// Other regions on other servers keep working.
+	if err := c.WaitServerDead(victim, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	other, err := cli.AllocMap(ctx, "survivor", 1<<20, client.AllocOptions{})
+	if err != nil {
+		t.Fatalf("AllocMap survivor: %v", err)
+	}
+	if err := other.Write(ctx, 0, []byte("still alive")); err != nil {
+		t.Errorf("survivor write: %v", err)
+	}
+}
+
+func TestServerRevivalRejoinsCluster(t *testing.T) {
+	c := startCluster(t, 4, 1)
+	victim := c.MemoryServerNodes()[1]
+	if err := c.KillServer(victim); err != nil {
+		t.Fatalf("KillServer: %v", err)
+	}
+	if err := c.WaitServerDead(victim, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReviveServer(victim); err != nil {
+		t.Fatalf("ReviveServer: %v", err)
+	}
+	// Heartbeats resume and the master marks it alive again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		alive := false
+		for _, id := range c.Master().AliveServers() {
+			if id == victim {
+				alive = true
+			}
+		}
+		if alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("revived server never marked alive")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPartitionClientFromOneServer(t *testing.T) {
+	// A partition between the client and one server fails only accesses
+	// that touch that server.
+	c := startCluster(t, 4, 1)
+	ctx := context.Background()
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	reg, err := cli.AllocMap(ctx, "parted", 3<<20, client.AllocOptions{StripeUnit: 1 << 20})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	servers := reg.Info().Servers()
+	if len(servers) < 2 {
+		t.Skip("need at least two servers")
+	}
+	c.Fabric().SetPartition(clientNode, servers[0], true)
+	defer c.Fabric().SetPartition(clientNode, servers[0], false)
+
+	// Offset 0 lives on servers[0] (stripe order): must fail.
+	if err := reg.Write(ctx, 0, []byte("x")); !errors.Is(err, client.ErrIOFailed) {
+		t.Errorf("write to partitioned server = %v", err)
+	}
+	// Offset in the second stripe unit lives on servers[1]: must work.
+	if err := reg.Write(ctx, 1<<20, []byte("y")); err != nil {
+		t.Errorf("write to reachable server: %v", err)
+	}
+}
+
+func TestConcurrentMixedClients(t *testing.T) {
+	// Many clients doing mixed reads/writes/atomics on shared regions:
+	// no lost updates, no data corruption, no deadlocks.
+	c := startCluster(t, 5, 0)
+	ctx := context.Background()
+
+	admin, err := c.NewClient(ctx, c.MemoryServerNodes()[0])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := admin.Alloc(ctx, "mixed", 8<<20, client.AllocOptions{StripeUnit: 256 << 10}); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if _, err := admin.Alloc(ctx, "counters", 4096, client.AllocOptions{StripeWidth: 1}); err != nil {
+		t.Fatalf("Alloc counters: %v", err)
+	}
+
+	const (
+		workers = 6
+		rounds  = 30
+		slot    = 64 << 10
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := c.MemoryServerNodes()[w%len(c.MemoryServerNodes())]
+			cli, err := c.NewClient(ctx, node)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			data, err := cli.Map(ctx, "mixed")
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			ctr, err := cli.Map(ctx, "counters")
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(w)))
+			mine := make([]byte, slot)
+			for r := 0; r < rounds; r++ {
+				rng.Read(mine)
+				off := uint64(w) * slot // disjoint slots: writes must not interfere
+				if err := data.Write(ctx, off, mine); err != nil {
+					t.Errorf("worker %d write: %v", w, err)
+					return
+				}
+				got := make([]byte, slot)
+				if err := data.Read(ctx, off, got); err != nil {
+					t.Errorf("worker %d read: %v", w, err)
+					return
+				}
+				if !bytes.Equal(mine, got) {
+					t.Errorf("worker %d: slot corrupted at round %d", w, r)
+					return
+				}
+				if _, _, err := ctr.FetchAdd(ctx, 8, 1); err != nil {
+					t.Errorf("worker %d fetchadd: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	reg, err := admin.Map(ctx, "counters")
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	old, _, err := reg.FetchAdd(ctx, 8, 0)
+	if err != nil {
+		t.Fatalf("FetchAdd: %v", err)
+	}
+	if old != workers*rounds {
+		t.Errorf("counter = %d, want %d", old, workers*rounds)
+	}
+}
+
+func TestManyRegionsLifecycle(t *testing.T) {
+	// Churn: allocate, map, write, unmap, free many regions; arena usage
+	// returns to zero.
+	c := startCluster(t, 4, 0)
+	ctx := context.Background()
+	cli, err := c.NewClient(ctx, c.MemoryServerNodes()[0])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("churn-%d", i)
+		reg, err := cli.AllocMap(ctx, name, uint64(64<<10+(i%7)*4096), client.AllocOptions{})
+		if err != nil {
+			t.Fatalf("AllocMap %d: %v", i, err)
+		}
+		if err := reg.Write(ctx, 0, []byte(name)); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+		if err := reg.Unmap(ctx); err != nil {
+			t.Fatalf("Unmap %d: %v", i, err)
+		}
+		if err := cli.Free(ctx, name); err != nil {
+			t.Fatalf("Free %d: %v", i, err)
+		}
+	}
+	infos, err := cli.ClusterInfo(ctx)
+	if err != nil {
+		t.Fatalf("ClusterInfo: %v", err)
+	}
+	for _, si := range infos {
+		if si.Used != 0 {
+			t.Errorf("server %v leaked %d bytes", si.Node, si.Used)
+		}
+	}
+}
+
+func TestNotifyFanOutToManySubscribers(t *testing.T) {
+	c := startCluster(t, 4, 3)
+	ctx := context.Background()
+	base := c.Fabric().Size() - 3
+
+	producer, err := c.NewClient(ctx, c.MemoryServerNodes()[0])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := producer.Alloc(ctx, "fan", 1<<16, client.AllocOptions{}); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	preg, err := producer.Map(ctx, "fan")
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+
+	const subs = 3
+	chans := make([]<-chan client.Notification, subs)
+	for i := 0; i < subs; i++ {
+		cli, err := c.NewClient(ctx, simnet.NodeID(base+i))
+		if err != nil {
+			t.Fatalf("NewClient %d: %v", i, err)
+		}
+		reg, err := cli.Map(ctx, "fan")
+		if err != nil {
+			t.Fatalf("Map %d: %v", i, err)
+		}
+		ch, unsub, err := reg.Subscribe(ctx)
+		if err != nil {
+			t.Fatalf("Subscribe %d: %v", i, err)
+		}
+		t.Cleanup(unsub)
+		chans[i] = ch
+	}
+
+	if err := preg.Notify(ctx, 77); err != nil {
+		t.Fatalf("Notify: %v", err)
+	}
+	for i, ch := range chans {
+		select {
+		case n := <-ch:
+			if n.Token != 77 {
+				t.Errorf("subscriber %d token = %d", i, n.Token)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("subscriber %d missed the notification", i)
+		}
+	}
+}
+
+func TestDataPathSurvivesMasterDeath(t *testing.T) {
+	// The paper's defining property: after Rmap, the data path involves no
+	// master. Killing the master must not disturb reads, writes, or
+	// atomics on already-mapped regions — only new control operations
+	// fail.
+	c := startCluster(t, 4, 1)
+	ctx := context.Background()
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	reg, err := cli.AllocMap(ctx, "orphan", 4<<20, client.AllocOptions{})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	if err := reg.Write(ctx, 0, []byte("before")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// Master is node 0.
+	if err := c.Fabric().SetNodeUp(0, false); err != nil {
+		t.Fatalf("kill master: %v", err)
+	}
+
+	// Data path: all fine.
+	if err := reg.Write(ctx, 0, []byte("after master death")); err != nil {
+		t.Errorf("write without master: %v", err)
+	}
+	got := make([]byte, 18)
+	if err := reg.Read(ctx, 0, got); err != nil {
+		t.Errorf("read without master: %v", err)
+	}
+	if string(got) != "after master death" {
+		t.Errorf("read = %q", got)
+	}
+	if _, _, err := reg.FetchAdd(ctx, 1<<20, 1); err != nil {
+		t.Errorf("atomic without master: %v", err)
+	}
+
+	// Control path: new allocations fail.
+	callCtx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if _, err := cli.Alloc(callCtx, "needs-master", 1<<20, client.AllocOptions{}); err == nil {
+		t.Error("alloc without master should fail")
+	}
+}
+
+func TestKVStoreSurvivesConcurrentChurn(t *testing.T) {
+	// KV store handles on three machines mixing puts, gets, and deletes
+	// over overlapping key ranges stay linearizable per key (each observed
+	// value must be one that was actually written for that key).
+	c := startCluster(t, 5, 0)
+	ctx := context.Background()
+	creator, err := c.NewClient(ctx, c.MemoryServerNodes()[0])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := kvstore.Create(ctx, creator, "churn", kvstore.Options{Slots: 1024}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	const rounds = 25
+	var wg sync.WaitGroup
+	for m := 0; m < 3; m++ {
+		cli, err := c.NewClient(ctx, c.MemoryServerNodes()[m%len(c.MemoryServerNodes())])
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		kv, err := kvstore.Open(ctx, cli, "churn", kvstore.Options{Slots: 1024})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		wg.Add(1)
+		go func(m int, kv *kvstore.Store) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := []byte(fmt.Sprintf("shared-%d", i%7))
+				val := []byte(fmt.Sprintf("m%d-r%d", m, i))
+				if err := kv.Put(ctx, key, val); err != nil && !errors.Is(err, kvstore.ErrContention) {
+					t.Errorf("machine %d put: %v", m, err)
+					return
+				}
+				got, err := kv.Get(ctx, key)
+				if errors.Is(err, kvstore.ErrContention) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("machine %d get: %v", m, err)
+					return
+				}
+				// The value must be well-formed (some machine's round), not torn.
+				var gm, gr int
+				if _, err := fmt.Sscanf(string(got), "m%d-r%d", &gm, &gr); err != nil {
+					t.Errorf("machine %d observed torn value %q", m, got)
+					return
+				}
+			}
+		}(m, kv)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,289 @@
+package kvsort
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rstore/internal/core"
+	"rstore/internal/workload"
+)
+
+func startCluster(t *testing.T, machines int) *core.Cluster {
+	t.Helper()
+	c, err := core.Start(context.Background(), core.Config{
+		Machines:          machines,
+		ServerCapacity:    64 << 20,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("core.Start: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestEndToEndSort(t *testing.T) {
+	c := startCluster(t, 4)
+	ctx := context.Background()
+	s, err := New(ctx, c, Config{Workers: 3, ChunkRecords: 512})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	const records = 20000
+	if err := s.GenerateInput(ctx, "sortme", records, 42); err != nil {
+		t.Fatalf("GenerateInput: %v", err)
+	}
+	res, err := s.Run(ctx, "sortme", records)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Validate(ctx, res.OutputRegion, records); err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != records || res.Bytes != records*workload.RecordSize {
+		t.Errorf("result dims: %+v", res)
+	}
+	if res.Modeled <= 0 {
+		t.Errorf("modeled time = %v", res.Modeled)
+	}
+	if res.Shuffle.Modeled <= 0 || res.Sort.Modeled <= 0 || res.Sample.Modeled <= 0 {
+		t.Errorf("phase times: %+v", res)
+	}
+	// The shuffle moves every byte at least twice (read input + write
+	// partitions, double counted across workers).
+	if res.Shuffle.Bytes < int64(records)*workload.RecordSize {
+		t.Errorf("shuffle bytes = %d", res.Shuffle.Bytes)
+	}
+}
+
+// TestSortPreservesMultiset: output must be a permutation of the input.
+func TestSortPreservesMultiset(t *testing.T) {
+	c := startCluster(t, 4)
+	ctx := context.Background()
+	s, err := New(ctx, c, Config{Workers: 2, ChunkRecords: 256})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	const records = 5000
+	if err := s.GenerateInput(ctx, "perm", records, 7); err != nil {
+		t.Fatalf("GenerateInput: %v", err)
+	}
+	res, err := s.Run(ctx, "perm", records)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Regenerate the input locally, sort it, and compare byte-for-byte.
+	want := make([]byte, records*workload.RecordSize)
+	if err := workload.NewRecordGen(7).Fill(want, 0, records); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	recs := make([][]byte, records)
+	for i := range recs {
+		recs[i] = want[i*workload.RecordSize : (i+1)*workload.RecordSize]
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return workload.CompareRecords(recs[i], recs[j]) < 0 })
+	ref := make([]byte, 0, len(want))
+	for _, r := range recs {
+		ref = append(ref, r...)
+	}
+
+	cli := s.workers[0].cli
+	reg, err := cli.Map(ctx, res.OutputRegion)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	got := make([]byte, records*workload.RecordSize)
+	if err := reg.Read(ctx, 0, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	// Keys must match exactly in sequence. (Values of equal keys may be
+	// permuted between distributed and stable local sort; compare keys.)
+	for i := 0; i < records; i++ {
+		gk := got[i*workload.RecordSize : i*workload.RecordSize+workload.KeySize]
+		wk := ref[i*workload.RecordSize : i*workload.RecordSize+workload.KeySize]
+		if !bytes.Equal(gk, wk) {
+			t.Fatalf("key %d = %x, want %x", i, gk, wk)
+		}
+	}
+}
+
+func TestSortSingleWorker(t *testing.T) {
+	c := startCluster(t, 3)
+	ctx := context.Background()
+	s, err := New(ctx, c, Config{Workers: 1, ChunkRecords: 128})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	const records = 1000
+	if err := s.GenerateInput(ctx, "w1", records, 3); err != nil {
+		t.Fatalf("GenerateInput: %v", err)
+	}
+	res, err := s.Run(ctx, "w1", records)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Validate(ctx, res.OutputRegion, records); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortTinyInput(t *testing.T) {
+	c := startCluster(t, 4)
+	ctx := context.Background()
+	s, err := New(ctx, c, Config{Workers: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	const records = 5 // fewer records than workers
+	if err := s.GenerateInput(ctx, "tiny", records, 3); err != nil {
+		t.Fatalf("GenerateInput: %v", err)
+	}
+	res, err := s.Run(ctx, "tiny", records)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Validate(ctx, res.OutputRegion, records); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoRecords(t *testing.T) {
+	c := startCluster(t, 3)
+	s, err := New(context.Background(), c, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.Run(context.Background(), "none", 0); err == nil {
+		t.Error("zero records must fail")
+	}
+}
+
+func TestWorkerSlice(t *testing.T) {
+	tests := []struct {
+		records, workers int
+	}{
+		{100, 4}, {7, 3}, {3, 5}, {1, 1},
+	}
+	for _, tt := range tests {
+		total := 0
+		prevHi := 0
+		for w := 0; w < tt.workers; w++ {
+			lo, hi := workerSlice(tt.records, tt.workers, w)
+			if lo != prevHi {
+				t.Errorf("records=%d workers=%d w=%d: lo=%d, want %d", tt.records, tt.workers, w, lo, prevHi)
+			}
+			total += hi - lo
+			prevHi = hi
+		}
+		if total != tt.records {
+			t.Errorf("records=%d workers=%d: covered %d", tt.records, tt.workers, total)
+		}
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	splitters := [][]byte{{0x40}, {0x80}, {0xc0}}
+	tests := []struct {
+		key  byte
+		want int
+	}{
+		{0x00, 0}, {0x3f, 0}, {0x40, 1}, {0x7f, 1}, {0x80, 2}, {0xc0, 3}, {0xff, 3},
+	}
+	for _, tt := range tests {
+		if got := partitionOf([]byte{tt.key}, splitters); got != tt.want {
+			t.Errorf("partitionOf(%#x) = %d, want %d", tt.key, got, tt.want)
+		}
+	}
+	if got := partitionOf([]byte{0x50}, nil); got != 0 {
+		t.Errorf("no splitters: %d", got)
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	buf := make([]byte, 100*workload.RecordSize)
+	if err := workload.NewRecordGen(9).Fill(buf, 0, 100); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	sortRecords(buf)
+	if !workload.Sorted(buf) {
+		t.Error("sortRecords left records unsorted")
+	}
+}
+
+// Property: sortRecords yields sorted output and preserves the key
+// multiset for arbitrary record counts and seeds.
+func TestSortRecordsProperty(t *testing.T) {
+	fn := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw)%64 + 1
+		buf := make([]byte, n*workload.RecordSize)
+		if err := workload.NewRecordGen(seed).Fill(buf, 0, n); err != nil {
+			return false
+		}
+		before := keyMultiset(buf)
+		sortRecords(buf)
+		return workload.Sorted(buf) && keysEqual(before, keyMultiset(buf))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func keyMultiset(buf []byte) []string {
+	n := len(buf) / workload.RecordSize
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = string(buf[i*workload.RecordSize : i*workload.RecordSize+workload.KeySize])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShuffleOverflowReportsSlack(t *testing.T) {
+	// With pathological slack, a skewed run must fail with the documented
+	// overflow error instead of corrupting neighbouring partitions.
+	c := startCluster(t, 4)
+	ctx := context.Background()
+	s, err := New(ctx, c, Config{Workers: 3, Slack: 1.0001, SamplesPerWorker: 2, ChunkRecords: 128})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	const records = 30000
+	if err := s.GenerateInput(ctx, "skew", records, 13); err != nil {
+		t.Fatalf("GenerateInput: %v", err)
+	}
+	_, err = s.Run(ctx, "skew", records)
+	if err == nil {
+		// Splitters can occasionally be balanced enough even with 2
+		// samples; only assert the message when it does fail.
+		t.Skip("run balanced despite minimal sampling")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("err = %v, want partition overflow", err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package kvstore builds a shared key-value store on RStore's memory-like
+// API — the "data store" use the paper's title promises, assembled purely
+// from the primitives the paper provides: a region of distributed DRAM,
+// one-sided reads and writes, and RDMA compare-and-swap for coordination.
+//
+// The table is a fixed-capacity open-addressing hash table striped across
+// the cluster's memory servers. Every slot carries a sequence word
+// manipulated only with RDMA atomics:
+//
+//   - even value  = stable (0 = empty, >=2 = occupied generation)
+//   - odd value   = locked by a writer
+//
+// Writers CAS the sequence to odd, deposit the entry with a one-sided
+// write, and release by writing the next even generation. Readers are
+// lock-free: read the slot, then re-read the sequence word and retry if it
+// changed or was odd (a seqlock over RDMA). Multiple clients on different
+// machines can share one table with no server-side code at all.
+package kvstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"rstore/internal/client"
+)
+
+// Store-level errors.
+var (
+	ErrFull        = errors.New("kvstore: table full")
+	ErrNotFound    = errors.New("kvstore: key not found")
+	ErrTooLarge    = errors.New("kvstore: entry exceeds slot size")
+	ErrBadGeometry = errors.New("kvstore: bad table geometry")
+	// ErrContention reports that a slot stayed locked (or kept changing)
+	// through every retry; the operation can simply be retried.
+	ErrContention = errors.New("kvstore: slot contention retries exhausted")
+)
+
+// Slot layout:
+//
+//	[0,8)    seq      uint64 (even=stable, odd=locked, 0=empty)
+//	[8,10)   keyLen   uint16
+//	[10,12)  valLen   uint16
+//	[12,12+keyLen)          key bytes
+//	[12+keyLen, ...)        value bytes
+const slotHeader = 12
+
+// Options tunes table geometry.
+type Options struct {
+	// SlotSize is the fixed on-wire slot size; an entry (key+value+header)
+	// must fit. Default 256.
+	SlotSize int
+	// Slots is the table capacity. Default 4096.
+	Slots int
+	// StripeUnit for the backing region. Default 64 KiB.
+	StripeUnit uint64
+	// MaxProbe bounds linear probing. Default 64.
+	MaxProbe int
+	// LockRetries bounds CAS retries on a locked slot. Default 64.
+	LockRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlotSize <= 0 {
+		o.SlotSize = 256
+	}
+	if o.Slots <= 0 {
+		o.Slots = 4096
+	}
+	if o.StripeUnit == 0 {
+		o.StripeUnit = 64 << 10
+	}
+	if o.MaxProbe <= 0 {
+		o.MaxProbe = 64
+	}
+	if o.LockRetries <= 0 {
+		o.LockRetries = 64
+	}
+	return o
+}
+
+// Store is a handle to a shared table. Every client opens its own handle;
+// handles on different machines see the same data.
+type Store struct {
+	cli  *client.Client
+	reg  *client.Region
+	opts Options
+	buf  *client.Buf // slot-sized scratch, one per handle (handles are not goroutine-safe)
+}
+
+// Create allocates the backing region and opens a handle. The creating
+// client owns the region name; other clients use Open.
+func Create(ctx context.Context, cli *client.Client, name string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.SlotSize <= slotHeader || opts.SlotSize%8 != 0 {
+		return nil, fmt.Errorf("%w: slot size %d", ErrBadGeometry, opts.SlotSize)
+	}
+	size := uint64(opts.Slots) * uint64(opts.SlotSize)
+	// Keep whole slots inside one stripe unit so slot IO is one fragment
+	// and the seq word never straddles servers.
+	if opts.StripeUnit%uint64(opts.SlotSize) != 0 {
+		return nil, fmt.Errorf("%w: stripe %d not a multiple of slot %d", ErrBadGeometry, opts.StripeUnit, opts.SlotSize)
+	}
+	if _, err := cli.Alloc(ctx, name, size, client.AllocOptions{StripeUnit: opts.StripeUnit}); err != nil {
+		return nil, fmt.Errorf("kvstore create: %w", err)
+	}
+	return Open(ctx, cli, name, opts)
+}
+
+// Open maps an existing table.
+func Open(ctx context.Context, cli *client.Client, name string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	reg, err := cli.Map(ctx, name)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore open: %w", err)
+	}
+	if reg.Size() != uint64(opts.Slots)*uint64(opts.SlotSize) {
+		return nil, fmt.Errorf("%w: region %d bytes != %d slots x %d", ErrBadGeometry, reg.Size(), opts.Slots, opts.SlotSize)
+	}
+	buf, err := cli.AllocBuf(opts.SlotSize)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore open: %w", err)
+	}
+	return &Store{cli: cli, reg: reg, opts: opts, buf: buf}, nil
+}
+
+// Close unmaps the table (the region itself persists).
+func (s *Store) Close(ctx context.Context) error {
+	return s.reg.Unmap(ctx)
+}
+
+// Capacity returns the slot count.
+func (s *Store) Capacity() int { return s.opts.Slots }
+
+// MaxEntry returns the largest key+value an entry may hold.
+func (s *Store) MaxEntry() int { return s.opts.SlotSize - slotHeader }
+
+func (s *Store) slotOffset(slot int) uint64 {
+	return uint64(slot) * uint64(s.opts.SlotSize)
+}
+
+// backoff yields briefly once spinning has not worked; a writer holding a
+// slot lock may be descheduled for a while.
+func backoff(retry int) {
+	if retry > 8 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(key)
+	return h.Sum64()
+}
+
+// checkEntry validates sizes.
+func (s *Store) checkEntry(key, value []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrTooLarge)
+	}
+	if len(key) > 0xffff || len(value) > 0xffff || len(key)+len(value) > s.MaxEntry() {
+		return fmt.Errorf("%w: key %d + value %d > %d", ErrTooLarge, len(key), len(value), s.MaxEntry())
+	}
+	return nil
+}
+
+// readSlot fetches a slot into the scratch buffer and parses it.
+func (s *Store) readSlot(ctx context.Context, slot int) (seq uint64, key, val []byte, err error) {
+	if _, err := s.reg.ReadAt(ctx, s.slotOffset(slot), s.buf, 0, s.opts.SlotSize); err != nil {
+		return 0, nil, nil, err
+	}
+	b := s.buf.Bytes()
+	seq = binary.LittleEndian.Uint64(b)
+	keyLen := int(binary.LittleEndian.Uint16(b[8:]))
+	valLen := int(binary.LittleEndian.Uint16(b[10:]))
+	if slotHeader+keyLen+valLen > s.opts.SlotSize {
+		return seq, nil, nil, nil // torn or garbage; caller retries via seq check
+	}
+	key = b[slotHeader : slotHeader+keyLen]
+	val = b[slotHeader+keyLen : slotHeader+keyLen+valLen]
+	return seq, key, val, nil
+}
+
+// lockSlot CAS-locks the slot if its current seq matches expect (which
+// must be even). Returns the locked (odd) value.
+func (s *Store) lockSlot(ctx context.Context, slot int, expect uint64) (bool, error) {
+	old, _, err := s.reg.CompareSwap(ctx, s.slotOffset(slot), expect, expect|1)
+	if err != nil {
+		return false, err
+	}
+	return old == expect, nil
+}
+
+// publish writes the full slot (entry + next even generation) and is the
+// lock release: the one-sided write replaces the odd seq word with gen.
+func (s *Store) publish(ctx context.Context, slot int, gen uint64, key, value []byte) error {
+	b := s.buf.Bytes()
+	for i := range b {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint64(b, gen)
+	binary.LittleEndian.PutUint16(b[8:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(b[10:], uint16(len(value)))
+	copy(b[slotHeader:], key)
+	copy(b[slotHeader+len(key):], value)
+	_, err := s.reg.WriteAt(ctx, s.slotOffset(slot), s.buf, 0, s.opts.SlotSize)
+	return err
+}
+
+// unlock restores a locked slot's previous stable seq after a failed
+// attempt.
+func (s *Store) unlock(ctx context.Context, slot int, locked uint64) {
+	// CAS back from the odd value to the prior even one; best effort.
+	_, _, _ = s.reg.CompareSwap(ctx, s.slotOffset(slot), locked, locked&^uint64(1))
+}
+
+// Put inserts or replaces the value for key.
+func (s *Store) Put(ctx context.Context, key, value []byte) error {
+	if err := s.checkEntry(key, value); err != nil {
+		return err
+	}
+	h := hashKey(key)
+	for probe := 0; probe < s.opts.MaxProbe; probe++ {
+		slot := int((h + uint64(probe)) % uint64(s.opts.Slots))
+		stable := false
+		for retry := 0; retry < s.opts.LockRetries; retry++ {
+			seq, k, _, err := s.readSlot(ctx, slot)
+			if err != nil {
+				return err
+			}
+			if seq%2 == 1 {
+				backoff(retry)
+				continue // writer active; retry this slot
+			}
+			occupied := seq != 0
+			if occupied && !bytes.Equal(k, key) {
+				stable = true
+				break // stably another key's slot: next probe
+			}
+			ok, err := s.lockSlot(ctx, slot, seq)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				backoff(retry)
+				continue // raced; re-read
+			}
+			// The CAS matched seq, so the slot is unchanged since the
+			// read. Deposit the entry; the publish releases the lock.
+			gen := seq + 2
+			if gen == 0 {
+				gen = 2
+			}
+			if err := s.publish(ctx, slot, gen, key, value); err != nil {
+				s.unlock(ctx, slot, seq|1)
+				return err
+			}
+			return nil
+		}
+		if !stable {
+			// We never saw this slot stable; it may hold our key. Moving
+			// on could insert a duplicate.
+			return fmt.Errorf("%w: put %q", ErrContention, key)
+		}
+	}
+	return fmt.Errorf("%w: after %d probes", ErrFull, s.opts.MaxProbe)
+}
+
+// Get returns the value for key. The returned slice is owned by the
+// caller.
+func (s *Store) Get(ctx context.Context, key []byte) ([]byte, error) {
+	if err := s.checkEntry(key, nil); err != nil {
+		return nil, err
+	}
+	h := hashKey(key)
+	for probe := 0; probe < s.opts.MaxProbe; probe++ {
+		slot := int((h + uint64(probe)) % uint64(s.opts.Slots))
+		stable := false
+		for retry := 0; retry < s.opts.LockRetries; retry++ {
+			seq, k, v, err := s.readSlot(ctx, slot)
+			if err != nil {
+				return nil, err
+			}
+			if seq == 0 {
+				return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+			}
+			if seq%2 == 1 {
+				backoff(retry)
+				continue // mid-update; retry
+			}
+			if !bytes.Equal(k, key) {
+				stable = true
+				break // stably another key's slot: next probe
+			}
+			// Seqlock validation: confirm the slot did not change while
+			// we copied it.
+			val := append([]byte(nil), v...)
+			seq2, _, _, err := s.readSlot(ctx, slot)
+			if err != nil {
+				return nil, err
+			}
+			if seq2 == seq {
+				return val, nil
+			}
+			backoff(retry) // changed under us; retry
+		}
+		if !stable {
+			return nil, fmt.Errorf("%w: get %q", ErrContention, key)
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+}
+
+// Delete removes key. Deleting an absent key returns ErrNotFound.
+//
+// Deleted slots become tombstones (occupied generation with zero-length
+// key) so probe chains stay intact. Tombstones are not reclaimed: in this
+// fixed-capacity table a slot once used stays consumed, which keeps the
+// concurrent protocol free of the duplicate-insert hazard tombstone reuse
+// would introduce.
+func (s *Store) Delete(ctx context.Context, key []byte) error {
+	if err := s.checkEntry(key, nil); err != nil {
+		return err
+	}
+	h := hashKey(key)
+	for probe := 0; probe < s.opts.MaxProbe; probe++ {
+		slot := int((h + uint64(probe)) % uint64(s.opts.Slots))
+		stable := false
+		for retry := 0; retry < s.opts.LockRetries; retry++ {
+			seq, k, _, err := s.readSlot(ctx, slot)
+			if err != nil {
+				return err
+			}
+			if seq == 0 {
+				return fmt.Errorf("%w: %q", ErrNotFound, key)
+			}
+			if seq%2 == 1 {
+				backoff(retry)
+				continue
+			}
+			if !bytes.Equal(k, key) {
+				stable = true
+				break
+			}
+			ok, err := s.lockSlot(ctx, slot, seq)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				backoff(retry)
+				continue
+			}
+			gen := seq + 2
+			if gen == 0 {
+				gen = 2
+			}
+			if err := s.publish(ctx, slot, gen, nil, nil); err != nil {
+				s.unlock(ctx, slot, seq|1)
+				return err
+			}
+			return nil
+		}
+		if !stable {
+			return fmt.Errorf("%w: delete %q", ErrContention, key)
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrNotFound, key)
+}

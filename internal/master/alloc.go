@@ -1,0 +1,127 @@
+package master
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Allocation errors.
+var (
+	// ErrNoSpace is returned when a server's arena cannot fit a request.
+	ErrNoSpace = errors.New("master: out of arena space")
+	// ErrBadFree is returned when a span being freed was not allocated.
+	ErrBadFree = errors.New("master: bad free")
+)
+
+// span is a contiguous [Off, Off+Len) window of a server's arena.
+type span struct {
+	off uint64
+	len uint64
+}
+
+// allocAlign is the allocation granularity. Every span is rounded up to a
+// multiple of this, so extent base addresses are always 64-byte aligned —
+// a requirement for RDMA atomics (8-byte alignment) and good practice for
+// cache behaviour.
+const allocAlign = 64
+
+// spaceAllocator manages one memory server's donated arena with a
+// first-fit free list. It is not safe for concurrent use; the master
+// serializes access under its own lock.
+type spaceAllocator struct {
+	capacity uint64
+	free     []span // sorted by offset, adjacent spans coalesced
+	used     uint64
+}
+
+// newSpaceAllocator covers [0, capacity).
+func newSpaceAllocator(capacity uint64) *spaceAllocator {
+	a := &spaceAllocator{capacity: capacity}
+	if capacity > 0 {
+		a.free = []span{{0, capacity}}
+	}
+	return a
+}
+
+// Capacity returns the arena size.
+func (a *spaceAllocator) Capacity() uint64 { return a.capacity }
+
+// Used returns the number of allocated bytes.
+func (a *spaceAllocator) Used() uint64 { return a.used }
+
+// FreeBytes returns the number of unallocated bytes.
+func (a *spaceAllocator) FreeBytes() uint64 { return a.capacity - a.used }
+
+// alignUp rounds n up to the allocation granularity.
+func alignUp(n uint64) uint64 {
+	return (n + allocAlign - 1) &^ uint64(allocAlign-1)
+}
+
+// Alloc carves n bytes (rounded up to the allocation granularity) out of
+// the first free span that fits. The returned offset is always
+// allocAlign-aligned.
+func (a *spaceAllocator) Alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	n = alignUp(n)
+	for i := range a.free {
+		if a.free[i].len >= n {
+			off := a.free[i].off
+			a.free[i].off += n
+			a.free[i].len -= n
+			if a.free[i].len == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.used += n
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: need %d, largest free %d", ErrNoSpace, n, a.largestFree())
+}
+
+func (a *spaceAllocator) largestFree() uint64 {
+	var max uint64
+	for _, s := range a.free {
+		if s.len > max {
+			max = s.len
+		}
+	}
+	return max
+}
+
+// Free returns the span allocated at off for n bytes (rounded up the same
+// way Alloc rounded it) to the free list, coalescing neighbors. Freeing a
+// span that overlaps the free list is an error.
+func (a *spaceAllocator) Free(off, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	n = alignUp(n)
+	if off+n > a.capacity || off+n < off {
+		return fmt.Errorf("%w: [%d,%d) beyond capacity %d", ErrBadFree, off, off+n, a.capacity)
+	}
+	idx := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	// Overlap checks against neighbors.
+	if idx < len(a.free) && off+n > a.free[idx].off {
+		return fmt.Errorf("%w: overlaps free span at %d", ErrBadFree, a.free[idx].off)
+	}
+	if idx > 0 && a.free[idx-1].off+a.free[idx-1].len > off {
+		return fmt.Errorf("%w: overlaps free span at %d", ErrBadFree, a.free[idx-1].off)
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[idx+1:], a.free[idx:])
+	a.free[idx] = span{off, n}
+	a.used -= n
+	// Coalesce with successor, then predecessor.
+	if idx+1 < len(a.free) && a.free[idx].off+a.free[idx].len == a.free[idx+1].off {
+		a.free[idx].len += a.free[idx+1].len
+		a.free = append(a.free[:idx+1], a.free[idx+2:]...)
+	}
+	if idx > 0 && a.free[idx-1].off+a.free[idx-1].len == a.free[idx].off {
+		a.free[idx-1].len += a.free[idx].len
+		a.free = append(a.free[:idx], a.free[idx+1:]...)
+	}
+	return nil
+}

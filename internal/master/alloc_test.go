@@ -1,0 +1,195 @@
+package master
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := newSpaceAllocator(1024)
+	off1, err := a.Alloc(128)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	off2, err := a.Alloc(256)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if off1 == off2 {
+		t.Error("overlapping allocations")
+	}
+	if a.Used() != 384 {
+		t.Errorf("Used = %d", a.Used())
+	}
+	if a.FreeBytes() != 640 {
+		t.Errorf("FreeBytes = %d", a.FreeBytes())
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := newSpaceAllocator(1024)
+	// Odd sizes round up to the 64-byte granule and offsets stay aligned.
+	o1, err := a.Alloc(1)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	o2, err := a.Alloc(65)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if o1%allocAlign != 0 || o2%allocAlign != 0 {
+		t.Errorf("offsets %d, %d not aligned", o1, o2)
+	}
+	if a.Used() != 64+128 {
+		t.Errorf("Used = %d, want 192", a.Used())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := newSpaceAllocator(128)
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if _, err := a.Alloc(128); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace", err)
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Errorf("exact fit should work: %v", err)
+	}
+}
+
+func TestAllocZero(t *testing.T) {
+	a := newSpaceAllocator(10)
+	if _, err := a.Alloc(0); err != nil {
+		t.Errorf("zero alloc: %v", err)
+	}
+	if err := a.Free(0, 0); err != nil {
+		t.Errorf("zero free: %v", err)
+	}
+	if a.Used() != 0 {
+		t.Errorf("Used = %d", a.Used())
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	a := newSpaceAllocator(384)
+	o1, _ := a.Alloc(128)
+	o2, _ := a.Alloc(128)
+	o3, _ := a.Alloc(128)
+	// Free middle, then sides: must coalesce back to one span so a full
+	// allocation succeeds again.
+	if err := a.Free(o2, 128); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := a.Free(o1, 128); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := a.Free(o3, 128); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if len(a.free) != 1 {
+		t.Errorf("free list = %+v, want single span", a.free)
+	}
+	if _, err := a.Alloc(384); err != nil {
+		t.Errorf("full realloc: %v", err)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	a := newSpaceAllocator(128)
+	if err := a.Free(64, 128); !errors.Is(err, ErrBadFree) {
+		t.Errorf("beyond capacity: %v", err)
+	}
+	off, _ := a.Alloc(50)
+	if err := a.Free(off, 50); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	// Double free overlaps the free list.
+	if err := a.Free(off, 50); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double free: %v", err)
+	}
+}
+
+func TestAllocFirstFitReusesHoles(t *testing.T) {
+	a := newSpaceAllocator(1280)
+	offs := make([]uint64, 10)
+	for i := range offs {
+		o, err := a.Alloc(128)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		offs[i] = o
+	}
+	if err := a.Free(offs[3], 128); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	o, err := a.Alloc(128)
+	if err != nil {
+		t.Fatalf("Alloc after free: %v", err)
+	}
+	if o != offs[3] {
+		t.Errorf("first fit returned %d, want hole at %d", o, offs[3])
+	}
+}
+
+// Property: random alloc/free sequences never hand out overlapping spans
+// and always account Used() exactly.
+func TestAllocatorProperty(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := newSpaceAllocator(1 << 16)
+		type allocRec struct{ off, n uint64 }
+		var live []allocRec
+		var used uint64
+		for i := 0; i < 200; i++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				n := uint64(rng.Intn(1<<12)) + 1
+				off, err := a.Alloc(n)
+				if err != nil {
+					continue
+				}
+				for _, r := range live {
+					if off < r.off+alignUp(r.n) && r.off < off+alignUp(n) {
+						return false // overlap
+					}
+				}
+				live = append(live, allocRec{off, n})
+				used += alignUp(n)
+			} else {
+				i := rng.Intn(len(live))
+				r := live[i]
+				if err := a.Free(r.off, r.n); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				used -= alignUp(r.n)
+			}
+			if a.Used() != used {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthOrAll(t *testing.T) {
+	tests := []struct {
+		width, all, want int
+	}{
+		{0, 5, 5},
+		{-1, 5, 5},
+		{3, 5, 3},
+		{7, 5, 5},
+		{5, 5, 5},
+	}
+	for _, tt := range tests {
+		if got := widthOrAll(tt.width, tt.all); got != tt.want {
+			t.Errorf("widthOrAll(%d, %d) = %d, want %d", tt.width, tt.all, got, tt.want)
+		}
+	}
+}

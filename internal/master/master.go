@@ -1,0 +1,452 @@
+// Package master implements RStore's coordinator.
+//
+// The master owns all control-plane state: the registry of memory servers
+// and their donated arenas, the hierarchical region namespace, the striped
+// extent allocation for every region, and liveness tracking via
+// heartbeats. It never touches the data path — after a client maps a
+// region, reads and writes go straight to the memory servers' NICs. This
+// is the paper's separation philosophy applied to the distributed setting.
+package master
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// Master-level errors, surfaced to clients through RPC remote errors with
+// these exact prefixes (matched by string on the client side of the wire).
+var (
+	ErrRegionExists   = errors.New("master: region already exists")
+	ErrRegionNotFound = errors.New("master: region not found")
+	ErrRegionMapped   = errors.New("master: region still mapped")
+	ErrNoServers      = errors.New("master: no alive memory servers")
+	ErrInsufficient   = errors.New("master: insufficient cluster memory")
+)
+
+// Config tunes the master.
+type Config struct {
+	// Node is the fabric node the master runs on.
+	Node simnet.NodeID
+	// HeartbeatInterval is how often servers are expected to beat and how
+	// often liveness is evaluated. Default 100ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many missed intervals mark a server dead.
+	// Default 3.
+	HeartbeatMisses int
+	// DefaultStripeUnit is used when an allocation does not specify one.
+	// Default 1 MiB.
+	DefaultStripeUnit uint64
+	// RPC tunes the control connection buffering.
+	RPC rpc.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.DefaultStripeUnit == 0 {
+		c.DefaultStripeUnit = 1 << 20
+	}
+	return c
+}
+
+// serverState is the master's view of one memory server.
+type serverState struct {
+	node     simnet.NodeID
+	rkey     uint32
+	alloc    *spaceAllocator
+	alive    bool
+	lastBeat time.Time
+}
+
+// regionState tracks a region and its map refcount.
+type regionState struct {
+	info     *proto.RegionInfo
+	mapCount int
+}
+
+// Master is the RStore coordinator.
+type Master struct {
+	cfg Config
+	srv *rpc.Server
+
+	mu            sync.Mutex
+	servers       map[simnet.NodeID]*serverState
+	regionsByName map[string]*regionState
+	nextID        proto.RegionID
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start creates the master's RPC service on the device and begins serving
+// and monitoring heartbeats.
+func Start(dev *rdma.Device, cfg Config) (*Master, error) {
+	cfg = cfg.withDefaults()
+	cfg.Node = dev.Node()
+	srv, err := rpc.NewServer(dev, proto.MasterService, nil, cfg.RPC)
+	if err != nil {
+		return nil, fmt.Errorf("master: %w", err)
+	}
+	m := &Master{
+		cfg:           cfg,
+		srv:           srv,
+		servers:       make(map[simnet.NodeID]*serverState),
+		regionsByName: make(map[string]*regionState),
+		nextID:        1,
+		stop:          make(chan struct{}),
+	}
+	srv.Handle(proto.MtRegisterServer, m.handleRegisterServer)
+	srv.Handle(proto.MtHeartbeat, m.handleHeartbeat)
+	srv.Handle(proto.MtAlloc, m.handleAlloc)
+	srv.Handle(proto.MtMap, m.handleMap)
+	srv.Handle(proto.MtUnmap, m.handleUnmap)
+	srv.Handle(proto.MtFree, m.handleFree)
+	srv.Handle(proto.MtClusterInfo, m.handleClusterInfo)
+	srv.Handle(proto.MtListRegions, m.handleListRegions)
+	srv.Serve()
+
+	m.wg.Add(1)
+	go m.monitor()
+	return m, nil
+}
+
+// Node returns the fabric node the master serves on.
+func (m *Master) Node() simnet.NodeID { return m.cfg.Node }
+
+// Close stops serving and monitoring.
+func (m *Master) Close() {
+	select {
+	case <-m.stop:
+		return
+	default:
+	}
+	close(m.stop)
+	m.wg.Wait()
+	m.srv.Close()
+}
+
+// monitor marks servers dead when heartbeats stop arriving.
+func (m *Master) monitor() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-ticker.C:
+			deadline := now.Add(-time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatInterval)
+			m.mu.Lock()
+			for _, s := range m.servers {
+				if s.alive && s.lastBeat.Before(deadline) {
+					s.alive = false
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// AliveServers returns the nodes currently considered alive.
+func (m *Master) AliveServers() []simnet.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []simnet.NodeID
+	for id, s := range m.servers {
+		if s.alive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RegionCount returns how many regions exist.
+func (m *Master) RegionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.regionsByName)
+}
+
+func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	capacity := req.U64()
+	rkey := req.U32()
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.servers[from]
+	if !ok {
+		s = &serverState{node: from, alloc: newSpaceAllocator(capacity)}
+		m.servers[from] = s
+	}
+	s.rkey = rkey
+	s.alive = true
+	s.lastBeat = time.Now()
+	return &rpc.Encoder{}, nil
+}
+
+func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.servers[from]
+	if !ok {
+		return nil, fmt.Errorf("master: heartbeat from unregistered server %v", from)
+	}
+	s.lastBeat = time.Now()
+	s.alive = true
+	return &rpc.Encoder{}, nil
+}
+
+// pickServers returns up to width alive servers ordered by free space
+// (descending), excluding any in the exclude set.
+func (m *Master) pickServers(width int, exclude map[simnet.NodeID]bool) []*serverState {
+	var alive []*serverState
+	for _, s := range m.servers {
+		if s.alive && !exclude[s.node] {
+			alive = append(alive, s)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool {
+		fi, fj := alive[i].alloc.FreeBytes(), alive[j].alloc.FreeBytes()
+		if fi != fj {
+			return fi > fj
+		}
+		return alive[i].node < alive[j].node
+	})
+	if width < len(alive) {
+		alive = alive[:width]
+	}
+	return alive
+}
+
+// allocateCopy places one copy of the region over the chosen servers,
+// returning the extents or rolling back on failure.
+func allocateCopy(servers []*serverState, size, stripe uint64) ([]proto.Extent, error) {
+	sizes, err := proto.ExtentSizes(size, stripe, len(servers))
+	if err != nil {
+		return nil, err
+	}
+	extents := make([]proto.Extent, 0, len(servers))
+	for k, s := range servers {
+		off, err := s.alloc.Alloc(sizes[k])
+		if err != nil {
+			// Roll back what we grabbed so far.
+			for j := 0; j < k; j++ {
+				_ = servers[j].alloc.Free(extents[j].Addr, extents[j].Len)
+			}
+			return nil, fmt.Errorf("%w: server %v: %v", ErrInsufficient, s.node, err)
+		}
+		extents = append(extents, proto.Extent{
+			Server: s.node,
+			RKey:   s.rkey,
+			Addr:   off,
+			Len:    sizes[k],
+		})
+	}
+	return extents, nil
+}
+
+func (m *Master) freeExtents(extents []proto.Extent) {
+	for _, x := range extents {
+		if s, ok := m.servers[x.Server]; ok {
+			_ = s.alloc.Free(x.Addr, x.Len)
+		}
+	}
+}
+
+func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	a := proto.DecodeAllocRequest(req)
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	if a.Name == "" {
+		return nil, errors.New("master: empty region name")
+	}
+	if a.StripeUnit == 0 {
+		a.StripeUnit = m.cfg.DefaultStripeUnit
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regionsByName[a.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrRegionExists, a.Name)
+	}
+
+	width := a.StripeWidth
+	primaries := m.pickServers(widthOrAll(width, len(m.servers)), nil)
+	if len(primaries) == 0 {
+		return nil, ErrNoServers
+	}
+	extents, err := allocateCopy(primaries, a.Size, a.StripeUnit)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &proto.RegionInfo{
+		ID:         m.nextID,
+		Name:       a.Name,
+		Size:       a.Size,
+		StripeUnit: a.StripeUnit,
+		Extents:    extents,
+	}
+	m.nextID++
+
+	// Replicas go on servers disjoint from the primary copy when the
+	// cluster is big enough; otherwise placement falls back to any alive
+	// server with space.
+	used := make(map[simnet.NodeID]bool, len(primaries))
+	for _, s := range primaries {
+		used[s.node] = true
+	}
+	for r := 0; r < a.Replicas; r++ {
+		repServers := m.pickServers(len(primaries), used)
+		if len(repServers) < len(primaries) {
+			repServers = m.pickServers(len(primaries), nil)
+		}
+		if len(repServers) == 0 {
+			m.freeExtents(info.Extents)
+			for _, rep := range info.Replicas {
+				m.freeExtents(rep)
+			}
+			return nil, fmt.Errorf("%w: replica %d", ErrNoServers, r)
+		}
+		repExtents, err := allocateCopy(repServers, a.Size, a.StripeUnit)
+		if err != nil {
+			m.freeExtents(info.Extents)
+			for _, rep := range info.Replicas {
+				m.freeExtents(rep)
+			}
+			return nil, err
+		}
+		for _, s := range repServers {
+			used[s.node] = true
+		}
+		info.Replicas = append(info.Replicas, repExtents)
+	}
+
+	m.regionsByName[a.Name] = &regionState{info: info}
+	var e rpc.Encoder
+	proto.EncodeRegionInfo(&e, info)
+	return &e, nil
+}
+
+func widthOrAll(width, all int) int {
+	if width <= 0 || width > all {
+		return all
+	}
+	return width
+}
+
+func (m *Master) handleMap(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	name := req.String()
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.regionsByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
+	}
+	rs.mapCount++
+	var e rpc.Encoder
+	proto.EncodeRegionInfo(&e, rs.info)
+	return &e, nil
+}
+
+func (m *Master) handleUnmap(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	name := req.String()
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.regionsByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
+	}
+	if rs.mapCount > 0 {
+		rs.mapCount--
+	}
+	return &rpc.Encoder{}, nil
+}
+
+func (m *Master) handleFree(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	name := req.String()
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.regionsByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
+	}
+	if rs.mapCount > 0 {
+		return nil, fmt.Errorf("%w: %q has %d mappings", ErrRegionMapped, name, rs.mapCount)
+	}
+	m.freeExtents(rs.info.Extents)
+	for _, rep := range rs.info.Replicas {
+		m.freeExtents(rep)
+	}
+	delete(m.regionsByName, name)
+	return &rpc.Encoder{}, nil
+}
+
+func (m *Master) handleClusterInfo(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nodes := make([]simnet.NodeID, 0, len(m.servers))
+	for id := range m.servers {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var e rpc.Encoder
+	e.U32(uint32(len(nodes)))
+	for _, id := range nodes {
+		s := m.servers[id]
+		info := proto.ServerInfo{
+			Node:     s.node,
+			Capacity: s.alloc.Capacity(),
+			Used:     s.alloc.Used(),
+			Alive:    s.alive,
+		}
+		info.Encode(&e)
+	}
+	return &e, nil
+}
+
+func (m *Master) handleListRegions(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.regionsByName))
+	for n := range m.regionsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var e rpc.Encoder
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		rs := m.regionsByName[n]
+		e.String(n)
+		e.U64(uint64(rs.info.ID))
+		e.U64(rs.info.Size)
+		e.U32(uint32(rs.mapCount))
+	}
+	return &e, nil
+}

@@ -1,0 +1,207 @@
+package master
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// harness boots a master on node 0 of a small fabric and returns dialers
+// for playing the roles of memory servers and clients.
+type harness struct {
+	t   *testing.T
+	net *rdma.Network
+	m   *Master
+}
+
+func newHarness(t *testing.T, nodes int) *harness {
+	t.Helper()
+	f := simnet.NewFabric(nodes, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	dev, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	m, err := Start(dev, Config{HeartbeatInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(m.Close)
+	return &harness{t: t, net: n, m: m}
+}
+
+func (h *harness) dial(node simnet.NodeID) *rpc.Conn {
+	h.t.Helper()
+	dev, err := h.net.OpenDevice(node)
+	if err != nil {
+		h.t.Fatalf("OpenDevice: %v", err)
+	}
+	conn, err := rpc.Dial(context.Background(), dev, 0, proto.MasterService, nil, rpc.Options{})
+	if err != nil {
+		h.t.Fatalf("Dial: %v", err)
+	}
+	h.t.Cleanup(conn.Close)
+	return conn
+}
+
+// registerServer announces a fake memory server with the given capacity.
+func (h *harness) registerServer(conn *rpc.Conn, capacity uint64, rkey uint32) {
+	h.t.Helper()
+	var e rpc.Encoder
+	e.U64(capacity)
+	e.U32(rkey)
+	if _, _, err := conn.Call(context.Background(), proto.MtRegisterServer, e.Bytes()); err != nil {
+		h.t.Fatalf("register server: %v", err)
+	}
+}
+
+func (h *harness) alloc(conn *rpc.Conn, req proto.AllocRequest) (*proto.RegionInfo, error) {
+	h.t.Helper()
+	var e rpc.Encoder
+	req.Encode(&e)
+	resp, _, err := conn.Call(context.Background(), proto.MtAlloc, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := rpc.NewDecoder(resp)
+	info := proto.DecodeRegionInfo(d)
+	if derr := d.Err(); derr != nil {
+		h.t.Fatalf("decode alloc response: %v", derr)
+	}
+	return info, nil
+}
+
+func TestAllocPlacesOnLeastLoadedServer(t *testing.T) {
+	h := newHarness(t, 3)
+	s1 := h.dial(1)
+	s2 := h.dial(2)
+	h.registerServer(s1, 1<<20, 11)
+	h.registerServer(s2, 1<<20, 22)
+
+	// Fill most of server 1 (width 1 lands on the emptiest; both are
+	// empty, tie broken by node id → node 1).
+	first, err := h.alloc(s1, proto.AllocRequest{Name: "fill", Size: 700 << 10, StripeUnit: 4096, StripeWidth: 1})
+	if err != nil {
+		t.Fatalf("alloc fill: %v", err)
+	}
+	if first.Extents[0].Server != 1 {
+		t.Fatalf("first alloc on %v, want node 1 (tie break)", first.Extents[0].Server)
+	}
+	// The next width-1 allocation must go to the emptier server 2.
+	second, err := h.alloc(s1, proto.AllocRequest{Name: "next", Size: 100 << 10, StripeUnit: 4096, StripeWidth: 1})
+	if err != nil {
+		t.Fatalf("alloc next: %v", err)
+	}
+	if second.Extents[0].Server != 2 {
+		t.Errorf("second alloc on %v, want least-loaded node 2", second.Extents[0].Server)
+	}
+	if second.Extents[0].RKey != 22 {
+		t.Errorf("rkey = %d, want server 2's 22", second.Extents[0].RKey)
+	}
+}
+
+func TestAllocRollbackOnInsufficientSpace(t *testing.T) {
+	h := newHarness(t, 3)
+	s1 := h.dial(1)
+	s2 := h.dial(2)
+	h.registerServer(s1, 1<<20, 11)
+	h.registerServer(s2, 256<<10, 22)
+
+	// A wide region too big for server 2's arena must fail entirely and
+	// release whatever it grabbed from server 1.
+	if _, err := h.alloc(s1, proto.AllocRequest{Name: "big", Size: 1 << 20, StripeUnit: 4096}); err == nil {
+		t.Fatal("oversized wide alloc should fail")
+	}
+	// Everything must fit again afterwards.
+	if _, err := h.alloc(s1, proto.AllocRequest{Name: "ok", Size: 1 << 20, StripeUnit: 64 << 10, StripeWidth: 1}); err != nil {
+		t.Fatalf("alloc after rollback: %v", err)
+	}
+}
+
+func TestReplicaRollbackOnFailure(t *testing.T) {
+	h := newHarness(t, 2)
+	s1 := h.dial(1)
+	h.registerServer(s1, 1<<20, 11)
+
+	// One server cannot host primary + replica of 700 KiB each.
+	if _, err := h.alloc(s1, proto.AllocRequest{Name: "rep", Size: 700 << 10, StripeUnit: 4096, Replicas: 1}); err == nil {
+		t.Fatal("replicated alloc beyond capacity should fail")
+	}
+	// The full megabyte is still available.
+	if _, err := h.alloc(s1, proto.AllocRequest{Name: "all", Size: 1 << 20, StripeUnit: 64 << 10}); err != nil {
+		t.Fatalf("alloc after replica rollback: %v", err)
+	}
+}
+
+func TestHeartbeatFromUnknownServer(t *testing.T) {
+	h := newHarness(t, 2)
+	conn := h.dial(1)
+	if _, _, err := conn.Call(context.Background(), proto.MtHeartbeat, nil); err == nil {
+		t.Error("heartbeat before registration should fail")
+	}
+}
+
+func TestMissedHeartbeatsMarkDead(t *testing.T) {
+	h := newHarness(t, 2)
+	conn := h.dial(1)
+	h.registerServer(conn, 1<<20, 11)
+	if got := h.m.AliveServers(); len(got) != 1 {
+		t.Fatalf("alive = %v", got)
+	}
+	// Stop beating: within a few intervals the master declares it dead.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(h.m.AliveServers()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never marked dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A heartbeat revives it.
+	if _, _, err := conn.Call(context.Background(), proto.MtHeartbeat, nil); err != nil {
+		t.Fatalf("revival heartbeat: %v", err)
+	}
+	if got := h.m.AliveServers(); len(got) != 1 {
+		t.Errorf("alive after revival = %v", got)
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	h := newHarness(t, 2)
+	conn := h.dial(1)
+	h.registerServer(conn, 1<<20, 11)
+
+	if _, err := h.alloc(conn, proto.AllocRequest{Name: "", Size: 4096}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := h.alloc(conn, proto.AllocRequest{Name: "a", Size: 4096}); err != nil {
+		t.Errorf("default stripe unit should apply: %v", err)
+	}
+	if _, err := h.alloc(conn, proto.AllocRequest{Name: "a", Size: 4096}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+}
+
+func TestRegionCountTracksLifecycle(t *testing.T) {
+	h := newHarness(t, 2)
+	conn := h.dial(1)
+	h.registerServer(conn, 1<<20, 11)
+	if _, err := h.alloc(conn, proto.AllocRequest{Name: "x", Size: 4096, StripeUnit: 4096}); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if h.m.RegionCount() != 1 {
+		t.Fatalf("count = %d", h.m.RegionCount())
+	}
+	var e rpc.Encoder
+	e.String("x")
+	if _, _, err := conn.Call(context.Background(), proto.MtFree, e.Bytes()); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if h.m.RegionCount() != 0 {
+		t.Fatalf("count after free = %d", h.m.RegionCount())
+	}
+}

@@ -1,0 +1,229 @@
+// Package memserver implements RStore's memory servers: the nodes that
+// donate DRAM to the distributed store.
+//
+// A memory server's life is deliberately boring — that is the point of the
+// paper's design. At startup it registers one large arena with its NIC and
+// announces itself (capacity + rkey) to the master; afterwards the server
+// CPU only sends heartbeats and services region-notification fan-out. All
+// data access happens through one-sided RDMA directly against the arena:
+// no goroutine in this package ever touches a byte of client data.
+package memserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// Config tunes a memory server.
+type Config struct {
+	// Capacity is the arena size donated to the store.
+	Capacity uint64
+	// Master is the node the master runs on.
+	Master simnet.NodeID
+	// HeartbeatInterval is how often to beat. Default 100ms (should match
+	// the master's interval).
+	HeartbeatInterval time.Duration
+	// RPC tunes the control connection.
+	RPC rpc.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is a running memory server.
+type Server struct {
+	cfg   Config
+	dev   *rdma.Device
+	pd    *rdma.PD
+	arena *rdma.MemoryRegion
+
+	dataLis   *rdma.Listener
+	notifyLis *rdma.Listener
+	masterCon *rpc.Conn
+
+	mu       sync.Mutex
+	dataQPs  []*rdma.QP
+	watchers map[proto.RegionID][]*notifySession
+
+	cancel context.CancelFunc
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Start boots a memory server on the device: registers the arena, opens
+// the data and notification services, registers with the master, and
+// starts heartbeating.
+func Start(ctx context.Context, dev *rdma.Device, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Capacity == 0 {
+		return nil, errors.New("memserver: zero capacity")
+	}
+	pd := dev.AllocPD()
+	arena, err := pd.RegisterMemory(make([]byte, cfg.Capacity),
+		rdma.AccessLocalWrite|rdma.AccessRemoteRead|rdma.AccessRemoteWrite|rdma.AccessRemoteAtomic)
+	if err != nil {
+		return nil, fmt.Errorf("memserver: register arena: %w", err)
+	}
+	dataLis, err := dev.Listen(proto.MemDataService, pd, rdma.ConnOpts{SendDepth: 1024, RecvDepth: 1024})
+	if err != nil {
+		return nil, fmt.Errorf("memserver: %w", err)
+	}
+	notifyLis, err := dev.Listen(proto.MemNotifyService, pd, rdma.ConnOpts{SendDepth: 256, RecvDepth: 256})
+	if err != nil {
+		dataLis.Close()
+		return nil, fmt.Errorf("memserver: %w", err)
+	}
+	conn, err := rpc.Dial(ctx, dev, cfg.Master, proto.MasterService, pd, cfg.RPC)
+	if err != nil {
+		dataLis.Close()
+		notifyLis.Close()
+		return nil, fmt.Errorf("memserver: dial master: %w", err)
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		dev:       dev,
+		pd:        pd,
+		arena:     arena,
+		dataLis:   dataLis,
+		notifyLis: notifyLis,
+		masterCon: conn,
+		watchers:  make(map[proto.RegionID][]*notifySession),
+		stop:      make(chan struct{}),
+	}
+
+	// Announce capacity and the arena rkey to the master.
+	var e rpc.Encoder
+	e.U64(cfg.Capacity)
+	e.U32(arena.RKey())
+	if _, _, err := conn.Call(ctx, proto.MtRegisterServer, e.Bytes()); err != nil {
+		s.teardown()
+		return nil, fmt.Errorf("memserver: register with master: %w", err)
+	}
+
+	loopCtx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.wg.Add(3)
+	go s.acceptData(loopCtx)
+	go s.acceptNotify(loopCtx)
+	go s.heartbeat(loopCtx)
+	return s, nil
+}
+
+// Node returns the server's fabric node.
+func (s *Server) Node() simnet.NodeID { return s.dev.Node() }
+
+// Arena exposes the donated memory region (tests verify one-sided writes
+// land in it).
+func (s *Server) Arena() *rdma.MemoryRegion { return s.arena }
+
+// Close stops the server.
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+	s.teardown()
+}
+
+func (s *Server) teardown() {
+	s.mu.Lock()
+	qps := s.dataQPs
+	s.dataQPs = nil
+	var sessions []*notifySession
+	for _, ws := range s.watchers {
+		sessions = append(sessions, ws...)
+	}
+	s.watchers = make(map[proto.RegionID][]*notifySession)
+	conn := s.masterCon
+	s.mu.Unlock()
+	for _, qp := range qps {
+		qp.Close()
+	}
+	for _, ns := range sessions {
+		ns.qp.Close()
+	}
+	conn.Close()
+	s.dataLis.Close()
+	s.notifyLis.Close()
+}
+
+// acceptData parks accepted one-sided QPs. Nothing ever polls them: the
+// client's READ/WRITE/ATOMIC traffic is served entirely by the (simulated)
+// NIC against the arena.
+func (s *Server) acceptData(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		qp, err := s.dataLis.Accept(ctx)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.dataQPs = append(s.dataQPs, qp)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) heartbeat(ctx context.Context) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			conn := s.masterCon
+			s.mu.Unlock()
+			beatCtx, cancel := context.WithTimeout(ctx, 4*s.cfg.HeartbeatInterval)
+			_, _, err := conn.Call(beatCtx, proto.MtHeartbeat, nil)
+			cancel()
+			if err != nil {
+				// A failed beat (partition, our link flapping) kills the
+				// control QP permanently; re-dial and re-announce so the
+				// master revives us once connectivity returns.
+				s.reconnect(ctx)
+			}
+		}
+	}
+}
+
+// reconnect re-establishes the master control connection and re-registers
+// the arena. Failures are ignored; the next heartbeat tick retries.
+func (s *Server) reconnect(ctx context.Context) {
+	conn, err := rpc.Dial(ctx, s.dev, s.cfg.Master, proto.MasterService, s.pd, s.cfg.RPC)
+	if err != nil {
+		return
+	}
+	var e rpc.Encoder
+	e.U64(s.cfg.Capacity)
+	e.U32(s.arena.RKey())
+	if _, _, err := conn.Call(ctx, proto.MtRegisterServer, e.Bytes()); err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	old := s.masterCon
+	s.masterCon = conn
+	s.mu.Unlock()
+	old.Close()
+}

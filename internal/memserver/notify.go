@@ -1,0 +1,215 @@
+package memserver
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+)
+
+// Notification wire format, exchanged as small SENDs on the notify QP:
+//
+//	kind     uint8  (1=subscribe, 2=notify, 3=unsubscribe)
+//	regionID uint64
+//	token    uint32
+//
+// A client subscribes once per region of interest; any client writing the
+// region follows up with a notify carrying an application token, and the
+// region's home server fans the token out to all subscribers. This gives
+// RStore's memory-like API its producer/consumer signaling without server
+// involvement on the data itself.
+const (
+	notifyMsgSize = 13
+
+	// NotifyKindSubscribe registers the sending QP for a region.
+	NotifyKindSubscribe = 1
+	// NotifyKindNotify fans out the token to the region's subscribers.
+	NotifyKindNotify = 2
+	// NotifyKindUnsubscribe removes the sending QP's registration.
+	NotifyKindUnsubscribe = 3
+)
+
+// EncodeNotifyMsg writes the wire form into buf (at least notifyMsgSize).
+func EncodeNotifyMsg(buf []byte, kind uint8, region proto.RegionID, token uint32) int {
+	buf[0] = kind
+	binary.LittleEndian.PutUint64(buf[1:], uint64(region))
+	binary.LittleEndian.PutUint32(buf[9:], token)
+	return notifyMsgSize
+}
+
+// DecodeNotifyMsg parses the wire form.
+func DecodeNotifyMsg(buf []byte) (kind uint8, region proto.RegionID, token uint32, err error) {
+	if len(buf) < notifyMsgSize {
+		return 0, 0, 0, fmt.Errorf("memserver: short notify message: %d bytes", len(buf))
+	}
+	return buf[0], proto.RegionID(binary.LittleEndian.Uint64(buf[1:])), binary.LittleEndian.Uint32(buf[9:]), nil
+}
+
+// NotifyMsgSize is the wire size of one notification frame.
+const NotifyMsgSize = notifyMsgSize
+
+// notifySession is one client's notification QP on the server side.
+type notifySession struct {
+	qp      *rdma.QP
+	recvMR  *rdma.MemoryRegion
+	sendMR  *rdma.MemoryRegion
+	sendIdx int
+	slots   int
+}
+
+const notifySlots = 64
+
+func (s *Server) acceptNotify(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		qp, err := s.notifyLis.Accept(ctx)
+		if err != nil {
+			return
+		}
+		ns, err := s.newNotifySession(qp)
+		if err != nil {
+			qp.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.notifyLoop(ctx, ns)
+	}
+}
+
+func (s *Server) newNotifySession(qp *rdma.QP) (*notifySession, error) {
+	recvMR, err := s.pd.RegisterMemory(make([]byte, notifySlots*notifyMsgSize), rdma.AccessLocalWrite)
+	if err != nil {
+		return nil, fmt.Errorf("notify session: %w", err)
+	}
+	sendMR, err := s.pd.RegisterMemory(make([]byte, notifySlots*notifyMsgSize), 0)
+	if err != nil {
+		return nil, fmt.Errorf("notify session: %w", err)
+	}
+	ns := &notifySession{qp: qp, recvMR: recvMR, sendMR: sendMR, slots: notifySlots}
+	for i := 0; i < notifySlots; i++ {
+		if err := qp.PostRecv(rdma.RecvWR{
+			WRID:  uint64(i),
+			Local: rdma.SGE{MR: recvMR, Offset: uint64(i * notifyMsgSize), Len: notifyMsgSize},
+		}); err != nil {
+			return nil, fmt.Errorf("notify session: %w", err)
+		}
+	}
+	return ns, nil
+}
+
+// notifyLoop services one client's subscribe/notify traffic.
+func (s *Server) notifyLoop(ctx context.Context, ns *notifySession) {
+	defer s.wg.Done()
+	defer s.dropSession(ns)
+	for {
+		// Recycle send completions (fan-out sends from other sessions'
+		// loops land on this QP's send CQ too; they are fire-and-forget).
+		_ = ns.qp.SendCQ().Poll(notifySlots)
+		wc, err := ns.qp.RecvCQ().Next(ctx)
+		if err != nil {
+			return
+		}
+		if wc.Status != rdma.StatusSuccess {
+			return
+		}
+		slot := int(wc.WRID)
+		off := slot * notifyMsgSize
+		kind, region, token, derr := DecodeNotifyMsg(ns.recvMR.Bytes()[off : off+notifyMsgSize])
+		if rerr := ns.qp.PostRecv(rdma.RecvWR{
+			WRID:  wc.WRID,
+			Local: rdma.SGE{MR: ns.recvMR, Offset: uint64(off), Len: notifyMsgSize},
+		}); rerr != nil {
+			return
+		}
+		if derr != nil {
+			continue
+		}
+		// Chain virtual time: fan-out sends depart after the inbound frame
+		// arrived plus a small hub processing cost, so end-to-end notify
+		// latency is modeled faithfully.
+		departV := wc.DoneV.Add(time.Microsecond)
+		switch kind {
+		case NotifyKindSubscribe:
+			s.subscribe(region, ns)
+			// Ack so the subscriber knows fan-out now includes it.
+			s.sendTo(ns, NotifyKindSubscribe, region, token, departV)
+		case NotifyKindUnsubscribe:
+			s.unsubscribe(region, ns)
+		case NotifyKindNotify:
+			s.fanOut(region, token, ns, departV)
+		}
+	}
+}
+
+func (s *Server) subscribe(region proto.RegionID, ns *notifySession) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.watchers[region] {
+		if w == ns {
+			return
+		}
+	}
+	s.watchers[region] = append(s.watchers[region], ns)
+}
+
+func (s *Server) unsubscribe(region proto.RegionID, ns *notifySession) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.watchers[region]
+	for i, w := range ws {
+		if w == ns {
+			s.watchers[region] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Server) dropSession(ns *notifySession) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for region, ws := range s.watchers {
+		for i, w := range ws {
+			if w == ns {
+				s.watchers[region] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// fanOut delivers the token to every subscriber of the region except the
+// notifier itself, departing at virtual time departV.
+func (s *Server) fanOut(region proto.RegionID, token uint32, from *notifySession, departV simnet.VTime) {
+	s.mu.Lock()
+	targets := make([]*notifySession, 0, len(s.watchers[region]))
+	for _, w := range s.watchers[region] {
+		if w != from {
+			targets = append(targets, w)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range targets {
+		s.sendTo(w, NotifyKindNotify, region, token, departV)
+	}
+}
+
+// sendTo delivers one frame to a session at the given virtual departure
+// time. Best effort: a dead subscriber's QP errors and its loop cleans up.
+func (s *Server) sendTo(w *notifySession, kind uint8, region proto.RegionID, token uint32, departV simnet.VTime) {
+	s.mu.Lock()
+	slot := w.sendIdx % w.slots
+	w.sendIdx++
+	s.mu.Unlock()
+	off := slot * notifyMsgSize
+	EncodeNotifyMsg(w.sendMR.Bytes()[off:off+notifyMsgSize], kind, region, token)
+	_ = w.qp.PostSend(rdma.SendWR{
+		WRID:   uint64(slot),
+		Op:     rdma.OpSend,
+		Local:  rdma.SGE{MR: w.sendMR, Offset: uint64(off), Len: notifyMsgSize},
+		StartV: departV,
+	})
+}

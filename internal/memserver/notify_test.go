@@ -1,0 +1,41 @@
+package memserver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rstore/internal/proto"
+)
+
+func TestNotifyMsgRoundTrip(t *testing.T) {
+	buf := make([]byte, NotifyMsgSize)
+	n := EncodeNotifyMsg(buf, NotifyKindNotify, 42, 0xdeadbeef)
+	if n != NotifyMsgSize {
+		t.Fatalf("encoded %d bytes, want %d", n, NotifyMsgSize)
+	}
+	kind, region, token, err := DecodeNotifyMsg(buf)
+	if err != nil {
+		t.Fatalf("DecodeNotifyMsg: %v", err)
+	}
+	if kind != NotifyKindNotify || region != 42 || token != 0xdeadbeef {
+		t.Errorf("decoded (%d, %d, %#x)", kind, region, token)
+	}
+}
+
+func TestNotifyMsgTooShort(t *testing.T) {
+	if _, _, _, err := DecodeNotifyMsg(make([]byte, NotifyMsgSize-1)); err == nil {
+		t.Error("short message must fail")
+	}
+}
+
+func TestNotifyMsgProperty(t *testing.T) {
+	fn := func(kind uint8, region uint64, token uint32) bool {
+		buf := make([]byte, NotifyMsgSize)
+		EncodeNotifyMsg(buf, kind, proto.RegionID(region), token)
+		k, r, tok, err := DecodeNotifyMsg(buf)
+		return err == nil && k == kind && r == proto.RegionID(region) && tok == token
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

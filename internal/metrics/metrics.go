@@ -1,0 +1,213 @@
+// Package metrics provides the small measurement toolkit used by the
+// benchmark harness: log-bucketed latency histograms, throughput
+// accounting, and fixed-width table rendering for experiment output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram. The zero value is ready
+// to use. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64 // reservoir for exact quantiles
+	seen    int64
+}
+
+const reservoirSize = 4096
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(float64(d.Nanoseconds())) }
+
+// RecordValue adds one raw observation.
+func (h *Histogram) RecordValue(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.seen++
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, v)
+	} else {
+		// Vitter's algorithm R with a cheap deterministic hash of seen.
+		x := uint64(h.seen) * 0x9e3779b97f4a7c15
+		x ^= x >> 33
+		if idx := x % uint64(h.seen); idx < reservoirSize {
+			h.samples[idx] = v
+		}
+	}
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) from the sample reservoir.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), h.samples...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary renders count/mean/p50/p99/max with nanosecond observations
+// formatted as durations.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(),
+		time.Duration(h.Mean()),
+		time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.Max()))
+}
+
+// Gbps converts bytes moved in a duration to gigabits per second.
+func Gbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e9
+}
+
+// Table renders experiment output with aligned columns, matching the
+// "rows the paper reports" requirement of the harness.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Rows returns the rendered cells (for assertions in tests).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}

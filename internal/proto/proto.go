@@ -1,0 +1,324 @@
+// Package proto defines the control-plane protocol shared by RStore's
+// master, memory servers, and clients: region metadata, the striped extent
+// layout of the global address space, offset-to-fragment translation, and
+// the binary wire encoding of every control message.
+package proto
+
+import (
+	"errors"
+	"fmt"
+
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// Control message types served by the master.
+const (
+	MtRegisterServer uint16 = iota + 1
+	MtHeartbeat
+	MtAlloc
+	MtMap
+	MtUnmap
+	MtFree
+	MtClusterInfo
+	MtListRegions
+)
+
+// Service names on the fabric.
+const (
+	// MasterService is the master's control RPC endpoint.
+	MasterService = "rstore-master"
+	// MemDataService is the memory servers' one-sided data endpoint;
+	// clients connect QPs here and then never involve the server CPU.
+	MemDataService = "rstore-mem"
+	// MemNotifyService is the memory servers' notification endpoint.
+	MemNotifyService = "rstore-notify"
+)
+
+// Protocol errors surfaced to API users.
+var (
+	ErrBadStripe = errors.New("proto: invalid stripe unit")
+	ErrBadRange  = errors.New("proto: range outside region")
+)
+
+// RegionID names an allocated region cluster-wide.
+type RegionID uint64
+
+// Extent is one server-resident piece of a region: a window of the
+// server's donated arena, addressable remotely through the arena's rkey.
+type Extent struct {
+	Server simnet.NodeID
+	RKey   uint32
+	// Addr is the byte offset of the extent within the server's arena
+	// memory region.
+	Addr uint64
+	// Len is the extent length in bytes.
+	Len uint64
+}
+
+// RegionInfo is the complete metadata a client needs to access a region.
+// After Rmap delivers it, the data path never consults the master again —
+// the paper's separation philosophy.
+type RegionInfo struct {
+	ID         RegionID
+	Name       string
+	Size       uint64
+	StripeUnit uint64
+	// Extents holds the primary copy, one extent per participating server,
+	// in stripe order: global stripe unit u lives in Extents[u % len] at
+	// unit index u / len.
+	Extents []Extent
+	// Replicas holds optional additional copies with identical geometry.
+	Replicas [][]Extent
+}
+
+// HomeServer returns the node responsible for region-scoped coordination
+// (notifications): the owner of the first extent.
+func (r *RegionInfo) HomeServer() simnet.NodeID {
+	if len(r.Extents) == 0 {
+		return -1
+	}
+	return r.Extents[0].Server
+}
+
+// Servers returns the distinct primary servers in stripe order.
+func (r *RegionInfo) Servers() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(r.Extents))
+	seen := make(map[simnet.NodeID]bool, len(r.Extents))
+	for _, e := range r.Extents {
+		if !seen[e.Server] {
+			seen[e.Server] = true
+			out = append(out, e.Server)
+		}
+	}
+	return out
+}
+
+// Fragment is the result of address translation: one contiguous remote
+// window plus the offset of its bytes within the caller's buffer.
+type Fragment struct {
+	Server simnet.NodeID
+	RKey   uint32
+	// Addr is the remote offset within the server's arena region.
+	Addr uint64
+	// Len is the fragment length in bytes.
+	Len int
+	// BufOff is where the fragment's bytes sit in the caller's buffer.
+	BufOff int
+}
+
+// ExtentSizes returns the per-extent lengths for a region of size bytes
+// striped in units of stripe across width servers. Extent k holds global
+// units k, k+width, k+2*width, ...; the final unit may be partial.
+func ExtentSizes(size, stripe uint64, width int) ([]uint64, error) {
+	if stripe == 0 {
+		return nil, ErrBadStripe
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("%w: width %d", ErrBadStripe, width)
+	}
+	sizes := make([]uint64, width)
+	units := size / stripe
+	rem := size % stripe
+	for k := 0; k < width; k++ {
+		full := units / uint64(width)
+		if uint64(k) < units%uint64(width) {
+			full++
+		}
+		sizes[k] = full * stripe
+	}
+	if rem > 0 {
+		k := units % uint64(width)
+		sizes[k] += rem
+	}
+	return sizes, nil
+}
+
+// translate maps [off, off+n) of the region onto the given extent set.
+func translate(info *RegionInfo, extents []Extent, off uint64, n int) ([]Fragment, error) {
+	if n < 0 || off > info.Size || uint64(n) > info.Size-off {
+		return nil, fmt.Errorf("%w: off=%d len=%d size=%d", ErrBadRange, off, n, info.Size)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	su := info.StripeUnit
+	width := uint64(len(extents))
+	if su == 0 || width == 0 {
+		return nil, ErrBadStripe
+	}
+	var frags []Fragment
+	bufOff := 0
+	remaining := uint64(n)
+	for remaining > 0 {
+		unit := off / su
+		within := off % su
+		chunk := su - within
+		if chunk > remaining {
+			chunk = remaining
+		}
+		ext := &extents[unit%width]
+		addr := ext.Addr + (unit/width)*su + within
+		// Coalesce with the previous fragment when contiguous on the same
+		// server (happens when width == 1).
+		if len(frags) > 0 {
+			last := &frags[len(frags)-1]
+			if last.Server == ext.Server && last.RKey == ext.RKey && last.Addr+uint64(last.Len) == addr {
+				last.Len += int(chunk)
+				off += chunk
+				bufOff += int(chunk)
+				remaining -= chunk
+				continue
+			}
+		}
+		frags = append(frags, Fragment{
+			Server: ext.Server,
+			RKey:   ext.RKey,
+			Addr:   addr,
+			Len:    int(chunk),
+			BufOff: bufOff,
+		})
+		off += chunk
+		bufOff += int(chunk)
+		remaining -= chunk
+	}
+	return frags, nil
+}
+
+// Fragments maps [off, off+n) of the region's primary copy to remote
+// windows.
+func (r *RegionInfo) Fragments(off uint64, n int) ([]Fragment, error) {
+	return translate(r, r.Extents, off, n)
+}
+
+// ReplicaFragments maps [off, off+n) onto replica copy i.
+func (r *RegionInfo) ReplicaFragments(i int, off uint64, n int) ([]Fragment, error) {
+	if i < 0 || i >= len(r.Replicas) {
+		return nil, fmt.Errorf("%w: replica %d of %d", ErrBadRange, i, len(r.Replicas))
+	}
+	return translate(r, r.Replicas[i], off, n)
+}
+
+// EncodeExtent appends the extent to the encoder.
+func EncodeExtent(e *rpc.Encoder, x Extent) {
+	e.I64(int64(x.Server))
+	e.U32(x.RKey)
+	e.U64(x.Addr)
+	e.U64(x.Len)
+}
+
+// DecodeExtent reads an extent.
+func DecodeExtent(d *rpc.Decoder) Extent {
+	return Extent{
+		Server: simnet.NodeID(d.I64()),
+		RKey:   d.U32(),
+		Addr:   d.U64(),
+		Len:    d.U64(),
+	}
+}
+
+func encodeExtents(e *rpc.Encoder, xs []Extent) {
+	e.U32(uint32(len(xs)))
+	for _, x := range xs {
+		EncodeExtent(e, x)
+	}
+}
+
+func decodeExtents(d *rpc.Decoder) []Extent {
+	n := d.U32()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	xs := make([]Extent, 0, n)
+	for i := uint32(0); i < n; i++ {
+		xs = append(xs, DecodeExtent(d))
+	}
+	return xs
+}
+
+// EncodeRegionInfo appends the full region metadata.
+func EncodeRegionInfo(e *rpc.Encoder, r *RegionInfo) {
+	e.U64(uint64(r.ID))
+	e.String(r.Name)
+	e.U64(r.Size)
+	e.U64(r.StripeUnit)
+	encodeExtents(e, r.Extents)
+	e.U32(uint32(len(r.Replicas)))
+	for _, rep := range r.Replicas {
+		encodeExtents(e, rep)
+	}
+}
+
+// DecodeRegionInfo reads region metadata.
+func DecodeRegionInfo(d *rpc.Decoder) *RegionInfo {
+	r := &RegionInfo{
+		ID:         RegionID(d.U64()),
+		Name:       d.String(),
+		Size:       d.U64(),
+		StripeUnit: d.U64(),
+		Extents:    decodeExtents(d),
+	}
+	nrep := d.U32()
+	for i := uint32(0); i < nrep && d.Err() == nil; i++ {
+		r.Replicas = append(r.Replicas, decodeExtents(d))
+	}
+	return r
+}
+
+// AllocRequest is the client's Ralloc message.
+type AllocRequest struct {
+	Name       string
+	Size       uint64
+	StripeUnit uint64
+	// StripeWidth caps how many servers the region spreads over; zero
+	// means all alive servers.
+	StripeWidth int
+	// Replicas is the number of additional copies (zero for none).
+	Replicas int
+}
+
+// Encode marshals the request.
+func (a *AllocRequest) Encode(e *rpc.Encoder) {
+	e.String(a.Name)
+	e.U64(a.Size)
+	e.U64(a.StripeUnit)
+	e.U32(uint32(a.StripeWidth))
+	e.U32(uint32(a.Replicas))
+}
+
+// DecodeAllocRequest unmarshals an AllocRequest.
+func DecodeAllocRequest(d *rpc.Decoder) AllocRequest {
+	return AllocRequest{
+		Name:        d.String(),
+		Size:        d.U64(),
+		StripeUnit:  d.U64(),
+		StripeWidth: int(d.U32()),
+		Replicas:    int(d.U32()),
+	}
+}
+
+// ServerInfo describes one memory server in cluster status responses.
+type ServerInfo struct {
+	Node     simnet.NodeID
+	Capacity uint64
+	Used     uint64
+	Alive    bool
+}
+
+// Encode marshals the server info.
+func (s *ServerInfo) Encode(e *rpc.Encoder) {
+	e.I64(int64(s.Node))
+	e.U64(s.Capacity)
+	e.U64(s.Used)
+	e.Bool(s.Alive)
+}
+
+// DecodeServerInfo unmarshals a ServerInfo.
+func DecodeServerInfo(d *rpc.Decoder) ServerInfo {
+	return ServerInfo{
+		Node:     simnet.NodeID(d.I64()),
+		Capacity: d.U64(),
+		Used:     d.U64(),
+		Alive:    d.Bool(),
+	}
+}

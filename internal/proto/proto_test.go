@@ -1,0 +1,319 @@
+package proto
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+func TestExtentSizes(t *testing.T) {
+	tests := []struct {
+		name   string
+		size   uint64
+		stripe uint64
+		width  int
+		want   []uint64
+	}{
+		{"even split", 400, 100, 4, []uint64{100, 100, 100, 100}},
+		{"uneven units", 500, 100, 4, []uint64{200, 100, 100, 100}},
+		// 450 = 4 full units + 50; the partial unit is global unit 4,
+		// which lands on extent 4 % 4 = 0.
+		{"partial tail wraps to k=0", 450, 100, 4, []uint64{150, 100, 100, 100}},
+		{"single server", 450, 100, 1, []uint64{450}},
+		{"region smaller than stripe", 30, 100, 4, []uint64{30, 0, 0, 0}},
+		{"zero size", 0, 100, 3, []uint64{0, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ExtentSizes(tt.size, tt.stripe, tt.width)
+			if err != nil {
+				t.Fatalf("ExtentSizes: %v", err)
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("ExtentSizes = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExtentSizesErrors(t *testing.T) {
+	if _, err := ExtentSizes(100, 0, 2); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("zero stripe: %v", err)
+	}
+	if _, err := ExtentSizes(100, 10, 0); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("zero width: %v", err)
+	}
+}
+
+// TestExtentSizesConserveBytes: total of extents == region size, always.
+func TestExtentSizesConserveBytes(t *testing.T) {
+	fn := func(sizeRaw uint32, stripeRaw uint16, widthRaw uint8) bool {
+		size := uint64(sizeRaw)
+		stripe := uint64(stripeRaw)%4096 + 1
+		width := int(widthRaw)%12 + 1
+		sizes, err := ExtentSizes(size, stripe, width)
+		if err != nil {
+			return false
+		}
+		var total uint64
+		for _, s := range sizes {
+			total += s
+		}
+		return total == size
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildRegion creates a striped region over the given widths for testing
+// translation.
+func buildRegion(size, stripe uint64, width int) *RegionInfo {
+	sizes, err := ExtentSizes(size, stripe, width)
+	if err != nil {
+		panic(err)
+	}
+	r := &RegionInfo{ID: 1, Name: "t", Size: size, StripeUnit: stripe}
+	for k, sz := range sizes {
+		r.Extents = append(r.Extents, Extent{
+			Server: simnet.NodeID(k),
+			RKey:   uint32(100 + k),
+			Addr:   uint64(k) * 1 << 20, // arbitrary distinct bases
+			Len:    sz,
+		})
+	}
+	return r
+}
+
+func TestFragmentsSingleStripeUnit(t *testing.T) {
+	r := buildRegion(400, 100, 4)
+	frags, err := r.Fragments(0, 50)
+	if err != nil {
+		t.Fatalf("Fragments: %v", err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d, want 1", len(frags))
+	}
+	f := frags[0]
+	if f.Server != 0 || f.Addr != 0 || f.Len != 50 || f.BufOff != 0 {
+		t.Errorf("fragment = %+v", f)
+	}
+}
+
+func TestFragmentsCrossStripe(t *testing.T) {
+	r := buildRegion(400, 100, 4)
+	// [150, 250): 50 bytes in unit 1 (server 1) + 50 bytes in unit 2 (server 2).
+	frags, err := r.Fragments(150, 100)
+	if err != nil {
+		t.Fatalf("Fragments: %v", err)
+	}
+	if len(frags) != 2 {
+		t.Fatalf("fragments = %+v, want 2", frags)
+	}
+	if frags[0].Server != 1 || frags[0].Addr != r.Extents[1].Addr+50 || frags[0].Len != 50 || frags[0].BufOff != 0 {
+		t.Errorf("frag0 = %+v", frags[0])
+	}
+	if frags[1].Server != 2 || frags[1].Addr != r.Extents[2].Addr || frags[1].Len != 50 || frags[1].BufOff != 50 {
+		t.Errorf("frag1 = %+v", frags[1])
+	}
+}
+
+func TestFragmentsWrapAround(t *testing.T) {
+	r := buildRegion(800, 100, 4)
+	// Unit 5 is server 1 at unit-index 1.
+	frags, err := r.Fragments(500, 100)
+	if err != nil {
+		t.Fatalf("Fragments: %v", err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %+v", frags)
+	}
+	if frags[0].Server != 1 || frags[0].Addr != r.Extents[1].Addr+100 {
+		t.Errorf("frag = %+v", frags[0])
+	}
+}
+
+func TestFragmentsCoalesceSingleServer(t *testing.T) {
+	r := buildRegion(1000, 100, 1)
+	frags, err := r.Fragments(50, 600)
+	if err != nil {
+		t.Fatalf("Fragments: %v", err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("single-server region should coalesce: %+v", frags)
+	}
+	if frags[0].Len != 600 || frags[0].Addr != r.Extents[0].Addr+50 {
+		t.Errorf("frag = %+v", frags[0])
+	}
+}
+
+func TestFragmentsErrors(t *testing.T) {
+	r := buildRegion(400, 100, 4)
+	if _, err := r.Fragments(300, 200); !errors.Is(err, ErrBadRange) {
+		t.Errorf("past end: %v", err)
+	}
+	if _, err := r.Fragments(401, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("offset past end: %v", err)
+	}
+	if _, err := r.Fragments(0, -1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("negative len: %v", err)
+	}
+	frags, err := r.Fragments(100, 0)
+	if err != nil || frags != nil {
+		t.Errorf("zero len = %v, %v", frags, err)
+	}
+}
+
+// TestFragmentsPartitionProperty: for random ranges, fragments tile the
+// buffer exactly (no gaps, no overlaps, correct total), and every fragment
+// lies inside its extent.
+func TestFragmentsPartitionProperty(t *testing.T) {
+	fn := func(sizeRaw uint16, stripeRaw uint8, widthRaw uint8, offRaw, lenRaw uint16) bool {
+		size := uint64(sizeRaw)%100000 + 1
+		stripe := uint64(stripeRaw)%512 + 1
+		width := int(widthRaw)%8 + 1
+		r := buildRegion(size, stripe, width)
+		off := uint64(offRaw) % size
+		n := int(uint64(lenRaw) % (size - off + 1))
+		frags, err := r.Fragments(off, n)
+		if err != nil {
+			return false
+		}
+		total := 0
+		next := 0
+		for _, f := range frags {
+			if f.BufOff != next {
+				return false
+			}
+			if f.Len <= 0 {
+				return false
+			}
+			ext := r.Extents[f.Server]
+			if f.Addr < ext.Addr || f.Addr+uint64(f.Len) > ext.Addr+ext.Len {
+				return false
+			}
+			next += f.Len
+			total += f.Len
+		}
+		return total == n
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFragmentsBijectionProperty: distinct region offsets map to distinct
+// (server, addr) pairs — the layout never aliases two bytes to one slot.
+func TestFragmentsBijectionProperty(t *testing.T) {
+	r := buildRegion(997, 64, 3) // deliberately non-round size
+	seen := make(map[[2]uint64]uint64)
+	for off := uint64(0); off < r.Size; off++ {
+		frags, err := r.Fragments(off, 1)
+		if err != nil {
+			t.Fatalf("Fragments(%d): %v", off, err)
+		}
+		if len(frags) != 1 {
+			t.Fatalf("Fragments(%d) = %+v", off, frags)
+		}
+		key := [2]uint64{uint64(frags[0].Server), frags[0].Addr}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("offsets %d and %d both map to %v", prev, off, key)
+		}
+		seen[key] = off
+	}
+}
+
+func TestRegionInfoCodec(t *testing.T) {
+	r := &RegionInfo{
+		ID:         42,
+		Name:       "graph/edges",
+		Size:       1 << 30,
+		StripeUnit: 1 << 20,
+		Extents: []Extent{
+			{Server: 1, RKey: 10, Addr: 0, Len: 512 << 20},
+			{Server: 2, RKey: 11, Addr: 4096, Len: 512 << 20},
+		},
+		Replicas: [][]Extent{
+			{
+				{Server: 3, RKey: 12, Addr: 0, Len: 512 << 20},
+				{Server: 4, RKey: 13, Addr: 0, Len: 512 << 20},
+			},
+		},
+	}
+	var e rpc.Encoder
+	EncodeRegionInfo(&e, r)
+	d := rpc.NewDecoder(e.Bytes())
+	got := DecodeRegionInfo(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestAllocRequestCodec(t *testing.T) {
+	a := AllocRequest{Name: "x", Size: 100, StripeUnit: 10, StripeWidth: 3, Replicas: 2}
+	var e rpc.Encoder
+	a.Encode(&e)
+	d := rpc.NewDecoder(e.Bytes())
+	got := DecodeAllocRequest(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != a {
+		t.Errorf("round trip = %+v, want %+v", got, a)
+	}
+}
+
+func TestServerInfoCodec(t *testing.T) {
+	s := ServerInfo{Node: 7, Capacity: 1 << 30, Used: 123, Alive: true}
+	var e rpc.Encoder
+	s.Encode(&e)
+	d := rpc.NewDecoder(e.Bytes())
+	got := DecodeServerInfo(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != s {
+		t.Errorf("round trip = %+v, want %+v", got, s)
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := buildRegion(400, 100, 4)
+	if got := r.HomeServer(); got != 0 {
+		t.Errorf("HomeServer = %v", got)
+	}
+	if got := r.Servers(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("Servers = %v", got)
+	}
+	empty := &RegionInfo{}
+	if got := empty.HomeServer(); got != -1 {
+		t.Errorf("empty HomeServer = %v", got)
+	}
+}
+
+func TestReplicaFragments(t *testing.T) {
+	r := buildRegion(400, 100, 2)
+	r.Replicas = [][]Extent{{
+		{Server: 5, RKey: 50, Addr: 1000, Len: 200},
+		{Server: 6, RKey: 60, Addr: 2000, Len: 200},
+	}}
+	// [150, 250): tail of unit 1 (extent 1 → server 6) then head of unit 2
+	// (extent 0 at unit-index 1 → server 5, addr 1000+100).
+	frags, err := r.ReplicaFragments(0, 150, 100)
+	if err != nil {
+		t.Fatalf("ReplicaFragments: %v", err)
+	}
+	if len(frags) != 2 || frags[0].Server != 6 || frags[0].Addr != 2050 || frags[1].Server != 5 || frags[1].Addr != 1100 {
+		t.Errorf("frags = %+v", frags)
+	}
+	if _, err := r.ReplicaFragments(1, 0, 10); !errors.Is(err, ErrBadRange) {
+		t.Errorf("bad replica index: %v", err)
+	}
+}

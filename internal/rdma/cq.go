@@ -1,0 +1,142 @@
+package rdma
+
+import (
+	"context"
+	"fmt"
+
+	"rstore/internal/simnet"
+)
+
+// OpCode identifies the verb an entry completes.
+type OpCode uint8
+
+// Work request opcodes.
+const (
+	OpSend OpCode = iota + 1
+	OpRecv
+	OpWrite
+	OpWriteImm
+	OpRead
+	OpFetchAdd
+	OpCmpSwap
+)
+
+// String names the opcode.
+func (o OpCode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpRead:
+		return "READ"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	case OpCmpSwap:
+		return "CMP_SWAP"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Status is a completion status, mirroring verbs WC status semantics.
+type Status uint8
+
+// Completion statuses.
+const (
+	StatusSuccess Status = iota
+	StatusLocalError
+	StatusRemoteAccessError
+	StatusRetryExceeded
+	StatusFlushed
+	StatusRNRTimeout
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusLocalError:
+		return "local-error"
+	case StatusRemoteAccessError:
+		return "remote-access-error"
+	case StatusRetryExceeded:
+		return "retry-exceeded"
+	case StatusFlushed:
+		return "flushed"
+	case StatusRNRTimeout:
+		return "rnr-timeout"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// WC is a work completion.
+type WC struct {
+	WRID    uint64
+	Op      OpCode
+	Status  Status
+	Err     error // nil iff Status == StatusSuccess
+	ByteLen int
+	// Imm carries the immediate value of a SEND/WRITE_WITH_IMM, valid when
+	// HasImm is true (receive side only).
+	Imm    uint32
+	HasImm bool
+	// Old carries the prior value of the target word for atomics.
+	Old uint64
+	// PostedV and DoneV are the modeled virtual times at which the work
+	// request was issued and completed.
+	PostedV simnet.VTime
+	DoneV   simnet.VTime
+}
+
+// Latency returns the modeled service time of the operation.
+func (w WC) Latency() simnet.VTime { return w.DoneV - w.PostedV }
+
+// CQ is a completion queue. Producers block when the queue is full
+// (back-pressure rather than hardware-style fatal overflow).
+type CQ struct {
+	ch chan WC
+}
+
+// NewCQ creates a completion queue of the given depth.
+func NewCQ(depth int) *CQ {
+	if depth <= 0 {
+		depth = 1024
+	}
+	return &CQ{ch: make(chan WC, depth)}
+}
+
+func (c *CQ) push(wc WC) { c.ch <- wc }
+
+// Poll drains up to max entries without blocking.
+func (c *CQ) Poll(max int) []WC {
+	var out []WC
+	for len(out) < max {
+		select {
+		case wc := <-c.ch:
+			out = append(out, wc)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Next blocks for the next completion or until the context is done.
+func (c *CQ) Next(ctx context.Context) (WC, error) {
+	select {
+	case wc := <-c.ch:
+		return wc, nil
+	case <-ctx.Done():
+		return WC{}, ctx.Err()
+	}
+}
+
+// Len reports how many completions are queued.
+func (c *CQ) Len() int { return len(c.ch) }

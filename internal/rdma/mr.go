@@ -1,0 +1,192 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+
+	"rstore/internal/simnet"
+)
+
+// Access is the set of permissions granted on a registered memory region.
+type Access uint8
+
+// Access flag bits. LocalWrite permits the region to be the destination of
+// local receives and READ responses; the Remote* bits gate one-sided access
+// by connected peers.
+const (
+	AccessLocalWrite Access = 1 << iota
+	AccessRemoteRead
+	AccessRemoteWrite
+	AccessRemoteAtomic
+)
+
+// Has reports whether all bits in want are granted.
+func (a Access) Has(want Access) bool { return a&want == want }
+
+// String renders the access bits, e.g. "lw|rr|rw".
+func (a Access) String() string {
+	s := ""
+	add := func(bit Access, name string) {
+		if a.Has(bit) {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(AccessLocalWrite, "lw")
+	add(AccessRemoteRead, "rr")
+	add(AccessRemoteWrite, "rw")
+	add(AccessRemoteAtomic, "ra")
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+// Device is a node's RDMA NIC. It owns the node's registered memory table
+// and is the factory for protection domains, completion queues, and
+// connections.
+type Device struct {
+	net  *Network
+	node simnet.NodeID
+
+	mu      sync.Mutex
+	closed  bool
+	nextKey uint32
+	mrs     map[uint32]*MemoryRegion
+}
+
+// Node returns the fabric node this device is attached to.
+func (d *Device) Node() simnet.NodeID { return d.node }
+
+// Network returns the owning verbs network.
+func (d *Device) Network() *Network { return d.net }
+
+// Costs returns the device's CPU-overhead model.
+func (d *Device) Costs() Costs { return d.net.costs }
+
+// Close marks the device unusable for new registrations and connections.
+func (d *Device) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+}
+
+// AllocPD creates a protection domain on the device.
+func (d *Device) AllocPD() *PD {
+	return &PD{dev: d}
+}
+
+// PD is a protection domain: memory regions and queue pairs grouped so
+// that an rkey is only honored on QPs of the same domain.
+type PD struct {
+	dev *Device
+}
+
+// Device returns the owning device.
+func (p *PD) Device() *Device { return p.dev }
+
+// MemoryRegion is a registered buffer. The region's rkey names it to remote
+// peers; access flags bound what those peers may do.
+type MemoryRegion struct {
+	pd     *PD
+	buf    []byte
+	rkey   uint32
+	access Access
+
+	mu           sync.Mutex
+	deregistered bool
+}
+
+// RegisterMemory registers buf into the protection domain with the given
+// access and returns the region. The buffer is used in place (zero copy):
+// the caller must not free or shrink it while registered.
+func (p *PD) RegisterMemory(buf []byte, access Access) (*MemoryRegion, error) {
+	d := p.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("register memory: %w", ErrDeviceClosed)
+	}
+	mr := &MemoryRegion{
+		pd:     p,
+		buf:    buf,
+		rkey:   d.nextKey,
+		access: access,
+	}
+	d.nextKey++
+	d.mrs[mr.rkey] = mr
+	return mr, nil
+}
+
+// RKey returns the remote key naming this region to peers.
+func (m *MemoryRegion) RKey() uint32 { return m.rkey }
+
+// Len returns the registered length in bytes.
+func (m *MemoryRegion) Len() int { return len(m.buf) }
+
+// Access returns the region's access flags.
+func (m *MemoryRegion) Access() Access { return m.access }
+
+// Bytes returns the registered buffer. Local code may read and write it
+// directly; that is the "memory-like" access the paper's API builds on.
+func (m *MemoryRegion) Bytes() []byte { return m.buf }
+
+// Deregister removes the region from the device's rkey table. In-flight
+// remote operations that already resolved the region complete; new ones
+// fail with ErrBadRKey.
+func (m *MemoryRegion) Deregister() {
+	m.mu.Lock()
+	m.deregistered = true
+	m.mu.Unlock()
+	d := m.pd.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.mrs, m.rkey)
+}
+
+// slice bounds-checks and returns the [off, off+n) window of the region.
+func (m *MemoryRegion) slice(off uint64, n int) ([]byte, error) {
+	if n < 0 || off > uint64(len(m.buf)) || uint64(n) > uint64(len(m.buf))-off {
+		return nil, fmt.Errorf("%w: off=%d len=%d region=%d", ErrBounds, off, n, len(m.buf))
+	}
+	return m.buf[off : off+uint64(n)], nil
+}
+
+// lookupMR resolves an rkey on this device, checking the required access
+// and protection-domain identity.
+func (d *Device) lookupMR(rkey uint32, pd *PD, need Access) (*MemoryRegion, error) {
+	d.mu.Lock()
+	mr, ok := d.mrs[rkey]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d on %v", ErrBadRKey, rkey, d.node)
+	}
+	if pd != nil && mr.pd != pd {
+		return nil, fmt.Errorf("%w: rkey %d", ErrPDMismatch, rkey)
+	}
+	if !mr.access.Has(need) {
+		return nil, fmt.Errorf("%w: rkey %d has %v, need %v", ErrBadAccess, rkey, mr.access, need)
+	}
+	return mr, nil
+}
+
+// SGE is a scatter/gather element: a window into a locally registered
+// region used as the local side of a work request.
+type SGE struct {
+	MR     *MemoryRegion
+	Offset uint64
+	Len    int
+}
+
+// buf bounds-checks the element against its region and the QP's domain.
+func (s SGE) buf(pd *PD) ([]byte, error) {
+	if s.MR == nil {
+		return nil, fmt.Errorf("sge: %w: nil memory region", ErrBadAccess)
+	}
+	if s.MR.pd != pd {
+		return nil, fmt.Errorf("sge: %w", ErrPDMismatch)
+	}
+	return s.MR.slice(s.Offset, s.Len)
+}

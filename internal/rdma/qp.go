@@ -1,0 +1,640 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rstore/internal/simnet"
+)
+
+// QPState is the lifecycle state of a queue pair.
+type QPState uint8
+
+// Queue pair states.
+const (
+	QPReady QPState = iota + 1
+	QPError
+	QPClosed
+)
+
+// String names the state.
+func (s QPState) String() string {
+	switch s {
+	case QPReady:
+		return "ready"
+	case QPError:
+		return "error"
+	case QPClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// SendWR is a work request posted to the send queue.
+type SendWR struct {
+	WRID uint64
+	Op   OpCode
+
+	// Local is the local buffer: payload source for SEND/WRITE, destination
+	// for READ, and the 8-byte result buffer for atomics.
+	Local SGE
+
+	// RemoteKey and RemoteAddr name the target window for one-sided ops.
+	// RemoteAddr is a byte offset within the remote region.
+	RemoteKey  uint32
+	RemoteAddr uint64
+
+	// Imm is delivered to the responder's receive completion for
+	// OpWriteImm, and for OpSend when HasImm is set.
+	Imm    uint32
+	HasImm bool
+
+	// Add is the FETCH_ADD operand; Compare and Swap drive CMP_SWAP.
+	Add     uint64
+	Compare uint64
+	Swap    uint64
+
+	// StartV is the virtual time at which the request is considered
+	// posted. Zero means "as soon as the NIC is free", i.e. immediately
+	// after the previous request on this QP.
+	StartV simnet.VTime
+}
+
+// RecvWR is a work request posted to the receive queue.
+type RecvWR struct {
+	WRID  uint64
+	Local SGE
+}
+
+type postedRecv struct {
+	wr  RecvWR
+	buf []byte
+}
+
+// QPStats counts per-QP traffic, used by the benchmark harness.
+type QPStats struct {
+	SendOps    int64
+	SendBytes  int64
+	RecvOps    int64
+	OneSided   int64
+	Atomics    int64
+	Errors     int64
+	LastDoneV  simnet.VTime
+	FirstPostV simnet.VTime
+}
+
+// QP is a reliable connected queue pair. Send work requests are executed
+// strictly in order by a dedicated worker; one-sided operations touch the
+// peer's registered memory directly with no peer-side goroutine involved.
+type QP struct {
+	dev     *Device
+	pd      *PD
+	sendCQ  *CQ
+	recvCQ  *CQ
+	service string
+
+	sendCh chan SendWR
+	recvCh chan postedRecv
+
+	mu    sync.Mutex
+	state QPState
+	vnow  simnet.VTime
+	stats QPStats
+
+	peer     *QP
+	initialV simnet.VTime
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newQP(dev *Device, pd *PD, service string, sendDepth, recvDepth int) *QP {
+	if sendDepth <= 0 {
+		sendDepth = 256
+	}
+	if recvDepth <= 0 {
+		recvDepth = 1024
+	}
+	return &QP{
+		// A new QP joins the fabric's virtual timeline at its creation
+		// frontier rather than at zero, so it does not appear to queue
+		// behind traffic that finished before it existed.
+		initialV: dev.net.fabric.VNow(),
+		dev:      dev,
+		pd:       pd,
+		sendCQ:   NewCQ(sendDepth * 4),
+		recvCQ:   NewCQ(recvDepth * 4),
+		service:  service,
+		sendCh:   make(chan SendWR, sendDepth),
+		recvCh:   make(chan postedRecv, recvDepth),
+		state:    QPReady,
+		stopped:  make(chan struct{}),
+	}
+}
+
+func (q *QP) start() {
+	q.wg.Add(1)
+	go q.worker()
+}
+
+// Device returns the local device.
+func (q *QP) Device() *Device { return q.dev }
+
+// PD returns the protection domain the QP validates rkeys against.
+func (q *QP) PD() *PD { return q.pd }
+
+// SendCQ returns the completion queue for send-side work.
+func (q *QP) SendCQ() *CQ { return q.sendCQ }
+
+// RecvCQ returns the completion queue for receive-side work.
+func (q *QP) RecvCQ() *CQ { return q.recvCQ }
+
+// RemoteNode returns the fabric node of the connected peer.
+func (q *QP) RemoteNode() simnet.NodeID {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.peer == nil {
+		return -1
+	}
+	return q.peer.dev.node
+}
+
+// State returns the current lifecycle state.
+func (q *QP) State() QPState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.state
+}
+
+// VNow returns the QP's virtual-time cursor: the modeled completion time of
+// the most recent operation.
+func (q *QP) VNow() simnet.VTime {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.vnow
+}
+
+// Stats returns a snapshot of the QP's counters.
+func (q *QP) Stats() QPStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+func (q *QP) advanceVNow(v simnet.VTime) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.vnow = maxVT(q.vnow, v)
+	q.stats.LastDoneV = maxVT(q.stats.LastDoneV, v)
+}
+
+func maxVT(a, b simnet.VTime) simnet.VTime {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (q *QP) setError() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.state == QPReady {
+		q.state = QPError
+	}
+	q.stats.Errors++
+}
+
+// PostSend queues a send-side work request. It blocks if the send queue is
+// full (back-pressure) and fails fast if the QP is not ready or the request
+// is locally malformed.
+func (q *QP) PostSend(wr SendWR) error {
+	if st := q.State(); st != QPReady {
+		return fmt.Errorf("post send: %w: %v", ErrQPState, st)
+	}
+	if err := q.validateSend(&wr); err != nil {
+		return fmt.Errorf("post send: %w", err)
+	}
+	select {
+	case q.sendCh <- wr:
+		return nil
+	case <-q.stopped:
+		return fmt.Errorf("post send: %w: %v", ErrQPState, QPClosed)
+	}
+}
+
+func (q *QP) validateSend(wr *SendWR) error {
+	switch wr.Op {
+	case OpSend, OpWrite, OpWriteImm, OpRead:
+		if _, err := wr.Local.buf(q.pd); err != nil {
+			return err
+		}
+		if wr.Op == OpRead && !wr.Local.MR.access.Has(AccessLocalWrite) {
+			return fmt.Errorf("%w: READ destination lacks local-write", ErrBadAccess)
+		}
+	case OpFetchAdd, OpCmpSwap:
+		if wr.Local.Len != 8 {
+			return fmt.Errorf("%w: atomic result buffer must be 8 bytes", ErrBounds)
+		}
+		if _, err := wr.Local.buf(q.pd); err != nil {
+			return err
+		}
+		if !wr.Local.MR.access.Has(AccessLocalWrite) {
+			return fmt.Errorf("%w: atomic result buffer lacks local-write", ErrBadAccess)
+		}
+		if wr.RemoteAddr%8 != 0 {
+			return ErrUnaligned
+		}
+	default:
+		return fmt.Errorf("%w: bad opcode %v", ErrBadAccess, wr.Op)
+	}
+	return nil
+}
+
+// PostRecv queues a receive buffer for incoming SEND (and the completion of
+// WRITE_WITH_IMM). It never blocks: a full receive queue is an error.
+func (q *QP) PostRecv(wr RecvWR) error {
+	if st := q.State(); st != QPReady {
+		return fmt.Errorf("post recv: %w: %v", ErrQPState, st)
+	}
+	buf, err := wr.Local.buf(q.pd)
+	if err != nil {
+		// Zero-length receives (for WRITE_WITH_IMM doorbells) are allowed
+		// with a nil region.
+		if wr.Local.MR != nil || wr.Local.Len != 0 {
+			return fmt.Errorf("post recv: %w", err)
+		}
+		buf = nil
+	}
+	if wr.Local.MR != nil && !wr.Local.MR.access.Has(AccessLocalWrite) {
+		return fmt.Errorf("post recv: %w: buffer lacks local-write", ErrBadAccess)
+	}
+	select {
+	case q.recvCh <- postedRecv{wr: wr, buf: buf}:
+		return nil
+	default:
+		return fmt.Errorf("post recv: %w", ErrRecvQueueFull)
+	}
+}
+
+// Close tears the QP down. Pending and future work requests complete with
+// StatusFlushed. Close is idempotent and waits for the worker to drain.
+func (q *QP) Close() {
+	q.mu.Lock()
+	if q.state == QPClosed {
+		q.mu.Unlock()
+		return
+	}
+	q.state = QPClosed
+	q.mu.Unlock()
+	close(q.stopped)
+	q.wg.Wait()
+}
+
+// worker executes send work requests in order.
+func (q *QP) worker() {
+	defer q.wg.Done()
+	vcursor := q.initialV
+	for {
+		select {
+		case wr := <-q.sendCh:
+			vcursor = q.execute(wr, vcursor)
+		case <-q.stopped:
+			q.flush()
+			return
+		}
+	}
+}
+
+// flush drains both queues with StatusFlushed completions.
+func (q *QP) flush() {
+	for {
+		select {
+		case wr := <-q.sendCh:
+			q.complete(WC{WRID: wr.WRID, Op: wr.Op, Status: StatusFlushed, Err: fmt.Errorf("%w: flushed", ErrQPState)})
+		default:
+			goto recvs
+		}
+	}
+recvs:
+	for {
+		select {
+		case pr := <-q.recvCh:
+			q.recvCQ.push(WC{WRID: pr.wr.WRID, Op: OpRecv, Status: StatusFlushed, Err: fmt.Errorf("%w: flushed", ErrQPState)})
+		default:
+			return
+		}
+	}
+}
+
+func (q *QP) complete(wc WC) {
+	if wc.Err != nil && wc.Status == StatusSuccess {
+		wc.Status = StatusLocalError
+	}
+	q.sendCQ.push(wc)
+	q.advanceVNow(wc.DoneV)
+}
+
+// failOp records an errored operation, moves the QP to the error state, and
+// completes the WR with the given status.
+func (q *QP) failOp(wr SendWR, issue simnet.VTime, status Status, err error) simnet.VTime {
+	q.setError()
+	q.complete(WC{
+		WRID:    wr.WRID,
+		Op:      wr.Op,
+		Status:  status,
+		Err:     err,
+		PostedV: issue,
+		DoneV:   issue,
+	})
+	return issue
+}
+
+// execute runs one work request and returns the updated NIC-time cursor.
+//
+// Virtual-time semantics: a request with StartV == 0 issues at its QP's
+// previous completion (reliable-connected ordering; a fresh QP starts at
+// the fabric frontier captured at creation). An explicit StartV pins the
+// issue no earlier than that point, used to chain cross-actor causality
+// (e.g. an RPC response departs after the request arrived).
+func (q *QP) execute(wr SendWR, vcursor simnet.VTime) simnet.VTime {
+	costs := q.dev.Costs()
+	issue := maxVT(wr.StartV, vcursor)
+	wireStart := issue.Add(costs.PostOp)
+
+	q.mu.Lock()
+	peer := q.peer
+	if q.stats.FirstPostV == 0 {
+		q.stats.FirstPostV = issue
+	}
+	q.stats.SendOps++
+	q.stats.SendBytes += int64(wr.Local.Len)
+	state := q.state
+	q.mu.Unlock()
+
+	if state != QPReady {
+		q.complete(WC{WRID: wr.WRID, Op: wr.Op, Status: StatusFlushed, Err: fmt.Errorf("%w: %v", ErrQPState, state), PostedV: issue, DoneV: issue})
+		return vcursor
+	}
+	if peer == nil || peer.State() == QPClosed {
+		q.failOp(wr, issue, StatusRetryExceeded, fmt.Errorf("%w: peer gone", ErrQPState))
+		return vcursor
+	}
+
+	var (
+		done simnet.VTime
+		err  error
+	)
+	switch wr.Op {
+	case OpSend:
+		done, err = q.execSend(wr, peer, wireStart)
+	case OpWrite, OpWriteImm:
+		done, err = q.execWrite(wr, peer, wireStart)
+	case OpRead:
+		done, err = q.execRead(wr, peer, wireStart)
+	case OpFetchAdd, OpCmpSwap:
+		done, err = q.execAtomic(wr, peer, wireStart)
+	default:
+		err = fmt.Errorf("%w: opcode %v", ErrBadAccess, wr.Op)
+	}
+	if err != nil {
+		status := classify(err)
+		q.failOp(wr, issue, status, err)
+		return maxVT(vcursor, done)
+	}
+
+	wc := WC{
+		WRID:    wr.WRID,
+		Op:      wr.Op,
+		Status:  StatusSuccess,
+		ByteLen: wr.Local.Len,
+		PostedV: issue,
+		DoneV:   done,
+	}
+	if wr.Op == OpFetchAdd || wr.Op == OpCmpSwap {
+		wc.Old = binary.LittleEndian.Uint64(q.mustLocal(wr))
+	}
+	q.complete(wc)
+	// Reliable-connected ordering: the next request issues no earlier than
+	// this one completed.
+	return maxVT(vcursor, done)
+}
+
+// classify maps an execution error to a completion status.
+func classify(err error) Status {
+	switch {
+	case isAny(err, ErrBadRKey, ErrBadAccess, ErrBounds, ErrPDMismatch, ErrRecvTooSmall, ErrUnaligned):
+		return StatusRemoteAccessError
+	case isAny(err, ErrTimeout):
+		return StatusRNRTimeout
+	default:
+		return StatusRetryExceeded
+	}
+}
+
+func isAny(err error, targets ...error) bool {
+	for _, t := range targets {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// mustLocal returns the local window; validation already ran at post time.
+func (q *QP) mustLocal(wr SendWR) []byte {
+	buf, err := wr.Local.buf(q.pd)
+	if err != nil {
+		return nil
+	}
+	return buf
+}
+
+// wire models a round trip: payload-sized transfer out, header-sized
+// acknowledgement back (or the reverse for READ).
+func (q *QP) wire(peer *QP, outBytes, backBytes int, start simnet.VTime) (simnet.VTime, error) {
+	f := q.dev.net.fabric
+	t1, err := f.Transfer(q.dev.node, peer.dev.node, outBytes, start)
+	if err != nil {
+		return start, fmt.Errorf("wire: %w", err)
+	}
+	t2, err := f.Transfer(peer.dev.node, q.dev.node, backBytes, t1)
+	if err != nil {
+		return t1, fmt.Errorf("wire ack: %w", err)
+	}
+	return t2, nil
+}
+
+func (q *QP) execWrite(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, error) {
+	src := q.mustLocal(wr)
+	mr, err := peer.dev.lookupMR(wr.RemoteKey, peer.pd, AccessRemoteWrite)
+	if err != nil {
+		return start, err
+	}
+	dst, err := mr.slice(wr.RemoteAddr, len(src))
+	if err != nil {
+		return start, err
+	}
+	hdr := q.dev.Costs().HeaderBytes
+	done, err := q.wire(peer, len(src)+hdr, hdr, start)
+	if err != nil {
+		return done, err
+	}
+	q.dev.net.copyMu.Lock()
+	copy(dst, src)
+	q.dev.net.copyMu.Unlock()
+	q.mu.Lock()
+	q.stats.OneSided++
+	q.mu.Unlock()
+
+	if wr.Op == OpWriteImm {
+		// WRITE_WITH_IMM consumes a receive at the responder and raises a
+		// completion there carrying the immediate.
+		pr, err := peer.takeRecv(q.dev.Costs().RNRTimeout)
+		if err != nil {
+			return done, err
+		}
+		arrive := done - simnet.VTime(q.dev.net.fabric.Params().PropDelay)
+		peer.recvCQ.push(WC{
+			WRID:    pr.wr.WRID,
+			Op:      OpRecv,
+			Status:  StatusSuccess,
+			ByteLen: len(src),
+			Imm:     wr.Imm,
+			HasImm:  true,
+			PostedV: start,
+			DoneV:   arrive,
+		})
+		peer.advanceVNow(arrive)
+		peer.mu.Lock()
+		peer.stats.RecvOps++
+		peer.mu.Unlock()
+	}
+	return done, nil
+}
+
+func (q *QP) execRead(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, error) {
+	dst := q.mustLocal(wr)
+	mr, err := peer.dev.lookupMR(wr.RemoteKey, peer.pd, AccessRemoteRead)
+	if err != nil {
+		return start, err
+	}
+	src, err := mr.slice(wr.RemoteAddr, len(dst))
+	if err != nil {
+		return start, err
+	}
+	hdr := q.dev.Costs().HeaderBytes
+	f := q.dev.net.fabric
+	// Request header out, data back.
+	t1, err := f.Transfer(q.dev.node, peer.dev.node, hdr, start)
+	if err != nil {
+		return start, fmt.Errorf("read request: %w", err)
+	}
+	done, err := f.Transfer(peer.dev.node, q.dev.node, len(dst)+hdr, t1)
+	if err != nil {
+		return t1, fmt.Errorf("read response: %w", err)
+	}
+	q.dev.net.copyMu.Lock()
+	copy(dst, src)
+	q.dev.net.copyMu.Unlock()
+	q.mu.Lock()
+	q.stats.OneSided++
+	q.mu.Unlock()
+	return done, nil
+}
+
+func (q *QP) execSend(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, error) {
+	src := q.mustLocal(wr)
+	pr, err := peer.takeRecv(q.dev.Costs().RNRTimeout)
+	if err != nil {
+		return start, err
+	}
+	if len(pr.buf) < len(src) {
+		peer.recvCQ.push(WC{WRID: pr.wr.WRID, Op: OpRecv, Status: StatusRemoteAccessError, Err: ErrRecvTooSmall, PostedV: start, DoneV: start})
+		return start, fmt.Errorf("%w: send %d into recv %d", ErrRecvTooSmall, len(src), len(pr.buf))
+	}
+	hdr := q.dev.Costs().HeaderBytes
+	done, err := q.wire(peer, len(src)+hdr, hdr, start)
+	if err != nil {
+		return done, err
+	}
+	q.dev.net.copyMu.Lock()
+	copy(pr.buf, src)
+	q.dev.net.copyMu.Unlock()
+	arrive := done - simnet.VTime(q.dev.net.fabric.Params().PropDelay)
+	wc := WC{
+		WRID:    pr.wr.WRID,
+		Op:      OpRecv,
+		Status:  StatusSuccess,
+		ByteLen: len(src),
+		PostedV: start,
+		DoneV:   arrive,
+	}
+	if wr.HasImm {
+		wc.Imm, wc.HasImm = wr.Imm, true
+	}
+	peer.recvCQ.push(wc)
+	peer.advanceVNow(arrive)
+	peer.mu.Lock()
+	peer.stats.RecvOps++
+	peer.mu.Unlock()
+	return done, nil
+}
+
+func (q *QP) execAtomic(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, error) {
+	res := q.mustLocal(wr)
+	mr, err := peer.dev.lookupMR(wr.RemoteKey, peer.pd, AccessRemoteAtomic)
+	if err != nil {
+		return start, err
+	}
+	word, err := mr.slice(wr.RemoteAddr, 8)
+	if err != nil {
+		return start, err
+	}
+	hdr := q.dev.Costs().HeaderBytes
+	done, err := q.wire(peer, hdr+16, hdr+8, start)
+	if err != nil {
+		return done, err
+	}
+	// Atomics are linearized with every other copy and atomic in the
+	// network (stronger than the NIC guarantee, which only orders atomics
+	// against atomics — the stronger order keeps the Go runtime's data
+	// model satisfied).
+	q.dev.net.copyMu.Lock()
+	old := binary.LittleEndian.Uint64(word)
+	switch wr.Op {
+	case OpFetchAdd:
+		binary.LittleEndian.PutUint64(word, old+wr.Add)
+	case OpCmpSwap:
+		if old == wr.Compare {
+			binary.LittleEndian.PutUint64(word, wr.Swap)
+		}
+	}
+	q.dev.net.copyMu.Unlock()
+	binary.LittleEndian.PutUint64(res, old)
+	q.mu.Lock()
+	q.stats.Atomics++
+	q.mu.Unlock()
+	return done, nil
+}
+
+// takeRecv pops a posted receive, waiting up to timeout (RNR semantics).
+func (q *QP) takeRecv(timeout time.Duration) (postedRecv, error) {
+	select {
+	case pr := <-q.recvCh:
+		return pr, nil
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case pr := <-q.recvCh:
+		return pr, nil
+	case <-q.stopped:
+		return postedRecv{}, fmt.Errorf("%w: responder closed", ErrQPState)
+	case <-timer.C:
+		return postedRecv{}, fmt.Errorf("%w: no receive posted", ErrTimeout)
+	}
+}

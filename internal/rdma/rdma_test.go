@@ -1,0 +1,777 @@
+package rdma
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rstore/internal/simnet"
+)
+
+// pair is a connected client/server test fixture.
+type pair struct {
+	net       *Network
+	clientDev *Device
+	serverDev *Device
+	client    *QP
+	server    *QP
+	clientPD  *PD
+	serverPD  *PD
+	lis       *Listener
+}
+
+func newPair(t *testing.T) *pair {
+	t.Helper()
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := NewNetwork(f)
+	sd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice(server): %v", err)
+	}
+	lis, err := sd.Listen("svc", nil, ConnOpts{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	cd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice(client): %v", err)
+	}
+	cqp, err := cd.Dial(context.Background(), 1, "svc", nil, ConnOpts{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	sqp, err := lis.Accept(context.Background())
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	p := &pair{
+		net: n, clientDev: cd, serverDev: sd,
+		client: cqp, server: sqp,
+		clientPD: cqp.PD(), serverPD: sqp.PD(),
+		lis: lis,
+	}
+	t.Cleanup(func() {
+		cqp.Close()
+		sqp.Close()
+		lis.Close()
+	})
+	return p
+}
+
+func (p *pair) mustRegister(t *testing.T, pd *PD, n int, access Access) *MemoryRegion {
+	t.Helper()
+	mr, err := pd.RegisterMemory(make([]byte, n), access)
+	if err != nil {
+		t.Fatalf("RegisterMemory: %v", err)
+	}
+	return mr
+}
+
+func pollOne(t *testing.T, cq *CQ) WC {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	wc, err := cq.Next(ctx)
+	if err != nil {
+		t.Fatalf("CQ.Next: %v", err)
+	}
+	return wc
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 4096, AccessRemoteRead|AccessRemoteWrite)
+	local := p.mustRegister(t, p.clientPD, 4096, AccessLocalWrite)
+
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	copy(local.Bytes(), payload)
+
+	if err := p.client.PostSend(SendWR{
+		WRID: 1, Op: OpWrite,
+		Local:     SGE{MR: local, Offset: 0, Len: len(payload)},
+		RemoteKey: remote.RKey(), RemoteAddr: 128,
+	}); err != nil {
+		t.Fatalf("PostSend write: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusSuccess {
+		t.Fatalf("write wc: %v (%v)", wc.Status, wc.Err)
+	}
+	if wc.WRID != 1 || wc.Op != OpWrite {
+		t.Errorf("wc fields: %+v", wc)
+	}
+	if got := remote.Bytes()[128 : 128+len(payload)]; !bytes.Equal(got, payload) {
+		t.Fatalf("remote memory = %q, want %q", got, payload)
+	}
+
+	// Read it back into a different part of the local region.
+	if err := p.client.PostSend(SendWR{
+		WRID: 2, Op: OpRead,
+		Local:     SGE{MR: local, Offset: 1024, Len: len(payload)},
+		RemoteKey: remote.RKey(), RemoteAddr: 128,
+	}); err != nil {
+		t.Fatalf("PostSend read: %v", err)
+	}
+	wc = pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusSuccess {
+		t.Fatalf("read wc: %v (%v)", wc.Status, wc.Err)
+	}
+	if got := local.Bytes()[1024 : 1024+len(payload)]; !bytes.Equal(got, payload) {
+		t.Fatalf("read back %q, want %q", got, payload)
+	}
+}
+
+func TestOneSidedNeedsNoServerGoroutine(t *testing.T) {
+	// The server never polls or posts anything; one-sided ops still work.
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 64, AccessRemoteRead|AccessRemoteWrite)
+	copy(remote.Bytes(), []byte("server-resident data"))
+	local := p.mustRegister(t, p.clientPD, 64, AccessLocalWrite)
+
+	if err := p.client.PostSend(SendWR{
+		WRID: 7, Op: OpRead,
+		Local:     SGE{MR: local, Len: 20},
+		RemoteKey: remote.RKey(),
+	}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusSuccess {
+		t.Fatalf("wc: %v (%v)", wc.Status, wc.Err)
+	}
+	if got := string(local.Bytes()[:20]); got != "server-resident data" {
+		t.Fatalf("read %q", got)
+	}
+	if st := p.server.Stats(); st.SendOps != 0 {
+		t.Errorf("server issued %d sends; one-sided ops must not involve it", st.SendOps)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	p := newPair(t)
+	sendBuf := p.mustRegister(t, p.clientPD, 128, 0)
+	recvBuf := p.mustRegister(t, p.serverPD, 128, AccessLocalWrite)
+
+	if err := p.server.PostRecv(RecvWR{WRID: 9, Local: SGE{MR: recvBuf, Len: 128}}); err != nil {
+		t.Fatalf("PostRecv: %v", err)
+	}
+	msg := []byte("hello two-sided world")
+	copy(sendBuf.Bytes(), msg)
+	if err := p.client.PostSend(SendWR{
+		WRID: 3, Op: OpSend,
+		Local: SGE{MR: sendBuf, Len: len(msg)},
+		Imm:   42, HasImm: true,
+	}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+
+	swc := pollOne(t, p.client.SendCQ())
+	if swc.Status != StatusSuccess {
+		t.Fatalf("send wc: %v (%v)", swc.Status, swc.Err)
+	}
+	rwc := pollOne(t, p.server.RecvCQ())
+	if rwc.Status != StatusSuccess {
+		t.Fatalf("recv wc: %v (%v)", rwc.Status, rwc.Err)
+	}
+	if rwc.WRID != 9 || rwc.ByteLen != len(msg) || !rwc.HasImm || rwc.Imm != 42 {
+		t.Errorf("recv wc fields: %+v", rwc)
+	}
+	if got := recvBuf.Bytes()[:len(msg)]; !bytes.Equal(got, msg) {
+		t.Errorf("recv buffer = %q, want %q", got, msg)
+	}
+}
+
+func TestWriteWithImm(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 256, AccessRemoteWrite)
+	local := p.mustRegister(t, p.clientPD, 256, 0)
+	copy(local.Bytes(), []byte("notify me"))
+
+	// Zero-length receive acts as the notification doorbell.
+	if err := p.server.PostRecv(RecvWR{WRID: 11}); err != nil {
+		t.Fatalf("PostRecv: %v", err)
+	}
+	if err := p.client.PostSend(SendWR{
+		WRID: 4, Op: OpWriteImm,
+		Local:     SGE{MR: local, Len: 9},
+		RemoteKey: remote.RKey(), RemoteAddr: 0,
+		Imm: 0xdeadbeef,
+	}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+
+	swc := pollOne(t, p.client.SendCQ())
+	if swc.Status != StatusSuccess {
+		t.Fatalf("send wc: %v (%v)", swc.Status, swc.Err)
+	}
+	rwc := pollOne(t, p.server.RecvCQ())
+	if rwc.Status != StatusSuccess || rwc.Imm != 0xdeadbeef || !rwc.HasImm {
+		t.Fatalf("recv wc: %+v", rwc)
+	}
+	if rwc.ByteLen != 9 {
+		t.Errorf("recv ByteLen = %d, want 9", rwc.ByteLen)
+	}
+	if got := string(remote.Bytes()[:9]); got != "notify me" {
+		t.Errorf("remote = %q", got)
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 64, AccessRemoteAtomic)
+	binary.LittleEndian.PutUint64(remote.Bytes()[8:], 100)
+	local := p.mustRegister(t, p.clientPD, 8, AccessLocalWrite)
+
+	if err := p.client.PostSend(SendWR{
+		WRID: 5, Op: OpFetchAdd,
+		Local:     SGE{MR: local, Len: 8},
+		RemoteKey: remote.RKey(), RemoteAddr: 8,
+		Add: 23,
+	}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusSuccess {
+		t.Fatalf("wc: %v (%v)", wc.Status, wc.Err)
+	}
+	if wc.Old != 100 {
+		t.Errorf("Old = %d, want 100", wc.Old)
+	}
+	if got := binary.LittleEndian.Uint64(remote.Bytes()[8:]); got != 123 {
+		t.Errorf("remote word = %d, want 123", got)
+	}
+}
+
+func TestCmpSwap(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 16, AccessRemoteAtomic)
+	binary.LittleEndian.PutUint64(remote.Bytes(), 7)
+	local := p.mustRegister(t, p.clientPD, 8, AccessLocalWrite)
+
+	post := func(wrid, cmp, swap uint64) WC {
+		t.Helper()
+		if err := p.client.PostSend(SendWR{
+			WRID: wrid, Op: OpCmpSwap,
+			Local:     SGE{MR: local, Len: 8},
+			RemoteKey: remote.RKey(), RemoteAddr: 0,
+			Compare: cmp, Swap: swap,
+		}); err != nil {
+			t.Fatalf("PostSend: %v", err)
+		}
+		return pollOne(t, p.client.SendCQ())
+	}
+
+	// Successful swap.
+	wc := post(1, 7, 99)
+	if wc.Status != StatusSuccess || wc.Old != 7 {
+		t.Fatalf("cas1: %+v", wc)
+	}
+	if got := binary.LittleEndian.Uint64(remote.Bytes()); got != 99 {
+		t.Fatalf("word = %d, want 99", got)
+	}
+	// Failed compare leaves the word alone but reports the old value.
+	wc = post(2, 7, 1)
+	if wc.Status != StatusSuccess || wc.Old != 99 {
+		t.Fatalf("cas2: %+v", wc)
+	}
+	if got := binary.LittleEndian.Uint64(remote.Bytes()); got != 99 {
+		t.Fatalf("word = %d, want still 99", got)
+	}
+}
+
+func TestConcurrentFetchAddIsAtomic(t *testing.T) {
+	// Many clients hammer one counter; the sum must be exact and the set of
+	// returned Old values must be unique (each increment observed a
+	// distinct prior value).
+	f := simnet.NewFabric(5, simnet.DefaultParams())
+	n := NewNetwork(f)
+	sd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	lis, err := sd.Listen("ctr", nil, ConnOpts{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer lis.Close()
+	counter, err := lis.PD().RegisterMemory(make([]byte, 8), AccessRemoteAtomic)
+	if err != nil {
+		t.Fatalf("RegisterMemory: %v", err)
+	}
+	go func() {
+		for {
+			if _, err := lis.Accept(context.Background()); err != nil {
+				return
+			}
+		}
+	}()
+
+	const (
+		clients = 4
+		perC    = 50
+	)
+	olds := make(chan uint64, clients*perC)
+	var wg sync.WaitGroup
+	for c := 1; c <= clients; c++ {
+		wg.Add(1)
+		go func(node simnet.NodeID) {
+			defer wg.Done()
+			dev, err := n.OpenDevice(node)
+			if err != nil {
+				t.Errorf("OpenDevice: %v", err)
+				return
+			}
+			qp, err := dev.Dial(context.Background(), 0, "ctr", nil, ConnOpts{})
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer qp.Close()
+			res, err := qp.PD().RegisterMemory(make([]byte, 8), AccessLocalWrite)
+			if err != nil {
+				t.Errorf("RegisterMemory: %v", err)
+				return
+			}
+			for i := 0; i < perC; i++ {
+				if err := qp.PostSend(SendWR{
+					WRID: uint64(i), Op: OpFetchAdd,
+					Local:     SGE{MR: res, Len: 8},
+					RemoteKey: counter.RKey(), Add: 1,
+				}); err != nil {
+					t.Errorf("PostSend: %v", err)
+					return
+				}
+				wc, err := qp.SendCQ().Next(context.Background())
+				if err != nil || wc.Status != StatusSuccess {
+					t.Errorf("fetch-add wc: %v %v", wc.Status, err)
+					return
+				}
+				olds <- wc.Old
+			}
+		}(simnet.NodeID(c))
+	}
+	wg.Wait()
+	close(olds)
+
+	seen := make(map[uint64]bool)
+	for v := range olds {
+		if seen[v] {
+			t.Fatalf("duplicate old value %d: atomicity violated", v)
+		}
+		seen[v] = true
+	}
+	if got := binary.LittleEndian.Uint64(counter.Bytes()); got != clients*perC {
+		t.Fatalf("counter = %d, want %d", got, clients*perC)
+	}
+}
+
+func TestRemoteAccessViolations(t *testing.T) {
+	tests := []struct {
+		name string
+		wr   func(p *pair, remote *MemoryRegion, local *MemoryRegion) SendWR
+	}{
+		{
+			name: "write to read-only region",
+			wr: func(p *pair, remote, local *MemoryRegion) SendWR {
+				return SendWR{Op: OpWrite, Local: SGE{MR: local, Len: 8}, RemoteKey: remote.RKey()}
+			},
+		},
+		{
+			name: "read past end",
+			wr: func(p *pair, remote, local *MemoryRegion) SendWR {
+				return SendWR{Op: OpRead, Local: SGE{MR: local, Len: 32}, RemoteKey: remote.RKey(), RemoteAddr: 48}
+			},
+		},
+		{
+			name: "bogus rkey",
+			wr: func(p *pair, remote, local *MemoryRegion) SendWR {
+				return SendWR{Op: OpRead, Local: SGE{MR: local, Len: 8}, RemoteKey: 0xffff}
+			},
+		},
+		{
+			name: "atomic without remote-atomic grant",
+			wr: func(p *pair, remote, local *MemoryRegion) SendWR {
+				return SendWR{Op: OpFetchAdd, Local: SGE{MR: local, Len: 8}, RemoteKey: remote.RKey(), Add: 1}
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := newPair(t)
+			remote := p.mustRegister(t, p.serverPD, 64, AccessRemoteRead)
+			local := p.mustRegister(t, p.clientPD, 64, AccessLocalWrite)
+			wr := tt.wr(p, remote, local)
+			wr.WRID = 77
+			if err := p.client.PostSend(wr); err != nil {
+				t.Fatalf("PostSend: %v", err)
+			}
+			wc := pollOne(t, p.client.SendCQ())
+			if wc.Status != StatusRemoteAccessError {
+				t.Fatalf("status = %v (%v), want remote-access-error", wc.Status, wc.Err)
+			}
+			// A remote access error moves the QP to the error state.
+			if st := p.client.State(); st != QPError {
+				t.Errorf("QP state = %v, want error", st)
+			}
+			if err := p.client.PostSend(SendWR{Op: OpRead, Local: SGE{MR: local, Len: 8}, RemoteKey: remote.RKey()}); !errors.Is(err, ErrQPState) {
+				t.Errorf("post after error = %v, want ErrQPState", err)
+			}
+		})
+	}
+}
+
+func TestLocalValidationErrors(t *testing.T) {
+	p := newPair(t)
+	local := p.mustRegister(t, p.clientPD, 16, AccessLocalWrite)
+	foreignPD := p.clientDev.AllocPD()
+	foreign, err := foreignPD.RegisterMemory(make([]byte, 16), AccessLocalWrite)
+	if err != nil {
+		t.Fatalf("RegisterMemory: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		wr   SendWR
+		want error
+	}{
+		{"sge beyond region", SendWR{Op: OpWrite, Local: SGE{MR: local, Offset: 8, Len: 16}}, ErrBounds},
+		{"foreign pd sge", SendWR{Op: OpWrite, Local: SGE{MR: foreign, Len: 8}}, ErrPDMismatch},
+		{"nil mr", SendWR{Op: OpWrite, Local: SGE{Len: 8}}, ErrBadAccess},
+		{"unaligned atomic", SendWR{Op: OpFetchAdd, Local: SGE{MR: local, Len: 8}, RemoteAddr: 4}, ErrUnaligned},
+		{"atomic result not 8B", SendWR{Op: OpCmpSwap, Local: SGE{MR: local, Len: 4}}, ErrBounds},
+		{"bad opcode", SendWR{Op: OpCode(200), Local: SGE{MR: local, Len: 8}}, ErrBadAccess},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := p.client.PostSend(tt.wr); !errors.Is(err, tt.want) {
+				t.Errorf("PostSend = %v, want %v", err, tt.want)
+			}
+		})
+	}
+	// Local validation failures do not kill the QP.
+	if st := p.client.State(); st != QPReady {
+		t.Errorf("QP state = %v, want ready", st)
+	}
+}
+
+func TestRecvTooSmall(t *testing.T) {
+	p := newPair(t)
+	sendBuf := p.mustRegister(t, p.clientPD, 64, 0)
+	recvBuf := p.mustRegister(t, p.serverPD, 8, AccessLocalWrite)
+	if err := p.server.PostRecv(RecvWR{WRID: 1, Local: SGE{MR: recvBuf, Len: 8}}); err != nil {
+		t.Fatalf("PostRecv: %v", err)
+	}
+	if err := p.client.PostSend(SendWR{WRID: 2, Op: OpSend, Local: SGE{MR: sendBuf, Len: 64}}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	swc := pollOne(t, p.client.SendCQ())
+	if swc.Status != StatusRemoteAccessError {
+		t.Errorf("send status = %v, want remote-access-error", swc.Status)
+	}
+	rwc := pollOne(t, p.server.RecvCQ())
+	if rwc.Status != StatusRemoteAccessError {
+		t.Errorf("recv status = %v, want remote-access-error", rwc.Status)
+	}
+}
+
+func TestNodeDownFailsOps(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 64, AccessRemoteRead)
+	local := p.mustRegister(t, p.clientPD, 64, AccessLocalWrite)
+
+	if err := p.net.Fabric().SetNodeUp(1, false); err != nil {
+		t.Fatalf("SetNodeUp: %v", err)
+	}
+	if err := p.client.PostSend(SendWR{WRID: 1, Op: OpRead, Local: SGE{MR: local, Len: 8}, RemoteKey: remote.RKey()}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusRetryExceeded {
+		t.Fatalf("status = %v (%v), want retry-exceeded", wc.Status, wc.Err)
+	}
+	if st := p.client.State(); st != QPError {
+		t.Errorf("QP state = %v, want error", st)
+	}
+}
+
+func TestCloseFlushesPending(t *testing.T) {
+	p := newPair(t)
+	recvBuf := p.mustRegister(t, p.serverPD, 16, AccessLocalWrite)
+	if err := p.server.PostRecv(RecvWR{WRID: 21, Local: SGE{MR: recvBuf, Len: 16}}); err != nil {
+		t.Fatalf("PostRecv: %v", err)
+	}
+	p.server.Close()
+	wc := pollOne(t, p.server.RecvCQ())
+	if wc.Status != StatusFlushed || wc.WRID != 21 {
+		t.Errorf("flushed recv wc: %+v", wc)
+	}
+	// Posting to a closed QP fails fast.
+	if err := p.server.PostRecv(RecvWR{WRID: 22, Local: SGE{MR: recvBuf, Len: 16}}); !errors.Is(err, ErrQPState) {
+		t.Errorf("post recv after close = %v", err)
+	}
+}
+
+func TestSendToClosedPeer(t *testing.T) {
+	p := newPair(t)
+	local := p.mustRegister(t, p.clientPD, 16, AccessLocalWrite)
+	p.server.Close()
+	if err := p.client.PostSend(SendWR{WRID: 1, Op: OpWrite, Local: SGE{MR: local, Len: 8}, RemoteKey: 1}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusRetryExceeded {
+		t.Errorf("status = %v, want retry-exceeded", wc.Status)
+	}
+}
+
+func TestDeregisteredRKeyRejected(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 64, AccessRemoteRead)
+	local := p.mustRegister(t, p.clientPD, 64, AccessLocalWrite)
+	remote.Deregister()
+	if err := p.client.PostSend(SendWR{WRID: 1, Op: OpRead, Local: SGE{MR: local, Len: 8}, RemoteKey: remote.RKey()}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusRemoteAccessError || !errors.Is(wc.Err, ErrBadRKey) {
+		t.Errorf("wc = %+v", wc)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := NewNetwork(f)
+	d, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	if _, err := d.Dial(context.Background(), 1, "nope", nil, ConnOpts{}); !errors.Is(err, ErrServiceNotFound) {
+		t.Errorf("dial unknown service = %v", err)
+	}
+	if err := f.SetNodeUp(1, false); err != nil {
+		t.Fatalf("SetNodeUp: %v", err)
+	}
+	if _, err := d.Dial(context.Background(), 1, "nope", nil, ConnOpts{}); !errors.Is(err, simnet.ErrNodeDown) {
+		t.Errorf("dial down node = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.Dial(ctx, 1, "nope", nil, ConnOpts{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("dial canceled ctx = %v", err)
+	}
+}
+
+func TestListenerLifecycle(t *testing.T) {
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := NewNetwork(f)
+	d, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	lis, err := d.Listen("svc", nil, ConnOpts{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := d.Listen("svc", nil, ConnOpts{}); err == nil {
+		t.Error("duplicate Listen should fail")
+	}
+	lis.Close()
+	lis.Close() // idempotent
+	if _, err := lis.Accept(context.Background()); !errors.Is(err, ErrListenerClosed) {
+		t.Errorf("accept after close = %v", err)
+	}
+	// Service name is free again.
+	lis2, err := d.Listen("svc", nil, ConnOpts{})
+	if err != nil {
+		t.Fatalf("re-Listen: %v", err)
+	}
+	lis2.Close()
+}
+
+func TestModeledLatencyOrdering(t *testing.T) {
+	// An 8-byte READ must be much faster than a 1 MiB READ, and the 1 MiB
+	// latency must be dominated by serialization time.
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 1<<20, AccessRemoteRead)
+	local := p.mustRegister(t, p.clientPD, 1<<20, AccessLocalWrite)
+
+	read := func(n int) simnet.VTime {
+		t.Helper()
+		if err := p.client.PostSend(SendWR{Op: OpRead, Local: SGE{MR: local, Len: n}, RemoteKey: remote.RKey()}); err != nil {
+			t.Fatalf("PostSend: %v", err)
+		}
+		wc := pollOne(t, p.client.SendCQ())
+		if wc.Status != StatusSuccess {
+			t.Fatalf("wc: %v (%v)", wc.Status, wc.Err)
+		}
+		return wc.Latency()
+	}
+	small := read(8)
+	big := read(1 << 20)
+	if small >= big {
+		t.Errorf("8B latency %v >= 1MiB latency %v", small, big)
+	}
+	params := simnet.DefaultParams()
+	serBig := simnet.VTime(params.SerializationTime(1 << 20))
+	if big < serBig {
+		t.Errorf("1MiB latency %v below pure serialization %v", big, serBig)
+	}
+	// Close-to-hardware small-op latency: ~2 props + overhead, well under 10us.
+	if small.Duration() > 10*time.Microsecond {
+		t.Errorf("8B read latency %v, want close-to-hardware (<10us)", small.Duration())
+	}
+}
+
+func TestQPStats(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 64, AccessRemoteWrite)
+	local := p.mustRegister(t, p.clientPD, 64, 0)
+	for i := 0; i < 3; i++ {
+		if err := p.client.PostSend(SendWR{Op: OpWrite, Local: SGE{MR: local, Len: 16}, RemoteKey: remote.RKey()}); err != nil {
+			t.Fatalf("PostSend: %v", err)
+		}
+		pollOne(t, p.client.SendCQ())
+	}
+	st := p.client.Stats()
+	if st.SendOps != 3 || st.OneSided != 3 || st.SendBytes != 48 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRegisterTimeModel(t *testing.T) {
+	c := DefaultCosts()
+	small := c.RegisterTime(100)
+	big := c.RegisterTime(1 << 20)
+	if small >= big {
+		t.Errorf("register time not monotonic: %v >= %v", small, big)
+	}
+	wantPages := (1<<20 + c.PageSize - 1) / c.PageSize
+	want := c.RegisterBase + time.Duration(wantPages)*c.PinPerPage
+	if big != want {
+		t.Errorf("RegisterTime(1MiB) = %v, want %v", big, want)
+	}
+	if c.RegisterTime(-1) != c.RegisterBase {
+		t.Errorf("negative size should cost base only")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	tests := []struct {
+		a    Access
+		want string
+	}{
+		{0, "none"},
+		{AccessLocalWrite, "lw"},
+		{AccessRemoteRead | AccessRemoteWrite, "rr|rw"},
+		{AccessLocalWrite | AccessRemoteRead | AccessRemoteWrite | AccessRemoteAtomic, "lw|rr|rw|ra"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("Access(%d).String() = %q, want %q", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestOpCodeAndStatusStrings(t *testing.T) {
+	if OpRead.String() != "READ" || OpWriteImm.String() != "WRITE_IMM" {
+		t.Error("opcode strings wrong")
+	}
+	if StatusSuccess.String() != "success" || StatusRNRTimeout.String() != "rnr-timeout" {
+		t.Error("status strings wrong")
+	}
+	if OpCode(99).String() == "" || Status(99).String() == "" {
+		t.Error("unknown enums must still render")
+	}
+}
+
+func TestCQPoll(t *testing.T) {
+	cq := NewCQ(8)
+	for i := 0; i < 5; i++ {
+		cq.push(WC{WRID: uint64(i)})
+	}
+	if got := cq.Len(); got != 5 {
+		t.Errorf("Len = %d", got)
+	}
+	got := cq.Poll(3)
+	if len(got) != 3 || got[0].WRID != 0 || got[2].WRID != 2 {
+		t.Errorf("Poll(3) = %+v", got)
+	}
+	got = cq.Poll(10)
+	if len(got) != 2 {
+		t.Errorf("Poll(10) = %d entries, want 2", len(got))
+	}
+	if got := cq.Poll(1); got != nil {
+		t.Errorf("empty Poll = %+v", got)
+	}
+}
+
+// Property: WRITE then READ of random windows round-trips arbitrary data.
+func TestWriteReadProperty(t *testing.T) {
+	p := newPair(t)
+	const regionSize = 1 << 14
+	remote := p.mustRegister(t, p.serverPD, regionSize, AccessRemoteRead|AccessRemoteWrite)
+	local := p.mustRegister(t, p.clientPD, regionSize, AccessLocalWrite)
+
+	fn := func(data []byte, offRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > regionSize/2 {
+			data = data[:regionSize/2]
+		}
+		off := uint64(offRaw) % uint64(regionSize-len(data))
+		copy(local.Bytes()[:len(data)], data)
+		if err := p.client.PostSend(SendWR{Op: OpWrite, Local: SGE{MR: local, Len: len(data)}, RemoteKey: remote.RKey(), RemoteAddr: off}); err != nil {
+			return false
+		}
+		if wc := pollOne(t, p.client.SendCQ()); wc.Status != StatusSuccess {
+			return false
+		}
+		dstOff := uint64(regionSize / 2)
+		if err := p.client.PostSend(SendWR{Op: OpRead, Local: SGE{MR: local, Offset: dstOff, Len: len(data)}, RemoteKey: remote.RKey(), RemoteAddr: off}); err != nil {
+			return false
+		}
+		if wc := pollOne(t, p.client.SendCQ()); wc.Status != StatusSuccess {
+			return false
+		}
+		return bytes.Equal(local.Bytes()[dstOff:dstOff+uint64(len(data))], data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnectTimeModel(t *testing.T) {
+	c := DefaultCosts()
+	p := simnet.DefaultParams()
+	got := c.ConnectTime(p)
+	want := time.Duration(c.ConnectRTTs)*2*p.PropDelay + 2*c.ConnectCPU
+	if got != want {
+		t.Errorf("ConnectTime = %v, want %v", got, want)
+	}
+}
+
+func TestDeviceCloseRejectsNewWork(t *testing.T) {
+	f := simnet.NewFabric(1, simnet.DefaultParams())
+	n := NewNetwork(f)
+	d, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	pd := d.AllocPD()
+	d.Close()
+	if _, err := pd.RegisterMemory(make([]byte, 8), 0); !errors.Is(err, ErrDeviceClosed) {
+		t.Errorf("register after close = %v", err)
+	}
+	if _, err := d.Listen("x", nil, ConnOpts{}); !errors.Is(err, ErrDeviceClosed) {
+		t.Errorf("listen after close = %v", err)
+	}
+	if _, err := d.Dial(context.Background(), 0, "x", nil, ConnOpts{}); !errors.Is(err, ErrDeviceClosed) {
+		t.Errorf("dial after close = %v", err)
+	}
+}

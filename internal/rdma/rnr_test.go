@@ -1,0 +1,204 @@
+package rdma
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rstore/internal/simnet"
+)
+
+// fastRNRPair builds a connected pair whose RNR timeout is milliseconds,
+// so receiver-not-ready paths can be exercised quickly.
+func fastRNRPair(t *testing.T) *pair {
+	t.Helper()
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	costs := DefaultCosts()
+	costs.RNRTimeout = 50 * time.Millisecond
+	n := NewNetworkWithCosts(f, costs)
+	sd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	lis, err := sd.Listen("svc", nil, ConnOpts{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	cd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	cqp, err := cd.Dial(context.Background(), 1, "svc", nil, ConnOpts{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	sqp, err := lis.Accept(context.Background())
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	p := &pair{
+		net: n, clientDev: cd, serverDev: sd,
+		client: cqp, server: sqp,
+		clientPD: cqp.PD(), serverPD: sqp.PD(),
+		lis: lis,
+	}
+	t.Cleanup(func() {
+		cqp.Close()
+		sqp.Close()
+		lis.Close()
+	})
+	return p
+}
+
+func TestSendWithoutRecvTimesOut(t *testing.T) {
+	p := fastRNRPair(t)
+	buf := p.mustRegister(t, p.clientPD, 16, 0)
+	if err := p.client.PostSend(SendWR{WRID: 1, Op: OpSend, Local: SGE{MR: buf, Len: 8}}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusRNRTimeout {
+		t.Fatalf("status = %v (%v), want rnr-timeout", wc.Status, wc.Err)
+	}
+	if !errors.Is(wc.Err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", wc.Err)
+	}
+	if st := p.client.State(); st != QPError {
+		t.Errorf("QP state = %v, want error", st)
+	}
+}
+
+func TestWriteImmWithoutRecvTimesOut(t *testing.T) {
+	p := fastRNRPair(t)
+	remote := p.mustRegister(t, p.serverPD, 64, AccessRemoteWrite)
+	local := p.mustRegister(t, p.clientPD, 64, 0)
+	if err := p.client.PostSend(SendWR{
+		WRID: 2, Op: OpWriteImm,
+		Local:     SGE{MR: local, Len: 8},
+		RemoteKey: remote.RKey(), Imm: 5,
+	}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusRNRTimeout {
+		t.Fatalf("status = %v (%v), want rnr-timeout", wc.Status, wc.Err)
+	}
+	// The write itself landed before the doorbell failed — WRITE_WITH_IMM
+	// places data first, then consumes a receive.
+	if got := remote.Bytes()[0]; got != local.Bytes()[0] {
+		t.Errorf("data not placed before RNR failure")
+	}
+}
+
+func TestRNRWaitSucceedsWhenRecvArrives(t *testing.T) {
+	// A SEND posted before any RECV completes once the responder posts one
+	// within the RNR window.
+	p := fastRNRPair(t)
+	sendBuf := p.mustRegister(t, p.clientPD, 16, 0)
+	recvBuf := p.mustRegister(t, p.serverPD, 16, AccessLocalWrite)
+	copy(sendBuf.Bytes(), []byte("late"))
+
+	if err := p.client.PostSend(SendWR{WRID: 3, Op: OpSend, Local: SGE{MR: sendBuf, Len: 4}}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond) // inside the 50ms RNR window
+	if err := p.server.PostRecv(RecvWR{WRID: 4, Local: SGE{MR: recvBuf, Len: 16}}); err != nil {
+		t.Fatalf("PostRecv: %v", err)
+	}
+	wc := pollOne(t, p.client.SendCQ())
+	if wc.Status != StatusSuccess {
+		t.Fatalf("send wc = %v (%v)", wc.Status, wc.Err)
+	}
+	rwc := pollOne(t, p.server.RecvCQ())
+	if rwc.Status != StatusSuccess || string(recvBuf.Bytes()[:4]) != "late" {
+		t.Fatalf("recv wc = %+v, buf = %q", rwc, recvBuf.Bytes()[:4])
+	}
+}
+
+func TestErrorsIncrementStats(t *testing.T) {
+	p := fastRNRPair(t)
+	buf := p.mustRegister(t, p.clientPD, 16, 0)
+	if err := p.client.PostSend(SendWR{WRID: 1, Op: OpSend, Local: SGE{MR: buf, Len: 8}}); err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	pollOne(t, p.client.SendCQ())
+	if st := p.client.Stats(); st.Errors == 0 {
+		t.Errorf("stats.Errors = 0 after RNR failure")
+	}
+}
+
+func TestRecvQueueFull(t *testing.T) {
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := NewNetwork(f)
+	sd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	lis, err := sd.Listen("svc", nil, ConnOpts{RecvDepth: 2})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer lis.Close()
+	cd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	if _, err := cd.Dial(context.Background(), 1, "svc", nil, ConnOpts{}); err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	sqp, err := lis.Accept(context.Background())
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	defer sqp.Close()
+	buf, err := sqp.PD().RegisterMemory(make([]byte, 64), AccessLocalWrite)
+	if err != nil {
+		t.Fatalf("RegisterMemory: %v", err)
+	}
+	var lastErr error
+	for i := 0; i < 4; i++ {
+		lastErr = sqp.PostRecv(RecvWR{WRID: uint64(i), Local: SGE{MR: buf, Len: 16}})
+	}
+	if !errors.Is(lastErr, ErrRecvQueueFull) {
+		t.Errorf("4th recv on depth-2 queue = %v, want ErrRecvQueueFull", lastErr)
+	}
+}
+
+// TestRCOrderingProperty: completions on one QP surface in post order with
+// non-decreasing virtual completion times — reliable-connected semantics.
+func TestRCOrderingProperty(t *testing.T) {
+	p := newPair(t)
+	remote := p.mustRegister(t, p.serverPD, 1<<20, AccessRemoteRead|AccessRemoteWrite)
+	local := p.mustRegister(t, p.clientPD, 1<<20, AccessLocalWrite)
+
+	const ops = 64
+	sizes := []int{8, 4 << 10, 256 << 10, 64}
+	for i := 0; i < ops; i++ {
+		op := OpWrite
+		if i%3 == 0 {
+			op = OpRead
+		}
+		if err := p.client.PostSend(SendWR{
+			WRID: uint64(i), Op: op,
+			Local:     SGE{MR: local, Len: sizes[i%len(sizes)]},
+			RemoteKey: remote.RKey(),
+		}); err != nil {
+			t.Fatalf("PostSend %d: %v", i, err)
+		}
+	}
+	var lastDone simnet.VTime
+	for i := 0; i < ops; i++ {
+		wc := pollOne(t, p.client.SendCQ())
+		if wc.Status != StatusSuccess {
+			t.Fatalf("op %d: %v (%v)", i, wc.Status, wc.Err)
+		}
+		if wc.WRID != uint64(i) {
+			t.Fatalf("completion order: got wrid %d at position %d", wc.WRID, i)
+		}
+		if wc.DoneV < lastDone {
+			t.Fatalf("op %d done %v before previous %v", i, wc.DoneV, lastDone)
+		}
+		lastDone = wc.DoneV
+	}
+}

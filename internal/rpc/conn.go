@@ -1,0 +1,360 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+)
+
+// Wire header layout (little endian):
+//
+//	reqID   uint64
+//	msgType uint16
+//	flags   uint8   (bit 0: response, bit 1: error)
+//	_pad    uint8
+//	length  uint32  (payload bytes following the header)
+const headerSize = 16
+
+const (
+	flagResponse = 1 << 0
+	flagError    = 1 << 1
+)
+
+// RPC-layer errors.
+var (
+	ErrConnClosed = errors.New("rpc: connection closed")
+	ErrTooLarge   = errors.New("rpc: message exceeds buffer size")
+)
+
+// RemoteError is a failure reported by the remote handler.
+type RemoteError struct {
+	MsgType uint16
+	Msg     string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error for type %d: %s", e.MsgType, e.Msg)
+}
+
+// Options tunes a connection's buffering.
+type Options struct {
+	// BufSize is the size of each message buffer; it bounds the largest
+	// request or response. Default 256 KiB.
+	BufSize int
+	// Credits is the number of outstanding messages per direction.
+	// Default 16.
+	Credits int
+	// ServerCPU is the modeled per-request handler overhead charged on the
+	// control path. Default 1us.
+	ServerCPU time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufSize <= 0 {
+		o.BufSize = 256 << 10
+	}
+	if o.Credits <= 0 {
+		o.Credits = 16
+	}
+	if o.ServerCPU <= 0 {
+		o.ServerCPU = time.Microsecond
+	}
+	return o
+}
+
+// endpoint wraps a QP with registered message buffers and the shared
+// send/receive machinery used by both Conn (client) and server sessions.
+type endpoint struct {
+	qp   *rdma.QP
+	opts Options
+
+	sendMRs  []*rdma.MemoryRegion
+	sendFree chan int // indices into sendMRs
+
+	recvMRs []*rdma.MemoryRegion
+}
+
+func newEndpoint(qp *rdma.QP, opts Options) (*endpoint, error) {
+	opts = opts.withDefaults()
+	ep := &endpoint{
+		qp:       qp,
+		opts:     opts,
+		sendFree: make(chan int, opts.Credits),
+	}
+	pd := qp.PD()
+	for i := 0; i < opts.Credits; i++ {
+		smr, err := pd.RegisterMemory(make([]byte, headerSize+opts.BufSize), 0)
+		if err != nil {
+			return nil, fmt.Errorf("register send buffer: %w", err)
+		}
+		ep.sendMRs = append(ep.sendMRs, smr)
+		ep.sendFree <- i
+
+		rmr, err := pd.RegisterMemory(make([]byte, headerSize+opts.BufSize), rdma.AccessLocalWrite)
+		if err != nil {
+			return nil, fmt.Errorf("register recv buffer: %w", err)
+		}
+		ep.recvMRs = append(ep.recvMRs, rmr)
+		if err := qp.PostRecv(rdma.RecvWR{WRID: uint64(i), Local: rdma.SGE{MR: rmr, Len: headerSize + opts.BufSize}}); err != nil {
+			return nil, fmt.Errorf("post recv: %w", err)
+		}
+	}
+	return ep, nil
+}
+
+// send marshals one message into a free send buffer and posts it. startV
+// lets the caller chain virtual time (zero = NIC-free time).
+func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flags uint8, payload []byte, startV simnet.VTime) error {
+	if len(payload) > ep.opts.BufSize {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), ep.opts.BufSize)
+	}
+	var idx int
+	select {
+	case idx = <-ep.sendFree:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	mr := ep.sendMRs[idx]
+	buf := mr.Bytes()
+	binary.LittleEndian.PutUint64(buf[0:], reqID)
+	binary.LittleEndian.PutUint16(buf[8:], msgType)
+	buf[10] = flags
+	buf[11] = 0
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
+	copy(buf[headerSize:], payload)
+
+	return ep.qp.PostSend(rdma.SendWR{
+		WRID:   uint64(idx),
+		Op:     rdma.OpSend,
+		Local:  rdma.SGE{MR: mr, Len: headerSize + len(payload)},
+		StartV: startV,
+	})
+}
+
+// recycleSend returns the completed send buffer to the freelist.
+func (ep *endpoint) recycleSend(wc rdma.WC) {
+	select {
+	case ep.sendFree <- int(wc.WRID):
+	default:
+		// Freelist can never overflow: each index is outstanding at most once.
+	}
+}
+
+// message is one decoded inbound frame.
+type message struct {
+	reqID   uint64
+	msgType uint16
+	flags   uint8
+	payload []byte // copied out of the recv buffer
+	doneV   simnet.VTime
+}
+
+// repostAndParse copies out the message from a completed receive and
+// reposts the buffer.
+func (ep *endpoint) repostAndParse(wc rdma.WC) (message, error) {
+	idx := int(wc.WRID)
+	if idx < 0 || idx >= len(ep.recvMRs) {
+		return message{}, fmt.Errorf("rpc: bogus recv wrid %d", wc.WRID)
+	}
+	mr := ep.recvMRs[idx]
+	buf := mr.Bytes()
+	if wc.ByteLen < headerSize {
+		return message{}, fmt.Errorf("%w: frame of %d", ErrShortMessage, wc.ByteLen)
+	}
+	m := message{
+		reqID:   binary.LittleEndian.Uint64(buf[0:]),
+		msgType: binary.LittleEndian.Uint16(buf[8:]),
+		flags:   buf[10],
+		doneV:   wc.DoneV,
+	}
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	if headerSize+n > wc.ByteLen {
+		return message{}, fmt.Errorf("%w: payload %d beyond frame %d", ErrShortMessage, n, wc.ByteLen)
+	}
+	m.payload = make([]byte, n)
+	copy(m.payload, buf[headerSize:headerSize+n])
+	if err := ep.qp.PostRecv(rdma.RecvWR{WRID: wc.WRID, Local: rdma.SGE{MR: mr, Len: headerSize + ep.opts.BufSize}}); err != nil {
+		return m, fmt.Errorf("repost recv: %w", err)
+	}
+	return m, nil
+}
+
+// Conn is the client side of an RPC connection.
+type Conn struct {
+	ep *endpoint
+
+	mu       sync.Mutex
+	nextID   uint64
+	inflight map[uint64]chan message
+	closed   bool
+	closeErr error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewConn wraps an already-connected QP as an RPC client connection and
+// starts its receive loop.
+func NewConn(qp *rdma.QP, opts Options) (*Conn, error) {
+	ep, err := newEndpoint(qp, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		ep:       ep,
+		nextID:   1,
+		inflight: make(map[uint64]chan message),
+		done:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+// Dial connects to an RPC service and returns the client connection.
+func Dial(ctx context.Context, dev *rdma.Device, node simnet.NodeID, service string, pd *rdma.PD, opts Options) (*Conn, error) {
+	o := opts.withDefaults()
+	qp, err := dev.Dial(ctx, node, service, pd, rdma.ConnOpts{SendDepth: o.Credits * 2, RecvDepth: o.Credits * 2})
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewConn(qp, o)
+	if err != nil {
+		qp.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// QP exposes the underlying queue pair (for PD sharing and stats).
+func (c *Conn) QP() *rdma.QP { return c.ep.qp }
+
+func (c *Conn) recvLoop() {
+	defer c.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-c.done
+		cancel()
+	}()
+	for {
+		// Drain send completions to recycle buffers. A failed send means
+		// the QP is dead: fail every outstanding call instead of leaving
+		// callers waiting for responses that cannot arrive.
+		for _, swc := range c.ep.qp.SendCQ().Poll(16) {
+			if swc.Status != rdma.StatusSuccess {
+				c.failAll(fmt.Errorf("%w: send %v", ErrConnClosed, swc.Status))
+				return
+			}
+			c.ep.recycleSend(swc)
+		}
+		wc, err := c.ep.qp.RecvCQ().Next(ctx)
+		if err != nil {
+			c.failAll(ErrConnClosed)
+			return
+		}
+		if wc.Status != rdma.StatusSuccess {
+			c.failAll(fmt.Errorf("%w: recv %v", ErrConnClosed, wc.Status))
+			return
+		}
+		m, err := c.ep.repostAndParse(wc)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.inflight[m.reqID]
+		delete(c.inflight, m.reqID)
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+func (c *Conn) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr == nil {
+		c.closeErr = err
+	}
+	for id, ch := range c.inflight {
+		delete(c.inflight, id)
+		close(ch)
+	}
+}
+
+// Call issues a request and waits for the matching response. It returns
+// the response payload and the modeled control-path latency of the full
+// round trip.
+func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, time.Duration, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return nil, 0, err
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan message, 1)
+	c.inflight[id] = ch
+	c.mu.Unlock()
+
+	startV := c.ep.qp.VNow()
+	if err := c.ep.send(ctx, id, msgType, 0, req, startV); err != nil {
+		c.mu.Lock()
+		delete(c.inflight, id)
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("rpc call type %d: %w", msgType, err)
+	}
+
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.closeErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrConnClosed
+			}
+			return nil, 0, fmt.Errorf("rpc call type %d: %w", msgType, err)
+		}
+		lat := m.doneV.Sub(startV)
+		if lat < 0 {
+			lat = 0
+		}
+		if m.flags&flagError != 0 {
+			return nil, lat, &RemoteError{MsgType: msgType, Msg: string(m.payload)}
+		}
+		return m.payload, lat, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.inflight, id)
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("rpc call type %d: %w", msgType, ctx.Err())
+	}
+}
+
+// Close tears down the connection. In-flight calls fail with ErrConnClosed.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	c.ep.qp.Close()
+	c.wg.Wait()
+}

@@ -1,0 +1,446 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U8(7)
+	e.U16(513)
+	e.U32(1 << 30)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.F64(3.25)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("region/a")
+	e.Bytes32([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := d.U16(); got != 513 {
+		t.Errorf("U16 = %d", got)
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != 3.25 {
+		t.Errorf("F64 = %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool order wrong")
+	}
+	if got := d.String(); got != "region/a" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Errorf("Err = %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64() // too short
+	if !errors.Is(d.Err(), ErrShortMessage) {
+		t.Fatalf("Err = %v", d.Err())
+	}
+	// Subsequent reads return zero values without panicking.
+	if d.U32() != 0 || d.String() != "" || d.Bytes32() != nil {
+		t.Error("reads after error must return zero values")
+	}
+}
+
+func TestDecoderTruncatedString(t *testing.T) {
+	var e Encoder
+	e.U32(100) // claims 100 bytes, provides none
+	d := NewDecoder(e.Bytes())
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if !errors.Is(d.Err(), ErrShortMessage) {
+		t.Errorf("Err = %v", d.Err())
+	}
+}
+
+func TestCodecProperty(t *testing.T) {
+	fn := func(a uint64, b int64, s string, raw []byte, f float64, ok bool) bool {
+		var e Encoder
+		e.U64(a)
+		e.I64(b)
+		e.String(s)
+		e.Bytes32(raw)
+		e.F64(f)
+		e.Bool(ok)
+		d := NewDecoder(e.Bytes())
+		ga, gb, gs, graw, gf, gok := d.U64(), d.I64(), d.String(), d.Bytes32(), d.F64(), d.Bool()
+		if d.Err() != nil {
+			return false
+		}
+		// NaN round-trips bit-exactly but NaN != NaN; compare encodings.
+		fOK := gf == f || (f != f && gf != gf)
+		return ga == a && gb == b && gs == s && bytes.Equal(graw, raw) && fOK && gok == ok
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// testService spins up a server on node 0 and a client conn from node 1.
+func testService(t *testing.T, register func(*Server)) *Conn {
+	t.Helper()
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	sd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	srv, err := NewServer(sd, "test", nil, Options{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	register(srv)
+	srv.Serve()
+	t.Cleanup(srv.Close)
+
+	cd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	conn, err := Dial(context.Background(), cd, 0, "test", nil, Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(conn.Close)
+	return conn
+}
+
+const (
+	mtEcho uint16 = iota + 1
+	mtAdd
+	mtFail
+)
+
+func registerTestHandlers(srv *Server) {
+	srv.Handle(mtEcho, func(_ context.Context, _ simnet.NodeID, req *Decoder) (*Encoder, error) {
+		var e Encoder
+		e.Bytes32(req.Bytes32())
+		return &e, req.Err()
+	})
+	srv.Handle(mtAdd, func(_ context.Context, _ simnet.NodeID, req *Decoder) (*Encoder, error) {
+		a, b := req.U64(), req.U64()
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+		var e Encoder
+		e.U64(a + b)
+		return &e, nil
+	})
+	srv.Handle(mtFail, func(_ context.Context, _ simnet.NodeID, _ *Decoder) (*Encoder, error) {
+		return nil, errors.New("boom")
+	})
+}
+
+func TestCallEcho(t *testing.T) {
+	conn := testService(t, registerTestHandlers)
+	var e Encoder
+	e.Bytes32([]byte("ping"))
+	resp, lat, err := conn.Call(context.Background(), mtEcho, e.Bytes())
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	d := NewDecoder(resp)
+	if got := d.Bytes32(); !bytes.Equal(got, []byte("ping")) {
+		t.Errorf("echo = %q", got)
+	}
+	if lat <= 0 {
+		t.Errorf("latency = %v, want > 0", lat)
+	}
+	// Control-path RPC should be a handful of microseconds in the model.
+	if lat > 100*time.Microsecond {
+		t.Errorf("latency = %v, unreasonably high", lat)
+	}
+}
+
+func TestCallAdd(t *testing.T) {
+	conn := testService(t, registerTestHandlers)
+	var e Encoder
+	e.U64(40)
+	e.U64(2)
+	resp, _, err := conn.Call(context.Background(), mtAdd, e.Bytes())
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := NewDecoder(resp).U64(); got != 42 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	conn := testService(t, registerTestHandlers)
+	_, _, err := conn.Call(context.Background(), mtFail, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Msg != "boom" || re.MsgType != mtFail {
+		t.Errorf("remote error = %+v", re)
+	}
+}
+
+func TestCallUnknownType(t *testing.T) {
+	conn := testService(t, registerTestHandlers)
+	_, _, err := conn.Call(context.Background(), 999, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	conn := testService(t, registerTestHandlers)
+	const workers = 8
+	const calls = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				var e Encoder
+				e.U64(uint64(w * 1000))
+				e.U64(uint64(i))
+				resp, _, err := conn.Call(context.Background(), mtAdd, e.Bytes())
+				if err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+				if got := NewDecoder(resp).U64(); got != uint64(w*1000+i) {
+					t.Errorf("sum = %d, want %d", got, w*1000+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCallAfterClose(t *testing.T) {
+	conn := testService(t, registerTestHandlers)
+	conn.Close()
+	if _, _, err := conn.Call(context.Background(), mtEcho, nil); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("err = %v, want ErrConnClosed", err)
+	}
+	conn.Close() // idempotent
+}
+
+func TestCallContextCancel(t *testing.T) {
+	// A handler that blocks forever would hang a call; cancellation must
+	// release the caller.
+	block := make(chan struct{})
+	defer close(block)
+	conn := testService(t, func(srv *Server) {
+		srv.Handle(mtEcho, func(ctx context.Context, _ simnet.NodeID, _ *Decoder) (*Encoder, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return &Encoder{}, nil
+		})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, err := conn.Call(ctx, mtEcho, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestOversizeRequest(t *testing.T) {
+	conn := testService(t, registerTestHandlers)
+	big := make([]byte, 1<<20) // larger than default 256 KiB buffers
+	if _, _, err := conn.Call(context.Background(), mtEcho, big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestServerSeesCallerNode(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		from simnet.NodeID = -1
+	)
+	conn := testService(t, func(srv *Server) {
+		srv.Handle(mtEcho, func(_ context.Context, f simnet.NodeID, _ *Decoder) (*Encoder, error) {
+			mu.Lock()
+			from = f
+			mu.Unlock()
+			return &Encoder{}, nil
+		})
+	})
+	if _, _, err := conn.Call(context.Background(), mtEcho, nil); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if from != 1 {
+		t.Errorf("from = %v, want 1", from)
+	}
+}
+
+func TestManySequentialCalls(t *testing.T) {
+	// More calls than credits: buffers must recycle correctly.
+	conn := testService(t, registerTestHandlers)
+	for i := 0; i < 200; i++ {
+		var e Encoder
+		e.U64(uint64(i))
+		e.U64(1)
+		resp, _, err := conn.Call(context.Background(), mtAdd, e.Bytes())
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := NewDecoder(resp).U64(); got != uint64(i+1) {
+			t.Fatalf("call %d = %d", i, got)
+		}
+	}
+}
+
+func TestTwoClients(t *testing.T) {
+	f := simnet.NewFabric(3, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	sd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	srv, err := NewServer(sd, "multi", nil, Options{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	registerTestHandlers(srv)
+	srv.Serve()
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for node := 1; node <= 2; node++ {
+		wg.Add(1)
+		go func(node simnet.NodeID) {
+			defer wg.Done()
+			dev, err := n.OpenDevice(node)
+			if err != nil {
+				t.Errorf("OpenDevice: %v", err)
+				return
+			}
+			conn, err := Dial(context.Background(), dev, 0, "multi", nil, Options{})
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 20; i++ {
+				var e Encoder
+				e.Bytes32([]byte(fmt.Sprintf("client-%d-%d", node, i)))
+				resp, _, err := conn.Call(context.Background(), mtEcho, e.Bytes())
+				if err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+				want := fmt.Sprintf("client-%d-%d", node, i)
+				if got := string(NewDecoder(resp).Bytes32()); got != want {
+					t.Errorf("echo = %q, want %q", got, want)
+					return
+				}
+			}
+		}(simnet.NodeID(node))
+	}
+	wg.Wait()
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.BufSize != 256<<10 || o.Credits != 16 || o.ServerCPU != time.Microsecond {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Options{BufSize: 1, Credits: 2, ServerCPU: 3}.withDefaults()
+	if o.BufSize != 1 || o.Credits != 2 || o.ServerCPU != 3 {
+		t.Errorf("overrides = %+v", o)
+	}
+}
+
+func TestServerCPUDelaysResponse(t *testing.T) {
+	// A larger modeled handler cost must surface as higher call latency.
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	sd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	srv, err := NewServer(sd, "slow", nil, Options{ServerCPU: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	registerTestHandlers(srv)
+	srv.Serve()
+	defer srv.Close()
+	cd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	conn, err := Dial(context.Background(), cd, 0, "slow", nil, Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	_, lat, err := conn.Call(context.Background(), mtEcho, []byte{0, 0, 0, 0})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if lat < 200*time.Microsecond {
+		t.Errorf("latency %v below modeled handler cost", lat)
+	}
+}
+
+func TestOversizeResponseReportsError(t *testing.T) {
+	// A handler reply bigger than the buffers must come back as a remote
+	// error instead of hanging the caller.
+	conn := testService(t, func(srv *Server) {
+		srv.Handle(mtEcho, func(_ context.Context, _ simnet.NodeID, _ *Decoder) (*Encoder, error) {
+			var e Encoder
+			e.Bytes32(make([]byte, 512<<10)) // larger than 256 KiB default
+			return &e, nil
+		})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, _, err := conn.Call(ctx, mtEcho, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError about oversize response", err)
+	}
+	if !strings.Contains(re.Msg, "exceeds buffer size") {
+		t.Errorf("msg = %q", re.Msg)
+	}
+}

@@ -1,0 +1,158 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+)
+
+// Handler serves one request type. The returned payload is sent back to the
+// caller; a non-nil error is marshaled as a remote error instead.
+type Handler func(ctx context.Context, from simnet.NodeID, req *Decoder) (*Encoder, error)
+
+// Server dispatches inbound RPC requests on a listener to registered
+// handlers. One goroutine per accepted connection keeps request ordering
+// per peer while allowing peers to proceed independently.
+type Server struct {
+	lis  *rdma.Listener
+	opts Options
+
+	mu       sync.Mutex
+	handlers map[uint16]Handler
+	closed   bool
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server on the device for the named service. Register
+// handlers before calling Serve.
+func NewServer(dev *rdma.Device, service string, pd *rdma.PD, opts Options) (*Server, error) {
+	o := opts.withDefaults()
+	lis, err := dev.Listen(service, pd, rdma.ConnOpts{SendDepth: o.Credits * 2, RecvDepth: o.Credits * 2})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		lis:      lis,
+		opts:     o,
+		handlers: make(map[uint16]Handler),
+	}, nil
+}
+
+// PD returns the protection domain shared by all of the server's QPs; the
+// service registers its data regions here.
+func (s *Server) PD() *rdma.PD { return s.lis.PD() }
+
+// Handle registers the handler for a message type. It must be called
+// before Serve.
+func (s *Server) Handle(msgType uint16, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[msgType] = h
+}
+
+// Serve starts the accept loop in the background. Use Close to stop.
+func (s *Server) Serve() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.wg.Add(1)
+	go s.acceptLoop(ctx)
+}
+
+func (s *Server) acceptLoop(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		qp, err := s.lis.Accept(ctx)
+		if err != nil {
+			return
+		}
+		ep, err := newEndpoint(qp, s.opts)
+		if err != nil {
+			qp.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.session(ctx, ep)
+	}
+}
+
+func (s *Server) session(ctx context.Context, ep *endpoint) {
+	defer s.wg.Done()
+	defer ep.qp.Close()
+	for {
+		for _, wc := range ep.qp.SendCQ().Poll(16) {
+			ep.recycleSend(wc)
+		}
+		wc, err := ep.qp.RecvCQ().Next(ctx)
+		if err != nil {
+			return
+		}
+		if wc.Status != rdma.StatusSuccess {
+			return
+		}
+		m, err := ep.repostAndParse(wc)
+		if err != nil {
+			return
+		}
+		s.dispatch(ctx, ep, m)
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, ep *endpoint, m message) {
+	s.mu.Lock()
+	h, ok := s.handlers[m.msgType]
+	s.mu.Unlock()
+
+	// The response is posted at the virtual time the request arrived plus
+	// the modeled handler CPU cost, so Call latency reflects a full
+	// control-path round trip.
+	respV := m.doneV.Add(s.opts.ServerCPU)
+
+	var (
+		payload []byte
+		flags   uint8 = flagResponse
+	)
+	if !ok {
+		flags |= flagError
+		payload = []byte(fmt.Sprintf("no handler for message type %d", m.msgType))
+	} else {
+		enc, err := h(ctx, ep.qp.RemoteNode(), NewDecoder(m.payload))
+		if err != nil {
+			flags |= flagError
+			payload = []byte(err.Error())
+		} else if enc != nil {
+			payload = enc.Bytes()
+		}
+	}
+	if err := ep.send(ctx, m.reqID, m.msgType, flags, payload, respV); err != nil {
+		if errors.Is(err, ErrTooLarge) && flags&flagError == 0 {
+			// The handler's reply does not fit the connection's buffers;
+			// tell the caller rather than leaving it waiting forever.
+			msg := []byte(fmt.Sprintf("rpc: response of %d bytes exceeds buffer size %d", len(payload), s.opts.BufSize))
+			_ = ep.send(ctx, m.reqID, m.msgType, flagResponse|flagError, msg, respV)
+		}
+		// Otherwise best effort: if the peer is gone the session loop will
+		// observe the closed QP.
+	}
+}
+
+// Close stops serving and tears down all sessions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.lis.Close()
+	s.wg.Wait()
+}

@@ -1,0 +1,360 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NodeID identifies a machine in the simulated cluster.
+type NodeID int32
+
+// String renders the node id as "n<id>".
+func (id NodeID) String() string { return fmt.Sprintf("n%d", id) }
+
+// Errors reported by the fabric.
+var (
+	ErrNodeDown      = errors.New("simnet: node is down")
+	ErrPartitioned   = errors.New("simnet: nodes are partitioned")
+	ErrUnknownNode   = errors.New("simnet: unknown node")
+	ErrNegativeBytes = errors.New("simnet: negative transfer size")
+)
+
+// maxGaps bounds the free-gap list a line remembers. Old gaps beyond the
+// bound are forgotten (conservatively treated as busy).
+const maxGaps = 4096
+
+// gap is a free interval [from, to) behind a line's frontier.
+type gap struct {
+	from, to VTime
+}
+
+// line is one direction of a node's link to the switch. The line is a
+// work-conserving unit-capacity resource: a reservation takes the earliest
+// free interval at or after its start time — either a remembered gap
+// behind the frontier or the frontier itself. Remembering gaps matters: an
+// actor whose chained start lands mid-round must not permanently waste the
+// idle capacity before it, or balanced all-to-all traffic degrades
+// round-over-round.
+type line struct {
+	mu       sync.Mutex
+	nextFree VTime
+	gaps     []gap // sorted by from, disjoint, all before nextFree
+	busy     VTime // total occupied virtual time
+	bytes    int64 // total bytes serialized
+	ops      int64
+}
+
+// reserve books the line for ser starting at or after start and returns
+// the interval actually occupied.
+func (l *line) reserve(start VTime, ser VTime) (from, to VTime) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.busy += ser
+	l.ops++
+	// First fit into a remembered gap.
+	for i := range l.gaps {
+		g := l.gaps[i]
+		s := maxV(g.from, start)
+		if s+ser <= g.to {
+			switch {
+			case s == g.from && s+ser == g.to:
+				l.gaps = append(l.gaps[:i], l.gaps[i+1:]...)
+			case s == g.from:
+				l.gaps[i].from = s + ser
+			case s+ser == g.to:
+				l.gaps[i].to = s
+			default:
+				l.gaps = append(l.gaps, gap{})
+				copy(l.gaps[i+2:], l.gaps[i+1:])
+				l.gaps[i] = gap{g.from, s}
+				l.gaps[i+1] = gap{s + ser, g.to}
+			}
+			return s, s + ser
+		}
+	}
+	from = maxV(start, l.nextFree)
+	if from > l.nextFree && len(l.gaps) < maxGaps {
+		l.gaps = append(l.gaps, gap{l.nextFree, from})
+	}
+	to = from + ser
+	l.nextFree = to
+	return from, to
+}
+
+func (l *line) addBytes(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bytes += int64(n)
+}
+
+// node is the fabric's view of a machine: link state plus liveness.
+type node struct {
+	id      NodeID
+	name    string
+	egress  line
+	ingress line
+
+	mu sync.Mutex
+	up bool
+}
+
+// Fabric is a simulated cluster: a set of nodes joined through one switch.
+// The zero value is not usable; construct with NewFabric.
+type Fabric struct {
+	params Params
+
+	// vnow is the fabric-wide virtual-time frontier: the latest completion
+	// of any reservation. Actors that were idle rejoin the timeline here
+	// instead of queueing behind history they did not contend with.
+	vnow atomic.Int64
+
+	mu         sync.Mutex
+	nodes      []*node
+	partitions map[[2]NodeID]bool
+}
+
+// VNow returns the fabric-wide virtual-time frontier.
+func (f *Fabric) VNow() VTime { return VTime(f.vnow.Load()) }
+
+// advanceVNow lifts the frontier to at least v.
+func (f *Fabric) advanceVNow(v VTime) {
+	for {
+		cur := f.vnow.Load()
+		if int64(v) <= cur || f.vnow.CompareAndSwap(cur, int64(v)) {
+			return
+		}
+	}
+}
+
+// NewFabric creates a fabric with n nodes, all up, no partitions.
+func NewFabric(n int, params Params) *Fabric {
+	f := &Fabric{
+		params:     params,
+		partitions: make(map[[2]NodeID]bool),
+	}
+	for i := 0; i < n; i++ {
+		f.nodes = append(f.nodes, &node{
+			id:   NodeID(i),
+			name: NodeID(i).String(),
+			up:   true,
+		})
+	}
+	return f
+}
+
+// Params returns the fabric's cost-model constants.
+func (f *Fabric) Params() Params { return f.params }
+
+// Size returns the number of nodes, up or down.
+func (f *Fabric) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.nodes)
+}
+
+// AddNode grows the cluster by one node and returns its id.
+func (f *Fabric) AddNode() NodeID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := NodeID(len(f.nodes))
+	f.nodes = append(f.nodes, &node{id: id, name: id.String(), up: true})
+	return id
+}
+
+func (f *Fabric) node(id NodeID) (*node, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id < 0 || int(id) >= len(f.nodes) {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	return f.nodes[id], nil
+}
+
+// SetNodeUp marks a node alive or dead. Transfers involving a dead node
+// fail with ErrNodeDown.
+func (f *Fabric) SetNodeUp(id NodeID, up bool) error {
+	n, err := f.node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.up = up
+	return nil
+}
+
+// NodeUp reports whether the node is alive.
+func (f *Fabric) NodeUp(id NodeID) bool {
+	n, err := f.node(id)
+	if err != nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+func pairKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// SetPartition blocks (or unblocks) all traffic between a and b.
+func (f *Fabric) SetPartition(a, b NodeID, partitioned bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if partitioned {
+		f.partitions[pairKey(a, b)] = true
+	} else {
+		delete(f.partitions, pairKey(a, b))
+	}
+}
+
+// Partitioned reports whether traffic between a and b is blocked.
+func (f *Fabric) Partitioned(a, b NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitions[pairKey(a, b)]
+}
+
+// Reachable reports whether from can currently exchange traffic with to.
+func (f *Fabric) Reachable(from, to NodeID) error {
+	a, err := f.node(from)
+	if err != nil {
+		return err
+	}
+	b, err := f.node(to)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	aUp := a.up
+	a.mu.Unlock()
+	b.mu.Lock()
+	bUp := b.up
+	b.mu.Unlock()
+	if !aUp {
+		return fmt.Errorf("%w: %v", ErrNodeDown, from)
+	}
+	if !bUp {
+		return fmt.Errorf("%w: %v", ErrNodeDown, to)
+	}
+	if from != to && f.Partitioned(from, to) {
+		return fmt.Errorf("%w: %v<->%v", ErrPartitioned, from, to)
+	}
+	return nil
+}
+
+// Transfer accounts a transfer of n payload bytes from one node to another,
+// beginning no earlier than virtual time start, and returns the virtual
+// completion time. The sender's egress line and receiver's ingress line are
+// both reserved FIFO, so concurrent transfers sharing a line queue behind
+// each other. Loopback transfers bypass the fabric.
+func (f *Fabric) Transfer(from, to NodeID, n int, start VTime) (VTime, error) {
+	if n < 0 {
+		return 0, ErrNegativeBytes
+	}
+	if err := f.Reachable(from, to); err != nil {
+		return 0, err
+	}
+	src, err := f.node(from)
+	if err != nil {
+		return 0, err
+	}
+	if from == to {
+		// Local DMA: charged at memory bandwidth, no link occupancy.
+		return start.Add(f.params.LoopbackDelay + f.params.MemCopyTime(n)), nil
+	}
+	dst, err := f.node(to)
+	if err != nil {
+		return 0, err
+	}
+	// The flow occupies links one segment at a time, so concurrent flows
+	// interleave (fluid sharing) instead of blocking behind whole
+	// messages. Cut-through switch: a segment starts occupying the ingress
+	// a propagation delay after it starts serializing at the egress.
+	seg := f.params.segment()
+	prop := VTime(f.params.PropDelay)
+	var done VTime
+	cursor := start
+	for off := 0; off < n || off == 0; off += seg {
+		m := n - off
+		if m > seg {
+			m = seg
+		}
+		ser := VTime(f.params.SerializationTime(m))
+		egFrom, _ := src.egress.reserve(cursor, ser)
+		_, inDone := dst.ingress.reserve(egFrom+prop, ser)
+		// The next segment cannot start serializing before this one did
+		// (in-order flow), but may interleave with other flows' segments.
+		// Gap-filling can place a later segment into an earlier free slot,
+		// so the flow completes at the latest segment end, not the last.
+		cursor = egFrom
+		done = maxV(done, inDone)
+		if n == 0 {
+			break
+		}
+	}
+	src.egress.addBytes(n)
+	dst.ingress.addBytes(n)
+	f.advanceVNow(done)
+	return done, nil
+}
+
+// LinkStats is a snapshot of one line's accounting.
+type LinkStats struct {
+	Bytes int64
+	Busy  VTime
+	Ops   int64
+	// HighWater is the latest virtual time at which the line was reserved.
+	HighWater VTime
+}
+
+// NodeStats reports both directions of a node's link.
+type NodeStats struct {
+	Node    NodeID
+	Egress  LinkStats
+	Ingress LinkStats
+}
+
+// Stats returns a snapshot for every node.
+func (f *Fabric) Stats() []NodeStats {
+	f.mu.Lock()
+	nodes := make([]*node, len(f.nodes))
+	copy(nodes, f.nodes)
+	f.mu.Unlock()
+
+	out := make([]NodeStats, 0, len(nodes))
+	for _, n := range nodes {
+		var st NodeStats
+		st.Node = n.id
+		n.egress.mu.Lock()
+		st.Egress = LinkStats{Bytes: n.egress.bytes, Busy: n.egress.busy, Ops: n.egress.ops, HighWater: n.egress.nextFree}
+		n.egress.mu.Unlock()
+		n.ingress.mu.Lock()
+		st.Ingress = LinkStats{Bytes: n.ingress.bytes, Busy: n.ingress.busy, Ops: n.ingress.ops, HighWater: n.ingress.nextFree}
+		n.ingress.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// ResetStats zeroes the per-line accounting (but not nextFree, which is
+// part of the virtual timeline).
+func (f *Fabric) ResetStats() {
+	f.mu.Lock()
+	nodes := make([]*node, len(f.nodes))
+	copy(nodes, f.nodes)
+	f.mu.Unlock()
+	for _, n := range nodes {
+		for _, l := range []*line{&n.egress, &n.ingress} {
+			l.mu.Lock()
+			l.bytes, l.busy, l.ops = 0, 0, 0
+			l.mu.Unlock()
+		}
+	}
+}

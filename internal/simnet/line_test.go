@@ -1,0 +1,60 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestLineReservationsNeverOverlap: arbitrary interleavings of gap-filling
+// reservations must produce pairwise-disjoint intervals — double-booking a
+// line would fabricate bandwidth.
+func TestLineReservationsNeverOverlap(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var l line
+		type iv struct{ from, to VTime }
+		var got []iv
+		for i := 0; i < 2000; i++ {
+			start := VTime(rng.Intn(1 << 20))
+			ser := VTime(rng.Intn(1<<12) + 1)
+			from, to := l.reserve(start, ser)
+			if from < start {
+				t.Fatalf("seed %d: reservation [%d,%d) before start %d", seed, from, to, start)
+			}
+			if to-from != ser {
+				t.Fatalf("seed %d: reservation [%d,%d) wrong length, want %d", seed, from, to, ser)
+			}
+			got = append(got, iv{from, to})
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].from < got[j].from })
+		for i := 1; i < len(got); i++ {
+			if got[i].from < got[i-1].to {
+				t.Fatalf("seed %d: overlap [%d,%d) vs [%d,%d)", seed,
+					got[i-1].from, got[i-1].to, got[i].from, got[i].to)
+			}
+		}
+	}
+}
+
+// TestLineGapFill: a late-start reservation leaves a gap that an earlier
+// start can reclaim.
+func TestLineGapFill(t *testing.T) {
+	var l line
+	f1, t1 := l.reserve(1000, 100) // leaves gap [0,1000)
+	if f1 != 1000 || t1 != 1100 {
+		t.Fatalf("first = [%d,%d)", f1, t1)
+	}
+	f2, t2 := l.reserve(0, 500) // fills the gap
+	if f2 != 0 || t2 != 500 {
+		t.Fatalf("gap fill = [%d,%d)", f2, t2)
+	}
+	f3, _ := l.reserve(0, 600) // does not fit remaining gap [500,1000); goes to frontier
+	if f3 != 1100 {
+		t.Fatalf("frontier = %d, want 1100", f3)
+	}
+	f4, t4 := l.reserve(0, 500) // exactly fills [500,1000)
+	if f4 != 500 || t4 != 1000 {
+		t.Fatalf("exact fill = [%d,%d)", f4, t4)
+	}
+}

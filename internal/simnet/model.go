@@ -1,0 +1,83 @@
+package simnet
+
+import "time"
+
+// Params holds the cost-model constants of the simulated fabric. The
+// defaults (see DefaultParams) are calibrated to the FDR-class 12-machine
+// testbed used in the RStore paper; see DESIGN.md "Cost-model calibration".
+type Params struct {
+	// LinkBandwidth is the per-direction capacity of every node's link to
+	// the switch, in bits per second.
+	LinkBandwidth float64
+
+	// PropDelay is the one-way propagation plus switch delay between any
+	// two distinct nodes.
+	PropDelay time.Duration
+
+	// LoopbackDelay is the delay for a node talking to itself (no fabric
+	// traversal, just a local DMA).
+	LoopbackDelay time.Duration
+
+	// MemBandwidth is the effective bandwidth of a server-side memory copy,
+	// in bits per second. Two-sided (CPU-mediated) designs pay this on every
+	// op; one-sided RDMA does not.
+	MemBandwidth float64
+
+	// DiskBandwidth is the effective sequential disk bandwidth per node, in
+	// bits per second. Used by the MapReduce sort baseline.
+	DiskBandwidth float64
+
+	// DiskSeek is the latency charged for each distinct disk stream start.
+	DiskSeek time.Duration
+
+	// SegmentBytes is the granularity at which transfers occupy links.
+	// Concurrent flows interleave at this granularity (as real fabrics do
+	// at MTU granularity), avoiding message-sized head-of-line blocking.
+	// Default 64 KiB.
+	SegmentBytes int
+}
+
+// DefaultParams returns the calibrated testbed model.
+func DefaultParams() Params {
+	return Params{
+		LinkBandwidth: 56e9, // 56 Gb/s per direction (FDR class)
+		PropDelay:     900 * time.Nanosecond,
+		LoopbackDelay: 150 * time.Nanosecond,
+		MemBandwidth:  80e9,
+		DiskBandwidth: 4e9, // small RAID, matching the MR-baseline calibration
+		DiskSeek:      4 * time.Millisecond,
+		SegmentBytes:  64 << 10,
+	}
+}
+
+// segment returns the link-occupancy granularity.
+func (p Params) segment() int {
+	if p.SegmentBytes <= 0 {
+		return 64 << 10
+	}
+	return p.SegmentBytes
+}
+
+// serialize returns the time to push n bytes through a pipe of bw bits/sec.
+func serialize(n int, bw float64) time.Duration {
+	if n <= 0 || bw <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) * 8 / bw * float64(time.Second))
+}
+
+// SerializationTime returns the wire time for n bytes on one link direction.
+func (p Params) SerializationTime(n int) time.Duration {
+	return serialize(n, p.LinkBandwidth)
+}
+
+// MemCopyTime returns the modeled time for a CPU to copy n bytes.
+func (p Params) MemCopyTime(n int) time.Duration {
+	return serialize(n, p.MemBandwidth)
+}
+
+// DiskTime returns the modeled time to stream n bytes to or from disk,
+// including one seek.
+func (p Params) DiskTime(n int) time.Duration {
+	return p.DiskSeek + serialize(n, p.DiskBandwidth)
+}

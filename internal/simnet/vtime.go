@@ -1,0 +1,47 @@
+// Package simnet simulates a switched cluster fabric in virtual time.
+//
+// The simulator provides the timing substrate for the software RDMA layer:
+// nodes joined by full-duplex links through a central switch, a first-order
+// cost model (per-link bandwidth, propagation delay), FIFO link occupancy
+// for queueing and bandwidth sharing, and failure injection (node down,
+// pairwise partitions).
+//
+// All data movement in the repository is real (bytes are copied between
+// per-node memories by the layers above); simnet only accounts for *when*
+// those transfers would complete on the modeled hardware. Callers thread an
+// explicit virtual start time through each transfer and receive the virtual
+// completion time back, which makes benchmarks deterministic and lets
+// concurrent actors share links realistically.
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// VTime is a point in virtual time, in nanoseconds since the start of the
+// simulation. Virtual time is unrelated to the wall clock: it advances only
+// as modeled work is performed.
+type VTime int64
+
+// Duration converts a virtual interval to a time.Duration.
+func (v VTime) Duration() time.Duration { return time.Duration(v) }
+
+// Add returns the virtual time d after v.
+func (v VTime) Add(d time.Duration) VTime { return v + VTime(d) }
+
+// Sub returns the interval between v and earlier time u.
+func (v VTime) Sub(u VTime) time.Duration { return time.Duration(v - u) }
+
+// String renders the virtual time with microsecond precision.
+func (v VTime) String() string {
+	return fmt.Sprintf("%.3fus", float64(v)/1e3)
+}
+
+// maxV returns the later of two virtual times.
+func maxV(a, b VTime) VTime {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AccessPattern generates a stream of operation offsets within a region —
+// the access-side counterpart of the data generators, used by the
+// benchmark harness to drive stores with sequential, uniform random, or
+// skewed (Zipfian) traffic.
+type AccessPattern interface {
+	// Next returns the next offset; offsets are aligned to the pattern's
+	// operation size and lie in [0, regionSize-opSize].
+	Next() uint64
+}
+
+// NewSequential returns a pattern that scans the region in op-size steps,
+// wrapping at the end.
+func NewSequential(regionSize uint64, opSize int) (AccessPattern, error) {
+	if err := checkGeometry(regionSize, opSize); err != nil {
+		return nil, err
+	}
+	return &sequential{slots: regionSize / uint64(opSize), op: uint64(opSize)}, nil
+}
+
+type sequential struct {
+	slots uint64
+	op    uint64
+	next  uint64
+}
+
+func (s *sequential) Next() uint64 {
+	off := (s.next % s.slots) * s.op
+	s.next++
+	return off
+}
+
+// NewUniform returns a pattern choosing op-aligned offsets uniformly.
+func NewUniform(regionSize uint64, opSize int, seed int64) (AccessPattern, error) {
+	if err := checkGeometry(regionSize, opSize); err != nil {
+		return nil, err
+	}
+	return &uniform{
+		slots: regionSize / uint64(opSize),
+		op:    uint64(opSize),
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+type uniform struct {
+	slots uint64
+	op    uint64
+	rng   *rand.Rand
+}
+
+func (u *uniform) Next() uint64 {
+	return uint64(u.rng.Int63n(int64(u.slots))) * u.op
+}
+
+// NewZipfian returns a pattern with Zipf-distributed slot popularity
+// (exponent theta > 1), the standard skewed-workload stand-in (hot keys).
+// Slot ranks are scattered over the region so hot slots do not cluster on
+// one server.
+func NewZipfian(regionSize uint64, opSize int, theta float64, seed int64) (AccessPattern, error) {
+	if err := checkGeometry(regionSize, opSize); err != nil {
+		return nil, err
+	}
+	if theta <= 1 {
+		return nil, fmt.Errorf("workload: zipf theta %v must be > 1", theta)
+	}
+	slots := regionSize / uint64(opSize)
+	rng := rand.New(rand.NewSource(seed))
+	return &zipfian{
+		zipf: rand.NewZipf(rng, theta, 1, slots-1),
+		// Golden-ratio scatter maps popularity rank to a region slot.
+		mult: scatterMultiplier(slots),
+		slot: slots,
+		op:   uint64(opSize),
+	}, nil
+}
+
+type zipfian struct {
+	zipf *rand.Zipf
+	mult uint64
+	slot uint64
+	op   uint64
+}
+
+// scatterMultiplier picks an odd multiplier near slots/phi, coprime with
+// slots often enough for good dispersion.
+func scatterMultiplier(slots uint64) uint64 {
+	m := uint64(float64(slots) / math.Phi)
+	if m%2 == 0 {
+		m++
+	}
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+func (z *zipfian) Next() uint64 {
+	rank := z.zipf.Uint64()
+	return ((rank * z.mult) % z.slot) * z.op
+}
+
+func checkGeometry(regionSize uint64, opSize int) error {
+	if opSize <= 0 || uint64(opSize) > regionSize {
+		return fmt.Errorf("workload: op size %d out of range for region %d", opSize, regionSize)
+	}
+	return nil
+}

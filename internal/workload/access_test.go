@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialPattern(t *testing.T) {
+	p, err := NewSequential(1000, 100)
+	if err != nil {
+		t.Fatalf("NewSequential: %v", err)
+	}
+	for round := 0; round < 2; round++ {
+		for i := uint64(0); i < 10; i++ {
+			if got := p.Next(); got != i*100 {
+				t.Fatalf("round %d step %d = %d", round, i, got)
+			}
+		}
+	}
+}
+
+func TestUniformPatternBounds(t *testing.T) {
+	p, err := NewUniform(4096, 64, 7)
+	if err != nil {
+		t.Fatalf("NewUniform: %v", err)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 2000; i++ {
+		off := p.Next()
+		if off%64 != 0 || off > 4096-64 {
+			t.Fatalf("offset %d invalid", off)
+		}
+		seen[off] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("uniform pattern hit only %d distinct slots", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	p, err := NewZipfian(1<<20, 1024, 1.2, 3)
+	if err != nil {
+		t.Fatalf("NewZipfian: %v", err)
+	}
+	counts := make(map[uint64]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		off := p.Next()
+		if off%1024 != 0 || off > 1<<20-1024 {
+			t.Fatalf("offset %d invalid", off)
+		}
+		counts[off]++
+	}
+	// Skew: the hottest slot should take a sizeable share, far above the
+	// uniform expectation.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	slots := (1 << 20) / 1024
+	uniformShare := n / slots
+	if max < 10*uniformShare {
+		t.Errorf("hottest slot %d ops, want >= 10x uniform %d", max, uniformShare)
+	}
+}
+
+func TestPatternErrors(t *testing.T) {
+	if _, err := NewSequential(100, 0); err == nil {
+		t.Error("op size 0 must fail")
+	}
+	if _, err := NewUniform(100, 200, 1); err == nil {
+		t.Error("op > region must fail")
+	}
+	if _, err := NewZipfian(1000, 100, 1.0, 1); err == nil {
+		t.Error("theta 1.0 must fail")
+	}
+}
+
+// Property: every pattern only emits aligned, in-range offsets.
+func TestPatternBoundsProperty(t *testing.T) {
+	fn := func(sizeRaw uint16, opRaw uint8, seed int64) bool {
+		op := int(opRaw)%256 + 1
+		size := uint64(sizeRaw) + uint64(op)
+		pats := make([]AccessPattern, 0, 3)
+		if p, err := NewSequential(size, op); err == nil {
+			pats = append(pats, p)
+		}
+		if p, err := NewUniform(size, op, seed); err == nil {
+			pats = append(pats, p)
+		}
+		if size/uint64(op) >= 2 {
+			if p, err := NewZipfian(size, op, 1.5, seed); err == nil {
+				pats = append(pats, p)
+			}
+		}
+		for _, p := range pats {
+			for i := 0; i < 50; i++ {
+				off := p.Next()
+				if off%uint64(op) != 0 || off > size-uint64(op) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

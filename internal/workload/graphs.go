@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an immutable directed graph in compressed sparse row form,
+// stored by incoming edges (the natural layout for pull-based PageRank).
+type Graph struct {
+	// NumVertices is the vertex count; vertices are [0, NumVertices).
+	NumVertices int
+	// InOffsets has NumVertices+1 entries; the in-neighbors of v are
+	// InTargets[InOffsets[v]:InOffsets[v+1]].
+	InOffsets []uint64
+	// InTargets lists source vertices of incoming edges.
+	InTargets []uint32
+	// OutDegree counts outgoing edges per vertex.
+	OutDegree []uint32
+	// InWeights, when non-nil, holds one weight per incoming edge,
+	// parallel to InTargets (shortest-path algorithms use it).
+	InWeights []float32
+}
+
+// Weighted returns whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.InWeights != nil }
+
+// WithRandomWeights returns a copy of the graph carrying uniform random
+// edge weights in [1, maxW).
+func (g *Graph) WithRandomWeights(maxW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := *g
+	out.InWeights = make([]float32, len(g.InTargets))
+	for i := range out.InWeights {
+		out.InWeights[i] = float32(1 + rng.Float64()*(maxW-1))
+	}
+	return &out
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.InTargets) }
+
+// InNeighbors returns the sources of v's incoming edges.
+func (g *Graph) InNeighbors(v uint32) []uint32 {
+	return g.InTargets[g.InOffsets[v]:g.InOffsets[v+1]]
+}
+
+// BuildCSR converts an explicit edge list (parallel src, dst slices) into
+// in-CSR form. Exposed for constructing hand-crafted test graphs.
+func BuildCSR(n int, srcs, dsts []uint32) *Graph { return buildCSR(n, srcs, dsts) }
+
+// buildCSR converts an edge list (src, dst pairs) into in-CSR form.
+func buildCSR(n int, srcs, dsts []uint32) *Graph {
+	g := &Graph{
+		NumVertices: n,
+		InOffsets:   make([]uint64, n+1),
+		InTargets:   make([]uint32, len(srcs)),
+		OutDegree:   make([]uint32, n),
+	}
+	counts := make([]uint64, n)
+	for i := range srcs {
+		counts[dsts[i]]++
+		g.OutDegree[srcs[i]]++
+	}
+	for v := 0; v < n; v++ {
+		g.InOffsets[v+1] = g.InOffsets[v] + counts[v]
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, g.InOffsets[:n])
+	for i := range srcs {
+		d := dsts[i]
+		g.InTargets[cursor[d]] = srcs[i]
+		cursor[d]++
+	}
+	// Sort each adjacency list for cache-friendly, deterministic traversal.
+	for v := 0; v < n; v++ {
+		adj := g.InTargets[g.InOffsets[v]:g.InOffsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return g
+}
+
+// GenUniform generates a directed graph with m edges chosen uniformly at
+// random (self-loops excluded, duplicates allowed — multigraph semantics,
+// as in standard synthetic benchmarks).
+func GenUniform(n, m int, seed int64) (*Graph, error) {
+	if n <= 1 || m < 0 {
+		return nil, fmt.Errorf("workload: bad graph size n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	srcs := make([]uint32, m)
+	dsts := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		s := uint32(rng.Intn(n))
+		d := uint32(rng.Intn(n - 1))
+		if d >= s {
+			d++
+		}
+		srcs[i], dsts[i] = s, d
+	}
+	return buildCSR(n, srcs, dsts), nil
+}
+
+// GenRMAT generates a power-law graph with the recursive-matrix method
+// (Chakrabarti et al.), the standard stand-in for social-network graphs
+// like the ones the paper's PageRank evaluation uses. n is rounded up to a
+// power of two.
+func GenRMAT(n, m int, seed int64) (*Graph, error) {
+	if n <= 1 || m < 0 {
+		return nil, fmt.Errorf("workload: bad graph size n=%d m=%d", n, m)
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	n = 1 << levels
+	const a, b, c = 0.57, 0.19, 0.19 // standard RMAT parameters; d = 0.05
+	rng := rand.New(rand.NewSource(seed))
+	srcs := make([]uint32, m)
+	dsts := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		var s, d uint32
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				d |= 1 << l
+			case r < a+b+c:
+				s |= 1 << l
+			default:
+				s |= 1 << l
+				d |= 1 << l
+			}
+		}
+		if s == d {
+			d = (d + 1) % uint32(n)
+		}
+		srcs[i], dsts[i] = s, d
+	}
+	return buildCSR(n, srcs, dsts), nil
+}
+
+// Symmetrized returns a new graph with every edge present in both
+// directions (weakly-connected-components and undirected algorithms need
+// this).
+func (g *Graph) Symmetrized() *Graph {
+	var srcs, dsts []uint32
+	for v := 0; v < g.NumVertices; v++ {
+		for _, u := range g.InNeighbors(uint32(v)) {
+			srcs = append(srcs, u, uint32(v))
+			dsts = append(dsts, uint32(v), u)
+		}
+	}
+	return buildCSR(g.NumVertices, srcs, dsts)
+}
+
+// PartitionByEdges splits vertices into parts contiguous ranges balanced
+// by in-edge count. Returns part+1 boundaries: part p owns
+// [bounds[p], bounds[p+1]).
+func (g *Graph) PartitionByEdges(parts int) []uint32 {
+	if parts <= 0 {
+		parts = 1
+	}
+	bounds := make([]uint32, parts+1)
+	total := uint64(g.NumEdges())
+	target := total / uint64(parts)
+	p := 1
+	var acc uint64
+	for v := 0; v < g.NumVertices && p < parts; v++ {
+		acc += g.InOffsets[v+1] - g.InOffsets[v]
+		if acc >= target*uint64(p) {
+			bounds[p] = uint32(v + 1)
+			p++
+		}
+	}
+	for ; p < parts; p++ {
+		bounds[p] = uint32(g.NumVertices)
+	}
+	bounds[parts] = uint32(g.NumVertices)
+	return bounds
+}

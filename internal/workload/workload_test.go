@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordGenDeterministic(t *testing.T) {
+	g1 := NewRecordGen(7)
+	g2 := NewRecordGen(7)
+	a := make([]byte, 10*RecordSize)
+	b := make([]byte, 10*RecordSize)
+	if err := g1.Fill(a, 0, 10); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if err := g2.Fill(b, 0, 10); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different records")
+	}
+	g3 := NewRecordGen(8)
+	if err := g3.Fill(b, 0, 10); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("different seeds produced identical records")
+	}
+}
+
+func TestRecordGenRangeIndependence(t *testing.T) {
+	// Generating [0,100) in one shot equals generating [0,50) and [50,100)
+	// separately — the property distributed generation relies on.
+	g := NewRecordGen(3)
+	whole := make([]byte, 100*RecordSize)
+	if err := g.Fill(whole, 0, 100); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	lo := make([]byte, 50*RecordSize)
+	hi := make([]byte, 50*RecordSize)
+	if err := g.Fill(lo, 0, 50); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if err := g.Fill(hi, 50, 50); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if !bytes.Equal(whole[:50*RecordSize], lo) || !bytes.Equal(whole[50*RecordSize:], hi) {
+		t.Error("range generation differs from whole generation")
+	}
+}
+
+func TestRecordFillTooSmall(t *testing.T) {
+	g := NewRecordGen(1)
+	if err := g.Fill(make([]byte, RecordSize-1), 0, 1); err == nil {
+		t.Error("short buffer must error")
+	}
+}
+
+func TestKeyDistribution(t *testing.T) {
+	// Keys should be well spread: over 1000 records, the leading byte
+	// should take many distinct values.
+	g := NewRecordGen(11)
+	buf := make([]byte, 1000*RecordSize)
+	if err := g.Fill(buf, 0, 1000); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < 1000; i++ {
+		seen[buf[i*RecordSize]] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("leading key byte has only %d distinct values", len(seen))
+	}
+}
+
+func TestSortedAndCompare(t *testing.T) {
+	g := NewRecordGen(5)
+	buf := make([]byte, 200*RecordSize)
+	if err := g.Fill(buf, 0, 200); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if Sorted(buf) {
+		t.Error("random records unexpectedly sorted")
+	}
+	// Sort by key and re-check.
+	recs := make([][]byte, 200)
+	for i := range recs {
+		recs[i] = buf[i*RecordSize : (i+1)*RecordSize]
+	}
+	sort.Slice(recs, func(i, j int) bool { return CompareRecords(recs[i], recs[j]) < 0 })
+	out := make([]byte, 0, len(buf))
+	for _, r := range recs {
+		out = append(out, r...)
+	}
+	if !Sorted(out) {
+		t.Error("sorted records not reported sorted")
+	}
+}
+
+func TestSampleKeys(t *testing.T) {
+	g := NewRecordGen(2)
+	buf := make([]byte, 100*RecordSize)
+	if err := g.Fill(buf, 0, 100); err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	keys := SampleKeys(buf, 10, 1)
+	if len(keys) != 10 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for _, k := range keys {
+		if len(k) != KeySize {
+			t.Errorf("key size %d", len(k))
+		}
+	}
+	if SampleKeys(nil, 10, 1) != nil {
+		t.Error("empty buffer should yield nil")
+	}
+}
+
+func TestGenUniform(t *testing.T) {
+	g, err := GenUniform(100, 1000, 42)
+	if err != nil {
+		t.Fatalf("GenUniform: %v", err)
+	}
+	if g.NumVertices != 100 || g.NumEdges() != 1000 {
+		t.Fatalf("graph = %d vertices, %d edges", g.NumVertices, g.NumEdges())
+	}
+	checkCSRInvariants(t, g)
+}
+
+func TestGenRMAT(t *testing.T) {
+	g, err := GenRMAT(1000, 10000, 42)
+	if err != nil {
+		t.Fatalf("GenRMAT: %v", err)
+	}
+	if g.NumVertices != 1024 { // rounded to power of two
+		t.Fatalf("vertices = %d, want 1024", g.NumVertices)
+	}
+	if g.NumEdges() != 10000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	checkCSRInvariants(t, g)
+
+	// Power law: max in-degree far above mean.
+	var maxIn uint64
+	for v := 0; v < g.NumVertices; v++ {
+		d := g.InOffsets[v+1] - g.InOffsets[v]
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(g.NumEdges()) / float64(g.NumVertices)
+	if float64(maxIn) < 5*mean {
+		t.Errorf("max in-degree %d not skewed vs mean %.1f", maxIn, mean)
+	}
+}
+
+func checkCSRInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	if g.InOffsets[0] != 0 {
+		t.Error("InOffsets[0] != 0")
+	}
+	if g.InOffsets[g.NumVertices] != uint64(len(g.InTargets)) {
+		t.Error("InOffsets tail mismatch")
+	}
+	var outSum uint64
+	for _, d := range g.OutDegree {
+		outSum += uint64(d)
+	}
+	if outSum != uint64(g.NumEdges()) {
+		t.Errorf("out-degree sum %d != edges %d", outSum, g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if g.InOffsets[v] > g.InOffsets[v+1] {
+			t.Fatalf("offsets not monotonic at %d", v)
+		}
+		for _, u := range g.InNeighbors(uint32(v)) {
+			if int(u) >= g.NumVertices {
+				t.Fatalf("edge source %d out of range", u)
+			}
+			if u == uint32(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	if _, err := GenUniform(1, 5, 0); err == nil {
+		t.Error("n=1 must fail")
+	}
+	if _, err := GenRMAT(0, 5, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := GenUniform(10, -1, 0); err == nil {
+		t.Error("negative edges must fail")
+	}
+}
+
+func TestPartitionByEdges(t *testing.T) {
+	g, err := GenRMAT(512, 5000, 9)
+	if err != nil {
+		t.Fatalf("GenRMAT: %v", err)
+	}
+	bounds := g.PartitionByEdges(4)
+	if len(bounds) != 5 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if bounds[0] != 0 || bounds[4] != uint32(g.NumVertices) {
+		t.Errorf("bounds endpoints = %v", bounds)
+	}
+	for p := 0; p < 4; p++ {
+		if bounds[p] > bounds[p+1] {
+			t.Errorf("bounds not monotonic: %v", bounds)
+		}
+	}
+	// Every partition's edge load should be within 3x of the mean (power
+	// law graphs cannot be balanced perfectly with contiguous ranges).
+	mean := float64(g.NumEdges()) / 4
+	for p := 0; p < 4; p++ {
+		var load uint64
+		for v := bounds[p]; v < bounds[p+1]; v++ {
+			load += g.InOffsets[v+1] - g.InOffsets[v]
+		}
+		if float64(load) > 3*mean+1 {
+			t.Errorf("partition %d load %d vs mean %.0f", p, load, mean)
+		}
+	}
+}
+
+// Property: uniform graphs always satisfy CSR invariants.
+func TestCSRInvariantProperty(t *testing.T) {
+	fn := func(nRaw, mRaw uint8, seed int64) bool {
+		n := int(nRaw)%200 + 2
+		m := int(mRaw) * 4
+		g, err := GenUniform(n, m, seed)
+		if err != nil {
+			return false
+		}
+		if g.InOffsets[g.NumVertices] != uint64(len(g.InTargets)) {
+			return false
+		}
+		var outSum uint64
+		for _, d := range g.OutDegree {
+			outSum += uint64(d)
+		}
+		return outSum == uint64(m)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
