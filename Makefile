@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race integration verify bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: what every change must keep green.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Chaos / fault-injection suite under the race detector, bounded so a
+# recovery bug shows up as a timeout instead of a wedged CI job.
+integration:
+	$(GO) test -race -timeout 300s ./internal/integration/...
+
+# Tier-2 verification (see README "Verifying"): vet plus the full suite
+# under the race detector. Slower than tier-1; run before merging anything
+# that touches concurrency or the failure paths.
+verify: vet
+	$(GO) test -race -timeout 600s ./...
+
+race: verify
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -40,6 +40,12 @@ var (
 	// the RPC boundary (matched by message prefix).
 	ErrRegionExists   = errors.New("client: region already exists")
 	ErrRegionNotFound = errors.New("client: region not found")
+
+	// ErrRegionLost means a region's memory server is gone for good: the
+	// master has declared it dead, so retrying cannot help. Holders of the
+	// region must re-Alloc (contents are lost — RStore is a store, not a
+	// durable database).
+	ErrRegionLost = errors.New("client: region lost (server dead)")
 )
 
 // Config tunes a client.
@@ -55,6 +61,9 @@ type Config struct {
 	StagingCount int
 	// QPDepth is the send-queue depth per server connection. Default 512.
 	QPDepth int
+	// Retry governs control-plane retries (master RPCs and re-dials).
+	// Zero-valued fields take DefaultRetryPolicy values.
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -100,10 +109,10 @@ func (s ControlStats) Sub(o ControlStats) ControlStats {
 
 // Client is an RStore client endpoint on one fabric node.
 type Client struct {
-	cfg    Config
-	dev    *rdma.Device
-	pd     *rdma.PD
-	master *rpc.Conn
+	cfg   Config
+	dev   *rdma.Device
+	pd    *rdma.PD
+	retry *retrier
 
 	// vnow is the client's virtual-time cursor: the modeled completion of
 	// its most recent data-path operation. Operations are timestamped from
@@ -113,7 +122,9 @@ type Client struct {
 
 	mu      sync.Mutex
 	closed  bool
+	master  *rpc.Conn // replaced on re-dial after a connection failure
 	conns   map[simnet.NodeID]*serverConn
+	epochs  map[simnet.NodeID]uint64 // last observed master epoch per server
 	notify  map[simnet.NodeID]*notifyConn
 	ctrl    ControlStats
 	staging chan *Buf
@@ -133,7 +144,9 @@ func Connect(ctx context.Context, dev *rdma.Device, cfg Config) (*Client, error)
 		cfg:     cfg,
 		dev:     dev,
 		pd:      pd,
+		retry:   newRetrier(cfg.Retry),
 		conns:   make(map[simnet.NodeID]*serverConn),
+		epochs:  make(map[simnet.NodeID]uint64),
 		notify:  make(map[simnet.NodeID]*notifyConn),
 		staging: make(chan *Buf, cfg.StagingCount),
 	}
@@ -208,6 +221,7 @@ func (c *Client) Close() {
 		notifies = append(notifies, nc)
 	}
 	c.notify = make(map[simnet.NodeID]*notifyConn)
+	master := c.master
 	c.mu.Unlock()
 
 	for _, sc := range conns {
@@ -216,7 +230,9 @@ func (c *Client) Close() {
 	for _, nc := range notifies {
 		nc.close()
 	}
-	c.master.Close()
+	if master != nil {
+		master.Close()
+	}
 }
 
 func (c *Client) checkOpen() error {
@@ -228,15 +244,69 @@ func (c *Client) checkOpen() error {
 	return nil
 }
 
-// call wraps a master RPC with control-time accounting and error mapping.
+// masterConn returns the control connection, re-dialing when the current
+// one has failed (the QP of a partitioned or bounced master dies
+// permanently; recovery is a fresh connection).
+func (c *Client) masterConn(ctx context.Context) (*rpc.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cur := c.master
+	c.mu.Unlock()
+	if cur != nil && cur.Err() == nil {
+		return cur, nil
+	}
+
+	fresh, err := rpc.Dial(ctx, c.dev, c.cfg.Master, proto.MasterService, c.pd, c.cfg.RPC)
+	if err != nil {
+		return nil, fmt.Errorf("client: redial master: %w", err)
+	}
+	c.chargeConnect()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		go fresh.Close()
+		return nil, ErrClosed
+	}
+	if c.master != cur && c.master != nil && c.master.Err() == nil {
+		// Another caller re-dialed first; keep theirs.
+		go fresh.Close()
+		return c.master, nil
+	}
+	old := c.master
+	c.master = fresh
+	if old != nil {
+		go old.Close()
+	}
+	return fresh, nil
+}
+
+// call wraps a master RPC with control-time accounting, error mapping, and
+// the client's retry policy. Transport failures (QP death, partitions,
+// per-call timeouts) re-dial and retry with capped backoff; remote business
+// errors surface immediately.
 func (c *Client) call(ctx context.Context, mt uint16, req []byte) ([]byte, error) {
 	if err := c.checkOpen(); err != nil {
 		return nil, err
 	}
-	resp, lat, err := c.master.Call(ctx, mt, req)
-	c.chargeRPC(lat)
+	var resp []byte
+	err := c.retry.do(ctx, func(ctx context.Context) error {
+		conn, err := c.masterConn(ctx)
+		if err != nil {
+			return err
+		}
+		r, lat, err := conn.Call(ctx, mt, req)
+		c.chargeRPC(lat)
+		if err != nil {
+			return mapMasterError(err)
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
-		return nil, mapMasterError(err)
+		return nil, err
 	}
 	return resp, nil
 }
@@ -307,21 +377,103 @@ func (c *Client) Map(ctx context.Context, name string) (*Region, error) {
 	if derr := d.Err(); derr != nil {
 		return nil, fmt.Errorf("map %q: %w", name, derr)
 	}
-	// Eagerly connect to every participating server so the data path is
-	// setup-free, per the separation philosophy.
-	for _, node := range info.Servers() {
-		if _, err := c.serverConn(ctx, node); err != nil {
-			return nil, fmt.Errorf("map %q: connect %v: %w", name, node, err)
-		}
+	if err := c.connectRegion(ctx, info); err != nil {
+		return nil, fmt.Errorf("map %q: %w", name, err)
 	}
+	return newRegion(c, info), nil
+}
+
+// connectRegion eagerly connects to every server a region touches so the
+// data path is setup-free, per the separation philosophy. One liveness
+// snapshot from the master covers all of them: a dead server upgrades the
+// failure to ErrRegionLost without a futile dial, and a bumped epoch means
+// the server restarted — its old arena (and the peer of any cached QP) is
+// gone, so the cached connection is replaced even though it still looks
+// healthy locally.
+func (c *Client) connectRegion(ctx context.Context, info *proto.RegionInfo) error {
+	nodes := info.Servers()
 	for _, rep := range info.Replicas {
 		for _, x := range rep {
-			if _, err := c.serverConn(ctx, x.Server); err != nil {
-				return nil, fmt.Errorf("map %q: connect replica %v: %w", name, x.Server, err)
-			}
+			nodes = append(nodes, x.Server)
 		}
 	}
-	return &Region{c: c, info: info}, nil
+	alive := make(map[simnet.NodeID]proto.ServerInfo)
+	if infos, err := c.ClusterInfo(ctx); err == nil {
+		for _, si := range infos {
+			alive[si.Node] = si
+		}
+	}
+	seen := make(map[simnet.NodeID]bool, len(nodes))
+	for _, node := range nodes {
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		si, known := alive[node]
+		if known {
+			c.refreshConn(node, si.Epoch)
+			if !si.Alive {
+				// The verdict can be stale in both directions (a starved
+				// heartbeat marks a healthy server dead for a beat or two),
+				// so it is advisory: drop the cached connection and probe
+				// with a fresh dial. Only a server that is declared dead AND
+				// unreachable makes the region lost.
+				c.dropConn(node)
+			}
+		}
+		if _, err := c.serverConn(ctx, node); err != nil {
+			if (known && !si.Alive) || c.serverDead(ctx, node) {
+				return fmt.Errorf("%w: server %v: %v", ErrRegionLost, node, err)
+			}
+			return fmt.Errorf("connect %v: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// dropConn closes and forgets the cached connection to node so the next
+// serverConn call dials fresh.
+func (c *Client) dropConn(node simnet.NodeID) {
+	c.mu.Lock()
+	sc := c.conns[node]
+	delete(c.conns, node)
+	c.mu.Unlock()
+	if sc != nil {
+		sc.close()
+	}
+}
+
+// refreshConn records the server's current epoch and drops any cached
+// connection dialed against an earlier incarnation.
+func (c *Client) refreshConn(node simnet.NodeID, epoch uint64) {
+	c.mu.Lock()
+	c.epochs[node] = epoch
+	sc, ok := c.conns[node]
+	if ok && sc.epoch != epoch {
+		delete(c.conns, node)
+	} else {
+		sc = nil
+	}
+	c.mu.Unlock()
+	if sc != nil {
+		sc.close()
+	}
+}
+
+// serverDead asks the master whether it has declared the node dead. A
+// cluster-info failure counts as "not known dead": the caller then reports
+// the original connect error rather than ErrRegionLost.
+func (c *Client) serverDead(ctx context.Context, node simnet.NodeID) bool {
+	infos, err := c.ClusterInfo(ctx)
+	if err != nil {
+		return false
+	}
+	for _, si := range infos {
+		if si.Node == node {
+			return !si.Alive
+		}
+	}
+	return false
 }
 
 // AllocMap allocates and immediately maps a region.
@@ -429,6 +581,7 @@ func (c *Client) serverConn(ctx context.Context, node simnet.NodeID) (*serverCon
 		go sc.close()
 		return cur, nil
 	}
+	sc.epoch = c.epochs[node]
 	c.conns[node] = sc
 	return sc, nil
 }

@@ -120,6 +120,11 @@ func (op *ioOp) wait(ctx context.Context, fragments int) (IOStat, error) {
 // completion dispatcher that resolves futures.
 type serverConn struct {
 	qp *rdma.QP
+	// epoch is the master's incarnation counter for the server at dial
+	// time. A later snapshot with a higher epoch means the server bounced:
+	// the peer QP and arena behind this connection no longer exist, so the
+	// connection must be replaced even though the local QP still looks ready.
+	epoch uint64
 
 	mu      sync.Mutex
 	nextWR  uint64

@@ -187,36 +187,65 @@ func (r *Region) Subscribe(ctx context.Context) (<-chan Notification, func(), er
 	if err := r.checkMapped(); err != nil {
 		return nil, nil, err
 	}
-	home := r.info.HomeServer()
-	nc, err := r.c.notifyConn(ctx, home)
+	info := r.Info()
+	nc, err := r.c.notifyConn(ctx, info.HomeServer())
 	if err != nil {
-		return nil, nil, fmt.Errorf("subscribe %q: %w", r.info.Name, err)
+		return nil, nil, fmt.Errorf("subscribe %q: %w", info.Name, err)
 	}
 	ch := make(chan Notification, notifySlots)
 	ack := make(chan struct{})
 	nc.mu.Lock()
-	nc.subs[r.info.ID] = append(nc.subs[r.info.ID], ch)
-	nc.acks[r.info.ID] = append(nc.acks[r.info.ID], ack)
+	nc.subs[info.ID] = append(nc.subs[info.ID], ch)
+	nc.acks[info.ID] = append(nc.acks[info.ID], ack)
 	nc.mu.Unlock()
 
-	if err := nc.send(memserver.NotifyKindSubscribe, r.info.ID, 0); err != nil {
-		return nil, nil, fmt.Errorf("subscribe %q: %w", r.info.Name, err)
+	// unregister backs out the registrations above when the handshake
+	// fails, so aborted subscriptions do not leak channels or leave a
+	// stale ack queue entry that would steal a later subscriber's ack.
+	unregister := func() {
+		nc.mu.Lock()
+		defer nc.mu.Unlock()
+		chans := nc.subs[info.ID]
+		for i, c2 := range chans {
+			if c2 == ch {
+				nc.subs[info.ID] = append(chans[:i], chans[i+1:]...)
+				break
+			}
+		}
+		pending := nc.acks[info.ID]
+		for i, a := range pending {
+			if a == ack {
+				nc.acks[info.ID] = append(pending[:i], pending[i+1:]...)
+				break
+			}
+		}
 	}
+
+	if err := nc.send(memserver.NotifyKindSubscribe, info.ID, 0); err != nil {
+		unregister()
+		return nil, nil, fmt.Errorf("subscribe %q: %w", info.Name, err)
+	}
+	// Bound the ack wait even when the caller's context has no deadline, so
+	// a dead home server cannot hang the subscriber forever.
+	timeout := time.NewTimer(5 * time.Second)
+	defer timeout.Stop()
 	select {
 	case <-ack:
 	case <-ctx.Done():
-		return nil, nil, fmt.Errorf("subscribe %q: %w", r.info.Name, ctx.Err())
-	case <-time.After(5 * time.Second):
-		return nil, nil, fmt.Errorf("subscribe %q: %w", r.info.Name, rdma.ErrTimeout)
+		unregister()
+		return nil, nil, fmt.Errorf("subscribe %q: %w", info.Name, ctx.Err())
+	case <-timeout.C:
+		unregister()
+		return nil, nil, fmt.Errorf("subscribe %q: %w", info.Name, rdma.ErrTimeout)
 	}
 
 	unsub := func() {
-		_ = nc.send(memserver.NotifyKindUnsubscribe, r.info.ID, 0)
+		_ = nc.send(memserver.NotifyKindUnsubscribe, info.ID, 0)
 		nc.mu.Lock()
-		chans := nc.subs[r.info.ID]
+		chans := nc.subs[info.ID]
 		for i, c2 := range chans {
 			if c2 == ch {
-				nc.subs[r.info.ID] = append(chans[:i], chans[i+1:]...)
+				nc.subs[info.ID] = append(chans[:i], chans[i+1:]...)
 				break
 			}
 		}
@@ -231,12 +260,13 @@ func (r *Region) Notify(ctx context.Context, token uint32) error {
 	if err := r.checkMapped(); err != nil {
 		return err
 	}
-	nc, err := r.c.notifyConn(ctx, r.info.HomeServer())
+	info := r.Info()
+	nc, err := r.c.notifyConn(ctx, info.HomeServer())
 	if err != nil {
-		return fmt.Errorf("notify %q: %w", r.info.Name, err)
+		return fmt.Errorf("notify %q: %w", info.Name, err)
 	}
-	if err := nc.send(memserver.NotifyKindNotify, r.info.ID, token); err != nil {
-		return fmt.Errorf("notify %q: %w", r.info.Name, err)
+	if err := nc.send(memserver.NotifyKindNotify, info.ID, token); err != nil {
+		return fmt.Errorf("notify %q: %w", info.Name, err)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rstore/internal/proto"
 	"rstore/internal/rdma"
@@ -14,21 +15,59 @@ import (
 // Region is a mapped region: the client-side handle of a named, striped
 // window of cluster DRAM. All methods are safe for concurrent use.
 type Region struct {
-	c    *Client
-	info *proto.RegionInfo
+	c *Client
+	// info holds the current metadata snapshot; Remap swaps in a fresh one
+	// atomically so in-flight operations keep a consistent view.
+	info atomic.Pointer[proto.RegionInfo]
 
 	mu       sync.Mutex
 	unmapped bool
 }
 
-// Info returns the region's metadata.
-func (r *Region) Info() *proto.RegionInfo { return r.info }
+func newRegion(c *Client, info *proto.RegionInfo) *Region {
+	r := &Region{c: c}
+	r.info.Store(info)
+	return r
+}
+
+// Info returns the region's current metadata snapshot.
+func (r *Region) Info() *proto.RegionInfo { return r.info.Load() }
 
 // Name returns the region's name.
-func (r *Region) Name() string { return r.info.Name }
+func (r *Region) Name() string { return r.Info().Name }
 
 // Size returns the region's size in bytes.
-func (r *Region) Size() uint64 { return r.info.Size }
+func (r *Region) Size() uint64 { return r.Info().Size }
+
+// Remap refetches the region's metadata from the master and re-establishes
+// server connections (the recovery step after a memory-server bounce). It
+// is idempotent — the master does not count it as an additional mapping —
+// so callers retry it freely. Data written before the failure is NOT
+// recovered unless the region has replicas; Remap restores access, not
+// contents. Returns ErrRegionLost when a participating server is
+// unreachable and the master has declared it dead.
+func (r *Region) Remap(ctx context.Context) error {
+	if err := r.checkMapped(); err != nil {
+		return err
+	}
+	name := r.Info().Name
+	var e rpc.Encoder
+	e.String(name)
+	resp, err := r.c.call(ctx, proto.MtRemap, e.Bytes())
+	if err != nil {
+		return fmt.Errorf("remap %q: %w", name, err)
+	}
+	d := rpc.NewDecoder(resp)
+	info := proto.DecodeRegionInfo(d)
+	if derr := d.Err(); derr != nil {
+		return fmt.Errorf("remap %q: %w", name, derr)
+	}
+	if err := r.c.connectRegion(ctx, info); err != nil {
+		return fmt.Errorf("remap %q: %w", name, err)
+	}
+	r.info.Store(info)
+	return nil
+}
 
 // Unmap detaches from the region (the paper's runmap). Data-path calls
 // fail afterwards; the region itself lives on until Free.
@@ -40,10 +79,11 @@ func (r *Region) Unmap(ctx context.Context) error {
 	}
 	r.unmapped = true
 	r.mu.Unlock()
+	name := r.Info().Name
 	var e rpc.Encoder
-	e.String(r.info.Name)
+	e.String(name)
 	if _, err := r.c.call(ctx, proto.MtUnmap, e.Bytes()); err != nil {
-		return fmt.Errorf("unmap %q: %w", r.info.Name, err)
+		return fmt.Errorf("unmap %q: %w", name, err)
 	}
 	return nil
 }
@@ -52,7 +92,7 @@ func (r *Region) checkMapped() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.unmapped {
-		return fmt.Errorf("%w: %q", ErrRegionClosed, r.info.Name)
+		return fmt.Errorf("%w: %q", ErrRegionClosed, r.Info().Name)
 	}
 	return nil
 }
@@ -105,15 +145,16 @@ func (r *Region) StartWriteAt(ctx context.Context, off uint64, buf *Buf, bufOff,
 	if err := r.checkMapped(); err != nil {
 		return nil, err
 	}
-	frags, err := r.info.Fragments(off, n)
+	info := r.Info()
+	frags, err := info.Fragments(off, n)
 	if err != nil {
-		return nil, fmt.Errorf("write %q: %w", r.info.Name, err)
+		return nil, fmt.Errorf("write %q: %w", info.Name, err)
 	}
 	all := frags
-	for i := range r.info.Replicas {
-		rf, err := r.info.ReplicaFragments(i, off, n)
+	for i := range info.Replicas {
+		rf, err := info.ReplicaFragments(i, off, n)
 		if err != nil {
-			return nil, fmt.Errorf("write %q replica %d: %w", r.info.Name, i, err)
+			return nil, fmt.Errorf("write %q replica %d: %w", info.Name, i, err)
 		}
 		all = append(all, rf...)
 	}
@@ -137,9 +178,9 @@ func (r *Region) StartReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, 
 	if err := r.checkMapped(); err != nil {
 		return nil, err
 	}
-	frags, err := r.info.Fragments(off, n)
+	frags, err := r.Info().Fragments(off, n)
 	if err != nil {
-		return nil, fmt.Errorf("read %q: %w", r.info.Name, err)
+		return nil, fmt.Errorf("read %q: %w", r.Info().Name, err)
 	}
 	op := r.newOp(len(frags))
 	r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
@@ -155,11 +196,12 @@ func (r *Region) ReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int
 		return IOStat{}, err
 	}
 	st, err := p.Wait(ctx)
-	if err == nil || len(r.info.Replicas) == 0 || errors.Is(err, ErrRegionClosed) {
+	info := r.Info()
+	if err == nil || len(info.Replicas) == 0 || errors.Is(err, ErrRegionClosed) {
 		return st, err
 	}
-	for i := range r.info.Replicas {
-		frags, ferr := r.info.ReplicaFragments(i, off, n)
+	for i := range info.Replicas {
+		frags, ferr := info.ReplicaFragments(i, off, n)
 		if ferr != nil {
 			continue
 		}
@@ -169,7 +211,7 @@ func (r *Region) ReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int
 			return st, nil
 		}
 	}
-	return IOStat{}, fmt.Errorf("read %q: all copies failed: %w", r.info.Name, err)
+	return IOStat{}, fmt.Errorf("read %q: all copies failed: %w", info.Name, err)
 }
 
 // Write copies p into the region at off via an internal staging buffer.
@@ -218,7 +260,7 @@ func (r *Region) Read(ctx context.Context, off uint64, p []byte) error {
 // atomicFragment resolves the single fragment holding the 8-byte word at
 // off; the word must not straddle a stripe boundary.
 func (r *Region) atomicFragment(off uint64) (proto.Fragment, error) {
-	frags, err := r.info.Fragments(off, 8)
+	frags, err := r.Info().Fragments(off, 8)
 	if err != nil {
 		return proto.Fragment{}, err
 	}
@@ -247,11 +289,11 @@ func (r *Region) atomic(ctx context.Context, opcode rdma.OpCode, off uint64, add
 	}
 	frag, err := r.atomicFragment(off)
 	if err != nil {
-		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.info.Name, err)
+		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
 	sc, err := r.c.serverConn(ctx, frag.Server)
 	if err != nil {
-		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.info.Name, err)
+		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
 	st := r.c.acquireStaging()
 	defer r.c.releaseStaging(st)
@@ -267,7 +309,7 @@ func (r *Region) atomic(ctx context.Context, opcode rdma.OpCode, off uint64, add
 		StartV:     op.startV,
 	}
 	if err := sc.post(wr, op); err != nil {
-		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.info.Name, err)
+		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
 	stat, err := op.wait(ctx, 1)
 	if err != nil {

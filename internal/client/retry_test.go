@@ -1,0 +1,193 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// boundedPolicy maps arbitrary quick-generated integers onto a valid-ish
+// policy so properties exercise the normalization paths too.
+func boundedPolicy(attempts, base, max int64, mult, jit float64) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: int(attempts % 32),
+		BaseDelay:   time.Duration(base % int64(50*time.Millisecond)),
+		MaxDelay:    time.Duration(max % int64(2*time.Second)),
+		Multiplier:  mult,
+		Jitter:      jit,
+	}
+}
+
+// Property: the backoff sequence is monotone non-decreasing and never
+// exceeds the (normalized) cap, for arbitrary policies.
+func TestBackoffMonotoneCappedProperty(t *testing.T) {
+	fn := func(attempts, base, max int64, mult, jit float64) bool {
+		p := boundedPolicy(attempts, base, max, mult, jit).withDefaults()
+		prev := time.Duration(-1)
+		for a := 0; a < 20; a++ {
+			d := p.Backoff(a)
+			if d < prev || d > p.MaxDelay || d < 0 {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	p := DefaultRetryPolicy()
+	tests := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 2 * time.Millisecond},
+		{1, 4 * time.Millisecond},
+		{2, 8 * time.Millisecond},
+		{6, 128 * time.Millisecond},
+		{7, 250 * time.Millisecond}, // capped
+		{100, 250 * time.Millisecond},
+		{-3, 2 * time.Millisecond}, // clamped to first retry
+	}
+	for _, tt := range tests {
+		if got := p.Backoff(tt.attempt); got != tt.want {
+			t.Errorf("Backoff(%d) = %v, want %v", tt.attempt, got, tt.want)
+		}
+	}
+}
+
+// Property: jittered delays stay within [d(1-J), d(1+J)] of the base
+// backoff for arbitrary seeds and attempts.
+func TestJitterBoundsProperty(t *testing.T) {
+	fn := func(seed int64, attempt uint8, jit float64) bool {
+		p := DefaultRetryPolicy()
+		p.Jitter = jit
+		p.Seed = seed
+		p = p.withDefaults()
+		r := newRetrier(p)
+		a := int(attempt % 16)
+		d := p.Backoff(a)
+		got := r.jittered(a)
+		lo := time.Duration(float64(d) * (1 - p.Jitter))
+		hi := time.Duration(float64(d) * (1 + p.Jitter))
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitterSeedDeterminism(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		r := newRetrier(RetryPolicy{Seed: seed})
+		var out []time.Duration
+		for a := 0; a < 16; a++ {
+			out = append(out, r.jittered(a))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: do() never runs more than MaxAttempts attempts, and a context
+// that expires mid-backoff stops the loop early with the context error.
+func TestDoAttemptsRespectDeadlineProperty(t *testing.T) {
+	fn := func(attempts uint8) bool {
+		max := int(attempts%8) + 1
+		r := newRetrier(RetryPolicy{
+			MaxAttempts: max,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    10 * time.Microsecond,
+		})
+		calls := 0
+		err := r.do(context.Background(), func(context.Context) error {
+			calls++
+			return rpc.ErrConnClosed // always retryable
+		})
+		return calls == max && errors.Is(err, rpc.ErrConnClosed)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoStopsWhenContextExpires(t *testing.T) {
+	r := newRetrier(RetryPolicy{
+		MaxAttempts: 100,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	calls := 0
+	start := time.Now()
+	err := r.do(ctx, func(context.Context) error {
+		calls++
+		return simnet.ErrNodeDown
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (deadline shorter than first backoff)", calls)
+	}
+	if err == nil {
+		t.Error("do returned nil under an expired context")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("do took %v; deadline was not respected", elapsed)
+	}
+}
+
+func TestDoReturnsFirstPermanentError(t *testing.T) {
+	r := newRetrier(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond})
+	calls := 0
+	boom := errors.New("boom")
+	err := r.do(context.Background(), func(context.Context) error {
+		calls++
+		return permanent(boom)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	tests := []struct {
+		err  error
+		want bool
+	}{
+		{rpc.ErrConnClosed, true},
+		{simnet.ErrNodeDown, true},
+		{simnet.ErrPartitioned, true},
+		{simnet.ErrDropped, true},
+		{rdma.ErrQPState, true},
+		{rdma.ErrTimeout, true},
+		{context.DeadlineExceeded, true},
+		{&rpc.RemoteError{MsgType: 3, Msg: "master: region already exists"}, false},
+		{ErrRegionLost, false},
+		{ErrClosed, false},
+		{permanent(simnet.ErrNodeDown), false},
+		{errors.New("anything else"), false},
+		{nil, false},
+	}
+	for _, tt := range tests {
+		if got := retryable(tt.err); got != tt.want {
+			t.Errorf("retryable(%v) = %v, want %v", tt.err, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package integration
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestCmdBinariesBuildAndShowHelp smoke-tests every cmd/ binary: it must
+// compile and `-help` must print usage and exit 0 (flag.ExitOnError exits 0
+// on ErrHelp). Catches binaries broken by internal API changes without
+// running their full workloads.
+func TestCmdBinariesBuildAndShowHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building binaries is slow; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		t.Fatalf("read cmd/: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no binaries under cmd/")
+	}
+	bindir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+			help := exec.Command(bin, "-help")
+			out, err := help.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s -help exited non-zero: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s -help printed nothing", name)
+			}
+		})
+	}
+}

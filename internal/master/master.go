@@ -69,6 +69,9 @@ type serverState struct {
 	alloc    *spaceAllocator
 	alive    bool
 	lastBeat time.Time
+	// epoch counts incarnations: it is bumped every time the server
+	// re-registers after having been marked dead.
+	epoch uint64
 }
 
 // regionState tracks a region and its map refcount.
@@ -116,6 +119,7 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	srv.Handle(proto.MtFree, m.handleFree)
 	srv.Handle(proto.MtClusterInfo, m.handleClusterInfo)
 	srv.Handle(proto.MtListRegions, m.handleListRegions)
+	srv.Handle(proto.MtRemap, m.handleRemap)
 	srv.Serve()
 
 	m.wg.Add(1)
@@ -174,6 +178,14 @@ func (m *Master) AliveServers() []simnet.NodeID {
 	return out
 }
 
+// ServerAlive reports the master's current liveness verdict for a node.
+func (m *Master) ServerAlive(node simnet.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.servers[node]
+	return ok && s.alive
+}
+
 // RegionCount returns how many regions exist.
 func (m *Master) RegionCount() int {
 	m.mu.Lock()
@@ -193,11 +205,37 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 	if !ok {
 		s = &serverState{node: from, alloc: newSpaceAllocator(capacity)}
 		m.servers[from] = s
+	} else if !s.alive {
+		// A dead server coming back is a new incarnation: its arena may
+		// have lost all prior contents, so advertise the generation change.
+		s.epoch++
+	}
+	if s.rkey != rkey {
+		// The arena was re-registered under a new key (server bounce). The
+		// master owns the allocator, so extent addresses stay valid in the
+		// fresh same-capacity arena — but every region pointing at this
+		// server must be rewritten to the new key or one-sided access would
+		// be refused.
+		for _, rs := range m.regionsByName {
+			patchRKey(rs.info.Extents, from, rkey)
+			for _, rep := range rs.info.Replicas {
+				patchRKey(rep, from, rkey)
+			}
+		}
 	}
 	s.rkey = rkey
 	s.alive = true
 	s.lastBeat = time.Now()
 	return &rpc.Encoder{}, nil
+}
+
+// patchRKey rewrites the rkey of every extent on node.
+func patchRKey(xs []proto.Extent, node simnet.NodeID, rkey uint32) {
+	for i := range xs {
+		if xs[i].Server == node {
+			xs[i].RKey = rkey
+		}
+	}
 }
 
 func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
@@ -369,6 +407,24 @@ func (m *Master) handleMap(_ context.Context, _ simnet.NodeID, req *rpc.Decoder)
 	return &e, nil
 }
 
+// handleRemap returns a region's metadata without touching its map count:
+// the idempotent refresh a recovering client repeats safely.
+func (m *Master) handleRemap(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	name := req.String()
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.regionsByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
+	}
+	var e rpc.Encoder
+	proto.EncodeRegionInfo(&e, rs.info)
+	return &e, nil
+}
+
 func (m *Master) handleUnmap(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
 	name := req.String()
 	if err := req.Err(); err != nil {
@@ -425,6 +481,7 @@ func (m *Master) handleClusterInfo(_ context.Context, _ simnet.NodeID, _ *rpc.De
 			Capacity: s.alloc.Capacity(),
 			Used:     s.alloc.Used(),
 			Alive:    s.alive,
+			Epoch:    s.epoch,
 		}
 		info.Encode(&e)
 	}

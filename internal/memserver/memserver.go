@@ -208,8 +208,12 @@ func (s *Server) heartbeat(ctx context.Context) {
 }
 
 // reconnect re-establishes the master control connection and re-registers
-// the arena. Failures are ignored; the next heartbeat tick retries.
+// the arena. Failures are ignored; the next heartbeat tick retries. Every
+// step is bounded by a deadline so a half-partitioned master cannot stall
+// the heartbeat loop past a few beat intervals.
 func (s *Server) reconnect(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, 4*s.cfg.HeartbeatInterval)
+	defer cancel()
 	conn, err := rpc.Dial(ctx, s.dev, s.cfg.Master, proto.MasterService, s.pd, s.cfg.RPC)
 	if err != nil {
 		return

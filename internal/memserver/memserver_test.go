@@ -1,0 +1,73 @@
+package memserver_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rstore/internal/master"
+	"rstore/internal/memserver"
+	"rstore/internal/rdma"
+	"rstore/internal/simnet"
+)
+
+// TestHeartbeatSurvivesMasterPartition is the regression test for the
+// unbounded reconnect path: a partition between server and master kills the
+// control QP; the heartbeat loop must re-dial with a bounded deadline (not
+// stall), and once the partition heals the server re-registers so the
+// master revives it.
+func TestHeartbeatSurvivesMasterPartition(t *testing.T) {
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	ctx := context.Background()
+	const beat = 10 * time.Millisecond
+
+	md, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	m, err := master.Start(md, master.Config{HeartbeatInterval: beat})
+	if err != nil {
+		t.Fatalf("master.Start: %v", err)
+	}
+	defer m.Close()
+
+	sd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	srv, err := memserver.Start(ctx, sd, memserver.Config{
+		Capacity:          1 << 20,
+		Master:            0,
+		HeartbeatInterval: beat,
+	})
+	if err != nil {
+		t.Fatalf("memserver.Start: %v", err)
+	}
+	defer srv.Close()
+
+	if !m.ServerAlive(1) {
+		t.Fatal("server not alive after registration")
+	}
+
+	f.SetPartition(0, 1, true)
+	waitFor(t, "master marks server dead", 5*time.Second, func() bool {
+		return !m.ServerAlive(1)
+	})
+
+	f.SetPartition(0, 1, false)
+	waitFor(t, "server re-registers after heal", 5*time.Second, func() bool {
+		return m.ServerAlive(1)
+	})
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -22,6 +22,10 @@ const (
 	MtFree
 	MtClusterInfo
 	MtListRegions
+	// MtRemap refetches a region's metadata without changing its map count.
+	// Unlike MtMap it is idempotent, so clients retry it freely while
+	// recovering from a memory-server bounce.
+	MtRemap
 )
 
 // Service names on the fabric.
@@ -303,6 +307,11 @@ type ServerInfo struct {
 	Capacity uint64
 	Used     uint64
 	Alive    bool
+	// Epoch counts the server's incarnations: it starts at zero and is
+	// bumped by the master each time a server re-registers after having
+	// been marked dead. Clients compare epochs to tell a seamless
+	// reconnect from a restart that lost the arena contents.
+	Epoch uint64
 }
 
 // Encode marshals the server info.
@@ -311,6 +320,7 @@ func (s *ServerInfo) Encode(e *rpc.Encoder) {
 	e.U64(s.Capacity)
 	e.U64(s.Used)
 	e.Bool(s.Alive)
+	e.U64(s.Epoch)
 }
 
 // DecodeServerInfo unmarshals a ServerInfo.
@@ -320,5 +330,6 @@ func DecodeServerInfo(d *rpc.Decoder) ServerInfo {
 		Capacity: d.U64(),
 		Used:     d.U64(),
 		Alive:    d.Bool(),
+		Epoch:    d.U64(),
 	}
 }

@@ -271,16 +271,31 @@ func TestAllocRequestCodec(t *testing.T) {
 }
 
 func TestServerInfoCodec(t *testing.T) {
-	s := ServerInfo{Node: 7, Capacity: 1 << 30, Used: 123, Alive: true}
-	var e rpc.Encoder
-	s.Encode(&e)
-	d := rpc.NewDecoder(e.Bytes())
-	got := DecodeServerInfo(d)
-	if err := d.Err(); err != nil {
-		t.Fatalf("decode: %v", err)
+	tests := []struct {
+		name string
+		info ServerInfo
+	}{
+		{"alive", ServerInfo{Node: 7, Capacity: 1 << 30, Used: 123, Alive: true}},
+		{"dead", ServerInfo{Node: 2, Capacity: 64 << 20, Used: 0, Alive: false}},
+		{"bounced", ServerInfo{Node: 1, Capacity: 1 << 20, Used: 1 << 19, Alive: true, Epoch: 3}},
+		{"zero", ServerInfo{}},
 	}
-	if got != s {
-		t.Errorf("round trip = %+v, want %+v", got, s)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var e rpc.Encoder
+			tt.info.Encode(&e)
+			d := rpc.NewDecoder(e.Bytes())
+			got := DecodeServerInfo(d)
+			if err := d.Err(); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got != tt.info {
+				t.Errorf("round trip = %+v, want %+v", got, tt.info)
+			}
+			if d.Remaining() != 0 {
+				t.Errorf("remaining = %d bytes after decode", d.Remaining())
+			}
+		})
 	}
 }
 

@@ -429,6 +429,11 @@ func classify(err error) Status {
 		return StatusRemoteAccessError
 	case isAny(err, ErrTimeout):
 		return StatusRNRTimeout
+	case isAny(err, simnet.ErrNodeDown, simnet.ErrPartitioned, simnet.ErrDropped):
+		// Fabric-level failures: the peer is unreachable (or retransmission
+		// was exhausted). The QP transitions to the error state, exactly as
+		// an RC QP does when its retry counter runs out.
+		return StatusRetryExceeded
 	default:
 		return StatusRetryExceeded
 	}
@@ -452,15 +457,33 @@ func (q *QP) mustLocal(wr SendWR) []byte {
 	return buf
 }
 
+// xfer runs one fabric transfer with RC-style retransmission: a transfer
+// lost to transient fault injection (simnet.ErrDropped) is retried up to
+// Costs.RetryCount times, each attempt delayed by RetryBackoff in virtual
+// time. Shifting the start time also changes the (deterministic) drop
+// decision for the retransmission, exactly as a real retransmission is an
+// independent trial. Persistent failures (node down, partition) and
+// exhausted retries propagate to the caller.
+func (q *QP) xfer(from, to simnet.NodeID, n int, start simnet.VTime) (simnet.VTime, error) {
+	f := q.dev.net.fabric
+	costs := q.dev.Costs()
+	for attempt := 0; ; attempt++ {
+		done, err := f.Transfer(from, to, n, start)
+		if err == nil || !errors.Is(err, simnet.ErrDropped) || attempt >= costs.RetryCount {
+			return done, err
+		}
+		start = start.Add(costs.RetryBackoff)
+	}
+}
+
 // wire models a round trip: payload-sized transfer out, header-sized
 // acknowledgement back (or the reverse for READ).
 func (q *QP) wire(peer *QP, outBytes, backBytes int, start simnet.VTime) (simnet.VTime, error) {
-	f := q.dev.net.fabric
-	t1, err := f.Transfer(q.dev.node, peer.dev.node, outBytes, start)
+	t1, err := q.xfer(q.dev.node, peer.dev.node, outBytes, start)
 	if err != nil {
 		return start, fmt.Errorf("wire: %w", err)
 	}
-	t2, err := f.Transfer(peer.dev.node, q.dev.node, backBytes, t1)
+	t2, err := q.xfer(peer.dev.node, q.dev.node, backBytes, t1)
 	if err != nil {
 		return t1, fmt.Errorf("wire ack: %w", err)
 	}
@@ -526,13 +549,12 @@ func (q *QP) execRead(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, er
 		return start, err
 	}
 	hdr := q.dev.Costs().HeaderBytes
-	f := q.dev.net.fabric
 	// Request header out, data back.
-	t1, err := f.Transfer(q.dev.node, peer.dev.node, hdr, start)
+	t1, err := q.xfer(q.dev.node, peer.dev.node, hdr, start)
 	if err != nil {
 		return start, fmt.Errorf("read request: %w", err)
 	}
-	done, err := f.Transfer(peer.dev.node, q.dev.node, len(dst)+hdr, t1)
+	done, err := q.xfer(peer.dev.node, q.dev.node, len(dst)+hdr, t1)
 	if err != nil {
 		return t1, fmt.Errorf("read response: %w", err)
 	}

@@ -73,6 +73,15 @@ type Costs struct {
 	// RNRTimeout bounds how long a SEND waits for the responder to post a
 	// receive before the QP fails.
 	RNRTimeout time.Duration
+	// RetryCount is how many times the modeled NIC retransmits a transfer
+	// lost to transient fault injection (simnet.ErrDropped) before the work
+	// request fails and the QP enters the error state — the RC retry
+	// counter on hardware.
+	RetryCount int
+	// RetryBackoff is the modeled delay before each retransmission attempt
+	// (the RC timeout). It is charged in virtual time, so lossy runs show
+	// honestly inflated latencies.
+	RetryBackoff time.Duration
 }
 
 // DefaultCosts returns the calibrated overheads.
@@ -86,6 +95,8 @@ func DefaultCosts() Costs {
 		ConnectCPU:   20 * time.Microsecond,
 		HeaderBytes:  32,
 		RNRTimeout:   5 * time.Second,
+		RetryCount:   7,
+		RetryBackoff: 64 * time.Microsecond,
 	}
 }
 

@@ -54,6 +54,10 @@ type Options struct {
 	// ServerCPU is the modeled per-request handler overhead charged on the
 	// control path. Default 1us.
 	ServerCPU time.Duration
+	// CallTimeout is the wall-clock deadline applied to each Call whose
+	// context has none, so a partitioned or dead peer can never hang a
+	// caller forever. Default 10s; negative disables.
+	CallTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +69,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ServerCPU <= 0 {
 		o.ServerCPU = time.Microsecond
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 10 * time.Second
 	}
 	return o
 }
@@ -130,12 +137,19 @@ func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flag
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
 	copy(buf[headerSize:], payload)
 
-	return ep.qp.PostSend(rdma.SendWR{
+	if err := ep.qp.PostSend(rdma.SendWR{
 		WRID:   uint64(idx),
 		Op:     rdma.OpSend,
 		Local:  rdma.SGE{MR: mr, Len: headerSize + len(payload)},
 		StartV: startV,
-	})
+	}); err != nil {
+		// The WR was never queued, so the buffer is free again. Without
+		// this, every post against a dead QP would leak one credit and the
+		// connection would wedge after Credits failures.
+		ep.sendFree <- idx
+		return err
+	}
+	return nil
 }
 
 // recycleSend returns the completed send buffer to the freelist.
@@ -213,8 +227,9 @@ func NewConn(qp *rdma.QP, opts Options) (*Conn, error) {
 		inflight: make(map[uint64]chan message),
 		done:     make(chan struct{}),
 	}
-	c.wg.Add(1)
+	c.wg.Add(2)
 	go c.recvLoop()
+	go c.sendLoop()
 	return c, nil
 }
 
@@ -245,16 +260,6 @@ func (c *Conn) recvLoop() {
 		cancel()
 	}()
 	for {
-		// Drain send completions to recycle buffers. A failed send means
-		// the QP is dead: fail every outstanding call instead of leaving
-		// callers waiting for responses that cannot arrive.
-		for _, swc := range c.ep.qp.SendCQ().Poll(16) {
-			if swc.Status != rdma.StatusSuccess {
-				c.failAll(fmt.Errorf("%w: send %v", ErrConnClosed, swc.Status))
-				return
-			}
-			c.ep.recycleSend(swc)
-		}
 		wc, err := c.ep.qp.RecvCQ().Next(ctx)
 		if err != nil {
 			c.failAll(ErrConnClosed)
@@ -279,6 +284,32 @@ func (c *Conn) recvLoop() {
 	}
 }
 
+// sendLoop drains send completions to recycle buffers. It runs on its own
+// goroutine because send failures must be noticed even when no responses
+// flow: under a partition the recv loop blocks forever, and without this
+// loop the failed SEND's error completion would sit unread, the connection
+// would still look healthy, and every call would burn its full timeout.
+func (c *Conn) sendLoop() {
+	defer c.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-c.done
+		cancel()
+	}()
+	for {
+		wc, err := c.ep.qp.SendCQ().Next(ctx)
+		if err != nil {
+			return
+		}
+		if wc.Status != rdma.StatusSuccess {
+			c.failAll(fmt.Errorf("%w: send %v", ErrConnClosed, wc.Status))
+			return
+		}
+		c.ep.recycleSend(wc)
+	}
+}
+
 func (c *Conn) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -291,12 +322,33 @@ func (c *Conn) failAll(err error) {
 	}
 }
 
+// Err returns the terminal error of a failed connection, or nil while the
+// connection is usable. Callers use it to decide between retrying on the
+// same connection and re-dialing.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr != nil {
+		return c.closeErr
+	}
+	if c.closed {
+		return ErrConnClosed
+	}
+	return nil
+}
+
 // Call issues a request and waits for the matching response. It returns
 // the response payload and the modeled control-path latency of the full
-// round trip.
+// round trip. A context without a deadline is bounded by the connection's
+// CallTimeout, so calls against a partitioned peer fail instead of hanging.
 func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, time.Duration, error) {
+	if _, ok := ctx.Deadline(); !ok && c.ep.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.ep.opts.CallTimeout)
+		defer cancel()
+	}
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.closeErr != nil {
 		err := c.closeErr
 		c.mu.Unlock()
 		if err == nil {
@@ -315,6 +367,13 @@ func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, ti
 		c.mu.Lock()
 		delete(c.inflight, id)
 		c.mu.Unlock()
+		if errors.Is(err, rdma.ErrQPState) {
+			// The QP is dead (peer gone, partition, retries exhausted). The
+			// recv loop may never see a completion to notice this, so mark
+			// the connection failed here: Err() turns non-nil and callers
+			// know to re-dial rather than retry on a corpse.
+			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+		}
 		return nil, 0, fmt.Errorf("rpc call type %d: %w", msgType, err)
 	}
 

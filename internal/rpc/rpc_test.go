@@ -384,9 +384,78 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.BufSize != 256<<10 || o.Credits != 16 || o.ServerCPU != time.Microsecond {
 		t.Errorf("defaults = %+v", o)
 	}
-	o = Options{BufSize: 1, Credits: 2, ServerCPU: 3}.withDefaults()
-	if o.BufSize != 1 || o.Credits != 2 || o.ServerCPU != 3 {
+	if o.CallTimeout != 10*time.Second {
+		t.Errorf("CallTimeout default = %v, want 10s", o.CallTimeout)
+	}
+	o = Options{BufSize: 1, Credits: 2, ServerCPU: 3, CallTimeout: 4}.withDefaults()
+	if o.BufSize != 1 || o.Credits != 2 || o.ServerCPU != 3 || o.CallTimeout != 4 {
 		t.Errorf("overrides = %+v", o)
+	}
+	// Negative CallTimeout means "disabled" and must survive normalization.
+	o = Options{CallTimeout: -1}.withDefaults()
+	if o.CallTimeout != -1 {
+		t.Errorf("disabled CallTimeout = %v, want -1", o.CallTimeout)
+	}
+}
+
+// TestPartitionFailsFast is the regression test for two connection-death
+// bugs: (1) a send-side QP error was only noticed when a receive completion
+// happened to arrive, so a partitioned connection looked healthy and every
+// call burned its full timeout; (2) a failed PostSend leaked its send
+// credit, wedging the connection after Credits failures.
+func TestPartitionFailsFast(t *testing.T) {
+	f := simnet.NewFabric(2, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	sd, err := n.OpenDevice(0)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	srv, err := NewServer(sd, "test", nil, Options{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	registerTestHandlers(srv)
+	srv.Serve()
+	defer srv.Close()
+	cd, err := n.OpenDevice(1)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	conn, err := Dial(context.Background(), cd, 0, "test", nil, Options{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	if _, _, err := conn.Call(context.Background(), mtEcho, []byte{0, 0, 0, 0}); err != nil {
+		t.Fatalf("Call before partition: %v", err)
+	}
+	if conn.Err() != nil {
+		t.Fatalf("Err before partition = %v", conn.Err())
+	}
+
+	f.SetPartition(0, 1, true)
+	start := time.Now()
+	if _, _, err := conn.Call(context.Background(), mtEcho, []byte{0, 0, 0, 0}); err == nil {
+		t.Fatal("Call under partition succeeded")
+	}
+	// The modeled RC retransmission gives up in virtual microseconds; the
+	// send completion must surface the failure well before the 2s timeout.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("partitioned call took %v; send failure not detected promptly", elapsed)
+	}
+	if conn.Err() == nil {
+		t.Error("Err is nil after send failure; caller cannot know to re-dial")
+	}
+	// Every subsequent call fails fast — more calls than send credits, so a
+	// leaked credit would hang one of them until its timeout.
+	for i := 0; i < 40; i++ {
+		callStart := time.Now()
+		if _, _, err := conn.Call(context.Background(), mtEcho, nil); !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("call %d on dead conn = %v, want ErrConnClosed", i, err)
+		}
+		if time.Since(callStart) > time.Second {
+			t.Fatalf("call %d on dead conn blocked; credit leak", i)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // NodeID identifies a machine in the simulated cluster.
@@ -19,7 +20,24 @@ var (
 	ErrPartitioned   = errors.New("simnet: nodes are partitioned")
 	ErrUnknownNode   = errors.New("simnet: unknown node")
 	ErrNegativeBytes = errors.New("simnet: negative transfer size")
+	// ErrDropped reports a transfer lost to transient fault injection. It is
+	// the one retryable fabric error: the layers above model RC-style
+	// retransmission against it, whereas ErrNodeDown/ErrPartitioned persist
+	// until the failure is healed.
+	ErrDropped = errors.New("simnet: transfer dropped (transient)")
 )
+
+// Injector observes and perturbs fabric traffic. Implementations must be
+// safe for concurrent use; the Chaos controller is the canonical one.
+type Injector interface {
+	// Transfer is consulted before a transfer occupies any line. A non-nil
+	// error fails the transfer (ErrDropped for transient losses); a positive
+	// extra delays its start (latency spike).
+	Transfer(from, to NodeID, n int, start VTime) (extra time.Duration, err error)
+	// Advance observes the fabric-wide virtual frontier moving to v, giving
+	// scripted fault timelines a clock to fire against.
+	Advance(v VTime)
+}
 
 // maxGaps bounds the free-gap list a line remembers. Old gaps beyond the
 // bound are forgotten (conservatively treated as busy).
@@ -110,9 +128,24 @@ type Fabric struct {
 	// instead of queueing behind history they did not contend with.
 	vnow atomic.Int64
 
+	// injector is the optional fault injector (nil when absent).
+	injector atomic.Pointer[injectorSlot]
+
 	mu         sync.Mutex
 	nodes      []*node
 	partitions map[[2]NodeID]bool
+}
+
+// injectorSlot wraps the interface so it fits an atomic.Pointer.
+type injectorSlot struct{ inj Injector }
+
+// SetInjector installs (or, with nil, removes) the fabric's fault injector.
+func (f *Fabric) SetInjector(inj Injector) {
+	if inj == nil {
+		f.injector.Store(nil)
+		return
+	}
+	f.injector.Store(&injectorSlot{inj: inj})
 }
 
 // VNow returns the fabric-wide virtual-time frontier.
@@ -122,7 +155,13 @@ func (f *Fabric) VNow() VTime { return VTime(f.vnow.Load()) }
 func (f *Fabric) advanceVNow(v VTime) {
 	for {
 		cur := f.vnow.Load()
-		if int64(v) <= cur || f.vnow.CompareAndSwap(cur, int64(v)) {
+		if int64(v) <= cur {
+			return
+		}
+		if f.vnow.CompareAndSwap(cur, int64(v)) {
+			if slot := f.injector.Load(); slot != nil {
+				slot.inj.Advance(v)
+			}
 			return
 		}
 	}
@@ -260,6 +299,13 @@ func (f *Fabric) Transfer(from, to NodeID, n int, start VTime) (VTime, error) {
 	}
 	if err := f.Reachable(from, to); err != nil {
 		return 0, err
+	}
+	if slot := f.injector.Load(); slot != nil {
+		extra, err := slot.inj.Transfer(from, to, n, start)
+		if err != nil {
+			return 0, err
+		}
+		start = start.Add(extra)
 	}
 	src, err := f.node(from)
 	if err != nil {
