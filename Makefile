@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build test vet race integration verify bench
+.PHONY: all build test vet race integration verify bench fmt
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+# Reformat all Go sources; CI rejects anything gofmt would rewrite.
+fmt:
+	gofmt -w .
 
 # Tier-1: what every change must keep green.
 test: build

@@ -1,7 +1,13 @@
-// Command rstore-cli boots a demo cluster, populates it, and walks the
-// store's introspection surface: cluster membership, the region table,
-// and raw region contents. It doubles as a smoke test of the admin API
-// (ClusterInfo / ListRegions) a real deployment's tooling would use.
+// Command rstore-cli boots a demo cluster and walks the store's
+// introspection surface. It has two subcommands:
+//
+//	demo   populate a cluster and dump membership, regions, and contents
+//	       (the default, preserving the original behavior)
+//	stats  drive a short mixed workload and render the cluster-wide
+//	       telemetry the master aggregates from heartbeat snapshots
+//
+// It doubles as a smoke test of the admin API (ClusterInfo / ListRegions /
+// ClusterStats) a real deployment's tooling would use.
 package main
 
 import (
@@ -9,19 +15,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"rstore/internal/core"
 	"rstore/internal/kvstore"
 	"rstore/internal/metrics"
+	"rstore/internal/telemetry"
 )
 
-func run() error {
-	machines := flag.Int("machines", 4, "cluster size")
-	flag.Parse()
-
+func runDemo(machines int) error {
 	ctx := context.Background()
-	cluster, err := core.Start(ctx, core.Config{Machines: *machines})
+	cluster, err := core.Start(ctx, core.Config{Machines: machines})
 	if err != nil {
 		return err
 	}
@@ -97,8 +103,154 @@ func run() error {
 	return nil
 }
 
+// runStats boots a cluster, drives a short mixed workload so every layer's
+// counters move, then fetches the master's aggregated per-node telemetry —
+// the view an operator polls against a running deployment.
+func runStats(machines int) error {
+	ctx := context.Background()
+	const beat = 50 * time.Millisecond
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, HeartbeatInterval: beat})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	cli, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		return err
+	}
+
+	// Workload: writes, reads, and atomics against a striped region. The
+	// client shares node 1's registry with that node's memory server, so
+	// its client.* counters ride the same heartbeat snapshot (the paper
+	// co-locates compute with memory servers).
+	reg, err := cli.AllocMap(ctx, "app/stats-demo", 8<<20, core.AllocOptions{})
+	if err != nil {
+		return err
+	}
+	const chunk = 64 << 10
+	buf, err := cli.AllocBuf(chunk)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 64; i++ {
+		off := uint64(i) * chunk % ((8 << 20) - chunk)
+		if _, err := reg.WriteAt(ctx, off, buf, 0, chunk); err != nil {
+			return err
+		}
+		if _, err := reg.ReadAt(ctx, off, buf, 0, chunk); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if _, _, err := reg.FetchAdd(ctx, 0, 1); err != nil {
+			return err
+		}
+	}
+
+	// Server snapshots reach the master on heartbeats; poll until every
+	// node has reported once.
+	var stats []core.NodeStats
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err = cli.ClusterStats(ctx)
+		if err != nil {
+			return err
+		}
+		if len(stats) >= machines || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(beat)
+	}
+	printStats(stats)
+	return nil
+}
+
+// printStats renders one column per node for counters and gauges, plus the
+// cluster-wide merged latency histograms.
+func printStats(stats []core.NodeStats) {
+	cols := []string{"metric"}
+	names := make(map[string]bool)
+	for _, ns := range stats {
+		cols = append(cols, fmt.Sprintf("%s@%d", ns.Role, ns.Node))
+		for n := range ns.Stats.Counters {
+			names[n] = true
+		}
+		for n := range ns.Stats.Gauges {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	ct := metrics.NewTable("cluster counters", cols...)
+	for _, name := range sorted {
+		row := []interface{}{name}
+		for _, ns := range stats {
+			if v, ok := ns.Stats.Counters[name]; ok {
+				row = append(row, v)
+			} else if v, ok := ns.Stats.Gauges[name]; ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		ct.AddRow(row...)
+	}
+	fmt.Println(ct.String())
+
+	var merged telemetry.Snapshot
+	for _, ns := range stats {
+		merged.Merge(ns.Stats)
+	}
+	if len(merged.Histograms) == 0 {
+		return
+	}
+	hnames := make([]string, 0, len(merged.Histograms))
+	for n := range merged.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	ht := metrics.NewTable("cluster latencies", "metric", "n", "mean", "p50", "p99", "max")
+	for _, name := range hnames {
+		h := merged.Histograms[name]
+		ht.AddRow(name, h.Count,
+			time.Duration(h.Mean()),
+			time.Duration(h.Quantile(0.5)),
+			time.Duration(h.Quantile(0.99)),
+			time.Duration(h.Max))
+	}
+	fmt.Println(ht.String())
+}
+
 func main() {
-	if err := run(); err != nil {
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: rstore-cli [flags] [command]\n\ncommands:\n")
+		fmt.Fprintf(out, "  demo   populate a demo cluster and dump membership, regions, contents (default)\n")
+		fmt.Fprintf(out, "  stats  run a workload and print cluster-wide telemetry\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	machines := flag.Int("machines", 4, "cluster size")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "demo"
+	}
+	var err error
+	switch cmd {
+	case "demo":
+		err = runDemo(*machines)
+	case "stats":
+		err = runStats(*machines)
+	default:
+		err = fmt.Errorf("unknown command %q (want demo or stats)", cmd)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rstore-cli:", err)
 		os.Exit(1)
 	}

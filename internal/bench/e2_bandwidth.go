@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rstore/internal/client"
+	"rstore/internal/telemetry"
 )
 
 // E2Machines is the cluster-size sweep of the aggregate bandwidth
@@ -18,13 +19,16 @@ var E2Machines = []int{2, 4, 6, 8, 10, 12}
 // with machine count, reaching the ~700 Gb/s class at 12 FDR machines.
 func E2Bandwidth(ctx context.Context) (*metricsTable, error) {
 	tbl := newTable("E2: aggregate read bandwidth vs machines (modeled)",
-		"machines", "clients", "agg-gbps", "gbps/machine")
+		"machines", "clients", "agg-gbps", "gbps/machine", "rdma-ops", "rdma-gib", "retx")
 	for _, n := range E2Machines {
-		agg, err := e2Run(ctx, n)
+		agg, snap, err := e2Run(ctx, n)
 		if err != nil {
 			return nil, fmt.Errorf("e2 with %d machines: %w", n, err)
 		}
-		tbl.AddRow(n, n, agg, agg/float64(n))
+		tbl.AddRow(n, n, agg, agg/float64(n),
+			snap.Counter("rdma.ops"),
+			float64(snap.Counter("rdma.bytes"))/float64(1<<30),
+			snap.Counter("rdma.retransmits"))
 	}
 	return tbl, nil
 }
@@ -34,7 +38,7 @@ func E2Bandwidth(ctx context.Context) (*metricsTable, error) {
 // full-stripe bulk reads: each operation scatter-gathers one 1 MiB
 // fragment from every server, so all links stay engaged and balanced —
 // the access pattern the paper's bandwidth experiment uses.
-func e2Run(ctx context.Context, n int) (float64, error) {
+func e2Run(ctx context.Context, n int) (float64, telemetry.Snapshot, error) {
 	const (
 		stripeUnit = 1 << 20
 		rounds     = 12
@@ -42,18 +46,18 @@ func e2Run(ctx context.Context, n int) (float64, error) {
 	opSize := n * stripeUnit // one fragment per server
 	cluster, err := startCluster(ctx, n+1, 0, 256<<20)
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	defer cluster.Close()
 
 	nodes := cluster.MemoryServerNodes()
 	admin, err := cluster.NewClient(ctx, nodes[0])
 	if err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 	regionSize := uint64(opSize)
 	if _, err := admin.Alloc(ctx, "e2", regionSize, client.AllocOptions{StripeUnit: stripeUnit}); err != nil {
-		return 0, err
+		return 0, telemetry.Snapshot{}, err
 	}
 
 	// One client per machine, mapped up front.
@@ -66,15 +70,15 @@ func e2Run(ctx context.Context, n int) (float64, error) {
 	for i, node := range nodes {
 		cli, err := cluster.NewClient(ctx, node)
 		if err != nil {
-			return 0, err
+			return 0, telemetry.Snapshot{}, err
 		}
 		reg, err := cli.Map(ctx, "e2")
 		if err != nil {
-			return 0, err
+			return 0, telemetry.Snapshot{}, err
 		}
 		buf, err := cli.AllocBuf(opSize)
 		if err != nil {
-			return 0, err
+			return 0, telemetry.Snapshot{}, err
 		}
 		eps[i] = &endpoint{reg: reg, buf: buf}
 	}
@@ -101,7 +105,7 @@ func e2Run(ctx context.Context, n int) (float64, error) {
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return 0, err
+				return 0, telemetry.Snapshot{}, err
 			}
 		}
 	}
@@ -109,5 +113,7 @@ func e2Run(ctx context.Context, n int) (float64, error) {
 	for _, ep := range eps {
 		agg += ep.win.gbps()
 	}
-	return agg, nil
+	// The run just finished in-process, so read the registries directly —
+	// the merged snapshot reports what the fabric actually carried.
+	return agg, cluster.TelemetrySnapshot(), nil
 }

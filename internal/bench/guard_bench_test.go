@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"rstore/internal/client"
+)
+
+// BenchmarkTelemetryOverhead is the observability guard: it measures the
+// telemetry tax on the hot data path — one client issuing 4KiB reads
+// against a mapped region — with the registry disabled, with counters and
+// latency histograms live, and with 1-in-64 op tracing on top. The
+// acceptance bar is ≤5% overhead for the enabled modes (EXPERIMENTS.md
+// records the measured numbers).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	modes := []struct {
+		name     string
+		enabled  bool
+		sampling int
+	}{
+		{"off", false, 0},
+		{"counters", true, 0},
+		{"counters+trace64", true, 64},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			ctx := context.Background()
+			cluster, err := startCluster(ctx, 4, 0, 64<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			cli, err := cluster.NewClient(ctx, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg, err := cli.AllocMap(ctx, "guard", 8<<20, client.AllocOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const opSize = 4096
+			buf, err := cli.AllocBuf(opSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster.SetTelemetryEnabled(mode.enabled)
+			cluster.SetTraceSampling(mode.sampling)
+			b.SetBytes(opSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := uint64(i%2048) * opSize
+				if _, err := reg.ReadAt(ctx, off, buf, 0, opSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"rstore/internal/rdma"
 	"rstore/internal/rpc"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Client-level errors.
@@ -107,12 +108,30 @@ func (s ControlStats) Sub(o ControlStats) ControlStats {
 	}
 }
 
+// clientCounters holds the client's telemetry handles, resolved once at
+// Connect so the data path never touches the registry's lock.
+type clientCounters struct {
+	reads      *telemetry.Counter // completed read operations
+	writes     *telemetry.Counter // completed write operations
+	atomics    *telemetry.Counter // completed fetch-add / compare-swap ops
+	ioFailures *telemetry.Counter // data-path operations that returned an error
+	remaps     *telemetry.Counter // Remap recovery attempts
+	retries    *telemetry.Counter // control-plane retry attempts (after backoff)
+	redials    *telemetry.Counter // master control-connection re-dials
+
+	readLat   *telemetry.Histogram // modeled read latency
+	writeLat  *telemetry.Histogram // modeled write latency
+	atomicLat *telemetry.Histogram // modeled atomic latency
+}
+
 // Client is an RStore client endpoint on one fabric node.
 type Client struct {
-	cfg   Config
-	dev   *rdma.Device
-	pd    *rdma.PD
-	retry *retrier
+	cfg    Config
+	dev    *rdma.Device
+	pd     *rdma.PD
+	retry  *retrier
+	ctr    clientCounters
+	tracer *telemetry.Tracer
 
 	// vnow is the client's virtual-time cursor: the modeled completion of
 	// its most recent data-path operation. Operations are timestamped from
@@ -140,16 +159,31 @@ func (c *Client) advanceVNow(v simnet.VTime) { c.vnow.max(v) }
 func Connect(ctx context.Context, dev *rdma.Device, cfg Config) (*Client, error) {
 	cfg = cfg.withDefaults()
 	pd := dev.AllocPD()
+	tel := dev.Telemetry()
 	c := &Client{
-		cfg:     cfg,
-		dev:     dev,
-		pd:      pd,
-		retry:   newRetrier(cfg.Retry),
+		cfg:   cfg,
+		dev:   dev,
+		pd:    pd,
+		retry: newRetrier(cfg.Retry),
+		ctr: clientCounters{
+			reads:      tel.Counter("client.reads"),
+			writes:     tel.Counter("client.writes"),
+			atomics:    tel.Counter("client.atomics"),
+			ioFailures: tel.Counter("client.io_failures"),
+			remaps:     tel.Counter("client.remaps"),
+			retries:    tel.Counter("client.retries"),
+			redials:    tel.Counter("client.redials"),
+			readLat:    tel.Histogram("client.read_latency"),
+			writeLat:   tel.Histogram("client.write_latency"),
+			atomicLat:  tel.Histogram("client.atomic_latency"),
+		},
+		tracer:  tel.Tracer(),
 		conns:   make(map[simnet.NodeID]*serverConn),
 		epochs:  make(map[simnet.NodeID]uint64),
 		notify:  make(map[simnet.NodeID]*notifyConn),
 		staging: make(chan *Buf, cfg.StagingCount),
 	}
+	c.retry.onRetry = c.ctr.retries.Inc
 	master, err := rpc.Dial(ctx, dev, cfg.Master, proto.MasterService, pd, cfg.RPC)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial master: %w", err)
@@ -171,6 +205,74 @@ func Connect(ctx context.Context, dev *rdma.Device, cfg Config) (*Client, error)
 
 // Device returns the client's device.
 func (c *Client) Device() *rdma.Device { return c.dev }
+
+// Telemetry returns the node's metric registry (shared with every layer
+// running on the client's device).
+func (c *Client) Telemetry() *telemetry.Registry { return c.dev.Telemetry() }
+
+// traceRoot returns the ctx's trace ID, minting a sampled root trace when
+// the caller is untraced. Costs one atomic load when tracing is off.
+func (c *Client) traceRoot(ctx context.Context) telemetry.TraceID {
+	if id := telemetry.TraceFrom(ctx); id != 0 {
+		return id
+	}
+	id, _ := c.tracer.NewTrace()
+	return id
+}
+
+// opKind tags data-path operations for telemetry.
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opAtomic
+)
+
+func (k opKind) spanName() string {
+	switch k {
+	case opRead:
+		return "client.read"
+	case opWrite:
+		return "client.write"
+	default:
+		return "client.atomic"
+	}
+}
+
+// recordOp folds one completed data-path operation into the client's
+// telemetry: an outcome counter, the per-kind latency histogram, and — when
+// the operation is traced — a span covering its virtual-time extent.
+func (c *Client) recordOp(kind opKind, trace telemetry.TraceID, st IOStat, err error) {
+	if err != nil {
+		c.ctr.ioFailures.Inc()
+		if trace != 0 {
+			c.tracer.Record(telemetry.Span{
+				Trace: trace, Name: kind.spanName(),
+				StartV: st.PostedV, EndV: st.DoneV, Err: err.Error(),
+			})
+		}
+		return
+	}
+	lat := st.Latency().Duration()
+	switch kind {
+	case opRead:
+		c.ctr.reads.Inc()
+		c.ctr.readLat.Record(lat)
+	case opWrite:
+		c.ctr.writes.Inc()
+		c.ctr.writeLat.Record(lat)
+	case opAtomic:
+		c.ctr.atomics.Inc()
+		c.ctr.atomicLat.Record(lat)
+	}
+	if trace != 0 {
+		c.tracer.Record(telemetry.Span{
+			Trace: trace, Name: kind.spanName(),
+			StartV: st.PostedV, EndV: st.DoneV,
+		})
+	}
+}
 
 // Node returns the client's fabric node.
 func (c *Client) Node() simnet.NodeID { return c.dev.Node() }
@@ -259,6 +361,7 @@ func (c *Client) masterConn(ctx context.Context) (*rpc.Conn, error) {
 		return cur, nil
 	}
 
+	c.ctr.redials.Inc()
 	fresh, err := rpc.Dial(ctx, c.dev, c.cfg.Master, proto.MasterService, c.pd, c.cfg.RPC)
 	if err != nil {
 		return nil, fmt.Errorf("client: redial master: %w", err)
@@ -540,6 +643,30 @@ func (c *Client) ClusterInfo(ctx context.Context) ([]proto.ServerInfo, error) {
 	}
 	if derr := d.Err(); derr != nil {
 		return nil, fmt.Errorf("cluster info: %w", derr)
+	}
+	return out, nil
+}
+
+// ClusterStats fetches the master's aggregated telemetry: the master's own
+// snapshot plus the latest snapshot each memory server piggybacked on its
+// heartbeat. Freshly booted servers may not appear until their first beat.
+func (c *Client) ClusterStats(ctx context.Context) ([]proto.NodeStats, error) {
+	resp, err := c.call(ctx, proto.MtStats, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster stats: %w", err)
+	}
+	d := rpc.NewDecoder(resp)
+	n := d.U32()
+	out := make([]proto.NodeStats, 0, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		ns, err := proto.DecodeNodeStats(d)
+		if err != nil {
+			return nil, fmt.Errorf("cluster stats: %w", err)
+		}
+		out = append(out, ns)
+	}
+	if derr := d.Err(); derr != nil {
+		return nil, fmt.Errorf("cluster stats: %w", derr)
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"rstore/internal/proto"
 	"rstore/internal/rdma"
 	"rstore/internal/rpc"
+	"rstore/internal/telemetry"
 )
 
 // Region is a mapped region: the client-side handle of a named, striped
@@ -50,6 +51,7 @@ func (r *Region) Remap(ctx context.Context) error {
 	if err := r.checkMapped(); err != nil {
 		return err
 	}
+	r.c.ctr.remaps.Inc()
 	name := r.Info().Name
 	var e rpc.Encoder
 	e.String(name)
@@ -101,11 +103,20 @@ func (r *Region) checkMapped() error {
 type Pending struct {
 	op    *ioOp
 	frags int
+	c     *Client
+	kind  opKind
+	trace telemetry.TraceID
 }
 
-// Wait blocks until the operation completes and returns its stats.
+// Wait blocks until the operation completes and returns its stats. Both
+// synchronous wrappers funnel through here, so this is where an
+// operation's outcome and latency reach the client's telemetry.
 func (p *Pending) Wait(ctx context.Context) (IOStat, error) {
-	return p.op.wait(ctx, p.frags)
+	st, err := p.op.wait(ctx, p.frags)
+	if p.c != nil {
+		p.c.recordOp(p.kind, p.trace, st, err)
+	}
+	return st, err
 }
 
 // issue posts one one-sided op per fragment against the shared futures.
@@ -160,7 +171,7 @@ func (r *Region) StartWriteAt(ctx context.Context, off uint64, buf *Buf, bufOff,
 	}
 	op := r.newOp(len(all))
 	r.issue(ctx, rdma.OpWrite, all, buf, bufOff, op)
-	return &Pending{op: op, frags: len(all)}, nil
+	return &Pending{op: op, frags: len(all), c: r.c, kind: opWrite, trace: r.c.traceRoot(ctx)}, nil
 }
 
 // WriteAt writes buf[bufOff:bufOff+n] to the region at off, zero copy.
@@ -184,7 +195,7 @@ func (r *Region) StartReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, 
 	}
 	op := r.newOp(len(frags))
 	r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
-	return &Pending{op: op, frags: len(frags)}, nil
+	return &Pending{op: op, frags: len(frags), c: r.c, kind: opRead, trace: r.c.traceRoot(ctx)}, nil
 }
 
 // ReadAt reads [off, off+n) into buf[bufOff:], zero copy. If the primary
@@ -208,6 +219,7 @@ func (r *Region) ReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int
 		op := r.newOp(len(frags))
 		r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
 		if st, rerr := op.wait(ctx, len(frags)); rerr == nil {
+			r.c.recordOp(opRead, telemetry.TraceFrom(ctx), st, nil)
 			return st, nil
 		}
 	}
@@ -312,6 +324,7 @@ func (r *Region) atomic(ctx context.Context, opcode rdma.OpCode, off uint64, add
 		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
 	stat, err := op.wait(ctx, 1)
+	r.c.recordOp(opAtomic, r.c.traceRoot(ctx), stat, err)
 	if err != nil {
 		return 0, IOStat{}, err
 	}

@@ -94,6 +94,9 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 // retrier executes operations under a policy with a seeded jitter stream.
 type retrier struct {
 	policy RetryPolicy
+	// onRetry, when set, is invoked once per retry attempt (after the
+	// backoff sleep, before the attempt itself) — the telemetry hook.
+	onRetry func()
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -174,6 +177,9 @@ func (r *retrier) do(ctx context.Context, op func(ctx context.Context) error) er
 			case <-ctx.Done():
 				t.Stop()
 				return ctx.Err()
+			}
+			if r.onRetry != nil {
+				r.onRetry()
 			}
 		}
 		err = op(ctx)

@@ -19,9 +19,11 @@ import (
 	"rstore/internal/client"
 	"rstore/internal/master"
 	"rstore/internal/memserver"
+	"rstore/internal/proto"
 	"rstore/internal/rdma"
 	"rstore/internal/rpc"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Re-exported client types, so applications depend on core alone.
@@ -40,6 +42,8 @@ type (
 	Notification = client.Notification
 	// ControlStats meters modeled control-path cost.
 	ControlStats = client.ControlStats
+	// NodeStats is one node's telemetry snapshot in a ClusterStats response.
+	NodeStats = proto.NodeStats
 )
 
 // ErrBadNode reports a node outside the cluster.
@@ -180,6 +184,61 @@ func (c *Cluster) NewClient(ctx context.Context, node simnet.NodeID) (*client.Cl
 	c.clients = append(c.clients, cli)
 	c.mu.Unlock()
 	return cli, nil
+}
+
+// registries returns every distinct metric registry in the cluster.
+// Roles co-located on one machine share the node's device — and therefore
+// its registry — so the walk dedupes by registry pointer to keep merged
+// counters from double-counting.
+func (c *Cluster) registries() []*telemetry.Registry {
+	var out []*telemetry.Registry
+	seen := make(map[*telemetry.Registry]bool)
+	add := func(r *telemetry.Registry) {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	add(c.master.Telemetry())
+	for _, s := range c.servers {
+		add(s.Telemetry())
+	}
+	c.mu.Lock()
+	clients := append([]*client.Client(nil), c.clients...)
+	c.mu.Unlock()
+	for _, cli := range clients {
+		add(cli.Telemetry())
+	}
+	return out
+}
+
+// TelemetrySnapshot returns the cluster-wide merged telemetry: counters
+// and gauges summed, histograms merged, across the master, every memory
+// server, and every client opened through NewClient. Unlike
+// Client.ClusterStats it reads the in-process registries directly, so it
+// is exact and does not wait for a heartbeat cycle.
+func (c *Cluster) TelemetrySnapshot() telemetry.Snapshot {
+	var out telemetry.Snapshot
+	for _, r := range c.registries() {
+		out.Merge(r.Snapshot())
+	}
+	return out
+}
+
+// SetTelemetryEnabled toggles metric collection on every node. Disabled
+// registries cost one atomic load per would-be update on the hot path.
+func (c *Cluster) SetTelemetryEnabled(on bool) {
+	for _, r := range c.registries() {
+		r.SetEnabled(on)
+	}
+}
+
+// SetTraceSampling sets every node's root-trace sampling rate: 0 disables
+// tracing, n>0 samples one in every n new operations.
+func (c *Cluster) SetTraceSampling(n int) {
+	for _, r := range c.registries() {
+		r.Tracer().SetSampling(n)
+	}
 }
 
 // KillServer simulates a machine failure: the node drops off the fabric,

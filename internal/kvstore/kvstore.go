@@ -143,11 +143,27 @@ func (s *Store) slotOffset(slot int) uint64 {
 	return uint64(slot) * uint64(s.opts.SlotSize)
 }
 
-// backoff yields briefly once spinning has not worked; a writer holding a
-// slot lock may be descheduled for a while.
-func backoff(retry int) {
-	if retry > 8 {
-		time.Sleep(50 * time.Microsecond)
+// backoff waits before reprobing a contended slot. The first few retries
+// spin — a writer's critical section is a handful of one-sided ops — then
+// the wait doubles from 5µs up to a 320µs cap so a descheduled lock holder
+// gets CPU without the reader hammering the fabric. It returns ctx.Err()
+// as soon as the caller's context is done, so operations do not grind
+// through their remaining LockRetries against a dead deadline.
+func backoff(ctx context.Context, retry int) error {
+	if retry < 8 {
+		return ctx.Err()
+	}
+	shift := retry - 8
+	if shift > 6 {
+		shift = 6
+	}
+	t := time.NewTimer(5 * time.Microsecond << shift) // 5µs … 320µs
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -233,7 +249,9 @@ func (s *Store) Put(ctx context.Context, key, value []byte) error {
 				return err
 			}
 			if seq%2 == 1 {
-				backoff(retry)
+				if err := backoff(ctx, retry); err != nil {
+					return err
+				}
 				continue // writer active; retry this slot
 			}
 			occupied := seq != 0
@@ -246,7 +264,9 @@ func (s *Store) Put(ctx context.Context, key, value []byte) error {
 				return err
 			}
 			if !ok {
-				backoff(retry)
+				if err := backoff(ctx, retry); err != nil {
+					return err
+				}
 				continue // raced; re-read
 			}
 			// The CAS matched seq, so the slot is unchanged since the
@@ -289,7 +309,9 @@ func (s *Store) Get(ctx context.Context, key []byte) ([]byte, error) {
 				return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 			}
 			if seq%2 == 1 {
-				backoff(retry)
+				if err := backoff(ctx, retry); err != nil {
+					return nil, err
+				}
 				continue // mid-update; retry
 			}
 			if !bytes.Equal(k, key) {
@@ -306,7 +328,9 @@ func (s *Store) Get(ctx context.Context, key []byte) ([]byte, error) {
 			if seq2 == seq {
 				return val, nil
 			}
-			backoff(retry) // changed under us; retry
+			if err := backoff(ctx, retry); err != nil { // changed under us; retry
+				return nil, err
+			}
 		}
 		if !stable {
 			return nil, fmt.Errorf("%w: get %q", ErrContention, key)
@@ -339,7 +363,9 @@ func (s *Store) Delete(ctx context.Context, key []byte) error {
 				return fmt.Errorf("%w: %q", ErrNotFound, key)
 			}
 			if seq%2 == 1 {
-				backoff(retry)
+				if err := backoff(ctx, retry); err != nil {
+					return err
+				}
 				continue
 			}
 			if !bytes.Equal(k, key) {
@@ -351,7 +377,9 @@ func (s *Store) Delete(ctx context.Context, key []byte) error {
 				return err
 			}
 			if !ok {
-				backoff(retry)
+				if err := backoff(ctx, retry); err != nil {
+					return err
+				}
 				continue
 			}
 			gen := seq + 2

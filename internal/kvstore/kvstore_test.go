@@ -361,3 +361,18 @@ func TestCapacityAndMaxEntry(t *testing.T) {
 		t.Errorf("MaxEntry = %d", s.MaxEntry())
 	}
 }
+
+func TestBackoffRespectsContext(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Both the spin phase and the sleep phase must notice cancellation.
+	if err := backoff(canceled, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("spin-phase backoff on canceled ctx: got %v", err)
+	}
+	if err := backoff(canceled, 20); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleep-phase backoff on canceled ctx: got %v", err)
+	}
+	if err := backoff(context.Background(), 20); err != nil {
+		t.Fatalf("backoff with live ctx: got %v", err)
+	}
+}

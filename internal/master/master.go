@@ -20,6 +20,7 @@ import (
 	"rstore/internal/rdma"
 	"rstore/internal/rpc"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Master-level errors, surfaced to clients through RPC remote errors with
@@ -72,6 +73,9 @@ type serverState struct {
 	// epoch counts incarnations: it is bumped every time the server
 	// re-registers after having been marked dead.
 	epoch uint64
+	// stats is the latest telemetry snapshot the server piggybacked on a
+	// heartbeat, kept marshaled and forwarded verbatim by MtStats.
+	stats []byte
 }
 
 // regionState tracks a region and its map refcount.
@@ -84,6 +88,8 @@ type regionState struct {
 type Master struct {
 	cfg Config
 	srv *rpc.Server
+	tel *telemetry.Registry
+	ctr masterCounters
 
 	mu            sync.Mutex
 	servers       map[simnet.NodeID]*serverState
@@ -92,6 +98,21 @@ type Master struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// masterCounters are the control-plane telemetry handles.
+type masterCounters struct {
+	allocs          *telemetry.Counter
+	allocFails      *telemetry.Counter
+	frees           *telemetry.Counter
+	maps            *telemetry.Counter
+	remaps          *telemetry.Counter
+	heartbeats      *telemetry.Counter
+	deadTransitions *telemetry.Counter
+	revives         *telemetry.Counter
+	statsRequests   *telemetry.Counter
+	regions         *telemetry.Gauge
+	serversAlive    *telemetry.Gauge
 }
 
 // Start creates the master's RPC service on the device and begins serving
@@ -103,9 +124,24 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("master: %w", err)
 	}
+	tel := dev.Telemetry()
 	m := &Master{
-		cfg:           cfg,
-		srv:           srv,
+		cfg: cfg,
+		srv: srv,
+		tel: tel,
+		ctr: masterCounters{
+			allocs:          tel.Counter("master.allocs"),
+			allocFails:      tel.Counter("master.alloc_fails"),
+			frees:           tel.Counter("master.frees"),
+			maps:            tel.Counter("master.maps"),
+			remaps:          tel.Counter("master.remaps"),
+			heartbeats:      tel.Counter("master.heartbeats"),
+			deadTransitions: tel.Counter("master.dead_transitions"),
+			revives:         tel.Counter("master.revives"),
+			statsRequests:   tel.Counter("master.stats_requests"),
+			regions:         tel.Gauge("master.regions"),
+			serversAlive:    tel.Gauge("master.servers_alive"),
+		},
 		servers:       make(map[simnet.NodeID]*serverState),
 		regionsByName: make(map[string]*regionState),
 		nextID:        1,
@@ -120,6 +156,7 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	srv.Handle(proto.MtClusterInfo, m.handleClusterInfo)
 	srv.Handle(proto.MtListRegions, m.handleListRegions)
 	srv.Handle(proto.MtRemap, m.handleRemap)
+	srv.Handle(proto.MtStats, m.handleStats)
 	srv.Serve()
 
 	m.wg.Add(1)
@@ -129,6 +166,9 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 
 // Node returns the fabric node the master serves on.
 func (m *Master) Node() simnet.NodeID { return m.cfg.Node }
+
+// Telemetry returns the master node's metric registry.
+func (m *Master) Telemetry() *telemetry.Registry { return m.tel }
 
 // Close stops serving and monitoring.
 func (m *Master) Close() {
@@ -157,8 +197,10 @@ func (m *Master) monitor() {
 			for _, s := range m.servers {
 				if s.alive && s.lastBeat.Before(deadline) {
 					s.alive = false
+					m.ctr.deadTransitions.Inc()
 				}
 			}
+			m.updateAliveGauge()
 			m.mu.Unlock()
 		}
 	}
@@ -209,6 +251,7 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 		// A dead server coming back is a new incarnation: its arena may
 		// have lost all prior contents, so advertise the generation change.
 		s.epoch++
+		m.ctr.revives.Inc()
 	}
 	if s.rkey != rkey {
 		// The arena was re-registered under a new key (server bounce). The
@@ -226,7 +269,19 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 	s.rkey = rkey
 	s.alive = true
 	s.lastBeat = time.Now()
+	m.updateAliveGauge()
 	return &rpc.Encoder{}, nil
+}
+
+// updateAliveGauge recomputes the alive-server gauge. Caller holds m.mu.
+func (m *Master) updateAliveGauge() {
+	var alive int64
+	for _, s := range m.servers {
+		if s.alive {
+			alive++
+		}
+	}
+	m.ctr.serversAlive.Set(alive)
 }
 
 // patchRKey rewrites the rkey of every extent on node.
@@ -238,7 +293,18 @@ func patchRKey(xs []proto.Extent, node simnet.NodeID, rkey uint32) {
 	}
 }
 
-func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	// Heartbeats optionally piggyback the server's telemetry snapshot; an
+	// empty payload (older senders, tests driving the wire directly) is a
+	// plain liveness beat.
+	var stats []byte
+	if req.Remaining() > 0 {
+		stats = append([]byte(nil), req.Bytes32()...)
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+	}
+	m.ctr.heartbeats.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, ok := m.servers[from]
@@ -247,6 +313,10 @@ func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, _ *rpc.D
 	}
 	s.lastBeat = time.Now()
 	s.alive = true
+	if stats != nil {
+		s.stats = stats
+	}
+	m.updateAliveGauge()
 	return &rpc.Encoder{}, nil
 }
 
@@ -328,10 +398,12 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	width := a.StripeWidth
 	primaries := m.pickServers(widthOrAll(width, len(m.servers)), nil)
 	if len(primaries) == 0 {
+		m.ctr.allocFails.Inc()
 		return nil, ErrNoServers
 	}
 	extents, err := allocateCopy(primaries, a.Size, a.StripeUnit)
 	if err != nil {
+		m.ctr.allocFails.Inc()
 		return nil, err
 	}
 
@@ -361,6 +433,7 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 			for _, rep := range info.Replicas {
 				m.freeExtents(rep)
 			}
+			m.ctr.allocFails.Inc()
 			return nil, fmt.Errorf("%w: replica %d", ErrNoServers, r)
 		}
 		repExtents, err := allocateCopy(repServers, a.Size, a.StripeUnit)
@@ -369,6 +442,7 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 			for _, rep := range info.Replicas {
 				m.freeExtents(rep)
 			}
+			m.ctr.allocFails.Inc()
 			return nil, err
 		}
 		for _, s := range repServers {
@@ -378,6 +452,8 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	}
 
 	m.regionsByName[a.Name] = &regionState{info: info}
+	m.ctr.allocs.Inc()
+	m.ctr.regions.Set(int64(len(m.regionsByName)))
 	var e rpc.Encoder
 	proto.EncodeRegionInfo(&e, info)
 	return &e, nil
@@ -402,6 +478,7 @@ func (m *Master) handleMap(_ context.Context, _ simnet.NodeID, req *rpc.Decoder)
 		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
 	}
 	rs.mapCount++
+	m.ctr.maps.Inc()
 	var e rpc.Encoder
 	proto.EncodeRegionInfo(&e, rs.info)
 	return &e, nil
@@ -420,6 +497,7 @@ func (m *Master) handleRemap(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
 	}
+	m.ctr.remaps.Inc()
 	var e rpc.Encoder
 	proto.EncodeRegionInfo(&e, rs.info)
 	return &e, nil
@@ -461,6 +539,8 @@ func (m *Master) handleFree(_ context.Context, _ simnet.NodeID, req *rpc.Decoder
 		m.freeExtents(rep)
 	}
 	delete(m.regionsByName, name)
+	m.ctr.frees.Inc()
+	m.ctr.regions.Set(int64(len(m.regionsByName)))
 	return &rpc.Encoder{}, nil
 }
 
@@ -484,6 +564,38 @@ func (m *Master) handleClusterInfo(_ context.Context, _ simnet.NodeID, _ *rpc.De
 			Epoch:    s.epoch,
 		}
 		info.Encode(&e)
+	}
+	return &e, nil
+}
+
+// handleStats returns the cluster-wide telemetry view: the master's own
+// live snapshot first, then the latest snapshot each registered memory
+// server piggybacked on a heartbeat (forwarded marshaled, never decoded
+// on the control path).
+func (m *Master) handleStats(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+	m.ctr.statsRequests.Inc()
+	own, err := m.tel.Snapshot().MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("master: marshal stats: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nodes := make([]simnet.NodeID, 0, len(m.servers))
+	for id := range m.servers {
+		if m.servers[id].stats != nil {
+			nodes = append(nodes, id)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var e rpc.Encoder
+	e.U32(uint32(1 + len(nodes)))
+	e.I64(int64(m.cfg.Node))
+	e.String("master")
+	e.Bytes32(own)
+	for _, id := range nodes {
+		e.I64(int64(id))
+		e.String("memserver")
+		e.Bytes32(m.servers[id].stats)
 	}
 	return &e, nil
 }

@@ -20,6 +20,7 @@ import (
 	"rstore/internal/rdma"
 	"rstore/internal/rpc"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Config tunes a memory server.
@@ -48,6 +49,9 @@ type Server struct {
 	dev   *rdma.Device
 	pd    *rdma.PD
 	arena *rdma.MemoryRegion
+
+	beats      *telemetry.Counter
+	reconnects *telemetry.Counter
 
 	dataLis   *rdma.Listener
 	notifyLis *rdma.Listener
@@ -92,16 +96,20 @@ func Start(ctx context.Context, dev *rdma.Device, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("memserver: dial master: %w", err)
 	}
 
+	tel := dev.Telemetry()
+	tel.Gauge("memserver.arena_capacity").Set(int64(cfg.Capacity))
 	s := &Server{
-		cfg:       cfg,
-		dev:       dev,
-		pd:        pd,
-		arena:     arena,
-		dataLis:   dataLis,
-		notifyLis: notifyLis,
-		masterCon: conn,
-		watchers:  make(map[proto.RegionID][]*notifySession),
-		stop:      make(chan struct{}),
+		cfg:        cfg,
+		dev:        dev,
+		pd:         pd,
+		arena:      arena,
+		beats:      tel.Counter("memserver.heartbeats"),
+		reconnects: tel.Counter("memserver.reconnects"),
+		dataLis:    dataLis,
+		notifyLis:  notifyLis,
+		masterCon:  conn,
+		watchers:   make(map[proto.RegionID][]*notifySession),
+		stop:       make(chan struct{}),
 	}
 
 	// Announce capacity and the arena rkey to the master.
@@ -124,6 +132,9 @@ func Start(ctx context.Context, dev *rdma.Device, cfg Config) (*Server, error) {
 
 // Node returns the server's fabric node.
 func (s *Server) Node() simnet.NodeID { return s.dev.Node() }
+
+// Telemetry returns the server node's metric registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.dev.Telemetry() }
 
 // Arena exposes the donated memory region (tests verify one-sided writes
 // land in it).
@@ -194,8 +205,9 @@ func (s *Server) heartbeat(ctx context.Context) {
 			s.mu.Lock()
 			conn := s.masterCon
 			s.mu.Unlock()
+			s.beats.Inc()
 			beatCtx, cancel := context.WithTimeout(ctx, 4*s.cfg.HeartbeatInterval)
-			_, _, err := conn.Call(beatCtx, proto.MtHeartbeat, nil)
+			_, _, err := conn.Call(beatCtx, proto.MtHeartbeat, s.beatPayload())
 			cancel()
 			if err != nil {
 				// A failed beat (partition, our link flapping) kills the
@@ -207,6 +219,19 @@ func (s *Server) heartbeat(ctx context.Context) {
 	}
 }
 
+// beatPayload marshals the node's telemetry snapshot for heartbeat
+// piggybacking — the stats plane's transport. A marshal failure degrades
+// to a plain liveness beat.
+func (s *Server) beatPayload() []byte {
+	blob, err := s.dev.Telemetry().Snapshot().MarshalBinary()
+	if err != nil {
+		return nil
+	}
+	var e rpc.Encoder
+	e.Bytes32(blob)
+	return e.Bytes()
+}
+
 // reconnect re-establishes the master control connection and re-registers
 // the arena. Failures are ignored; the next heartbeat tick retries. Every
 // step is bounded by a deadline so a half-partitioned master cannot stall
@@ -214,6 +239,7 @@ func (s *Server) heartbeat(ctx context.Context) {
 func (s *Server) reconnect(ctx context.Context) {
 	ctx, cancel := context.WithTimeout(ctx, 4*s.cfg.HeartbeatInterval)
 	defer cancel()
+	s.reconnects.Inc()
 	conn, err := rpc.Dial(ctx, s.dev, s.cfg.Master, proto.MasterService, s.pd, s.cfg.RPC)
 	if err != nil {
 		return

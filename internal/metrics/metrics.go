@@ -5,115 +5,21 @@ package metrics
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"strings"
-	"sync"
 	"time"
+
+	"rstore/internal/telemetry"
 )
 
-// Histogram is a log-bucketed latency histogram. The zero value is ready
-// to use. Safe for concurrent use.
-type Histogram struct {
-	mu      sync.Mutex
-	count   int64
-	sum     float64
-	min     float64
-	max     float64
-	samples []float64 // reservoir for exact quantiles
-	seen    int64
-}
+// Histogram is the reservoir-sampled histogram, now owned by
+// internal/telemetry so running-cluster registries and the bench harness
+// share one implementation (with Merge and snapshot support). The alias
+// keeps the bench API unchanged.
+type Histogram = telemetry.Histogram
 
+// reservoirSize mirrors telemetry's reservoir capacity for tests that
+// exercise sampling beyond it.
 const reservoirSize = 4096
-
-// Record adds one duration observation.
-func (h *Histogram) Record(d time.Duration) { h.RecordValue(float64(d.Nanoseconds())) }
-
-// RecordValue adds one raw observation.
-func (h *Histogram) RecordValue(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 || v < h.min {
-		h.min = v
-	}
-	if h.count == 0 || v > h.max {
-		h.max = v
-	}
-	h.count++
-	h.sum += v
-	h.seen++
-	if len(h.samples) < reservoirSize {
-		h.samples = append(h.samples, v)
-	} else {
-		// Vitter's algorithm R with a cheap deterministic hash of seen.
-		x := uint64(h.seen) * 0x9e3779b97f4a7c15
-		x ^= x >> 33
-		if idx := x % uint64(h.seen); idx < reservoirSize {
-			h.samples[idx] = v
-		}
-	}
-}
-
-// Count returns how many observations were recorded.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
-
-// Mean returns the average observation (0 when empty).
-func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	return h.sum / float64(h.count)
-}
-
-// Min returns the smallest observation.
-func (h *Histogram) Min() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
-}
-
-// Max returns the largest observation.
-func (h *Histogram) Max() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
-
-// Quantile returns the q-quantile (0 <= q <= 1) from the sample reservoir.
-func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), h.samples...)
-	sort.Float64s(sorted)
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
-
-// Summary renders count/mean/p50/p99/max with nanosecond observations
-// formatted as durations.
-func (h *Histogram) Summary() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
-		h.Count(),
-		time.Duration(h.Mean()),
-		time.Duration(h.Quantile(0.50)),
-		time.Duration(h.Quantile(0.99)),
-		time.Duration(h.Max()))
-}
 
 // Gbps converts bytes moved in a duration to gigabits per second.
 func Gbps(bytes int64, d time.Duration) float64 {

@@ -10,6 +10,7 @@ import (
 
 	"rstore/internal/rpc"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Control message types served by the master.
@@ -26,6 +27,10 @@ const (
 	// Unlike MtMap it is idempotent, so clients retry it freely while
 	// recovering from a memory-server bounce.
 	MtRemap
+	// MtStats returns the master's aggregated telemetry: its own snapshot
+	// plus the latest snapshot each memory server piggybacked on its
+	// heartbeat.
+	MtStats
 )
 
 // Service names on the fabric.
@@ -332,4 +337,40 @@ func DecodeServerInfo(d *rpc.Decoder) ServerInfo {
 		Alive:    d.Bool(),
 		Epoch:    d.U64(),
 	}
+}
+
+// NodeStats is one node's telemetry snapshot in an MtStats response.
+type NodeStats struct {
+	Node  simnet.NodeID
+	Role  string // "master", "memserver", ...
+	Stats telemetry.Snapshot
+}
+
+// Encode marshals the node stats. The snapshot travels in its own binary
+// format (see telemetry.Snapshot.MarshalBinary) nested as a byte field.
+func (n *NodeStats) Encode(e *rpc.Encoder) error {
+	blob, err := n.Stats.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	e.I64(int64(n.Node))
+	e.String(n.Role)
+	e.Bytes32(blob)
+	return nil
+}
+
+// DecodeNodeStats unmarshals a NodeStats.
+func DecodeNodeStats(d *rpc.Decoder) (NodeStats, error) {
+	n := NodeStats{
+		Node: simnet.NodeID(d.I64()),
+		Role: d.String(),
+	}
+	blob := d.Bytes32()
+	if err := d.Err(); err != nil {
+		return n, err
+	}
+	if err := n.Stats.UnmarshalBinary(blob); err != nil {
+		return n, err
+	}
+	return n, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Access is the set of permissions granted on a registered memory region.
@@ -46,10 +47,14 @@ func (a Access) String() string {
 
 // Device is a node's RDMA NIC. It owns the node's registered memory table
 // and is the factory for protection domains, completion queues, and
-// connections.
+// connections. It also owns the node's telemetry registry: every layer
+// running on the node (rpc, client, master, memserver) hangs its metrics
+// off the device's registry so one snapshot covers the whole node.
 type Device struct {
 	net  *Network
 	node simnet.NodeID
+	tel  *telemetry.Registry
+	ctr  devCounters
 
 	mu      sync.Mutex
 	closed  bool
@@ -57,11 +62,28 @@ type Device struct {
 	mrs     map[uint32]*MemoryRegion
 }
 
+// devCounters are the data path's telemetry handles, resolved once at
+// OpenDevice so posting a work request never takes the registry lock.
+type devCounters struct {
+	ops         *telemetry.Counter // send-side work requests executed
+	bytes       *telemetry.Counter // local payload bytes of those requests
+	oneSided    *telemetry.Counter // READ/WRITE completions (requester side)
+	atomics     *telemetry.Counter // FETCH_ADD/CMP_SWAP completions
+	recvOps     *telemetry.Counter // receive completions raised locally
+	retransmits *telemetry.Counter // RC retransmissions (dropped transfers)
+	errors      *telemetry.Counter // QPs moved to the error state
+	servedOps   *telemetry.Counter // one-sided/atomic ops targeting this node
+	servedBytes *telemetry.Counter // bytes served from this node's arenas
+}
+
 // Node returns the fabric node this device is attached to.
 func (d *Device) Node() simnet.NodeID { return d.node }
 
 // Network returns the owning verbs network.
 func (d *Device) Network() *Network { return d.net }
+
+// Telemetry returns the node's metric registry.
+func (d *Device) Telemetry() *telemetry.Registry { return d.tel }
 
 // Costs returns the device's CPU-overhead model.
 func (d *Device) Costs() Costs { return d.net.costs }

@@ -77,14 +77,15 @@ type postedRecv struct {
 
 // QPStats counts per-QP traffic, used by the benchmark harness.
 type QPStats struct {
-	SendOps    int64
-	SendBytes  int64
-	RecvOps    int64
-	OneSided   int64
-	Atomics    int64
-	Errors     int64
-	LastDoneV  simnet.VTime
-	FirstPostV simnet.VTime
+	SendOps     int64
+	SendBytes   int64
+	RecvOps     int64
+	OneSided    int64
+	Atomics     int64
+	Retransmits int64
+	Errors      int64
+	LastDoneV   simnet.VTime
+	FirstPostV  simnet.VTime
 }
 
 // QP is a reliable connected queue pair. Send work requests are executed
@@ -205,6 +206,7 @@ func (q *QP) setError() {
 		q.state = QPError
 	}
 	q.stats.Errors++
+	q.dev.ctr.errors.Inc()
 }
 
 // PostSend queues a send-side work request. It blocks if the send queue is
@@ -373,6 +375,8 @@ func (q *QP) execute(wr SendWR, vcursor simnet.VTime) simnet.VTime {
 	q.stats.SendBytes += int64(wr.Local.Len)
 	state := q.state
 	q.mu.Unlock()
+	q.dev.ctr.ops.Inc()
+	q.dev.ctr.bytes.Add(int64(wr.Local.Len))
 
 	if state != QPReady {
 		q.complete(WC{WRID: wr.WRID, Op: wr.Op, Status: StatusFlushed, Err: fmt.Errorf("%w: %v", ErrQPState, state), PostedV: issue, DoneV: issue})
@@ -472,6 +476,10 @@ func (q *QP) xfer(from, to simnet.NodeID, n int, start simnet.VTime) (simnet.VTi
 		if err == nil || !errors.Is(err, simnet.ErrDropped) || attempt >= costs.RetryCount {
 			return done, err
 		}
+		q.mu.Lock()
+		q.stats.Retransmits++
+		q.mu.Unlock()
+		q.dev.ctr.retransmits.Inc()
 		start = start.Add(costs.RetryBackoff)
 	}
 }
@@ -511,6 +519,9 @@ func (q *QP) execWrite(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, e
 	q.mu.Lock()
 	q.stats.OneSided++
 	q.mu.Unlock()
+	q.dev.ctr.oneSided.Inc()
+	peer.dev.ctr.servedOps.Inc()
+	peer.dev.ctr.servedBytes.Add(int64(len(src)))
 
 	if wr.Op == OpWriteImm {
 		// WRITE_WITH_IMM consumes a receive at the responder and raises a
@@ -534,6 +545,7 @@ func (q *QP) execWrite(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, e
 		peer.mu.Lock()
 		peer.stats.RecvOps++
 		peer.mu.Unlock()
+		peer.dev.ctr.recvOps.Inc()
 	}
 	return done, nil
 }
@@ -564,6 +576,9 @@ func (q *QP) execRead(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, er
 	q.mu.Lock()
 	q.stats.OneSided++
 	q.mu.Unlock()
+	q.dev.ctr.oneSided.Inc()
+	peer.dev.ctr.servedOps.Inc()
+	peer.dev.ctr.servedBytes.Add(int64(len(dst)))
 	return done, nil
 }
 
@@ -602,6 +617,7 @@ func (q *QP) execSend(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, er
 	peer.mu.Lock()
 	peer.stats.RecvOps++
 	peer.mu.Unlock()
+	peer.dev.ctr.recvOps.Inc()
 	return done, nil
 }
 
@@ -639,6 +655,9 @@ func (q *QP) execAtomic(wr SendWR, peer *QP, start simnet.VTime) (simnet.VTime, 
 	q.mu.Lock()
 	q.stats.Atomics++
 	q.mu.Unlock()
+	q.dev.ctr.atomics.Inc()
+	peer.dev.ctr.servedOps.Inc()
+	peer.dev.ctr.servedBytes.Add(8)
 	return done, nil
 }
 

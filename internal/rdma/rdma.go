@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Errors reported by the verbs layer.
@@ -172,9 +173,22 @@ func (n *Network) OpenDevice(node simnet.NodeID) (*Device, error) {
 	if d, ok := n.devices[node]; ok {
 		return d, nil
 	}
+	tel := telemetry.New(node)
 	d := &Device{
-		net:     n,
-		node:    node,
+		net:  n,
+		node: node,
+		tel:  tel,
+		ctr: devCounters{
+			ops:         tel.Counter("rdma.ops"),
+			bytes:       tel.Counter("rdma.bytes"),
+			oneSided:    tel.Counter("rdma.one_sided"),
+			atomics:     tel.Counter("rdma.atomics"),
+			recvOps:     tel.Counter("rdma.recv_ops"),
+			retransmits: tel.Counter("rdma.retransmits"),
+			errors:      tel.Counter("rdma.errors"),
+			servedOps:   tel.Counter("rdma.served_ops"),
+			servedBytes: tel.Counter("rdma.served_bytes"),
+		},
 		mrs:     make(map[uint32]*MemoryRegion),
 		nextKey: 1,
 	}

@@ -10,6 +10,7 @@ import (
 
 	"rstore/internal/rdma"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Wire header layout (little endian):
@@ -19,7 +20,8 @@ import (
 //	flags   uint8   (bit 0: response, bit 1: error)
 //	_pad    uint8
 //	length  uint32  (payload bytes following the header)
-const headerSize = 16
+//	traceID uint64  (telemetry trace propagation; 0 = untraced)
+const headerSize = 24
 
 const (
 	flagResponse = 1 << 0
@@ -79,8 +81,9 @@ func (o Options) withDefaults() Options {
 // endpoint wraps a QP with registered message buffers and the shared
 // send/receive machinery used by both Conn (client) and server sessions.
 type endpoint struct {
-	qp   *rdma.QP
-	opts Options
+	qp           *rdma.QP
+	opts         Options
+	creditStalls *telemetry.Counter
 
 	sendMRs  []*rdma.MemoryRegion
 	sendFree chan int // indices into sendMRs
@@ -91,9 +94,10 @@ type endpoint struct {
 func newEndpoint(qp *rdma.QP, opts Options) (*endpoint, error) {
 	opts = opts.withDefaults()
 	ep := &endpoint{
-		qp:       qp,
-		opts:     opts,
-		sendFree: make(chan int, opts.Credits),
+		qp:           qp,
+		opts:         opts,
+		creditStalls: qp.Device().Telemetry().Counter("rpc.credit_stalls"),
+		sendFree:     make(chan int, opts.Credits),
 	}
 	pd := qp.PD()
 	for i := 0; i < opts.Credits; i++ {
@@ -118,15 +122,23 @@ func newEndpoint(qp *rdma.QP, opts Options) (*endpoint, error) {
 
 // send marshals one message into a free send buffer and posts it. startV
 // lets the caller chain virtual time (zero = NIC-free time).
-func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flags uint8, payload []byte, startV simnet.VTime) error {
+func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flags uint8, traceID telemetry.TraceID, payload []byte, startV simnet.VTime) error {
 	if len(payload) > ep.opts.BufSize {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), ep.opts.BufSize)
 	}
 	var idx int
 	select {
 	case idx = <-ep.sendFree:
-	case <-ctx.Done():
-		return ctx.Err()
+	default:
+		// All credits are in flight: the caller is about to block on the
+		// peer's consumption rate. Count it — credit stalls are the RPC
+		// layer's back-pressure signal.
+		ep.creditStalls.Inc()
+		select {
+		case idx = <-ep.sendFree:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	mr := ep.sendMRs[idx]
 	buf := mr.Bytes()
@@ -135,6 +147,7 @@ func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flag
 	buf[10] = flags
 	buf[11] = 0
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(traceID))
 	copy(buf[headerSize:], payload)
 
 	if err := ep.qp.PostSend(rdma.SendWR{
@@ -166,6 +179,7 @@ type message struct {
 	reqID   uint64
 	msgType uint16
 	flags   uint8
+	traceID telemetry.TraceID
 	payload []byte // copied out of the recv buffer
 	doneV   simnet.VTime
 }
@@ -186,6 +200,7 @@ func (ep *endpoint) repostAndParse(wc rdma.WC) (message, error) {
 		reqID:   binary.LittleEndian.Uint64(buf[0:]),
 		msgType: binary.LittleEndian.Uint16(buf[8:]),
 		flags:   buf[10],
+		traceID: telemetry.TraceID(binary.LittleEndian.Uint64(buf[16:])),
 		doneV:   wc.DoneV,
 	}
 	n := int(binary.LittleEndian.Uint32(buf[12:]))
@@ -204,6 +219,12 @@ func (ep *endpoint) repostAndParse(wc rdma.WC) (message, error) {
 type Conn struct {
 	ep *endpoint
 
+	callsOut     *telemetry.Counter
+	callErrors   *telemetry.Counter
+	callTimeouts *telemetry.Counter
+	callLatency  *telemetry.Histogram
+	tracer       *telemetry.Tracer
+
 	mu       sync.Mutex
 	nextID   uint64
 	inflight map[uint64]chan message
@@ -221,11 +242,17 @@ func NewConn(qp *rdma.QP, opts Options) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := qp.Device().Telemetry()
 	c := &Conn{
-		ep:       ep,
-		nextID:   1,
-		inflight: make(map[uint64]chan message),
-		done:     make(chan struct{}),
+		ep:           ep,
+		callsOut:     tel.Counter("rpc.calls_out"),
+		callErrors:   tel.Counter("rpc.call_errors"),
+		callTimeouts: tel.Counter("rpc.call_timeouts"),
+		callLatency:  tel.Histogram("rpc.call_latency"),
+		tracer:       tel.Tracer(),
+		nextID:       1,
+		inflight:     make(map[uint64]chan message),
+		done:         make(chan struct{}),
 	}
 	c.wg.Add(2)
 	go c.recvLoop()
@@ -362,8 +389,10 @@ func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, ti
 	c.inflight[id] = ch
 	c.mu.Unlock()
 
+	c.callsOut.Inc()
+	trace := telemetry.TraceFrom(ctx)
 	startV := c.ep.qp.VNow()
-	if err := c.ep.send(ctx, id, msgType, 0, req, startV); err != nil {
+	if err := c.ep.send(ctx, id, msgType, 0, trace, req, startV); err != nil {
 		c.mu.Lock()
 		delete(c.inflight, id)
 		c.mu.Unlock()
@@ -374,6 +403,7 @@ func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, ti
 			// know to re-dial rather than retry on a corpse.
 			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
 		}
+		c.callErrors.Inc()
 		return nil, 0, fmt.Errorf("rpc call type %d: %w", msgType, err)
 	}
 
@@ -386,13 +416,24 @@ func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, ti
 			if err == nil {
 				err = ErrConnClosed
 			}
+			c.callErrors.Inc()
 			return nil, 0, fmt.Errorf("rpc call type %d: %w", msgType, err)
 		}
 		lat := m.doneV.Sub(startV)
 		if lat < 0 {
 			lat = 0
 		}
+		c.callLatency.RecordDuration(lat)
+		if trace != 0 {
+			c.tracer.Record(telemetry.Span{
+				Trace:  trace,
+				Name:   fmt.Sprintf("rpc.call.%d", msgType),
+				StartV: startV,
+				EndV:   m.doneV,
+			})
+		}
 		if m.flags&flagError != 0 {
+			c.callErrors.Inc()
 			return nil, lat, &RemoteError{MsgType: msgType, Msg: string(m.payload)}
 		}
 		return m.payload, lat, nil
@@ -400,6 +441,7 @@ func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, ti
 		c.mu.Lock()
 		delete(c.inflight, id)
 		c.mu.Unlock()
+		c.callTimeouts.Inc()
 		return nil, 0, fmt.Errorf("rpc call type %d: %w", msgType, ctx.Err())
 	}
 }

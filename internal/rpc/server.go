@@ -8,6 +8,7 @@ import (
 
 	"rstore/internal/rdma"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // Handler serves one request type. The returned payload is sent back to the
@@ -20,6 +21,10 @@ type Handler func(ctx context.Context, from simnet.NodeID, req *Decoder) (*Encod
 type Server struct {
 	lis  *rdma.Listener
 	opts Options
+
+	callsIn       *telemetry.Counter
+	handlerErrors *telemetry.Counter
+	tracer        *telemetry.Tracer
 
 	mu       sync.Mutex
 	handlers map[uint16]Handler
@@ -37,10 +42,14 @@ func NewServer(dev *rdma.Device, service string, pd *rdma.PD, opts Options) (*Se
 	if err != nil {
 		return nil, err
 	}
+	tel := dev.Telemetry()
 	return &Server{
-		lis:      lis,
-		opts:     o,
-		handlers: make(map[uint16]Handler),
+		lis:           lis,
+		opts:          o,
+		callsIn:       tel.Counter("rpc.calls_in"),
+		handlerErrors: tel.Counter("rpc.handler_errors"),
+		tracer:        tel.Tracer(),
+		handlers:      make(map[uint16]Handler),
 	}, nil
 }
 
@@ -108,6 +117,7 @@ func (s *Server) dispatch(ctx context.Context, ep *endpoint, m message) {
 	h, ok := s.handlers[m.msgType]
 	s.mu.Unlock()
 
+	s.callsIn.Inc()
 	// The response is posted at the virtual time the request arrived plus
 	// the modeled handler CPU cost, so Call latency reflects a full
 	// control-path round trip.
@@ -116,25 +126,41 @@ func (s *Server) dispatch(ctx context.Context, ep *endpoint, m message) {
 	var (
 		payload []byte
 		flags   uint8 = flagResponse
+		errMsg  string
 	)
 	if !ok {
 		flags |= flagError
-		payload = []byte(fmt.Sprintf("no handler for message type %d", m.msgType))
+		errMsg = fmt.Sprintf("no handler for message type %d", m.msgType)
+		payload = []byte(errMsg)
 	} else {
-		enc, err := h(ctx, ep.qp.RemoteNode(), NewDecoder(m.payload))
+		hctx := telemetry.WithTrace(ctx, m.traceID)
+		enc, err := h(hctx, ep.qp.RemoteNode(), NewDecoder(m.payload))
 		if err != nil {
 			flags |= flagError
-			payload = []byte(err.Error())
+			errMsg = err.Error()
+			payload = []byte(errMsg)
 		} else if enc != nil {
 			payload = enc.Bytes()
 		}
 	}
-	if err := ep.send(ctx, m.reqID, m.msgType, flags, payload, respV); err != nil {
+	if flags&flagError != 0 {
+		s.handlerErrors.Inc()
+	}
+	if m.traceID != 0 {
+		s.tracer.Record(telemetry.Span{
+			Trace:  m.traceID,
+			Name:   fmt.Sprintf("rpc.handle.%d", m.msgType),
+			StartV: m.doneV,
+			EndV:   respV,
+			Err:    errMsg,
+		})
+	}
+	if err := ep.send(ctx, m.reqID, m.msgType, flags, m.traceID, payload, respV); err != nil {
 		if errors.Is(err, ErrTooLarge) && flags&flagError == 0 {
 			// The handler's reply does not fit the connection's buffers;
 			// tell the caller rather than leaving it waiting forever.
 			msg := []byte(fmt.Sprintf("rpc: response of %d bytes exceeds buffer size %d", len(payload), s.opts.BufSize))
-			_ = ep.send(ctx, m.reqID, m.msgType, flagResponse|flagError, msg, respV)
+			_ = ep.send(ctx, m.reqID, m.msgType, flagResponse|flagError, m.traceID, msg, respV)
 		}
 		// Otherwise best effort: if the peer is gone the session loop will
 		// observe the closed QP.

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Micro-benchmarks for the primitives every layer's hot path touches.
+// EXPERIMENTS.md records representative numbers alongside the end-to-end
+// overhead guard in internal/bench.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New(1).Counter("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	r := New(1)
+	r.SetEnabled(false)
+	c := r.Counter("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := New(1).Histogram("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.RecordDuration(3 * time.Microsecond)
+		}
+	})
+}
+
+func BenchmarkTracerNewTraceOff(b *testing.B) {
+	tr := New(1).Tracer()
+	for i := 0; i < b.N; i++ {
+		tr.NewTrace()
+	}
+}
+
+func BenchmarkTraceFromUntraced(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		TraceFrom(ctx)
+	}
+}

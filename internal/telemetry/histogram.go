@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// reservoirSize bounds per-histogram memory; beyond it, samples are kept
+// via reservoir sampling (Vitter's algorithm R with a deterministic hash
+// so runs are reproducible).
+const reservoirSize = 4096
+
+// Histogram records a stream of float64 observations and answers summary
+// queries (count, sum, min, max, quantiles) over a uniform sample of the
+// stream. The zero value is ready to use. Safe for concurrent use.
+type Histogram struct {
+	off *atomic.Bool
+
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	seen    int64 // observations offered to the reservoir
+	samples []float64
+}
+
+// RecordValue adds one observation.
+func (h *Histogram) RecordValue(v float64) {
+	if h.off != nil && h.off.Load() {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.observe(v)
+}
+
+// RecordDuration adds one observation measured as a duration (stored in
+// nanoseconds).
+func (h *Histogram) RecordDuration(d time.Duration) {
+	h.RecordValue(float64(d.Nanoseconds()))
+}
+
+// Record is an alias of RecordDuration, kept for the bench API.
+func (h *Histogram) Record(d time.Duration) { h.RecordDuration(d) }
+
+// Summary renders count/mean/p50/p99/max, formatting nanosecond
+// observations as durations.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(),
+		time.Duration(h.Mean()),
+		time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.Max()))
+}
+
+// observe updates summary stats and the reservoir. Caller holds h.mu.
+func (h *Histogram) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.reservoirAdd(v)
+}
+
+// reservoirAdd offers v to the sample reservoir. Caller holds h.mu.
+func (h *Histogram) reservoirAdd(v float64) {
+	h.seen++
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Deterministic stand-in for a uniform draw in [0, seen): hash the
+	// observation index so repeated runs keep identical reservoirs.
+	x := uint64(h.seen) * 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	if idx := x % uint64(h.seen); idx < reservoirSize {
+		h.samples[idx] = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest observation, or 0 for an empty histogram.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 for an empty histogram.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the q-quantile (q in [0,1], clamped) estimated from the
+// sample reservoir. Empty histograms return 0; a single sample answers
+// every quantile.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileOf(h.samples, q)
+}
+
+// quantileOf computes the q-quantile of unsorted samples without mutating
+// the input. Returns 0 when samples is empty.
+func quantileOf(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Merge folds the contents of o into h. Both histograms' summary stats
+// combine exactly; the reservoirs merge proportionally to how many
+// observations each side has seen, so the merged sample stays roughly
+// uniform over the union stream.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || h == o {
+		return
+	}
+	o.mu.Lock()
+	snap := HistogramSnapshot{
+		Count:   o.count,
+		Sum:     o.sum,
+		Min:     o.min,
+		Max:     o.max,
+		Samples: append([]float64(nil), o.samples...),
+	}
+	seen := o.seen
+	o.mu.Unlock()
+	if snap.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.mergeLocked(snap, seen)
+}
+
+// MergeSnapshot folds a frozen snapshot (e.g. from another node) into h.
+func (h *Histogram) MergeSnapshot(o HistogramSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.mergeLocked(o, o.Count)
+}
+
+// mergeLocked merges snapshot o (whose reservoir saw oSeen observations)
+// into h. Caller holds h.mu.
+func (h *Histogram) mergeLocked(o HistogramSnapshot, oSeen int64) {
+	if h.count == 0 || o.Min < h.min {
+		h.min = o.Min
+	}
+	if h.count == 0 || o.Max > h.max {
+		h.max = o.Max
+	}
+	h.count += o.Count
+	h.sum += o.Sum
+	h.samples = mergeReservoirs(h.samples, h.seen, o.Samples, oSeen)
+	h.seen += oSeen
+	if int64(len(h.samples)) > h.seen {
+		// Defensive: never claim a bigger reservoir than the stream.
+		h.samples = h.samples[:h.seen]
+	}
+}
+
+// mergeReservoirs combines two uniform reservoirs drawn from streams of
+// aSeen and bSeen observations into one reservoir of at most reservoirSize
+// samples, weighting each side by its stream length. Deterministic.
+func mergeReservoirs(a []float64, aSeen int64, b []float64, bSeen int64) []float64 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		out := make([]float64, len(b))
+		copy(out, b)
+		if len(out) > reservoirSize {
+			out = out[:reservoirSize]
+		}
+		return out
+	}
+	if len(a)+len(b) <= reservoirSize {
+		return append(a, b...)
+	}
+	total := aSeen + bSeen
+	if total <= 0 {
+		total = int64(len(a) + len(b))
+		aSeen, bSeen = int64(len(a)), int64(len(b))
+	}
+	// Allocate slots proportionally to stream sizes, then take an evenly
+	// spaced subsample from each side (reservoirs are unordered uniform
+	// samples, so strided selection keeps uniformity and determinism).
+	aSlots := int(int64(reservoirSize) * aSeen / total)
+	if aSlots > len(a) {
+		aSlots = len(a)
+	}
+	bSlots := reservoirSize - aSlots
+	if bSlots > len(b) {
+		bSlots = len(b)
+		if extra := reservoirSize - aSlots - bSlots; extra > 0 && aSlots+extra <= len(a) {
+			aSlots += extra
+		}
+	}
+	out := make([]float64, 0, aSlots+bSlots)
+	out = append(out, strideSample(a, aSlots)...)
+	out = append(out, strideSample(b, bSlots)...)
+	return out
+}
+
+// strideSample picks n evenly spaced elements from s.
+func strideSample(s []float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n >= len(s) {
+		return s
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s[i*len(s)/n])
+	}
+	return out
+}
+
+// Snapshot freezes the histogram into a plain value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+	}
+	if h.count > 0 {
+		s.Min = h.min
+		s.Max = h.max
+	}
+	s.Samples = append([]float64(nil), h.samples...)
+	return s
+}
+
+// HistogramSnapshot is a frozen, mergeable view of a histogram. Samples is
+// a uniform reservoir over the observation stream.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Samples []float64
+}
+
+// Mean returns the mean, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns the q-quantile from the sample reservoir (0 when empty).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return quantileOf(s.Samples, q)
+}
+
+// Merge folds o into s, treating each side's reservoir as covering Count
+// observations.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = o.Min, o.Max
+	} else {
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+	s.Samples = mergeReservoirs(s.Samples, s.Count, o.Samples, o.Count)
+	s.Count += o.Count
+	s.Sum += o.Sum
+}

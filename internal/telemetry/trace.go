@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rstore/internal/simnet"
+)
+
+// defaultTraceRing is the per-node span ring-buffer capacity.
+const defaultTraceRing = 4096
+
+// TraceID identifies one logical operation as it crosses layers and
+// nodes. The originating node lives in the high 16 bits so IDs minted on
+// different nodes never collide. Zero means "not traced".
+type TraceID uint64
+
+// newTraceID builds an ID from an origin node and a per-node sequence.
+func newTraceID(node simnet.NodeID, seq uint64) TraceID {
+	return TraceID(uint64(uint16(node))<<48 | (seq & 0xffffffffffff))
+}
+
+// Node returns the node that minted the ID.
+func (t TraceID) Node() simnet.NodeID { return simnet.NodeID(uint16(t >> 48)) }
+
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// Span is one step of a traced operation, stamped with simnet virtual
+// time: StartV/EndV are fabric timestamps, so span durations reflect the
+// modeled network, not wall-clock scheduling noise.
+type Span struct {
+	Trace  TraceID
+	Name   string // e.g. "client.read", "rpc.handle.alloc"
+	Node   simnet.NodeID
+	StartV simnet.VTime
+	EndV   simnet.VTime
+	Err    string // empty on success
+}
+
+// Duration returns the span's virtual-time extent.
+func (s Span) Duration() time.Duration { return s.EndV.Sub(s.StartV) }
+
+// Tracer collects spans into a fixed-size per-node ring buffer. Sampling
+// is 1-in-N on new root traces: SetSampling(0) disables tracing entirely
+// (the hot path cost is one atomic load), SetSampling(1) traces every op.
+// Spans belonging to an already-sampled trace are always recorded, so a
+// sampled operation is captured end to end across layers and nodes.
+type Tracer struct {
+	node     simnet.NodeID
+	sampling atomic.Int64 // 0 = off, N = 1-in-N roots
+	seq      atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Span
+	next int  // next write position
+	full bool // ring has wrapped
+}
+
+func newTracer(node simnet.NodeID, capacity int) *Tracer {
+	return &Tracer{node: node, ring: make([]Span, capacity)}
+}
+
+// SetSampling sets the root-trace sampling rate: 0 disables tracing, n>0
+// samples one in every n new traces.
+func (t *Tracer) SetSampling(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.sampling.Store(int64(n))
+}
+
+// Sampling returns the current rate (0 = off).
+func (t *Tracer) Sampling() int { return int(t.sampling.Load()) }
+
+// NewTrace decides whether the operation starting now should be traced.
+// It returns a fresh ID and true when sampled, zero and false otherwise.
+func (t *Tracer) NewTrace() (TraceID, bool) {
+	n := t.sampling.Load()
+	if n == 0 {
+		return 0, false
+	}
+	seq := t.seq.Add(1)
+	if seq%uint64(n) != 0 {
+		return 0, false
+	}
+	return newTraceID(t.node, seq), true
+}
+
+// Record appends a span to the ring. Spans with a zero TraceID are
+// dropped — callers can pass through unconditionally and let untraced
+// operations fall out here.
+func (t *Tracer) Record(s Span) {
+	if s.Trace == 0 {
+		return
+	}
+	if s.Node == 0 {
+		s.Node = t.node
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the buffered spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.ring[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump writes the buffered spans to w, grouped by trace and ordered by
+// virtual start time within each trace.
+func (t *Tracer) Dump(w io.Writer) error {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Trace != spans[j].Trace {
+			return spans[i].Trace < spans[j].Trace
+		}
+		return spans[i].StartV < spans[j].StartV
+	})
+	var last TraceID
+	for _, s := range spans {
+		if s.Trace != last {
+			if _, err := fmt.Fprintf(w, "trace %s\n", s.Trace); err != nil {
+				return err
+			}
+			last = s.Trace
+		}
+		status := ""
+		if s.Err != "" {
+			status = "  err=" + s.Err
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s node=%d  start=%s  dur=%s%s\n",
+			s.Name, s.Node, s.StartV, s.Duration(), status); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceKey is the context key for trace propagation.
+type traceKey struct{}
+
+// WithTrace attaches a trace ID to ctx. Attaching zero returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, id TraceID) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom extracts the trace ID from ctx (zero when untraced).
+func TraceFrom(ctx context.Context) TraceID {
+	id, _ := ctx.Value(traceKey{}).(TraceID)
+	return id
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Snapshot wire format (version 1, little-endian):
+//
+//	u8  version
+//	u32 counter count; per counter: u16 name len, name bytes, i64 value
+//	u32 gauge count;   per gauge:   u16 name len, name bytes, i64 value
+//	u32 hist count;    per hist:    u16 name len, name bytes,
+//	                               i64 count, f64 sum, f64 min, f64 max,
+//	                               u32 sample count, f64 samples...
+//
+// Histogram reservoirs are subsampled to wireMaxSamples on marshal so a
+// node snapshot with many histograms stays well under the RPC buffer
+// size; quantile answers degrade gracefully.
+const (
+	snapshotWireVersion = 1
+	wireMaxSamples      = 256
+)
+
+// ErrBadSnapshot reports a malformed or incompatible wire snapshot.
+var ErrBadSnapshot = errors.New("telemetry: malformed snapshot")
+
+// MarshalBinary encodes the snapshot for the control plane.
+func (s Snapshot) MarshalBinary() ([]byte, error) {
+	buf := []byte{snapshotWireVersion}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Counters)))
+	for name, v := range s.Counters {
+		var err error
+		if buf, err = appendName(buf, name); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Gauges)))
+	for name, v := range s.Gauges {
+		var err error
+		if buf, err = appendName(buf, name); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Histograms)))
+	for name, h := range s.Histograms {
+		var err error
+		if buf, err = appendName(buf, name); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(h.Count))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Sum))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Min))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Max))
+		samples := h.Samples
+		if len(samples) > wireMaxSamples {
+			samples = strideSample(samples, wireMaxSamples)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(samples)))
+		for _, v := range samples {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+func appendName(buf []byte, name string) ([]byte, error) {
+	if len(name) > math.MaxUint16 {
+		return nil, fmt.Errorf("telemetry: metric name too long (%d bytes)", len(name))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	return append(buf, name...), nil
+}
+
+// UnmarshalBinary decodes a wire snapshot, replacing s's contents.
+func (s *Snapshot) UnmarshalBinary(data []byte) error {
+	d := wireReader{buf: data}
+	if v := d.u8(); v != snapshotWireVersion {
+		return fmt.Errorf("%w: version %d", ErrBadSnapshot, v)
+	}
+	nc := d.u32()
+	if d.err != nil || nc > uint32(len(data)) {
+		return ErrBadSnapshot
+	}
+	s.Counters = make(map[string]int64, nc)
+	for i := uint32(0); i < nc && d.err == nil; i++ {
+		name := d.name()
+		s.Counters[name] = int64(d.u64())
+	}
+	ng := d.u32()
+	if d.err != nil || ng > uint32(len(data)) {
+		return ErrBadSnapshot
+	}
+	s.Gauges = make(map[string]int64, ng)
+	for i := uint32(0); i < ng && d.err == nil; i++ {
+		name := d.name()
+		s.Gauges[name] = int64(d.u64())
+	}
+	nh := d.u32()
+	if d.err != nil || nh > uint32(len(data)) {
+		return ErrBadSnapshot
+	}
+	s.Histograms = make(map[string]HistogramSnapshot, nh)
+	for i := uint32(0); i < nh && d.err == nil; i++ {
+		name := d.name()
+		h := HistogramSnapshot{
+			Count: int64(d.u64()),
+			Sum:   math.Float64frombits(d.u64()),
+			Min:   math.Float64frombits(d.u64()),
+			Max:   math.Float64frombits(d.u64()),
+		}
+		ns := d.u32()
+		if d.err != nil || ns > uint32(len(data)) {
+			return ErrBadSnapshot
+		}
+		h.Samples = make([]float64, 0, ns)
+		for j := uint32(0); j < ns && d.err == nil; j++ {
+			h.Samples = append(h.Samples, math.Float64frombits(d.u64()))
+		}
+		s.Histograms[name] = h
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(d.buf))
+	}
+	return nil
+}
+
+// wireReader is a tiny sticky-error cursor over the wire buffer.
+type wireReader struct {
+	buf []byte
+	err error
+}
+
+func (d *wireReader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = ErrBadSnapshot
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *wireReader) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wireReader) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *wireReader) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *wireReader) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *wireReader) name() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
