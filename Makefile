@@ -1,6 +1,7 @@
 GO ?= go
+SEEDS ?= 3
 
-.PHONY: all build test vet race integration verify bench fmt
+.PHONY: all build test vet race integration verify bench fmt chaos
 
 all: build test
 
@@ -22,6 +23,16 @@ vet:
 # recovery bug shows up as a timeout instead of a wedged CI job.
 integration:
 	$(GO) test -race -timeout 300s ./internal/integration/...
+
+# Seed matrix: re-run the chaos + repair suite under the race detector
+# with SEEDS distinct chaos seeds (RSTORE_CHAOS_SEED re-seeds every
+# seeded decision — drop patterns, retry jitter). Each seed changes the
+# interleavings, never the pass criteria.
+chaos:
+	for seed in $$(seq 1 $(SEEDS)); do \
+		echo "=== chaos seed $$seed ==="; \
+		RSTORE_CHAOS_SEED=$$seed $(GO) test -race -timeout 300s -count=1 ./internal/integration/... || exit 1; \
+	done
 
 # Tier-2 verification (see README "Verifying"): vet plus the full suite
 # under the race detector. Slower than tier-1; run before merging anything

@@ -103,6 +103,137 @@ func runDemo(machines int) error {
 	return nil
 }
 
+// runRegions boots a cluster, allocates a replicated and a plain region,
+// then renders the master's repair-plane view of every region — placement,
+// per-copy health, dirty/under-repair flags, and the generation counter.
+// It kills one replica holder mid-run so the output shows the store
+// degrading and then self-healing.
+func runRegions(machines int) error {
+	ctx := context.Background()
+	const beat = 20 * time.Millisecond
+	if machines < 5 {
+		// Two width-2 copies need 4 memory servers for a disjoint
+		// placement (machines counts the master too).
+		machines = 5
+	}
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, HeartbeatInterval: beat})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	cli, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		return err
+	}
+	// Server registration races the boot; allocate only once every server
+	// is in, or the replica falls back to an overlapping placement.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if len(cluster.Master().AliveServers()) >= machines-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("servers still registering after 5s")
+		}
+		time.Sleep(beat)
+	}
+	// Stripe each copy across half the servers so the two copies land on
+	// disjoint nodes — a full-width stripe would put every copy on every
+	// server and no single failure would be survivable.
+	reg, err := cli.AllocMap(ctx, "app/replicated", 2<<20, core.AllocOptions{Replicas: 1, StripeWidth: 2})
+	if err != nil {
+		return err
+	}
+	if _, err := cli.AllocMap(ctx, "app/plain", 1<<20, core.AllocOptions{}); err != nil {
+		return err
+	}
+	if err := reg.Write(ctx, 0, []byte(strings.Repeat("rstore;", 64))); err != nil {
+		return err
+	}
+
+	statuses, err := cli.RegionStatuses(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("before failure:")
+	printRegionStatuses(statuses)
+
+	// Kill the server holding the replica's first extent and watch the
+	// repair plane restore full replication on the survivors.
+	victim := reg.Info().Copies()[1][0].Server
+	fmt.Printf("killing memory server on node %d...\n\n", victim)
+	if err := cluster.KillServer(victim); err != nil {
+		return err
+	}
+	gen := reg.Info().Generation
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		statuses, err = cli.RegionStatuses(ctx)
+		if err != nil {
+			return err
+		}
+		if healed(statuses, "app/replicated", gen) {
+			break
+		}
+		time.Sleep(beat)
+	}
+	fmt.Println("after self-healing repair:")
+	printRegionStatuses(statuses)
+	return nil
+}
+
+// healed reports whether the named region's generation advanced past gen
+// and every copy is healthy and clean again.
+func healed(statuses []core.RegionStatus, name string, gen uint64) bool {
+	for _, st := range statuses {
+		if st.Info.Name != name {
+			continue
+		}
+		if st.Info.Generation <= gen || st.Lost {
+			return false
+		}
+		for _, cs := range st.Copies {
+			if !cs.Healthy || cs.Dirty || cs.UnderRepair {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// printRegionStatuses renders the repair-plane introspection tables: one
+// region-level row each, then one row per copy with its placement and
+// health flags.
+func printRegionStatuses(statuses []core.RegionStatus) {
+	rt := metrics.NewTable("regions", "name", "id", "bytes", "gen", "mapped", "copies", "lost")
+	for _, st := range statuses {
+		rt.AddRow(st.Info.Name, uint64(st.Info.ID), st.Info.Size, st.Info.Generation,
+			st.MapCount, len(st.Copies), st.Lost)
+	}
+	fmt.Println(rt.String())
+
+	ct := metrics.NewTable("copies", "region", "copy", "servers", "healthy", "dirty", "repairing", "degraded")
+	for _, st := range statuses {
+		for i, cs := range st.Copies {
+			copies := st.Info.Copies()
+			var nodes []string
+			if i < len(copies) {
+				for _, x := range copies[i] {
+					nodes = append(nodes, fmt.Sprintf("%d", x.Server))
+				}
+			}
+			role := "primary"
+			if i > 0 {
+				role = fmt.Sprintf("replica-%d", i-1)
+			}
+			ct.AddRow(st.Info.Name, role, strings.Join(nodes, ","),
+				cs.Healthy, cs.Dirty, cs.UnderRepair, cs.PlacementDegraded)
+		}
+	}
+	fmt.Println(ct.String())
+}
+
 // runStats boots a cluster, drives a short mixed workload so every layer's
 // counters move, then fetches the master's aggregated per-node telemetry —
 // the view an operator polls against a running deployment.
@@ -230,8 +361,10 @@ func main() {
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "usage: rstore-cli [flags] [command]\n\ncommands:\n")
-		fmt.Fprintf(out, "  demo   populate a demo cluster and dump membership, regions, contents (default)\n")
-		fmt.Fprintf(out, "  stats  run a workload and print cluster-wide telemetry\n\nflags:\n")
+		fmt.Fprintf(out, "  demo     populate a demo cluster and dump membership, regions, contents (default)\n")
+		fmt.Fprintf(out, "  stats    run a workload and print cluster-wide telemetry\n")
+		fmt.Fprintf(out, "  regions  show placement, per-copy health, and generations; kill a server\n")
+		fmt.Fprintf(out, "           and watch the repair plane self-heal\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	machines := flag.Int("machines", 4, "cluster size")
@@ -247,8 +380,10 @@ func main() {
 		err = runDemo(*machines)
 	case "stats":
 		err = runStats(*machines)
+	case "regions":
+		err = runRegions(*machines)
 	default:
-		err = fmt.Errorf("unknown command %q (want demo or stats)", cmd)
+		err = fmt.Errorf("unknown command %q (want demo, stats, or regions)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rstore-cli:", err)

@@ -47,6 +47,12 @@ var (
 	// region must re-Alloc (contents are lost — RStore is a store, not a
 	// durable database).
 	ErrRegionLost = errors.New("client: region lost (server dead)")
+
+	// ErrStaleGeneration means a one-sided access failed against a layout
+	// the repair plane has since replaced. The client remaps transparently
+	// and retries once; this error surfaces only when the retry against
+	// the fresh layout also failed.
+	ErrStaleGeneration = errors.New("client: stale region generation")
 )
 
 // Config tunes a client.
@@ -119,6 +125,10 @@ type clientCounters struct {
 	retries    *telemetry.Counter // control-plane retry attempts (after backoff)
 	redials    *telemetry.Counter // master control-connection re-dials
 
+	degradedWrites *telemetry.Counter // writes that succeeded on a strict subset of copies
+	readFailovers  *telemetry.Counter // reads served by a replica after the primary failed
+	staleRemaps    *telemetry.Counter // remaps that discovered a bumped generation
+
 	readLat   *telemetry.Histogram // modeled read latency
 	writeLat  *telemetry.Histogram // modeled write latency
 	atomicLat *telemetry.Histogram // modeled atomic latency
@@ -145,8 +155,46 @@ type Client struct {
 	conns   map[simnet.NodeID]*serverConn
 	epochs  map[simnet.NodeID]uint64 // last observed master epoch per server
 	notify  map[simnet.NodeID]*notifyConn
+	regions map[proto.RegionID][]*Region // mapped handles, for invalidation push
 	ctrl    ControlStats
 	staging chan *Buf
+}
+
+// registerRegion indexes a mapped handle so invalidation pushes can find it.
+func (c *Client) registerRegion(r *Region) {
+	id := r.Info().ID
+	c.mu.Lock()
+	c.regions[id] = append(c.regions[id], r)
+	c.mu.Unlock()
+}
+
+// unregisterRegion drops an unmapped handle from the invalidation index.
+func (c *Client) unregisterRegion(r *Region) {
+	id := r.Info().ID
+	c.mu.Lock()
+	rs := c.regions[id]
+	for i, cur := range rs {
+		if cur == r {
+			c.regions[id] = append(rs[:i], rs[i+1:]...)
+			break
+		}
+	}
+	if len(c.regions[id]) == 0 {
+		delete(c.regions, id)
+	}
+	c.mu.Unlock()
+}
+
+// invalidateRegion marks every mapped handle of the region stale; the next
+// data-path operation remaps before issuing. Called from notify receive
+// loops when the repair plane pushes a layout change.
+func (c *Client) invalidateRegion(id proto.RegionID) {
+	c.mu.Lock()
+	rs := append([]*Region(nil), c.regions[id]...)
+	c.mu.Unlock()
+	for _, r := range rs {
+		r.stale.Store(true)
+	}
 }
 
 // VNow returns the client's virtual-time cursor.
@@ -173,14 +221,20 @@ func Connect(ctx context.Context, dev *rdma.Device, cfg Config) (*Client, error)
 			remaps:     tel.Counter("client.remaps"),
 			retries:    tel.Counter("client.retries"),
 			redials:    tel.Counter("client.redials"),
-			readLat:    tel.Histogram("client.read_latency"),
-			writeLat:   tel.Histogram("client.write_latency"),
-			atomicLat:  tel.Histogram("client.atomic_latency"),
+
+			degradedWrites: tel.Counter("client.degraded_writes"),
+			readFailovers:  tel.Counter("client.read_failovers"),
+			staleRemaps:    tel.Counter("client.stale_generation_remaps"),
+
+			readLat:   tel.Histogram("client.read_latency"),
+			writeLat:  tel.Histogram("client.write_latency"),
+			atomicLat: tel.Histogram("client.atomic_latency"),
 		},
 		tracer:  tel.Tracer(),
 		conns:   make(map[simnet.NodeID]*serverConn),
 		epochs:  make(map[simnet.NodeID]uint64),
 		notify:  make(map[simnet.NodeID]*notifyConn),
+		regions: make(map[proto.RegionID][]*Region),
 		staging: make(chan *Buf, cfg.StagingCount),
 	}
 	c.retry.onRetry = c.ctr.retries.Inc
@@ -493,6 +547,12 @@ func (c *Client) Map(ctx context.Context, name string) (*Region, error) {
 // the server restarted — its old arena (and the peer of any cached QP) is
 // gone, so the cached connection is replaced even though it still looks
 // healthy locally.
+//
+// Replicated regions connect degraded: as long as at least one complete
+// copy is reachable, mapping succeeds and the data path serves off the
+// surviving copies while the repair plane rebuilds the rest. Only when
+// every copy touches an unreachable server does the failure surface —
+// as ErrRegionLost if one of those servers is declared dead.
 func (c *Client) connectRegion(ctx context.Context, info *proto.RegionInfo) error {
 	nodes := info.Servers()
 	for _, rep := range info.Replicas {
@@ -506,6 +566,8 @@ func (c *Client) connectRegion(ctx context.Context, info *proto.RegionInfo) erro
 			alive[si.Node] = si
 		}
 	}
+	failed := make(map[simnet.NodeID]error)
+	deadFailed := make(map[simnet.NodeID]bool)
 	seen := make(map[simnet.NodeID]bool, len(nodes))
 	for _, node := range nodes {
 		if seen[node] {
@@ -525,11 +587,36 @@ func (c *Client) connectRegion(ctx context.Context, info *proto.RegionInfo) erro
 			}
 		}
 		if _, err := c.serverConn(ctx, node); err != nil {
-			if (known && !si.Alive) || c.serverDead(ctx, node) {
-				return fmt.Errorf("%w: server %v: %v", ErrRegionLost, node, err)
+			failed[node] = err
+			if known && !si.Alive {
+				deadFailed[node] = true
 			}
-			return fmt.Errorf("connect %v: %w", node, err)
 		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	// Degraded tolerance: any copy with no failed server keeps the region
+	// usable.
+	for _, copySet := range info.Copies() {
+		ok := true
+		for _, x := range copySet {
+			if _, bad := failed[x.Server]; bad {
+				ok = false
+				break
+			}
+		}
+		if ok && len(copySet) > 0 {
+			return nil
+		}
+	}
+	for node, err := range failed {
+		if deadFailed[node] || c.serverDead(ctx, node) {
+			return fmt.Errorf("%w: server %v: %v", ErrRegionLost, node, err)
+		}
+	}
+	for node, err := range failed {
+		return fmt.Errorf("connect %v: %w", node, err)
 	}
 	return nil
 }
@@ -669,6 +756,44 @@ func (c *Client) ClusterStats(ctx context.Context) ([]proto.NodeStats, error) {
 		return nil, fmt.Errorf("cluster stats: %w", derr)
 	}
 	return out, nil
+}
+
+// RegionStatuses fetches the master's repair-plane view of every region:
+// full metadata plus per-copy health, dirty, under-repair, and placement
+// flags. This is the introspection surface `rstore-cli regions` renders.
+func (c *Client) RegionStatuses(ctx context.Context) ([]proto.RegionStatus, error) {
+	resp, err := c.call(ctx, proto.MtRegionStatus, nil)
+	if err != nil {
+		return nil, fmt.Errorf("region status: %w", err)
+	}
+	d := rpc.NewDecoder(resp)
+	n := d.U32()
+	out := make([]proto.RegionStatus, 0, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		out = append(out, proto.DecodeRegionStatus(d))
+	}
+	if derr := d.Err(); derr != nil {
+		return nil, fmt.Errorf("region status: %w", derr)
+	}
+	return out, nil
+}
+
+// reportDegraded tells the master copy copyIdx of the region missed a
+// write, returning the region's current generation from the response.
+func (c *Client) reportDegraded(ctx context.Context, name string, copyIdx int) (uint64, error) {
+	rep := proto.DegradedReport{Name: name, Copy: copyIdx}
+	var e rpc.Encoder
+	rep.Encode(&e)
+	resp, err := c.call(ctx, proto.MtReportDegraded, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := rpc.NewDecoder(resp)
+	gen := d.U64()
+	if derr := d.Err(); derr != nil {
+		return 0, derr
+	}
+	return gen, nil
 }
 
 // serverConn returns (establishing if needed) the one-sided connection to

@@ -26,6 +26,7 @@ const notifySlots = 64
 
 // notifyConn is the client's notification channel to one memory server.
 type notifyConn struct {
+	c      *Client
 	qp     *rdma.QP
 	sendMR *rdma.MemoryRegion
 	recvMR *rdma.MemoryRegion
@@ -69,6 +70,7 @@ func (c *Client) notifyConn(ctx context.Context, node simnet.NodeID) (*notifyCon
 	}
 	loopCtx, cancel := context.WithCancel(context.Background())
 	nc := &notifyConn{
+		c:      c,
 		qp:     qp,
 		sendMR: sendMR,
 		recvMR: recvMR,
@@ -147,6 +149,10 @@ func (nc *notifyConn) recvLoop(ctx context.Context) {
 				nc.acks[region] = pending[1:]
 			}
 			nc.mu.Unlock()
+		case memserver.NotifyKindInvalidate:
+			// Repair-plane push: the region's layout changed. Mark every
+			// mapped handle stale so its next operation remaps.
+			nc.c.invalidateRegion(region)
 		case memserver.NotifyKindNotify:
 			nc.mu.Lock()
 			chans := append([]chan Notification(nil), nc.subs[region]...)

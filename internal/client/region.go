@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rstore/internal/proto"
 	"rstore/internal/rdma"
@@ -20,6 +21,9 @@ type Region struct {
 	// info holds the current metadata snapshot; Remap swaps in a fresh one
 	// atomically so in-flight operations keep a consistent view.
 	info atomic.Pointer[proto.RegionInfo]
+	// stale is set by a repair-plane invalidation push (the layout
+	// changed); the next data-path operation remaps before issuing.
+	stale atomic.Bool
 
 	mu       sync.Mutex
 	unmapped bool
@@ -28,7 +32,21 @@ type Region struct {
 func newRegion(c *Client, info *proto.RegionInfo) *Region {
 	r := &Region{c: c}
 	r.info.Store(info)
+	c.registerRegion(r)
 	return r
+}
+
+// refreshIfStale remaps before issuing when an invalidation push marked
+// the snapshot stale. Best effort: if the remap fails the operation
+// proceeds on the old snapshot (a surviving copy may still serve it) and
+// the stale mark is restored for the next attempt.
+func (r *Region) refreshIfStale(ctx context.Context) {
+	if !r.stale.CompareAndSwap(true, false) {
+		return
+	}
+	if err := r.Remap(ctx); err != nil {
+		r.stale.Store(true)
+	}
 }
 
 // Info returns the region's current metadata snapshot.
@@ -81,6 +99,7 @@ func (r *Region) Unmap(ctx context.Context) error {
 	}
 	r.unmapped = true
 	r.mu.Unlock()
+	r.c.unregisterRegion(r)
 	name := r.Info().Name
 	var e rpc.Encoder
 	e.String(name)
@@ -99,24 +118,100 @@ func (r *Region) checkMapped() error {
 	return nil
 }
 
-// Pending is an in-flight asynchronous operation.
+// pendingCopy is one copy's share of an in-flight operation. copyIdx uses
+// the master's numbering: 0 is the primary, i>0 is replica i-1.
+type pendingCopy struct {
+	op      *ioOp
+	frags   int
+	copyIdx int
+}
+
+// Pending is an in-flight asynchronous operation. A replicated write
+// carries one future per copy so that a dead replica fails only its own
+// future instead of sinking the whole write; Wait resolves the degraded
+// outcome.
 type Pending struct {
-	op    *ioOp
-	frags int
-	c     *Client
-	kind  opKind
-	trace telemetry.TraceID
+	c      *Client
+	r      *Region
+	kind   opKind
+	trace  telemetry.TraceID
+	copies []pendingCopy
 }
 
 // Wait blocks until the operation completes and returns its stats. Both
 // synchronous wrappers funnel through here, so this is where an
 // operation's outcome and latency reach the client's telemetry.
+//
+// For replicated writes Wait implements degraded-mode semantics: the write
+// succeeds as long as at least one complete copy landed. Copies that
+// missed the write are reported to the master in the background
+// (MtReportDegraded) so the repair plane re-syncs them; the caller is not
+// blocked on that report.
 func (p *Pending) Wait(ctx context.Context) (IOStat, error) {
-	st, err := p.op.wait(ctx, p.frags)
-	if p.c != nil {
-		p.c.recordOp(p.kind, p.trace, st, err)
+	if len(p.copies) == 1 {
+		pc := p.copies[0]
+		st, err := pc.op.wait(ctx, pc.frags)
+		if p.c != nil {
+			p.c.recordOp(p.kind, p.trace, st, err)
+		}
+		return st, err
 	}
-	return st, err
+	var (
+		merged   IOStat
+		firstErr error
+		ok       int
+		failed   []int
+	)
+	for _, pc := range p.copies {
+		st, err := pc.op.wait(ctx, pc.frags)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			failed = append(failed, pc.copyIdx)
+			continue
+		}
+		merged.Fragments += st.Fragments
+		if ok == 0 || st.PostedV < merged.PostedV {
+			merged.PostedV = st.PostedV
+		}
+		if st.DoneV > merged.DoneV {
+			merged.DoneV = st.DoneV
+		}
+		ok++
+	}
+	if ok == 0 {
+		p.c.recordOp(p.kind, p.trace, IOStat{}, firstErr)
+		return IOStat{}, firstErr
+	}
+	if len(failed) > 0 {
+		p.c.ctr.degradedWrites.Inc()
+		p.r.reportDegradedAsync(failed)
+	}
+	p.c.recordOp(p.kind, p.trace, merged, nil)
+	return merged, nil
+}
+
+// reportDegradedAsync tells the master which copies missed a write so the
+// repair plane marks them dirty and re-syncs them. Runs in the background:
+// degraded writes must not pay a master round-trip on the data path. A
+// response generation ahead of the local snapshot marks the handle stale
+// so the next operation picks up the repaired layout.
+func (r *Region) reportDegradedAsync(copies []int) {
+	info := r.Info()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, ci := range copies {
+			gen, err := r.c.reportDegraded(ctx, info.Name, ci)
+			if err != nil {
+				return
+			}
+			if gen > info.Generation {
+				r.stale.Store(true)
+			}
+		}
+	}()
 }
 
 // issue posts one one-sided op per fragment against the shared futures.
@@ -151,36 +246,62 @@ func (r *Region) newOp(fragments int) *ioOp {
 
 // StartWriteAt begins an asynchronous write of buf[bufOff:bufOff+n] into
 // the region at off. With replicas configured, the write goes to every
-// copy (write-through) inside the same pending operation.
+// copy (write-through), each copy on its own future so a dead replica
+// degrades the write instead of failing it (see Pending.Wait).
 func (r *Region) StartWriteAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (*Pending, error) {
 	if err := r.checkMapped(); err != nil {
 		return nil, err
 	}
+	r.refreshIfStale(ctx)
 	info := r.Info()
 	frags, err := info.Fragments(off, n)
 	if err != nil {
 		return nil, fmt.Errorf("write %q: %w", info.Name, err)
 	}
-	all := frags
+	// Resolve every copy's fragments before issuing anything so a bad
+	// range cannot leave a partial write in flight.
+	repFrags := make([][]proto.Fragment, len(info.Replicas))
 	for i := range info.Replicas {
 		rf, err := info.ReplicaFragments(i, off, n)
 		if err != nil {
 			return nil, fmt.Errorf("write %q replica %d: %w", info.Name, i, err)
 		}
-		all = append(all, rf...)
+		repFrags[i] = rf
 	}
-	op := r.newOp(len(all))
-	r.issue(ctx, rdma.OpWrite, all, buf, bufOff, op)
-	return &Pending{op: op, frags: len(all), c: r.c, kind: opWrite, trace: r.c.traceRoot(ctx)}, nil
+	p := &Pending{c: r.c, r: r, kind: opWrite, trace: r.c.traceRoot(ctx)}
+	op := r.newOp(len(frags))
+	r.issue(ctx, rdma.OpWrite, frags, buf, bufOff, op)
+	p.copies = append(p.copies, pendingCopy{op: op, frags: len(frags), copyIdx: 0})
+	for i, rf := range repFrags {
+		rop := r.newOp(len(rf))
+		r.issue(ctx, rdma.OpWrite, rf, buf, bufOff, rop)
+		p.copies = append(p.copies, pendingCopy{op: rop, frags: len(rf), copyIdx: i + 1})
+	}
+	return p, nil
 }
 
 // WriteAt writes buf[bufOff:bufOff+n] to the region at off, zero copy.
+// A failure that turns out to be a repair-plane layout change (the
+// region's generation advanced) is retried once against the fresh layout;
+// if the retry also fails the error wraps ErrStaleGeneration.
 func (r *Region) WriteAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (IOStat, error) {
 	p, err := r.StartWriteAt(ctx, off, buf, bufOff, n)
 	if err != nil {
 		return IOStat{}, err
 	}
-	return p.Wait(ctx)
+	st, werr := p.Wait(ctx)
+	if werr == nil || !r.remapFreshGeneration(ctx, werr) {
+		return st, werr
+	}
+	p, err = r.StartWriteAt(ctx, off, buf, bufOff, n)
+	if err != nil {
+		return IOStat{}, fmt.Errorf("%w: %v (after %v)", ErrStaleGeneration, err, werr)
+	}
+	st, err = p.Wait(ctx)
+	if err != nil {
+		return st, fmt.Errorf("%w: %v (after %v)", ErrStaleGeneration, err, werr)
+	}
+	return st, nil
 }
 
 // StartReadAt begins an asynchronous read of [off, off+n) into
@@ -189,19 +310,35 @@ func (r *Region) StartReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, 
 	if err := r.checkMapped(); err != nil {
 		return nil, err
 	}
+	r.refreshIfStale(ctx)
 	frags, err := r.Info().Fragments(off, n)
 	if err != nil {
 		return nil, fmt.Errorf("read %q: %w", r.Info().Name, err)
 	}
 	op := r.newOp(len(frags))
 	r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
-	return &Pending{op: op, frags: len(frags), c: r.c, kind: opRead, trace: r.c.traceRoot(ctx)}, nil
+	p := &Pending{c: r.c, r: r, kind: opRead, trace: r.c.traceRoot(ctx)}
+	p.copies = append(p.copies, pendingCopy{op: op, frags: len(frags), copyIdx: 0})
+	return p, nil
 }
 
 // ReadAt reads [off, off+n) into buf[bufOff:], zero copy. If the primary
 // copy fails and the region has replicas, the read fails over to each
-// replica in turn.
+// replica in turn; if every copy fails against a layout the repair plane
+// has since replaced, the read remaps and retries once.
 func (r *Region) ReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (IOStat, error) {
+	st, err := r.readAtOnce(ctx, off, buf, bufOff, n)
+	if err == nil || !r.remapFreshGeneration(ctx, err) {
+		return st, err
+	}
+	st, rerr := r.readAtOnce(ctx, off, buf, bufOff, n)
+	if rerr != nil {
+		return st, fmt.Errorf("%w: %v (after %v)", ErrStaleGeneration, rerr, err)
+	}
+	return st, nil
+}
+
+func (r *Region) readAtOnce(ctx context.Context, off uint64, buf *Buf, bufOff, n int) (IOStat, error) {
 	p, err := r.StartReadAt(ctx, off, buf, bufOff, n)
 	if err != nil {
 		return IOStat{}, err
@@ -219,11 +356,31 @@ func (r *Region) ReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, n int
 		op := r.newOp(len(frags))
 		r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
 		if st, rerr := op.wait(ctx, len(frags)); rerr == nil {
+			r.c.ctr.readFailovers.Inc()
 			r.c.recordOp(opRead, telemetry.TraceFrom(ctx), st, nil)
 			return st, nil
 		}
 	}
 	return IOStat{}, fmt.Errorf("read %q: all copies failed: %w", info.Name, err)
+}
+
+// remapFreshGeneration checks whether a failed one-sided access can be
+// explained by a repair-plane layout change: it remaps and reports whether
+// the region's generation advanced past the snapshot the failed operation
+// used. True means the caller should retry once against the fresh layout.
+func (r *Region) remapFreshGeneration(ctx context.Context, err error) bool {
+	if errors.Is(err, ErrRegionClosed) {
+		return false
+	}
+	gen := r.Info().Generation
+	if rerr := r.Remap(ctx); rerr != nil {
+		return false
+	}
+	if r.Info().Generation == gen {
+		return false
+	}
+	r.c.ctr.staleRemaps.Inc()
+	return true
 }
 
 // Write copies p into the region at off via an internal staging buffer.
@@ -296,9 +453,22 @@ func (r *Region) CompareSwap(ctx context.Context, off uint64, cmp, swap uint64) 
 }
 
 func (r *Region) atomic(ctx context.Context, opcode rdma.OpCode, off uint64, add, cmp, swap uint64) (uint64, IOStat, error) {
+	old, st, err := r.atomicOnce(ctx, opcode, off, add, cmp, swap)
+	if err == nil || !r.remapFreshGeneration(ctx, err) {
+		return old, st, err
+	}
+	old, st, rerr := r.atomicOnce(ctx, opcode, off, add, cmp, swap)
+	if rerr != nil {
+		return old, st, fmt.Errorf("%w: %v (after %v)", ErrStaleGeneration, rerr, err)
+	}
+	return old, st, nil
+}
+
+func (r *Region) atomicOnce(ctx context.Context, opcode rdma.OpCode, off uint64, add, cmp, swap uint64) (uint64, IOStat, error) {
 	if err := r.checkMapped(); err != nil {
 		return 0, IOStat{}, err
 	}
+	r.refreshIfStale(ctx)
 	frag, err := r.atomicFragment(off)
 	if err != nil {
 		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)

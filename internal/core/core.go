@@ -44,6 +44,8 @@ type (
 	ControlStats = client.ControlStats
 	// NodeStats is one node's telemetry snapshot in a ClusterStats response.
 	NodeStats = proto.NodeStats
+	// RegionStatus is the master's repair-plane view of one region.
+	RegionStatus = proto.RegionStatus
 )
 
 // ErrBadNode reports a node outside the cluster.
@@ -65,8 +67,24 @@ type Config struct {
 	Costs *rdma.Costs
 	// HeartbeatInterval speeds up failure detection in tests. Default 100ms.
 	HeartbeatInterval time.Duration
+	// Repair overrides the master's repair-plane tuning (zero values keep
+	// the master's defaults; only the fields below are forwarded).
+	Repair RepairConfig
 	// RPC tunes all control connections.
 	RPC rpc.Options
+}
+
+// RepairConfig forwards repair-plane knobs to the master.
+type RepairConfig struct {
+	// Concurrency is how many repair tasks run at once.
+	Concurrency int
+	// Chunk is the per-read transfer size of repair pulls.
+	Chunk uint64
+	// RateBytesPerSec caps each repair pull's bandwidth on virtual time.
+	RateBytesPerSec uint64
+	// PullHook is the repair fault-injection point (see
+	// master.Config.RepairPullHook).
+	PullHook func(src proto.Extent)
 }
 
 func (c Config) withDefaults() Config {
@@ -112,8 +130,12 @@ func Start(ctx context.Context, cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	m, err := master.Start(masterDev, master.Config{
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		RPC:               cfg.RPC,
+		HeartbeatInterval:     cfg.HeartbeatInterval,
+		RepairConcurrency:     cfg.Repair.Concurrency,
+		RepairChunk:           cfg.Repair.Chunk,
+		RepairRateBytesPerSec: cfg.Repair.RateBytesPerSec,
+		RepairPullHook:        cfg.Repair.PullHook,
+		RPC:                   cfg.RPC,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: start master: %w", err)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -14,8 +16,17 @@ import (
 )
 
 // chaosSeed fixes every seeded decision in this file; changing it changes
-// which transfers drop but not whether the scenarios pass.
-const chaosSeed = 20150701 // ICDCS'15
+// which transfers drop but not whether the scenarios pass. The CI seed
+// matrix (`make chaos SEEDS=n`) overrides it via RSTORE_CHAOS_SEED to
+// shake out interleavings a single seed would never hit.
+var chaosSeed = func() int64 {
+	if s := os.Getenv("RSTORE_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 20150701 // ICDCS'15
+}()
 
 // typedFailure reports whether err is one of the typed errors the client
 // is allowed to surface under chaos. Anything else (or a hang, which the

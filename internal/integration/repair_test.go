@@ -1,0 +1,417 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/memserver"
+	"rstore/internal/proto"
+	"rstore/internal/simnet"
+)
+
+// serverFor returns the running memory server on the given node.
+func serverFor(t *testing.T, c *core.Cluster, node simnet.NodeID) *memserver.Server {
+	t.Helper()
+	for _, s := range c.Servers() {
+		if s.Node() == node {
+			return s
+		}
+	}
+	t.Fatalf("no memory server on node %v", node)
+	return nil
+}
+
+// copyImage reassembles one copy's full byte image from the hosting
+// servers' arenas, extent by extent. Only valid once the cluster has
+// quiesced (no writes or repairs in flight).
+func copyImage(t *testing.T, c *core.Cluster, xs []proto.Extent) []byte {
+	t.Helper()
+	var out []byte
+	for _, x := range xs {
+		arena := serverFor(t, c, x.Server).Arena().Bytes()
+		out = append(out, arena[x.Addr:x.Addr+x.Len]...)
+	}
+	return out
+}
+
+// waitRegionHealed polls the master's region status until the named
+// region's generation exceeds minGen and every copy is healthy, clean, and
+// not under repair. Returns the final status row.
+func waitRegionHealed(t *testing.T, cli *client.Client, name string, minGen uint64, timeout time.Duration) proto.RegionStatus {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(timeout)
+	var last proto.RegionStatus
+	for time.Now().Before(deadline) {
+		statuses, err := cli.RegionStatuses(ctx)
+		if err != nil {
+			t.Fatalf("RegionStatuses: %v", err)
+		}
+		for _, st := range statuses {
+			if st.Info.Name != name {
+				continue
+			}
+			last = st
+			healed := st.Info.Generation > minGen && !st.Lost
+			for _, cs := range st.Copies {
+				if !cs.Healthy || cs.Dirty || cs.UnderRepair {
+					healed = false
+				}
+			}
+			if healed {
+				return st
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("region %q not healed after %v; last status %+v", name, timeout, last)
+	return last
+}
+
+// pattern fills a deterministic, offset-dependent byte sequence so
+// misplaced repair bytes are detected, not just missing ones.
+func pattern(n int, salt byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + salt
+	}
+	return b
+}
+
+// Acceptance scenario A: kill a memory server hosting a replica. Reads and
+// writes keep succeeding in degraded mode, the repair plane restores full
+// replication without client involvement, the generation is bumped, and
+// the repaired copy is byte-identical to the survivor.
+func TestRepairRestoresReplicationAfterServerDeath(t *testing.T) {
+	c := startCluster(t, 6, 1)
+	ctx := context.Background()
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	const size = 2 << 20
+	reg, err := cli.AllocMap(ctx, "repair/a", size, client.AllocOptions{
+		StripeUnit: 256 << 10, StripeWidth: 2, Replicas: 1,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	want := pattern(size, 3)
+	if err := reg.Write(ctx, 0, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	victim := reg.Info().Copies()[1][0].Server
+	if err := c.KillServer(victim); err != nil {
+		t.Fatalf("KillServer: %v", err)
+	}
+
+	// Degraded window: the replica holder is down but may not yet be
+	// declared dead. Writes must succeed on the surviving copy and be
+	// flagged degraded; reads are served by the primary throughout.
+	pre := cli.Telemetry().Snapshot().Counter("client.degraded_writes")
+	overwrite := pattern(128<<10, 9)
+	if err := reg.Write(ctx, 64<<10, overwrite); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	copy(want[64<<10:], overwrite)
+	if got := cli.Telemetry().Snapshot().Counter("client.degraded_writes") - pre; got <= 0 {
+		t.Errorf("degraded_writes delta = %d, want > 0", got)
+	}
+	check := make([]byte, 4096)
+	if err := reg.Read(ctx, 60<<10, check); err != nil {
+		t.Fatalf("read during degraded window: %v", err)
+	}
+
+	if err := c.WaitServerDead(victim, 5*time.Second); err != nil {
+		t.Fatalf("WaitServerDead: %v", err)
+	}
+	st := waitRegionHealed(t, cli, "repair/a", 0, 10*time.Second)
+
+	// The repaired replica must avoid the dead node and the throttled
+	// transfer must have moved real bytes through the repair counters.
+	for _, x := range st.Info.Copies()[1] {
+		if x.Server == victim {
+			t.Errorf("repaired replica still placed on dead node %v", victim)
+		}
+	}
+	snap := c.TelemetrySnapshot()
+	if snap.Counter("master.repair_bytes") <= 0 {
+		t.Error("master.repair_bytes did not move")
+	}
+	if snap.Counter("master.repairs_done") <= 0 {
+		t.Error("master.repairs_done did not move")
+	}
+	if snap.Counter("memserver.repair_pull_bytes") <= 0 {
+		t.Error("memserver.repair_pull_bytes did not move")
+	}
+
+	// Both copies byte-identical, and identical to what the client wrote —
+	// including the write that landed during the degraded window.
+	primary := copyImage(t, c, st.Info.Copies()[0])
+	replica := copyImage(t, c, st.Info.Copies()[1])
+	if !bytes.Equal(primary, replica) {
+		t.Fatal("primary and repaired replica diverge")
+	}
+	got := make([]byte, size)
+	if err := reg.Read(ctx, 0, got); err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-back after repair diverges from written data")
+	}
+
+	// The client keeps operating with no manual intervention; once its
+	// handle refreshes, new writes reach both copies again (no new
+	// degraded write reports).
+	if err := reg.Remap(ctx); err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
+	if reg.Info().Generation == 0 {
+		t.Error("generation not bumped after repair")
+	}
+	pre = cli.Telemetry().Snapshot().Counter("client.degraded_writes")
+	if err := reg.Write(ctx, 0, pattern(4096, 5)); err != nil {
+		t.Fatalf("write after repair: %v", err)
+	}
+	if got := cli.Telemetry().Snapshot().Counter("client.degraded_writes") - pre; got != 0 {
+		t.Errorf("write after repair still degraded (%d reports)", got)
+	}
+}
+
+// Acceptance scenario B: with three copies, kill one holder, then kill the
+// repair *source* at the exact moment the first pull is about to read from
+// it. The repair plane must re-pick the third copy and still restore full
+// replication.
+func TestRepairSurvivesSourceDeathMidRepair(t *testing.T) {
+	ctx := context.Background()
+	var (
+		clusterP   atomic.Pointer[core.Cluster]
+		killTarget atomic.Int64
+		killOnce   sync.Once
+	)
+	killTarget.Store(-1)
+	hook := func(src proto.Extent) {
+		cl := clusterP.Load()
+		if cl == nil || int64(src.Server) != killTarget.Load() {
+			return
+		}
+		killOnce.Do(func() {
+			// Kill the source and wait until the master has declared it
+			// dead, so the retry's source re-pick sees the death.
+			_ = cl.KillServer(src.Server)
+			_ = cl.WaitServerDead(src.Server, 5*time.Second)
+			killTarget.Store(-1)
+		})
+	}
+	c, err := core.Start(ctx, core.Config{
+		Machines:          7,
+		ExtraClientNodes:  1,
+		ServerCapacity:    64 << 20,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Repair:            core.RepairConfig{PullHook: hook},
+	})
+	if err != nil {
+		t.Fatalf("core.Start: %v", err)
+	}
+	t.Cleanup(c.Close)
+	clusterP.Store(c)
+
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	const size = 1 << 20
+	reg, err := cli.AllocMap(ctx, "repair/b", size, client.AllocOptions{
+		StripeUnit: 128 << 10, StripeWidth: 1, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	want := pattern(size, 11)
+	if err := reg.Write(ctx, 0, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	copies := reg.Info().Copies()
+	first := copies[0][0].Server  // the copy whose holder dies outright
+	source := copies[1][0].Server // lowest clean copy = repair source
+
+	// Arm the hook for the source, then kill the first holder. The repair
+	// of copy 0 picks copy 1 as source; the hook kills it just before the
+	// pull reads from it, forcing a mid-repair source switch to copy 2.
+	killTarget.Store(int64(source))
+	if err := c.KillServer(first); err != nil {
+		t.Fatalf("KillServer: %v", err)
+	}
+	if err := c.WaitServerDead(first, 5*time.Second); err != nil {
+		t.Fatalf("WaitServerDead: %v", err)
+	}
+
+	st := waitRegionHealed(t, cli, "repair/b", 0, 15*time.Second)
+	for i, cs := range st.Info.Copies() {
+		for _, x := range cs {
+			if x.Server == first || x.Server == source {
+				t.Errorf("copy %d still placed on dead node %v", i, x.Server)
+			}
+		}
+	}
+	// All three repaired copies hold the original bytes.
+	for i, cs := range st.Info.Copies() {
+		if img := copyImage(t, c, cs); !bytes.Equal(img, want) {
+			t.Errorf("copy %d diverges from written data after repair", i)
+		}
+	}
+	if killTarget.Load() != -1 {
+		t.Error("kill hook never fired: the repair did not pull from the expected source")
+	}
+	snap := c.TelemetrySnapshot()
+	if snap.Counter("memserver.repair_pull_errors") <= 0 {
+		t.Error("expected at least one failed pull attempt (source died mid-repair)")
+	}
+	if snap.Counter("master.repairs_done") < 2 {
+		t.Errorf("repairs_done = %d, want >= 2 (both dead copies rebuilt)",
+			snap.Counter("master.repairs_done"))
+	}
+}
+
+// Satellite regression: when the primary is unreachable from the client
+// but the replica is fine, reads fail over and the failover counter moves.
+func TestReadFailoverCounterMoves(t *testing.T) {
+	c := startCluster(t, 6, 1)
+	ctx := context.Background()
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	reg, err := cli.AllocMap(ctx, "failover", 1<<20, client.AllocOptions{
+		StripeUnit: 128 << 10, StripeWidth: 1, Replicas: 1,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	want := pattern(64<<10, 17)
+	if err := reg.Write(ctx, 0, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// Partition the client from the primary only. The master still sees
+	// the primary's heartbeats, so no repair runs — this is purely a
+	// client-side failover.
+	primary := reg.Info().Copies()[0][0].Server
+	c.Fabric().SetPartition(clientNode, primary, true)
+	defer c.Fabric().SetPartition(clientNode, primary, false)
+
+	pre := cli.Telemetry().Snapshot().Counter("client.read_failovers")
+	got := make([]byte, len(want))
+	if err := reg.Read(ctx, 0, got); err != nil {
+		t.Fatalf("read with partitioned primary: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover read returned wrong bytes")
+	}
+	if delta := cli.Telemetry().Snapshot().Counter("client.read_failovers") - pre; delta <= 0 {
+		t.Errorf("read_failovers delta = %d, want > 0", delta)
+	}
+}
+
+// Satellite regression: a replicated allocation that cannot find disjoint
+// nodes succeeds degraded (recorded, not silent), and the repair plane
+// re-homes the copy onto disjoint nodes once capacity returns.
+func TestPlacementFallbackRehomedWhenCapacityReturns(t *testing.T) {
+	c := startCluster(t, 6, 1)
+	ctx := context.Background()
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	// Take three of the five servers down so a width-2 replicated region
+	// cannot be placed on disjoint nodes.
+	spares := c.MemoryServerNodes()[2:]
+	for _, n := range spares {
+		if err := c.KillServer(n); err != nil {
+			t.Fatalf("KillServer: %v", err)
+		}
+		if err := c.WaitServerDead(n, 5*time.Second); err != nil {
+			t.Fatalf("WaitServerDead: %v", err)
+		}
+	}
+	reg, err := cli.AllocMap(ctx, "rehome", 1<<20, client.AllocOptions{
+		StripeUnit: 128 << 10, StripeWidth: 2, Replicas: 1,
+	})
+	if err != nil {
+		t.Fatalf("degraded AllocMap should succeed: %v", err)
+	}
+	want := pattern(1<<20, 23)
+	if err := reg.Write(ctx, 0, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got := c.TelemetrySnapshot().Counter("master.placement_degraded"); got <= 0 {
+		t.Fatalf("placement_degraded = %d, want > 0", got)
+	}
+
+	// Capacity returns; the repair plane must relocate the overlapping
+	// copy onto disjoint nodes and clear the degraded flag.
+	for _, n := range spares {
+		if err := c.ReviveServer(n); err != nil {
+			t.Fatalf("ReviveServer: %v", err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var st proto.RegionStatus
+	for {
+		statuses, err := cli.RegionStatuses(ctx)
+		if err != nil {
+			t.Fatalf("RegionStatuses: %v", err)
+		}
+		for _, row := range statuses {
+			if row.Info.Name == "rehome" {
+				st = row
+			}
+		}
+		degraded := false
+		for _, cs := range st.Copies {
+			if cs.PlacementDegraded || cs.Dirty || cs.UnderRepair {
+				degraded = true
+			}
+		}
+		if !degraded && len(st.Copies) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("copy not re-homed after %v; status %+v", 15*time.Second, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	nodes := make(map[simnet.NodeID]bool)
+	for _, x := range st.Info.Copies()[0] {
+		nodes[x.Server] = true
+	}
+	for _, x := range st.Info.Copies()[1] {
+		if nodes[x.Server] {
+			t.Errorf("copies still overlap on node %v after re-home", x.Server)
+		}
+	}
+	if c.TelemetrySnapshot().Counter("master.rehomes") <= 0 {
+		t.Error("master.rehomes did not move")
+	}
+	got := make([]byte, len(want))
+	if err := reg.Read(ctx, 0, got); err != nil {
+		t.Fatalf("read after re-home: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data diverged across re-home")
+	}
+}

@@ -46,6 +46,22 @@ type Config struct {
 	// DefaultStripeUnit is used when an allocation does not specify one.
 	// Default 1 MiB.
 	DefaultStripeUnit uint64
+	// RepairConcurrency is how many repair tasks run at once. Default 2.
+	RepairConcurrency int
+	// RepairChunk is the per-read transfer size of repair pulls. Default
+	// 256 KiB.
+	RepairChunk uint64
+	// RepairRateBytesPerSec caps each repair pull's bandwidth on virtual
+	// time. Default 1 GiB/s.
+	RepairRateBytesPerSec uint64
+	// RepairRetryDelay is how long a failed repair task waits before
+	// retrying. Default 5x HeartbeatInterval.
+	RepairRetryDelay time.Duration
+	// RepairPullHook, when set, runs immediately before each repair pull
+	// RPC with the source extent about to be read. It is a fault-injection
+	// point: chaos tests use it to kill the repair source mid-transfer at a
+	// deterministic moment. Nil in production.
+	RepairPullHook func(src proto.Extent)
 	// RPC tunes the control connection buffering.
 	RPC rpc.Options
 }
@@ -59,6 +75,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultStripeUnit == 0 {
 		c.DefaultStripeUnit = 1 << 20
+	}
+	if c.RepairConcurrency <= 0 {
+		c.RepairConcurrency = 2
+	}
+	if c.RepairChunk == 0 {
+		c.RepairChunk = 256 << 10
+	}
+	if c.RepairRateBytesPerSec == 0 {
+		c.RepairRateBytesPerSec = 1 << 30
+	}
+	if c.RepairRetryDelay <= 0 {
+		c.RepairRetryDelay = 5 * c.HeartbeatInterval
 	}
 	return c
 }
@@ -78,15 +106,80 @@ type serverState struct {
 	stats []byte
 }
 
-// regionState tracks a region and its map refcount.
+// regionState tracks a region, its map refcount, and the repair plane's
+// per-copy bookkeeping. Copy index 0 is the primary, 1.. the replicas.
 type regionState struct {
 	info     *proto.RegionInfo
 	mapCount int
+	// dirty marks copies that missed writes or lost contents; a dirty copy
+	// must not serve as a repair source.
+	dirty []bool
+	// dirtyEpoch counts dirty transitions per copy. Repair snapshots it at
+	// start and only clears dirty at completion if unchanged, so a write
+	// that degrades mid-repair re-queues instead of being lost.
+	dirtyEpoch []uint64
+	// deathEpoch, when nonzero, records the dirtyEpoch value at which a
+	// heartbeat-loss sweep dirtied the copy and nothing else had: the
+	// dirtiness is provisional (the server may be starved, not dead), and
+	// is absolved if the same incarnation heartbeats again before any
+	// other cause bumps the epoch. Confirmed content loss (a dead server
+	// re-registering with an empty arena) never sets it.
+	deathEpoch []uint64
+	// underRepair marks copies with a repair task in flight.
+	underRepair []bool
+	// degraded marks copies whose placement shares a node with another
+	// copy (the anti-affinity fallback); repair re-homes them when capacity
+	// returns.
+	degraded []bool
+	// lost means no clean copy on live servers remains.
+	lost bool
+}
+
+func newRegionState(info *proto.RegionInfo) *regionState {
+	n := 1 + len(info.Replicas)
+	return &regionState{
+		info:        info,
+		dirty:       make([]bool, n),
+		dirtyEpoch:  make([]uint64, n),
+		deathEpoch:  make([]uint64, n),
+		underRepair: make([]bool, n),
+		degraded:    make([]bool, n),
+	}
+}
+
+// copyExtents returns copy i's extent slice (aliasing the RegionInfo).
+func (rs *regionState) copyExtents(i int) []proto.Extent {
+	if i == 0 {
+		return rs.info.Extents
+	}
+	return rs.info.Replicas[i-1]
+}
+
+func (rs *regionState) copyCount() int { return 1 + len(rs.info.Replicas) }
+
+// setCopyExtents swaps copy i's extents in the metadata.
+func (rs *regionState) setCopyExtents(i int, xs []proto.Extent) {
+	if i == 0 {
+		rs.info.Extents = xs
+	} else {
+		rs.info.Replicas[i-1] = xs
+	}
+}
+
+// markDirty flags copy i and bumps its dirty epoch. The absolution record
+// resets: whoever marks dirty for a provisional cause re-records it after.
+// Caller holds m.mu.
+func (rs *regionState) markDirty(i int) {
+	rs.dirty[i] = true
+	rs.dirtyEpoch[i]++
+	rs.deathEpoch[i] = 0
 }
 
 // Master is the RStore coordinator.
 type Master struct {
 	cfg Config
+	dev *rdma.Device
+	pd  *rdma.PD
 	srv *rpc.Server
 	tel *telemetry.Registry
 	ctr masterCounters
@@ -95,6 +188,12 @@ type Master struct {
 	servers       map[simnet.NodeID]*serverState
 	regionsByName map[string]*regionState
 	nextID        proto.RegionID
+
+	repair repairQueue
+	// ctrlConns are the repair plane's connections to the memory servers'
+	// control endpoints, guarded separately so pulls never hold m.mu.
+	ctrlMu    sync.Mutex
+	ctrlConns map[simnet.NodeID]*rpc.Conn
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -113,6 +212,17 @@ type masterCounters struct {
 	statsRequests   *telemetry.Counter
 	regions         *telemetry.Gauge
 	serversAlive    *telemetry.Gauge
+
+	repairsStarted    *telemetry.Counter
+	repairsDone       *telemetry.Counter
+	repairsFailed     *telemetry.Counter
+	repairBytes       *telemetry.Counter
+	rehomes           *telemetry.Counter
+	placementDegraded *telemetry.Counter
+	degradedReports   *telemetry.Counter
+	regionsLost       *telemetry.Counter
+	repairQueueDepth  *telemetry.Gauge
+	repairDuration    *telemetry.Histogram
 }
 
 // Start creates the master's RPC service on the device and begins serving
@@ -127,6 +237,7 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	tel := dev.Telemetry()
 	m := &Master{
 		cfg: cfg,
+		dev: dev,
 		srv: srv,
 		tel: tel,
 		ctr: masterCounters{
@@ -141,12 +252,25 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 			statsRequests:   tel.Counter("master.stats_requests"),
 			regions:         tel.Gauge("master.regions"),
 			serversAlive:    tel.Gauge("master.servers_alive"),
+
+			repairsStarted:    tel.Counter("master.repairs_started"),
+			repairsDone:       tel.Counter("master.repairs_done"),
+			repairsFailed:     tel.Counter("master.repairs_failed"),
+			repairBytes:       tel.Counter("master.repair_bytes"),
+			rehomes:           tel.Counter("master.rehomes"),
+			placementDegraded: tel.Counter("master.placement_degraded"),
+			degradedReports:   tel.Counter("master.degraded_reports"),
+			regionsLost:       tel.Counter("master.regions_lost"),
+			repairQueueDepth:  tel.Gauge("master.repair_queue_depth"),
+			repairDuration:    tel.Histogram("master.repair_duration"),
 		},
 		servers:       make(map[simnet.NodeID]*serverState),
 		regionsByName: make(map[string]*regionState),
 		nextID:        1,
+		ctrlConns:     make(map[simnet.NodeID]*rpc.Conn),
 		stop:          make(chan struct{}),
 	}
+	m.pd = dev.AllocPD()
 	srv.Handle(proto.MtRegisterServer, m.handleRegisterServer)
 	srv.Handle(proto.MtHeartbeat, m.handleHeartbeat)
 	srv.Handle(proto.MtAlloc, m.handleAlloc)
@@ -157,10 +281,17 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	srv.Handle(proto.MtListRegions, m.handleListRegions)
 	srv.Handle(proto.MtRemap, m.handleRemap)
 	srv.Handle(proto.MtStats, m.handleStats)
+	srv.Handle(proto.MtRegionStatus, m.handleRegionStatus)
+	srv.Handle(proto.MtReportDegraded, m.handleReportDegraded)
+	m.repair.init()
 	srv.Serve()
 
 	m.wg.Add(1)
 	go m.monitor()
+	for i := 0; i < cfg.RepairConcurrency; i++ {
+		m.wg.Add(1)
+		go m.repairWorker()
+	}
 	return m, nil
 }
 
@@ -179,6 +310,7 @@ func (m *Master) Close() {
 	}
 	close(m.stop)
 	m.wg.Wait()
+	m.closeCtrlConns()
 	m.srv.Close()
 }
 
@@ -194,11 +326,16 @@ func (m *Master) monitor() {
 		case now := <-ticker.C:
 			deadline := now.Add(-time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatInterval)
 			m.mu.Lock()
+			var died []simnet.NodeID
 			for _, s := range m.servers {
 				if s.alive && s.lastBeat.Before(deadline) {
 					s.alive = false
 					m.ctr.deadTransitions.Inc()
+					died = append(died, s.node)
 				}
+			}
+			if len(died) > 0 {
+				m.scheduleRepairsLocked(died, true)
 			}
 			m.updateAliveGauge()
 			m.mu.Unlock()
@@ -244,6 +381,7 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, ok := m.servers[from]
+	revived := false
 	if !ok {
 		s = &serverState{node: from, alloc: newSpaceAllocator(capacity)}
 		m.servers[from] = s
@@ -252,6 +390,7 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 		// have lost all prior contents, so advertise the generation change.
 		s.epoch++
 		m.ctr.revives.Inc()
+		revived = true
 	}
 	if s.rkey != rkey {
 		// The arena was re-registered under a new key (server bounce). The
@@ -269,6 +408,15 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 	s.rkey = rkey
 	s.alive = true
 	s.lastBeat = time.Now()
+	if revived {
+		// The revived arena is empty: every copy with an extent there lost
+		// its bytes, so mark them dirty and repair in place. The loss is
+		// confirmed (a re-registration is a new incarnation), never absolved.
+		m.scheduleRepairsLocked([]simnet.NodeID{from}, false)
+	}
+	// Fresh capacity may let the repair plane re-home copies stuck on
+	// degraded placement, and retry repairs that failed for space.
+	m.rescheduleStalledLocked()
 	m.updateAliveGauge()
 	return &rpc.Encoder{}, nil
 }
@@ -312,9 +460,19 @@ func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, req *rpc
 		return nil, fmt.Errorf("master: heartbeat from unregistered server %v", from)
 	}
 	s.lastBeat = time.Now()
+	wasDead := !s.alive
 	s.alive = true
 	if stats != nil {
 		s.stats = stats
+	}
+	if wasDead {
+		// The same incarnation beat again without re-registering: the
+		// death verdict was heartbeat starvation and the arena is intact.
+		// Lift the provisional dirtiness the sweep applied, and re-queue
+		// any repairs that stalled for lack of capacity or a clean source.
+		m.ctr.revives.Inc()
+		m.absolveDeathDirtyLocked(from)
+		m.rescheduleStalledLocked()
 	}
 	m.updateAliveGauge()
 	return &rpc.Encoder{}, nil
@@ -423,10 +581,17 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	for _, s := range primaries {
 		used[s.node] = true
 	}
+	degradedReplicas := make([]bool, a.Replicas)
 	for r := 0; r < a.Replicas; r++ {
 		repServers := m.pickServers(len(primaries), used)
 		if len(repServers) < len(primaries) {
+			// Not enough disjoint servers: fall back to the unrestricted
+			// set. The copy still exists but shares nodes with another copy,
+			// so it adds no failure domain — record that, surface it in
+			// telemetry, and let the repair plane re-home it when capacity
+			// returns instead of silently pretending full durability.
 			repServers = m.pickServers(len(primaries), nil)
+			degradedReplicas[r] = true
 		}
 		if len(repServers) == 0 {
 			m.freeExtents(info.Extents)
@@ -451,7 +616,14 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 		info.Replicas = append(info.Replicas, repExtents)
 	}
 
-	m.regionsByName[a.Name] = &regionState{info: info}
+	rs := newRegionState(info)
+	for r, deg := range degradedReplicas {
+		if deg {
+			rs.degraded[1+r] = true
+			m.ctr.placementDegraded.Inc()
+		}
+	}
+	m.regionsByName[a.Name] = rs
 	m.ctr.allocs.Inc()
 	m.ctr.regions.Set(int64(len(m.regionsByName)))
 	var e rpc.Encoder

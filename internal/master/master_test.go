@@ -2,6 +2,7 @@ package master
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -203,5 +204,196 @@ func TestRegionCountTracksLifecycle(t *testing.T) {
 	}
 	if h.m.RegionCount() != 0 {
 		t.Fatalf("count after free = %d", h.m.RegionCount())
+	}
+}
+
+// TestReplicaPlacementDisjointProperty: across stripe widths and replica
+// counts, every pair of copies lands on disjoint node sets whenever the
+// cluster is large enough to allow it — and when it is not, the allocation
+// still succeeds but the fallback is recorded (placement_degraded counter,
+// PlacementDegraded status flag), never silent.
+func TestReplicaPlacementDisjointProperty(t *testing.T) {
+	const servers = 6
+	h := newHarness(t, servers+1)
+	conn := h.dial(1)
+	srvConns := make([]*rpc.Conn, servers)
+	for n := 1; n <= servers; n++ {
+		srvConns[n-1] = h.dial(simnet.NodeID(n))
+		h.registerServer(srvConns[n-1], 32<<20, uint32(100+n))
+	}
+	// The fake servers have no heartbeat loop and the harness death window
+	// is 60 ms; beat them all so no server dies mid-sweep and shrinks the
+	// candidate set (which would turn exact-fit placements into fallbacks).
+	beat := func() {
+		for _, sc := range srvConns {
+			if _, _, err := sc.Call(context.Background(), proto.MtHeartbeat, nil); err != nil {
+				t.Fatalf("heartbeat: %v", err)
+			}
+		}
+	}
+
+	regionStatus := func(name string) proto.RegionStatus {
+		resp, _, err := conn.Call(context.Background(), proto.MtRegionStatus, nil)
+		if err != nil {
+			t.Fatalf("region status: %v", err)
+		}
+		d := rpc.NewDecoder(resp)
+		n := d.U32()
+		for i := uint32(0); i < n; i++ {
+			st := proto.DecodeRegionStatus(d)
+			if st.Info.Name == name {
+				return st
+			}
+		}
+		t.Fatalf("region %q missing from status", name)
+		return proto.RegionStatus{}
+	}
+
+	for width := 1; width <= 3; width++ {
+		for replicas := 0; replicas <= 2; replicas++ {
+			name := fmt.Sprintf("prop/w%d-r%d", width, replicas)
+			beat()
+			pre := h.m.Telemetry().Snapshot().Counter("master.placement_degraded")
+			info, err := h.alloc(conn, proto.AllocRequest{
+				Name: name, Size: 96 << 10, StripeUnit: 16 << 10,
+				StripeWidth: width, Replicas: replicas,
+			})
+			if err != nil {
+				t.Fatalf("alloc %s: %v", name, err)
+			}
+			copies := info.Copies()
+			if len(copies) != replicas+1 {
+				t.Fatalf("%s: %d copies, want %d", name, len(copies), replicas+1)
+			}
+			overlap := false
+			used := make(map[simnet.NodeID]int)
+			for ci, xs := range copies {
+				for _, x := range xs {
+					if prev, ok := used[x.Server]; ok && prev != ci {
+						overlap = true
+					}
+					used[x.Server] = ci
+				}
+			}
+			delta := h.m.Telemetry().Snapshot().Counter("master.placement_degraded") - pre
+			fitsDisjoint := (replicas+1)*width <= servers
+			st := regionStatus(name)
+			anyFlagged := false
+			for _, cs := range st.Copies {
+				anyFlagged = anyFlagged || cs.PlacementDegraded
+			}
+			if fitsDisjoint {
+				if overlap {
+					t.Errorf("%s: copies overlap although %d disjoint nodes were available", name, servers)
+				}
+				if delta != 0 {
+					t.Errorf("%s: placement_degraded moved by %d on a disjoint placement", name, delta)
+				}
+				if anyFlagged {
+					t.Errorf("%s: PlacementDegraded flagged on a disjoint placement", name)
+				}
+			} else {
+				if delta <= 0 {
+					t.Errorf("%s: fallback placement not recorded in placement_degraded", name)
+				}
+				if !anyFlagged {
+					t.Errorf("%s: fallback placement not flagged in region status", name)
+				}
+			}
+		}
+	}
+}
+
+// TestSpuriousDeathAbsolvedOnHeartbeat: a server that misses heartbeats is
+// presumed dead and the sweep dirties its copies — but when the same
+// incarnation beats again without re-registering, the arena is intact, so
+// the provisional dirtiness and even a latched Lost verdict must lift
+// without any repair traffic (generation untouched). Dirtiness with a
+// confirmed cause (a degraded-write report) must survive the absolution.
+func TestSpuriousDeathAbsolvedOnHeartbeat(t *testing.T) {
+	h := newHarness(t, 3)
+	conn := h.dial(1)
+	srv := map[simnet.NodeID]*rpc.Conn{}
+	for n := simnet.NodeID(1); n <= 2; n++ {
+		c := h.dial(n)
+		h.registerServer(c, 1<<20, uint32(10*n))
+		srv[n] = c
+	}
+	if _, err := h.alloc(conn, proto.AllocRequest{
+		Name: "flap", Size: 64 << 10, StripeUnit: 16 << 10,
+		StripeWidth: 1, Replicas: 1,
+	}); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+
+	beat := func(n simnet.NodeID) {
+		if _, _, err := srv[n].Call(context.Background(), proto.MtHeartbeat, nil); err != nil {
+			t.Fatalf("heartbeat %v: %v", n, err)
+		}
+	}
+	status := func() proto.RegionStatus {
+		resp, _, err := conn.Call(context.Background(), proto.MtRegionStatus, nil)
+		if err != nil {
+			t.Fatalf("region status: %v", err)
+		}
+		d := rpc.NewDecoder(resp)
+		n := d.U32()
+		for i := uint32(0); i < n; i++ {
+			if st := proto.DecodeRegionStatus(d); st.Info.Name == "flap" {
+				return st
+			}
+		}
+		t.Fatal(`region "flap" missing from status`)
+		return proto.RegionStatus{}
+	}
+	waitFor := func(what string, cond func(proto.RegionStatus) bool) proto.RegionStatus {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if st := status(); cond(st) {
+				return st
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s; status %+v", what, status())
+		return proto.RegionStatus{}
+	}
+
+	// Starve both servers (the fakes have no beat loop): the sweep dirties
+	// both copies, and with no clean source left the region latches Lost.
+	st := waitFor("lost latch", func(st proto.RegionStatus) bool { return st.Lost })
+	if !st.Copies[0].Dirty || !st.Copies[1].Dirty {
+		t.Fatalf("expected both copies dirty while presumed dead; status %+v", st)
+	}
+
+	// The same incarnations beat again: dirtiness absolved, Lost lifted,
+	// and no repair ever ran — the layout generation is untouched.
+	beat(1)
+	beat(2)
+	st = waitFor("absolution", func(st proto.RegionStatus) bool {
+		return !st.Lost && !st.Copies[0].Dirty && !st.Copies[1].Dirty
+	})
+	if st.Info.Generation != 0 {
+		t.Errorf("generation %d after absolution, want 0 (no layout change)", st.Info.Generation)
+	}
+
+	// A degraded-write report is confirmed divergence, not a liveness
+	// verdict: it must survive a starve/revive flap of the same server.
+	var e rpc.Encoder
+	rep := proto.DegradedReport{Name: "flap", Copy: 1}
+	rep.Encode(&e)
+	if _, _, err := conn.Call(context.Background(), proto.MtReportDegraded, e.Bytes()); err != nil {
+		t.Fatalf("report degraded: %v", err)
+	}
+	waitFor("reported dirty", func(st proto.RegionStatus) bool { return st.Copies[1].Dirty })
+	waitFor("second starve", func(st proto.RegionStatus) bool { return st.Copies[0].Dirty })
+	beat(1)
+	beat(2)
+	st = waitFor("partial absolution", func(st proto.RegionStatus) bool { return !st.Copies[0].Dirty })
+	if !st.Copies[1].Dirty {
+		t.Error("degraded-write dirtiness was absolved by the flap; it must survive")
+	}
+	if st.Lost {
+		t.Error("region still lost although a clean available copy exists")
 	}
 }

@@ -1,0 +1,741 @@
+package master
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rstore/internal/memserver"
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// The repair plane: when liveness declares a server dead (or a client
+// reports a degraded write, or placement fell back onto overlapping
+// nodes), the master schedules background tasks that restore each affected
+// copy — allocating replacement extents on healthy servers, directing the
+// destination server to pull the bytes from a surviving copy over the
+// one-sided repair path, then atomically swapping the new extents into the
+// region and bumping its generation. Clients never participate: the write
+// path keeps succeeding degraded while repair catches up.
+
+// errNoSource means no clean copy on live servers remains to repair from.
+var errNoSource = errors.New("master: no clean surviving copy")
+
+// repairKey identifies one copy of one region in the repair queue.
+type repairKey struct {
+	name string
+	copy int
+}
+
+// repairTask is one queued repair.
+type repairTask struct {
+	key repairKey
+	// rehome asks for relocation of a clean but placement-degraded copy
+	// onto disjoint nodes (no dirty data involved; the copy is its own
+	// source).
+	rehome bool
+	// enqueuedV stamps the task on the virtual timeline for the MTTR
+	// histogram (master.repair_duration).
+	enqueuedV simnet.VTime
+}
+
+// repairQueue is an unbounded deduplicating task queue. A key stays
+// "present" from enqueue until finish, so re-enqueues of a copy already
+// being repaired are suppressed — the dirty-epoch check at completion
+// re-queues if the copy degraded again mid-repair.
+type repairQueue struct {
+	mu      sync.Mutex
+	tasks   []repairTask
+	present map[repairKey]bool
+	wake    chan struct{}
+}
+
+func (q *repairQueue) init() {
+	q.present = make(map[repairKey]bool)
+	q.wake = make(chan struct{}, 64)
+}
+
+func (q *repairQueue) push(t repairTask) bool {
+	q.mu.Lock()
+	if q.present[t.key] {
+		q.mu.Unlock()
+		return false
+	}
+	q.present[t.key] = true
+	q.tasks = append(q.tasks, t)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (q *repairQueue) pop() (repairTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return repairTask{}, false
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t, true
+}
+
+func (q *repairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks)
+}
+
+// finish releases the key so the copy can be queued again.
+func (q *repairQueue) finish(k repairKey) {
+	q.mu.Lock()
+	delete(q.present, k)
+	q.mu.Unlock()
+}
+
+// enqueueRepair queues one copy for repair (deduplicated).
+func (m *Master) enqueueRepair(key repairKey, rehome bool) {
+	t := repairTask{key: key, rehome: rehome, enqueuedV: m.dev.Network().Fabric().VNow()}
+	if m.repair.push(t) {
+		m.ctr.repairQueueDepth.Set(int64(m.repair.depth()))
+	}
+}
+
+// scheduleRepairsLocked marks every copy with an extent on one of the
+// given nodes dirty and queues it for repair. Caller holds m.mu. Used on
+// dead transitions (the node's extents are unreachable) and on revival
+// after death (the node's arena came back empty). presumed=true means the
+// loss is a heartbeat verdict, not confirmed: if the copy had no other
+// cause of dirtiness, record the epoch so a same-incarnation heartbeat
+// can absolve it (see absolveDeathDirtyLocked). A re-registration after
+// death passes presumed=false — the arena really is a new incarnation.
+func (m *Master) scheduleRepairsLocked(nodes []simnet.NodeID, presumed bool) {
+	hit := make(map[simnet.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		hit[n] = true
+	}
+	for name, rs := range m.regionsByName {
+		for j := 0; j < rs.copyCount(); j++ {
+			touched := false
+			for _, x := range rs.copyExtents(j) {
+				if hit[x.Server] {
+					touched = true
+					break
+				}
+			}
+			if touched {
+				wasDirty := rs.dirty[j]
+				rs.markDirty(j)
+				if presumed && !wasDirty {
+					rs.deathEpoch[j] = rs.dirtyEpoch[j]
+				}
+				m.enqueueRepair(repairKey{name: name, copy: j}, false)
+			}
+		}
+	}
+}
+
+// absolveDeathDirtyLocked clears provisional death-induced dirtiness on
+// copies touching node, which just heartbeat from the dead state: the
+// same incarnation is back, its arena intact — the master's verdict was
+// starvation, not death. A copy is absolved only when (a) the heartbeat
+// sweep was the sole cause of its dirtiness (dirty epoch unchanged since;
+// a degraded-write report in between keeps it dirty) and (b) every one of
+// its servers is alive again, so it needs no repair at all. If absolution
+// leaves the region with a clean available copy, the lost latch lifts and
+// the remaining dirty copies re-queue — they now have a source. Caller
+// holds m.mu.
+func (m *Master) absolveDeathDirtyLocked(node simnet.NodeID) {
+	for name, rs := range m.regionsByName {
+		absolved := false
+		for j := 0; j < rs.copyCount(); j++ {
+			if !rs.dirty[j] || rs.deathEpoch[j] == 0 || rs.dirtyEpoch[j] != rs.deathEpoch[j] {
+				continue
+			}
+			touches, available := false, true
+			for _, x := range rs.copyExtents(j) {
+				if x.Server == node {
+					touches = true
+				}
+				s, have := m.servers[x.Server]
+				if !have || !s.alive {
+					available = false
+				}
+			}
+			if !touches || !available {
+				continue
+			}
+			rs.dirty[j] = false
+			rs.deathEpoch[j] = 0
+			absolved = true
+		}
+		if !absolved || !rs.lost {
+			continue
+		}
+		for j := 0; j < rs.copyCount(); j++ {
+			if rs.dirty[j] {
+				continue
+			}
+			available := true
+			for _, x := range rs.copyExtents(j) {
+				s, have := m.servers[x.Server]
+				if !have || !s.alive {
+					available = false
+					break
+				}
+			}
+			if available {
+				rs.lost = false
+				break
+			}
+		}
+		if !rs.lost {
+			for j := 0; j < rs.copyCount(); j++ {
+				if rs.dirty[j] && !rs.underRepair[j] {
+					m.enqueueRepair(repairKey{name: name, copy: j}, false)
+				}
+			}
+		}
+	}
+}
+
+// rescheduleStalledLocked re-queues every dirty copy without an in-flight
+// task (repairs dropped earlier for lack of capacity) and every clean
+// placement-degraded copy (re-home now that capacity may exist). Caller
+// holds m.mu; runs on server registration.
+func (m *Master) rescheduleStalledLocked() {
+	for name, rs := range m.regionsByName {
+		for j := 0; j < rs.copyCount(); j++ {
+			if rs.underRepair[j] {
+				continue
+			}
+			switch {
+			case rs.dirty[j]:
+				m.enqueueRepair(repairKey{name: name, copy: j}, false)
+			case rs.degraded[j]:
+				m.enqueueRepair(repairKey{name: name, copy: j}, true)
+			}
+		}
+	}
+}
+
+// repairWorker drains the repair queue until the master stops. Retryable
+// failures (no capacity yet, transfer interrupted beyond resume) re-queue
+// after RepairRetryDelay. The periodic poll tick backstops a lost wakeup.
+func (m *Master) repairWorker() {
+	defer m.wg.Done()
+	for {
+		task, ok := m.repair.pop()
+		if !ok {
+			select {
+			case <-m.stop:
+				return
+			case <-m.repair.wake:
+			case <-time.After(m.cfg.HeartbeatInterval):
+			}
+			continue
+		}
+		m.ctr.repairQueueDepth.Set(int64(m.repair.depth()))
+		if m.runRepair(task) {
+			select {
+			case <-m.stop:
+				return
+			case <-time.After(m.cfg.RepairRetryDelay):
+			}
+			m.enqueueRepair(task.key, task.rehome)
+		}
+	}
+}
+
+// repairPlan is the immutable snapshot runRepair works from after the
+// planning phase releases the master lock.
+type repairPlan struct {
+	key        repairKey
+	epoch      uint64 // dirty epoch at planning time
+	old        []proto.Extent
+	dest       []proto.Extent
+	realloc    bool // dest is freshly allocated (old must be freed, generation bumped)
+	fellBack   bool // dest placement overlaps another copy
+	rehome     bool
+	sizes      []uint64 // per-extent lengths
+	regionID   proto.RegionID
+	homeServer simnet.NodeID
+}
+
+// runRepair executes one task end to end. Returns true when the task
+// should be retried after a delay.
+func (m *Master) runRepair(task repairTask) (retry bool) {
+	plan, retry, ok := m.planRepair(task)
+	if !ok {
+		return retry
+	}
+	m.ctr.repairsStarted.Inc()
+
+	copied := make([]uint64, len(plan.dest))
+	err := m.pullAllExtents(plan, copied)
+	if err != nil {
+		m.abortRepair(plan)
+		m.ctr.repairsFailed.Inc()
+		return true
+	}
+	m.commitRepair(plan, task.enqueuedV)
+	return false
+}
+
+// planRepair validates the task against current state, picks the
+// destination placement (in-place, or freshly allocated when the copy's
+// servers are dead, the geometry changed, or a re-home was requested), and
+// marks the copy under repair. ok=false means the task is finished or must
+// be retried (per retry).
+func (m *Master) planRepair(task repairTask) (plan repairPlan, retry, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	finish := func() { m.repair.finish(task.key) }
+
+	rs, exists := m.regionsByName[task.key.name]
+	ci := task.key.copy
+	if !exists || ci >= rs.copyCount() {
+		finish()
+		return plan, false, false
+	}
+	// A re-home request is only meaningful while the copy is clean and
+	// still degraded; a copy that went dirty meanwhile takes the normal
+	// repair path (which relocates it anyway).
+	rehome := task.rehome && !rs.dirty[ci]
+	if rehome && !rs.degraded[ci] {
+		finish()
+		return plan, false, false
+	}
+	if !rehome && !rs.dirty[ci] {
+		// Already clean (e.g. repaired via another path); nothing to do.
+		finish()
+		return plan, false, false
+	}
+
+	src, srcOK := m.pickSourceLocked(rs, ci, rehome)
+	if !srcOK {
+		// Every copy is dirty or on dead servers: the data is gone. Flag
+		// the region lost; a later write-and-repair cycle cannot help, so
+		// do not retry.
+		if !rs.lost {
+			rs.lost = true
+			m.ctr.regionsLost.Inc()
+		}
+		finish()
+		return plan, false, false
+	}
+
+	old := append([]proto.Extent(nil), rs.copyExtents(ci)...)
+	width := len(src)
+	needRealloc := rehome || len(old) != width
+	for _, x := range old {
+		s, have := m.servers[x.Server]
+		if !have || !s.alive {
+			needRealloc = true
+			break
+		}
+	}
+
+	dest := old
+	fellBack := rs.degraded[ci] && !needRealloc
+	if needRealloc {
+		exclude := make(map[simnet.NodeID]bool)
+		for j := 0; j < rs.copyCount(); j++ {
+			if j == ci {
+				continue
+			}
+			for _, x := range rs.copyExtents(j) {
+				exclude[x.Server] = true
+			}
+		}
+		servers := m.pickServers(width, exclude)
+		fellBack = false
+		if len(servers) < width {
+			if rehome {
+				// Still no disjoint placement; wait for the next capacity
+				// change to try again (registration re-queues).
+				finish()
+				return plan, false, false
+			}
+			servers = m.pickServers(width, nil)
+			fellBack = true
+		}
+		if len(servers) < width {
+			finish()
+			m.ctr.repairsFailed.Inc()
+			return plan, true, false
+		}
+		xs, err := allocateCopy(servers, rs.info.Size, rs.info.StripeUnit)
+		if err != nil {
+			finish()
+			m.ctr.repairsFailed.Inc()
+			return plan, true, false
+		}
+		dest = xs
+	}
+
+	sizes := make([]uint64, width)
+	for k := range src {
+		sizes[k] = src[k].Len
+	}
+	rs.underRepair[ci] = true
+	return repairPlan{
+		key:        task.key,
+		epoch:      rs.dirtyEpoch[ci],
+		old:        old,
+		dest:       dest,
+		realloc:    needRealloc,
+		fellBack:   fellBack,
+		rehome:     rehome,
+		sizes:      sizes,
+		regionID:   rs.info.ID,
+		homeServer: rs.info.HomeServer(),
+	}, false, true
+}
+
+// pickSourceLocked returns the extent set of the lowest-indexed clean copy
+// whose servers are all alive. For re-homes the copy itself qualifies (it
+// is clean; the transfer just relocates it). Caller holds m.mu.
+func (m *Master) pickSourceLocked(rs *regionState, ci int, rehome bool) ([]proto.Extent, bool) {
+	for j := 0; j < rs.copyCount(); j++ {
+		if j == ci && !rehome {
+			continue
+		}
+		if rs.dirty[j] {
+			continue
+		}
+		xs := rs.copyExtents(j)
+		live := true
+		for _, x := range xs {
+			s, have := m.servers[x.Server]
+			if !have || !s.alive {
+				live = false
+				break
+			}
+		}
+		if live {
+			return append([]proto.Extent(nil), xs...), true
+		}
+	}
+	return nil, false
+}
+
+// pullAllExtents copies every extent of the plan from a surviving source
+// into the destination, resuming per extent. When a source dies
+// mid-transfer it re-picks one (the acceptance scenario "kill the repair
+// source mid-repair") and resumes from the bytes already landed.
+func (m *Master) pullAllExtents(plan repairPlan, copied []uint64) error {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		m.mu.Lock()
+		rs, exists := m.regionsByName[plan.key.name]
+		var src []proto.Extent
+		srcOK := false
+		if exists {
+			src, srcOK = m.pickSourceLocked(rs, plan.key.copy, plan.rehome)
+		}
+		m.mu.Unlock()
+		if !exists {
+			return nil // commit will notice the region is gone
+		}
+		if !srcOK || len(src) != len(plan.dest) {
+			return errNoSource
+		}
+		lastErr = m.pullFromSource(src, plan, copied)
+		if lastErr == nil {
+			return nil
+		}
+	}
+	return lastErr
+}
+
+// pullFromSource runs one pass over the extents against a fixed source,
+// advancing copied[k] as bytes land.
+func (m *Master) pullFromSource(src []proto.Extent, plan repairPlan, copied []uint64) error {
+	for k := range plan.dest {
+		if copied[k] >= plan.sizes[k] {
+			continue
+		}
+		if hook := m.cfg.RepairPullHook; hook != nil {
+			hook(src[k])
+		}
+		req := proto.RepairPullRequest{
+			Source:          src[k],
+			DestAddr:        plan.dest[k].Addr,
+			Len:             plan.sizes[k],
+			StartOff:        copied[k],
+			ChunkSize:       uint32(m.cfg.RepairChunk),
+			RateBytesPerSec: m.cfg.RepairRateBytesPerSec,
+		}
+		resp, err := m.repairPull(plan.dest[k].Server, req)
+		if err != nil {
+			return err
+		}
+		if resp.Copied > copied[k] {
+			m.ctr.repairBytes.Add(int64(resp.Copied - copied[k]))
+			copied[k] = resp.Copied
+		}
+		if !resp.OK {
+			return fmt.Errorf("master: repair pull extent %d: %s", k, resp.ErrMsg)
+		}
+	}
+	return nil
+}
+
+// stopCtx returns a context bounded by both the timeout and the master's
+// shutdown, so a repair in flight cannot stall Close on a dead peer.
+func (m *Master) stopCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	go func() {
+		select {
+		case <-m.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// repairPull issues one MtRepairPull to the destination server over a
+// cached control connection.
+func (m *Master) repairPull(node simnet.NodeID, req proto.RepairPullRequest) (proto.RepairPullResponse, error) {
+	conn, err := m.ctrlConn(node)
+	if err != nil {
+		return proto.RepairPullResponse{}, err
+	}
+	var e rpc.Encoder
+	req.Encode(&e)
+	ctx, cancel := m.stopCtx(30 * time.Second)
+	defer cancel()
+	payload, _, err := conn.Call(ctx, proto.MtRepairPull, e.Bytes())
+	if err != nil {
+		m.dropCtrlConn(node, conn)
+		return proto.RepairPullResponse{}, err
+	}
+	d := rpc.NewDecoder(payload)
+	resp := proto.DecodeRepairPullResponse(d)
+	if derr := d.Err(); derr != nil {
+		return proto.RepairPullResponse{}, derr
+	}
+	return resp, nil
+}
+
+// ctrlConn returns (dialing if needed) the control connection to a memory
+// server's repair endpoint.
+func (m *Master) ctrlConn(node simnet.NodeID) (*rpc.Conn, error) {
+	m.ctrlMu.Lock()
+	if c, ok := m.ctrlConns[node]; ok && c.Err() == nil {
+		m.ctrlMu.Unlock()
+		return c, nil
+	}
+	stale := m.ctrlConns[node]
+	delete(m.ctrlConns, node)
+	m.ctrlMu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	ctx, cancel := m.stopCtx(5 * time.Second)
+	defer cancel()
+	c, err := rpc.Dial(ctx, m.dev, node, proto.MemCtrlService, nil, m.cfg.RPC)
+	if err != nil {
+		return nil, err
+	}
+	m.ctrlMu.Lock()
+	defer m.ctrlMu.Unlock()
+	if cur, ok := m.ctrlConns[node]; ok && cur.Err() == nil {
+		go c.Close()
+		return cur, nil
+	}
+	m.ctrlConns[node] = c
+	return c, nil
+}
+
+// dropCtrlConn forgets a failed control connection.
+func (m *Master) dropCtrlConn(node simnet.NodeID, conn *rpc.Conn) {
+	m.ctrlMu.Lock()
+	if m.ctrlConns[node] == conn {
+		delete(m.ctrlConns, node)
+	}
+	m.ctrlMu.Unlock()
+	conn.Close()
+}
+
+// closeCtrlConns tears down the repair plane's connections at shutdown.
+func (m *Master) closeCtrlConns() {
+	m.ctrlMu.Lock()
+	conns := m.ctrlConns
+	m.ctrlConns = make(map[simnet.NodeID]*rpc.Conn)
+	m.ctrlMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// abortRepair backs out a failed plan: releases freshly allocated extents
+// and clears the under-repair mark so the copy can be re-queued.
+func (m *Master) abortRepair(plan repairPlan) {
+	m.mu.Lock()
+	if plan.realloc {
+		m.freeExtents(plan.dest)
+	}
+	if rs, ok := m.regionsByName[plan.key.name]; ok && plan.key.copy < rs.copyCount() {
+		rs.underRepair[plan.key.copy] = false
+	}
+	m.mu.Unlock()
+	m.repair.finish(plan.key)
+}
+
+// commitRepair atomically swaps the repaired extents into the region,
+// bumps the generation on layout change, and pushes an invalidation to the
+// region's subscribers. A dirty-epoch mismatch (the copy degraded again
+// while the transfer ran) leaves the copy dirty and re-queues it — repair
+// then only re-transfers on top of already-landed bytes.
+func (m *Master) commitRepair(plan repairPlan, enqueuedV simnet.VTime) {
+	m.mu.Lock()
+	rs, exists := m.regionsByName[plan.key.name]
+	ci := plan.key.copy
+	if !exists || ci >= rs.copyCount() {
+		if plan.realloc {
+			m.freeExtents(plan.dest)
+		}
+		m.mu.Unlock()
+		m.repair.finish(plan.key)
+		return
+	}
+	layoutChanged := plan.realloc
+	if layoutChanged {
+		m.freeExtents(rs.copyExtents(ci))
+		rs.setCopyExtents(ci, plan.dest)
+		rs.info.Generation++
+	}
+	stillDirty := rs.dirtyEpoch[ci] != plan.epoch
+	if !stillDirty {
+		rs.dirty[ci] = false
+		rs.deathEpoch[ci] = 0
+	}
+	rs.degraded[ci] = plan.fellBack
+	rs.underRepair[ci] = false
+	rs.lost = false
+	gen := rs.info.Generation
+	home := rs.info.HomeServer()
+	id := rs.info.ID
+	m.mu.Unlock()
+	m.repair.finish(plan.key)
+
+	m.ctr.repairsDone.Inc()
+	if plan.rehome {
+		m.ctr.rehomes.Inc()
+	}
+	doneV := m.dev.Network().Fabric().VNow()
+	if doneV > enqueuedV {
+		m.ctr.repairDuration.Record(doneV.Sub(enqueuedV))
+	}
+	if stillDirty {
+		m.enqueueRepair(plan.key, false)
+	}
+	if layoutChanged {
+		go m.pushInvalidation(home, id, gen)
+	}
+}
+
+// pushInvalidation tells the region's subscribers (via its home server's
+// notify fan-out) that the layout changed. Best effort: clients that miss
+// it still converge through the generation check on their next remap.
+func (m *Master) pushInvalidation(home simnet.NodeID, id proto.RegionID, gen uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	qp, err := m.dev.Dial(ctx, home, proto.MemNotifyService, m.pd, rdma.ConnOpts{SendDepth: 4, RecvDepth: 4})
+	if err != nil {
+		return
+	}
+	defer qp.Close()
+	mr, err := m.pd.RegisterMemory(make([]byte, memserver.NotifyMsgSize), 0)
+	if err != nil {
+		return
+	}
+	memserver.EncodeNotifyMsg(mr.Bytes(), memserver.NotifyKindInvalidate, id, uint32(gen))
+	if err := qp.PostSend(rdma.SendWR{
+		Op:    rdma.OpSend,
+		Local: rdma.SGE{MR: mr, Len: memserver.NotifyMsgSize},
+	}); err != nil {
+		return
+	}
+	_, _ = qp.SendCQ().Next(ctx)
+}
+
+// handleRegionStatus returns the repair plane's view of every region.
+func (m *Master) handleRegionStatus(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.regionsByName))
+	for n := range m.regionsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var e rpc.Encoder
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		rs := m.regionsByName[n]
+		st := proto.RegionStatus{
+			Info:     *rs.info,
+			MapCount: rs.mapCount,
+			Lost:     rs.lost,
+			Copies:   make([]proto.CopyStatus, rs.copyCount()),
+		}
+		for j := range st.Copies {
+			healthy := true
+			for _, x := range rs.copyExtents(j) {
+				s, have := m.servers[x.Server]
+				if !have || !s.alive {
+					healthy = false
+					break
+				}
+			}
+			st.Copies[j] = proto.CopyStatus{
+				Healthy:           healthy,
+				Dirty:             rs.dirty[j],
+				UnderRepair:       rs.underRepair[j],
+				PlacementDegraded: rs.degraded[j],
+			}
+		}
+		st.Encode(&e)
+	}
+	return &e, nil
+}
+
+// handleReportDegraded records a client's degraded write: the copy missed
+// bytes, so it is dirty until repair re-syncs it. The response carries the
+// region's current generation so a reporter on a stale layout remaps.
+func (m *Master) handleReportDegraded(_ context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	r := proto.DecodeDegradedReport(req)
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	rs, ok := m.regionsByName[r.Name]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, r.Name)
+	}
+	if r.Copy < 0 || r.Copy >= rs.copyCount() {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("master: copy %d out of range for %q", r.Copy, r.Name)
+	}
+	m.ctr.degradedReports.Inc()
+	rs.markDirty(r.Copy)
+	gen := rs.info.Generation
+	key := repairKey{name: r.Name, copy: r.Copy}
+	m.mu.Unlock()
+	m.enqueueRepair(key, false)
+	var e rpc.Encoder
+	e.U64(gen)
+	return &e, nil
+}

@@ -50,11 +50,15 @@ type Server struct {
 	pd    *rdma.PD
 	arena *rdma.MemoryRegion
 
-	beats      *telemetry.Counter
-	reconnects *telemetry.Counter
+	beats        *telemetry.Counter
+	reconnects   *telemetry.Counter
+	repairPulls  *telemetry.Counter
+	repairBytes  *telemetry.Counter
+	repairErrors *telemetry.Counter
 
 	dataLis   *rdma.Listener
 	notifyLis *rdma.Listener
+	ctrlSrv   *rpc.Server
 	masterCon *rpc.Conn
 
 	mu       sync.Mutex
@@ -89,28 +93,41 @@ func Start(ctx context.Context, dev *rdma.Device, cfg Config) (*Server, error) {
 		dataLis.Close()
 		return nil, fmt.Errorf("memserver: %w", err)
 	}
+	ctrlSrv, err := rpc.NewServer(dev, proto.MemCtrlService, pd, cfg.RPC)
+	if err != nil {
+		dataLis.Close()
+		notifyLis.Close()
+		return nil, fmt.Errorf("memserver: %w", err)
+	}
 	conn, err := rpc.Dial(ctx, dev, cfg.Master, proto.MasterService, pd, cfg.RPC)
 	if err != nil {
 		dataLis.Close()
 		notifyLis.Close()
+		ctrlSrv.Close()
 		return nil, fmt.Errorf("memserver: dial master: %w", err)
 	}
 
 	tel := dev.Telemetry()
 	tel.Gauge("memserver.arena_capacity").Set(int64(cfg.Capacity))
 	s := &Server{
-		cfg:        cfg,
-		dev:        dev,
-		pd:         pd,
-		arena:      arena,
-		beats:      tel.Counter("memserver.heartbeats"),
-		reconnects: tel.Counter("memserver.reconnects"),
-		dataLis:    dataLis,
-		notifyLis:  notifyLis,
-		masterCon:  conn,
-		watchers:   make(map[proto.RegionID][]*notifySession),
-		stop:       make(chan struct{}),
+		cfg:          cfg,
+		dev:          dev,
+		pd:           pd,
+		arena:        arena,
+		beats:        tel.Counter("memserver.heartbeats"),
+		reconnects:   tel.Counter("memserver.reconnects"),
+		repairPulls:  tel.Counter("memserver.repair_pulls"),
+		repairBytes:  tel.Counter("memserver.repair_pull_bytes"),
+		repairErrors: tel.Counter("memserver.repair_pull_errors"),
+		dataLis:      dataLis,
+		notifyLis:    notifyLis,
+		ctrlSrv:      ctrlSrv,
+		masterCon:    conn,
+		watchers:     make(map[proto.RegionID][]*notifySession),
+		stop:         make(chan struct{}),
 	}
+	ctrlSrv.Handle(proto.MtRepairPull, s.handleRepairPull)
+	ctrlSrv.Serve()
 
 	// Announce capacity and the arena rkey to the master.
 	var e rpc.Encoder
@@ -175,6 +192,7 @@ func (s *Server) teardown() {
 	conn.Close()
 	s.dataLis.Close()
 	s.notifyLis.Close()
+	s.ctrlSrv.Close()
 }
 
 // acceptData parks accepted one-sided QPs. Nothing ever polls them: the

@@ -31,6 +31,11 @@ const (
 	NotifyKindNotify = 2
 	// NotifyKindUnsubscribe removes the sending QP's registration.
 	NotifyKindUnsubscribe = 3
+	// NotifyKindInvalidate tells subscribers the region's layout changed
+	// (repair swapped extents); the token carries the low 32 bits of the
+	// new generation. Sent by the master's repair plane, fanned out to
+	// every subscriber including the sender's other peers.
+	NotifyKindInvalidate = 4
 )
 
 // EncodeNotifyMsg writes the wire form into buf (at least notifyMsgSize).
@@ -141,6 +146,8 @@ func (s *Server) notifyLoop(ctx context.Context, ns *notifySession) {
 			s.unsubscribe(region, ns)
 		case NotifyKindNotify:
 			s.fanOut(region, token, ns, departV)
+		case NotifyKindInvalidate:
+			s.fanOutKind(NotifyKindInvalidate, region, token, ns, departV)
 		}
 	}
 }
@@ -184,6 +191,11 @@ func (s *Server) dropSession(ns *notifySession) {
 // fanOut delivers the token to every subscriber of the region except the
 // notifier itself, departing at virtual time departV.
 func (s *Server) fanOut(region proto.RegionID, token uint32, from *notifySession, departV simnet.VTime) {
+	s.fanOutKind(NotifyKindNotify, region, token, from, departV)
+}
+
+// fanOutKind is fanOut for an arbitrary frame kind.
+func (s *Server) fanOutKind(kind uint8, region proto.RegionID, token uint32, from *notifySession, departV simnet.VTime) {
 	s.mu.Lock()
 	targets := make([]*notifySession, 0, len(s.watchers[region]))
 	for _, w := range s.watchers[region] {
@@ -193,7 +205,7 @@ func (s *Server) fanOut(region proto.RegionID, token uint32, from *notifySession
 	}
 	s.mu.Unlock()
 	for _, w := range targets {
-		s.sendTo(w, NotifyKindNotify, region, token, departV)
+		s.sendTo(w, kind, region, token, departV)
 	}
 }
 

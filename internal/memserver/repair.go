@@ -1,0 +1,111 @@
+package memserver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// Repair pull: the server-to-server leg of the master's repair plane. The
+// master picks a surviving source extent and a destination window in this
+// server's arena; this server pulls the bytes with chunked one-sided reads
+// through the same verbs layer clients use, so the source server's CPU
+// stays out of it entirely — only the destination spends cycles, and only
+// to post work requests.
+
+const defaultRepairChunk = 256 << 10
+
+// handleRepairPull services one MtRepairPull. The response always carries
+// the number of bytes now in place, so a failure mid-transfer (source
+// killed, partition) is resumable: the master retries from Copied,
+// possibly against a different surviving copy.
+func (s *Server) handleRepairPull(ctx context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	r := proto.DecodeRepairPullRequest(req)
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	s.repairPulls.Inc()
+	if r.DestAddr+r.Len < r.DestAddr || r.DestAddr+r.Len > s.cfg.Capacity {
+		return nil, fmt.Errorf("memserver: repair dest [%d,%d) outside arena", r.DestAddr, r.DestAddr+r.Len)
+	}
+	if r.StartOff > r.Len {
+		return nil, fmt.Errorf("memserver: repair resume %d beyond length %d", r.StartOff, r.Len)
+	}
+	chunk := uint64(r.ChunkSize)
+	if chunk == 0 {
+		chunk = defaultRepairChunk
+	}
+
+	copied, pullErr := s.pullExtent(ctx, r, chunk)
+	resp := proto.RepairPullResponse{Copied: copied, OK: pullErr == nil}
+	if pullErr != nil {
+		s.repairErrors.Inc()
+		resp.ErrMsg = pullErr.Error()
+	}
+	var e rpc.Encoder
+	resp.Encode(&e)
+	return &e, nil
+}
+
+// pullExtent copies [StartOff, Len) of the source extent into the arena at
+// DestAddr with chunked one-sided reads over a fresh QP, returning how far
+// it got. Throttling is virtual-time pacing: each chunk's departure is
+// spaced by chunk/rate on the modeled timeline, so repair bandwidth is
+// capped without spending any wall-clock time.
+func (s *Server) pullExtent(ctx context.Context, r proto.RepairPullRequest, chunk uint64) (uint64, error) {
+	copied := r.StartOff
+	if copied == r.Len {
+		return copied, nil
+	}
+	qp, err := s.dev.Dial(ctx, r.Source.Server, proto.MemDataService, s.pd, rdma.ConnOpts{SendDepth: 8, RecvDepth: 8})
+	if err != nil {
+		return copied, fmt.Errorf("dial source %v: %w", r.Source.Server, err)
+	}
+	defer qp.Close()
+	cq := qp.SendCQ()
+
+	// pace is the virtual departure time of the next chunk under the rate
+	// cap; zero means "as soon as the NIC is free".
+	var pace simnet.VTime
+	for copied < r.Len {
+		n := chunk
+		if rest := r.Len - copied; n > rest {
+			n = rest
+		}
+		wr := rdma.SendWR{
+			Op:         rdma.OpRead,
+			Local:      rdma.SGE{MR: s.arena, Offset: r.DestAddr + copied, Len: int(n)},
+			RemoteKey:  r.Source.RKey,
+			RemoteAddr: r.Source.Addr + copied,
+			StartV:     pace,
+		}
+		if err := qp.PostSend(wr); err != nil {
+			return copied, fmt.Errorf("post chunk at %d: %w", copied, err)
+		}
+		wc, err := cq.Next(ctx)
+		if err != nil {
+			return copied, fmt.Errorf("chunk at %d: %w", copied, err)
+		}
+		if wc.Status != rdma.StatusSuccess {
+			if wc.Err != nil {
+				return copied, fmt.Errorf("chunk at %d: %v: %w", copied, wc.Status, wc.Err)
+			}
+			return copied, fmt.Errorf("chunk at %d: %v", copied, wc.Status)
+		}
+		copied += n
+		s.repairBytes.Add(int64(n))
+		if r.RateBytesPerSec > 0 {
+			gap := time.Duration(float64(n) / float64(r.RateBytesPerSec) * float64(time.Second))
+			if pace == 0 {
+				pace = wc.DoneV
+			}
+			pace = pace.Add(gap)
+		}
+	}
+	return copied, nil
+}

@@ -31,6 +31,22 @@ const (
 	// plus the latest snapshot each memory server piggybacked on its
 	// heartbeat.
 	MtStats
+	// MtRegionStatus returns every region's repair-plane view: full
+	// metadata plus per-copy health/dirty/under-repair flags.
+	MtRegionStatus
+	// MtReportDegraded is a client telling the master a write could not
+	// reach one copy of a region; the master marks the copy dirty and
+	// schedules repair. The response carries the region's current
+	// generation so the reporter can detect a stale layout.
+	MtReportDegraded
+)
+
+// Control message types served by the memory servers' control endpoint.
+const (
+	// MtRepairPull asks a memory server to pull a byte range from a peer's
+	// arena into its own via chunked one-sided reads (the repair plane's
+	// server-to-server transfer).
+	MtRepairPull uint16 = iota + 64
 )
 
 // Service names on the fabric.
@@ -42,6 +58,9 @@ const (
 	MemDataService = "rstore-mem"
 	// MemNotifyService is the memory servers' notification endpoint.
 	MemNotifyService = "rstore-notify"
+	// MemCtrlService is the memory servers' control endpoint, used by the
+	// master's repair plane (never by clients).
+	MemCtrlService = "rstore-memctl"
 )
 
 // Protocol errors surfaced to API users.
@@ -79,6 +98,19 @@ type RegionInfo struct {
 	Extents []Extent
 	// Replicas holds optional additional copies with identical geometry.
 	Replicas [][]Extent
+	// Generation counts layout changes: the master bumps it whenever the
+	// repair plane swaps extents, so clients can tell a stale snapshot
+	// (and its now-dangling remote addresses) from the current one.
+	Generation uint64
+}
+
+// Copies returns every copy's extent slice: the primary at index 0, then
+// the replicas. The slices alias the RegionInfo.
+func (r *RegionInfo) Copies() [][]Extent {
+	out := make([][]Extent, 0, 1+len(r.Replicas))
+	out = append(out, r.Extents)
+	out = append(out, r.Replicas...)
+	return out
 }
 
 // HomeServer returns the node responsible for region-scoped coordination
@@ -251,6 +283,7 @@ func EncodeRegionInfo(e *rpc.Encoder, r *RegionInfo) {
 	e.String(r.Name)
 	e.U64(r.Size)
 	e.U64(r.StripeUnit)
+	e.U64(r.Generation)
 	encodeExtents(e, r.Extents)
 	e.U32(uint32(len(r.Replicas)))
 	for _, rep := range r.Replicas {
@@ -265,8 +298,9 @@ func DecodeRegionInfo(d *rpc.Decoder) *RegionInfo {
 		Name:       d.String(),
 		Size:       d.U64(),
 		StripeUnit: d.U64(),
-		Extents:    decodeExtents(d),
+		Generation: d.U64(),
 	}
+	r.Extents = decodeExtents(d)
 	nrep := d.U32()
 	for i := uint32(0); i < nrep && d.Err() == nil; i++ {
 		r.Replicas = append(r.Replicas, decodeExtents(d))
@@ -373,4 +407,155 @@ func DecodeNodeStats(d *rpc.Decoder) (NodeStats, error) {
 		return n, err
 	}
 	return n, nil
+}
+
+// RepairPullRequest asks a memory server to pull [StartOff, Len) of one
+// extent from a surviving peer into its own arena at DestAddr. Resumable:
+// a partial response reports how far it got, and the master retries with
+// StartOff advanced (possibly against a different source).
+type RepairPullRequest struct {
+	// Source is the extent to read from (on a surviving peer).
+	Source Extent
+	// DestAddr is the byte offset in the local arena to copy into.
+	DestAddr uint64
+	// Len is the total extent length in bytes.
+	Len uint64
+	// StartOff is where to resume within the extent (0 for a fresh pull).
+	StartOff uint64
+	// ChunkSize bounds each one-sided read (0 = server default).
+	ChunkSize uint32
+	// RateBytesPerSec throttles the transfer on virtual time (0 = none).
+	RateBytesPerSec uint64
+}
+
+// Encode marshals the request.
+func (r *RepairPullRequest) Encode(e *rpc.Encoder) {
+	EncodeExtent(e, r.Source)
+	e.U64(r.DestAddr)
+	e.U64(r.Len)
+	e.U64(r.StartOff)
+	e.U32(r.ChunkSize)
+	e.U64(r.RateBytesPerSec)
+}
+
+// DecodeRepairPullRequest unmarshals a RepairPullRequest.
+func DecodeRepairPullRequest(d *rpc.Decoder) RepairPullRequest {
+	return RepairPullRequest{
+		Source:          DecodeExtent(d),
+		DestAddr:        d.U64(),
+		Len:             d.U64(),
+		StartOff:        d.U64(),
+		ChunkSize:       d.U32(),
+		RateBytesPerSec: d.U64(),
+	}
+}
+
+// RepairPullResponse reports a pull's progress. A failed pull still
+// returns the bytes copied so far (as a payload, not an RPC error) so the
+// master can resume from Copied instead of restarting the extent.
+type RepairPullResponse struct {
+	// Copied is the prefix [0, Copied) of the extent now in place locally.
+	Copied uint64
+	// OK means the full length landed; otherwise ErrMsg says why not.
+	OK     bool
+	ErrMsg string
+}
+
+// Encode marshals the response.
+func (r *RepairPullResponse) Encode(e *rpc.Encoder) {
+	e.U64(r.Copied)
+	e.Bool(r.OK)
+	e.String(r.ErrMsg)
+}
+
+// DecodeRepairPullResponse unmarshals a RepairPullResponse.
+func DecodeRepairPullResponse(d *rpc.Decoder) RepairPullResponse {
+	return RepairPullResponse{
+		Copied: d.U64(),
+		OK:     d.Bool(),
+		ErrMsg: d.String(),
+	}
+}
+
+// CopyStatus is the master's repair-plane view of one copy of a region
+// (primary or replica).
+type CopyStatus struct {
+	// Healthy means every server holding the copy is currently alive.
+	Healthy bool
+	// Dirty means the copy missed writes or lost its contents and must not
+	// be used as a repair source.
+	Dirty bool
+	// UnderRepair means a repair task for this copy is in flight.
+	UnderRepair bool
+	// PlacementDegraded means the copy shares a node with another copy
+	// (the anti-affinity fallback), so it does not add a failure domain.
+	PlacementDegraded bool
+}
+
+// RegionStatus is one region's row in an MtRegionStatus response.
+type RegionStatus struct {
+	Info     RegionInfo
+	MapCount int
+	// Copies holds per-copy status: index 0 is the primary, then replicas.
+	Copies []CopyStatus
+	// Lost means no clean copy on live servers remains: the data is gone.
+	Lost bool
+}
+
+// Encode marshals the region status.
+func (r *RegionStatus) Encode(e *rpc.Encoder) {
+	EncodeRegionInfo(e, &r.Info)
+	e.U32(uint32(r.MapCount))
+	e.Bool(r.Lost)
+	e.U32(uint32(len(r.Copies)))
+	for _, cs := range r.Copies {
+		e.Bool(cs.Healthy)
+		e.Bool(cs.Dirty)
+		e.Bool(cs.UnderRepair)
+		e.Bool(cs.PlacementDegraded)
+	}
+}
+
+// DecodeRegionStatus unmarshals a RegionStatus.
+func DecodeRegionStatus(d *rpc.Decoder) RegionStatus {
+	var r RegionStatus
+	info := DecodeRegionInfo(d)
+	if info != nil {
+		r.Info = *info
+	}
+	r.MapCount = int(d.U32())
+	r.Lost = d.Bool()
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Copies = append(r.Copies, CopyStatus{
+			Healthy:           d.Bool(),
+			Dirty:             d.Bool(),
+			UnderRepair:       d.Bool(),
+			PlacementDegraded: d.Bool(),
+		})
+	}
+	return r
+}
+
+// DegradedReport is a client telling the master one copy of a region did
+// not take a write (MtReportDegraded).
+type DegradedReport struct {
+	Name string
+	// Copy is the copy index that missed the write: 0 = primary, 1.. =
+	// replicas in order.
+	Copy int
+}
+
+// Encode marshals the report.
+func (r *DegradedReport) Encode(e *rpc.Encoder) {
+	e.String(r.Name)
+	e.U32(uint32(r.Copy))
+}
+
+// DecodeDegradedReport unmarshals a DegradedReport.
+func DecodeDegradedReport(d *rpc.Decoder) DegradedReport {
+	return DegradedReport{
+		Name: d.String(),
+		Copy: int(d.U32()),
+	}
 }

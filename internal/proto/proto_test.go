@@ -233,6 +233,7 @@ func TestRegionInfoCodec(t *testing.T) {
 		Name:       "graph/edges",
 		Size:       1 << 30,
 		StripeUnit: 1 << 20,
+		Generation: 7,
 		Extents: []Extent{
 			{Server: 1, RKey: 10, Addr: 0, Len: 512 << 20},
 			{Server: 2, RKey: 11, Addr: 4096, Len: 512 << 20},
@@ -330,5 +331,100 @@ func TestReplicaFragments(t *testing.T) {
 	}
 	if _, err := r.ReplicaFragments(1, 0, 10); !errors.Is(err, ErrBadRange) {
 		t.Errorf("bad replica index: %v", err)
+	}
+}
+
+func TestCopies(t *testing.T) {
+	r := buildRegion(400, 100, 2)
+	r.Replicas = [][]Extent{{{Server: 5, RKey: 50, Addr: 0, Len: 400}}}
+	copies := r.Copies()
+	if len(copies) != 2 {
+		t.Fatalf("Copies = %d sets, want 2", len(copies))
+	}
+	if !reflect.DeepEqual(copies[0], r.Extents) || !reflect.DeepEqual(copies[1], r.Replicas[0]) {
+		t.Errorf("Copies = %+v", copies)
+	}
+}
+
+func TestRepairPullCodecs(t *testing.T) {
+	req := RepairPullRequest{
+		Source:          Extent{Server: 3, RKey: 9, Addr: 4096, Len: 1 << 20},
+		DestAddr:        8192,
+		Len:             1 << 20,
+		StartOff:        512 << 10,
+		ChunkSize:       64 << 10,
+		RateBytesPerSec: 1 << 30,
+	}
+	var e rpc.Encoder
+	req.Encode(&e)
+	d := rpc.NewDecoder(e.Bytes())
+	gotReq := DecodeRepairPullRequest(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode request: %v", err)
+	}
+	if gotReq != req {
+		t.Errorf("request round trip = %+v, want %+v", gotReq, req)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d bytes after request decode", d.Remaining())
+	}
+
+	for _, resp := range []RepairPullResponse{
+		{Copied: 1 << 20, OK: true},
+		{Copied: 4096, OK: false, ErrMsg: "source unreachable"},
+	} {
+		var e2 rpc.Encoder
+		resp.Encode(&e2)
+		d2 := rpc.NewDecoder(e2.Bytes())
+		got := DecodeRepairPullResponse(d2)
+		if err := d2.Err(); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+		if got != resp {
+			t.Errorf("response round trip = %+v, want %+v", got, resp)
+		}
+	}
+}
+
+func TestRegionStatusCodec(t *testing.T) {
+	st := RegionStatus{
+		Info: RegionInfo{
+			ID: 9, Name: "app/x", Size: 4096, StripeUnit: 1024, Generation: 2,
+			Extents:  []Extent{{Server: 1, RKey: 4, Addr: 0, Len: 4096}},
+			Replicas: [][]Extent{{{Server: 2, RKey: 5, Addr: 0, Len: 4096}}},
+		},
+		MapCount: 3,
+		Copies: []CopyStatus{
+			{Healthy: true},
+			{Healthy: false, Dirty: true, UnderRepair: true, PlacementDegraded: true},
+		},
+		Lost: false,
+	}
+	var e rpc.Encoder
+	st.Encode(&e)
+	d := rpc.NewDecoder(e.Bytes())
+	got := DecodeRegionStatus(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, st)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d bytes after decode", d.Remaining())
+	}
+}
+
+func TestDegradedReportCodec(t *testing.T) {
+	rep := DegradedReport{Name: "app/y", Copy: 2}
+	var e rpc.Encoder
+	rep.Encode(&e)
+	d := rpc.NewDecoder(e.Bytes())
+	got := DecodeDegradedReport(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != rep {
+		t.Errorf("round trip = %+v, want %+v", got, rep)
 	}
 }
