@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"rstore/internal/bench"
-	"rstore/internal/metrics"
+	"rstore/internal/telemetry"
 )
 
 // The benchmarks below regenerate the paper's evaluation, one Benchmark
@@ -17,10 +17,10 @@ import (
 
 // runExperiment executes fn b.N times, logging the table from the final
 // run.
-func runExperiment(b *testing.B, fn func(context.Context) (*metrics.Table, error)) *metrics.Table {
+func runExperiment(b *testing.B, fn func(context.Context) (*telemetry.Table, error)) *telemetry.Table {
 	b.Helper()
 	ctx := context.Background()
-	var tbl *metrics.Table
+	var tbl *telemetry.Table
 	for i := 0; i < b.N; i++ {
 		var err error
 		tbl, err = fn(ctx)
@@ -32,7 +32,7 @@ func runExperiment(b *testing.B, fn func(context.Context) (*metrics.Table, error
 	return tbl
 }
 
-func lastCellFloat(b *testing.B, tbl *metrics.Table, col int) float64 {
+func lastCellFloat(b *testing.B, tbl *telemetry.Table, col int) float64 {
 	b.Helper()
 	rows := tbl.Rows()
 	if len(rows) == 0 {
@@ -67,7 +67,7 @@ func BenchmarkE3ControlPath(b *testing.B) {
 // BenchmarkE4PageRank regenerates the graph-processing comparison (paper:
 // 2.6-4.2x over message-passing systems).
 func BenchmarkE4PageRank(b *testing.B) {
-	tbl := runExperiment(b, func(ctx context.Context) (*metrics.Table, error) {
+	tbl := runExperiment(b, func(ctx context.Context) (*telemetry.Table, error) {
 		return bench.E4PageRank(ctx, nil)
 	})
 	b.ReportMetric(lastCellFloat(b, tbl, 5), "speedup")
@@ -76,7 +76,7 @@ func BenchmarkE4PageRank(b *testing.B) {
 // BenchmarkE5Sort regenerates the sort comparison (paper: 256 GB in
 // 31.7s, 8x over Hadoop TeraSort); the last row extrapolates to 256 GB.
 func BenchmarkE5Sort(b *testing.B) {
-	tbl := runExperiment(b, func(ctx context.Context) (*metrics.Table, error) {
+	tbl := runExperiment(b, func(ctx context.Context) (*telemetry.Table, error) {
 		return bench.E5Sort(ctx, nil)
 	})
 	b.ReportMetric(lastCellFloat(b, tbl, 4), "speedup@256GB")
@@ -91,6 +91,12 @@ func BenchmarkE6Notify(b *testing.B) {
 // client count.
 func BenchmarkE7MultiClient(b *testing.B) {
 	runExperiment(b, bench.E7MultiClient)
+}
+
+// BenchmarkE8RepairMTTR regenerates the repair-plane MTTR sweep (not in
+// the paper; measures the reproduction's self-healing plane).
+func BenchmarkE8RepairMTTR(b *testing.B) {
+	runExperiment(b, bench.E8RepairMTTR)
 }
 
 // BenchmarkA1Stripe regenerates the stripe-unit ablation.

@@ -8,8 +8,8 @@
 //
 // Experiment IDs follow DESIGN.md's per-experiment index: e1 latency,
 // e2 bandwidth, e3 control path, e4 pagerank, e5 sort, e6 notify,
-// e7 multi-client, a1 stripe width, a2 replication, a3 qp-sharing,
-// a4 kv-store.
+// e7 multi-client, e8 repair MTTR, a1 stripe width, a2 replication,
+// a3 qp-sharing, a4 kv-store.
 package main
 
 import (
@@ -20,13 +20,13 @@ import (
 	"sort"
 
 	"rstore/internal/bench"
-	"rstore/internal/metrics"
+	"rstore/internal/telemetry"
 )
 
 type experiment struct {
 	id   string
 	desc string
-	run  func(context.Context) (*metrics.Table, error)
+	run  func(context.Context) (*telemetry.Table, error)
 }
 
 func experiments() []experiment {
@@ -34,14 +34,15 @@ func experiments() []experiment {
 		{"e1", "read/write latency vs transfer size", bench.E1Latency},
 		{"e2", "aggregate bandwidth vs machines", bench.E2Bandwidth},
 		{"e3", "control path vs data path", bench.E3ControlPath},
-		{"e4", "PageRank vs message passing", func(ctx context.Context) (*metrics.Table, error) {
+		{"e4", "PageRank vs message passing", func(ctx context.Context) (*telemetry.Table, error) {
 			return bench.E4PageRank(ctx, nil)
 		}},
-		{"e5", "KV sort vs MapReduce", func(ctx context.Context) (*metrics.Table, error) {
+		{"e5", "KV sort vs MapReduce", func(ctx context.Context) (*telemetry.Table, error) {
 			return bench.E5Sort(ctx, nil)
 		}},
 		{"e6", "notification latency", bench.E6Notify},
 		{"e7", "small-op throughput vs clients", bench.E7MultiClient},
+		{"e8", "repair MTTR vs region size", bench.E8RepairMTTR},
 		{"a1", "ablation: stripe width", bench.A1Stripe},
 		{"a2", "ablation: replication", bench.A2Replication},
 		{"a3", "ablation: QP sharing", bench.A3QPSharing},
@@ -50,7 +51,7 @@ func experiments() []experiment {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment id (e1..e7, a1..a4) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e8, a1..a4) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 

@@ -5,6 +5,9 @@
 //	       (the default, preserving the original behavior)
 //	stats  drive a short mixed workload and render the cluster-wide
 //	       telemetry the master aggregates from heartbeat snapshots
+//	trace  trace a workload, assemble one op's distributed trace via the
+//	       master's MtTraceFetch fan-out, and render the waterfall plus
+//	       its critical-path layer breakdown
 //
 // It doubles as a smoke test of the admin API (ClusterInfo / ListRegions /
 // ClusterStats) a real deployment's tooling would use.
@@ -16,12 +19,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"rstore/internal/core"
 	"rstore/internal/kvstore"
-	"rstore/internal/metrics"
 	"rstore/internal/telemetry"
 )
 
@@ -64,7 +67,7 @@ func runDemo(machines int) error {
 	if err != nil {
 		return err
 	}
-	st := metrics.NewTable("memory servers", "node", "capacity-mib", "used-kib", "alive")
+	st := telemetry.NewTable("memory servers", "node", "capacity-mib", "used-kib", "alive")
 	for _, s := range servers {
 		st.AddRow(s.Node, s.Capacity>>20, s.Used>>10, s.Alive)
 	}
@@ -75,7 +78,7 @@ func runDemo(machines int) error {
 	if err != nil {
 		return err
 	}
-	rt := metrics.NewTable("regions", "name", "id", "bytes", "mapped")
+	rt := telemetry.NewTable("regions", "name", "id", "bytes", "mapped")
 	for _, r := range regions {
 		rt.AddRow(r.Name, uint64(r.ID), r.Size, r.MapCount)
 	}
@@ -206,14 +209,14 @@ func healed(statuses []core.RegionStatus, name string, gen uint64) bool {
 // region-level row each, then one row per copy with its placement and
 // health flags.
 func printRegionStatuses(statuses []core.RegionStatus) {
-	rt := metrics.NewTable("regions", "name", "id", "bytes", "gen", "mapped", "copies", "lost")
+	rt := telemetry.NewTable("regions", "name", "id", "bytes", "gen", "mapped", "copies", "lost")
 	for _, st := range statuses {
 		rt.AddRow(st.Info.Name, uint64(st.Info.ID), st.Info.Size, st.Info.Generation,
 			st.MapCount, len(st.Copies), st.Lost)
 	}
 	fmt.Println(rt.String())
 
-	ct := metrics.NewTable("copies", "region", "copy", "servers", "healthy", "dirty", "repairing", "degraded")
+	ct := telemetry.NewTable("copies", "region", "copy", "servers", "healthy", "dirty", "repairing", "degraded")
 	for _, st := range statuses {
 		for i, cs := range st.Copies {
 			copies := st.Info.Copies()
@@ -317,7 +320,7 @@ func printStats(stats []core.NodeStats) {
 	}
 	sort.Strings(sorted)
 
-	ct := metrics.NewTable("cluster counters", cols...)
+	ct := telemetry.NewTable("cluster counters", cols...)
 	for _, name := range sorted {
 		row := []interface{}{name}
 		for _, ns := range stats {
@@ -345,7 +348,7 @@ func printStats(stats []core.NodeStats) {
 		hnames = append(hnames, n)
 	}
 	sort.Strings(hnames)
-	ht := metrics.NewTable("cluster latencies", "metric", "n", "mean", "p50", "p99", "max")
+	ht := telemetry.NewTable("cluster latencies", "metric", "n", "mean", "p50", "p99", "max")
 	for _, name := range hnames {
 		h := merged.Histograms[name]
 		ht.AddRow(name, h.Count,
@@ -357,6 +360,91 @@ func printStats(stats []core.NodeStats) {
 	fmt.Println(ht.String())
 }
 
+// runTrace boots a cluster, traces a short striped workload with the
+// flight recorder armed, then assembles one operation's distributed trace
+// into a causal tree and renders it as a waterfall with a per-layer
+// critical-path breakdown. Without an argument it picks the slowest
+// operation the flight recorder pinned; with a hex trace id it assembles
+// that trace instead. This is the debugging loop an operator follows when
+// chasing a tail-latency report: stats → trace → waterfall.
+func runTrace(machines int, idArg string) error {
+	ctx := context.Background()
+	if machines < 4 {
+		machines = 4 // a width-3 stripe needs 3 memory servers
+	}
+	cluster, err := core.Start(ctx, core.Config{Machines: machines})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// Trace every op and pin them all: in a demo run the flight recorder
+	// doubles as the index of candidate traces to assemble.
+	cluster.SetTraceSampling(1)
+	cluster.SetSlowOpThreshold(time.Nanosecond)
+
+	cli, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		return err
+	}
+	reg, err := cli.AllocMap(ctx, "app/trace-demo", 8<<20,
+		core.AllocOptions{StripeWidth: 3, StripeUnit: 64 << 10})
+	if err != nil {
+		return err
+	}
+	const chunk = 192 << 10 // three stripe units: every op fans out to all three servers
+	buf, err := cli.AllocBuf(chunk)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 32; i++ {
+		off := uint64(i) * chunk % ((8 << 20) - chunk)
+		if _, err := reg.WriteAt(ctx, off, buf, 0, chunk); err != nil {
+			return err
+		}
+		if _, err := reg.ReadAt(ctx, off, buf, 0, chunk); err != nil {
+			return err
+		}
+	}
+
+	var id telemetry.TraceID
+	if idArg != "" {
+		v, perr := strconv.ParseUint(idArg, 16, 64)
+		if perr != nil {
+			return fmt.Errorf("bad trace id %q: %v", idArg, perr)
+		}
+		id = telemetry.TraceID(v)
+	} else {
+		var worst time.Duration
+		for _, sp := range cluster.FlightSpans() {
+			if sp.Parent != 0 || !strings.HasPrefix(sp.Name, "client.") {
+				continue
+			}
+			if d := sp.EndV.Sub(sp.StartV); d > worst {
+				worst, id = d, sp.Trace
+			}
+		}
+		if id == 0 {
+			return fmt.Errorf("flight recorder pinned no client ops")
+		}
+	}
+
+	spans, complete, err := cli.FetchTrace(ctx, id)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans found for trace %v", id)
+	}
+	tree := telemetry.Assemble(spans)
+	telemetry.Waterfall(os.Stdout, tree)
+	fmt.Printf("\ncritical path: %s\n", telemetry.CriticalPath(tree))
+	if !complete {
+		fmt.Println("note: trace may be incomplete (ring wrapped or a node was unreachable)")
+	}
+	return nil
+}
+
 func main() {
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -364,7 +452,9 @@ func main() {
 		fmt.Fprintf(out, "  demo     populate a demo cluster and dump membership, regions, contents (default)\n")
 		fmt.Fprintf(out, "  stats    run a workload and print cluster-wide telemetry\n")
 		fmt.Fprintf(out, "  regions  show placement, per-copy health, and generations; kill a server\n")
-		fmt.Fprintf(out, "           and watch the repair plane self-heal\n\nflags:\n")
+		fmt.Fprintf(out, "           and watch the repair plane self-heal\n")
+		fmt.Fprintf(out, "  trace [id]  trace a workload, assemble the slowest op's distributed trace\n")
+		fmt.Fprintf(out, "           (or the given hex trace id), and render its waterfall\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	machines := flag.Int("machines", 4, "cluster size")
@@ -382,8 +472,10 @@ func main() {
 		err = runStats(*machines)
 	case "regions":
 		err = runRegions(*machines)
+	case "trace":
+		err = runTrace(*machines, flag.Arg(1))
 	default:
-		err = fmt.Errorf("unknown command %q (want demo, stats, or regions)", cmd)
+		err = fmt.Errorf("unknown command %q (want demo, stats, regions, or trace)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rstore-cli:", err)

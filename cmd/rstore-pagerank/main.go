@@ -13,7 +13,7 @@ import (
 	"rstore/internal/baseline/msggraph"
 	"rstore/internal/core"
 	"rstore/internal/graph"
-	"rstore/internal/metrics"
+	"rstore/internal/telemetry"
 	"rstore/internal/workload"
 )
 
@@ -70,7 +70,7 @@ func run() error {
 		return err
 	}
 
-	tbl := metrics.NewTable(
+	tbl := telemetry.NewTable(
 		fmt.Sprintf("PageRank: %s graph, %d vertices, %d edges, %d iterations, %d machines",
 			*kind, g.NumVertices, g.NumEdges(), *iters, *machines),
 		"iteration", "rstore", "msg-passing")

@@ -12,7 +12,7 @@ import (
 	"rstore/internal/baseline/mrsort"
 	"rstore/internal/core"
 	"rstore/internal/kvsort"
-	"rstore/internal/metrics"
+	"rstore/internal/telemetry"
 	"rstore/internal/workload"
 )
 
@@ -54,7 +54,7 @@ func run() error {
 		return err
 	}
 
-	tbl := metrics.NewTable(
+	tbl := telemetry.NewTable(
 		fmt.Sprintf("KV sort: %d records (%d MB) on %d machines, output verified sorted",
 			*records, *records*workload.RecordSize>>20, *machines),
 		"system", "sample/map", "shuffle", "sort/reduce", "total")

@@ -9,7 +9,7 @@ import (
 
 	"rstore/internal/core"
 	"rstore/internal/kvstore"
-	"rstore/internal/metrics"
+	"rstore/internal/telemetry"
 )
 
 // A4Mixes are the workload mixes swept (fraction of operations that are
@@ -82,8 +82,8 @@ func a4Run(ctx context.Context, cluster *core.Cluster, mix float64, clients, key
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
-		getHist metrics.Histogram
-		putHist metrics.Histogram
+		getHist telemetry.Histogram
+		putHist telemetry.Histogram
 		aggOps  float64
 		errs    = make([]error, clients)
 	)

@@ -1,6 +1,6 @@
 // Package bench regenerates every table and figure of the paper's
 // evaluation on the simulated testbed. Each Ex function builds the cluster
-// it needs, drives the workload, and returns a metrics.Table whose rows
+// it needs, drives the workload, and returns a telemetry.Table whose rows
 // mirror what the paper reports; EXPERIMENTS.md records the side-by-side.
 //
 // Experiment IDs (see DESIGN.md per-experiment index):
@@ -18,20 +18,21 @@ package bench
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"rstore/internal/client"
 	"rstore/internal/core"
-	"rstore/internal/metrics"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // metricsTable aliases the harness's table type to keep experiment files
 // terse.
-type metricsTable = metrics.Table
+type metricsTable = telemetry.Table
 
 func newTable(title string, headers ...string) *metricsTable {
-	return metrics.NewTable(title, headers...)
+	return telemetry.NewTable(title, headers...)
 }
 
 func int32ToNode(n int) simnet.NodeID { return simnet.NodeID(n) }
@@ -57,6 +58,36 @@ func startCluster(ctx context.Context, machines, extraClients int, capacity uint
 		ExtraClientNodes: extraClients,
 		ServerCapacity:   capacity,
 	})
+}
+
+// slowestPinnedOp scans the cluster's flight recorder for the slowest
+// pinned client operation and returns its modeled duration plus a
+// critical-path breakdown line, for benches to attach as a table footer.
+// Callers arm the recorder (Cluster.SetSlowOpThreshold) before the
+// workload; ok is false when nothing was pinned.
+func slowestPinnedOp(cluster *core.Cluster) (time.Duration, string, bool) {
+	flight := cluster.FlightSpans()
+	var root telemetry.Span
+	var worst time.Duration
+	for _, sp := range flight {
+		if sp.Parent != 0 || !strings.HasPrefix(sp.Name, "client.") {
+			continue
+		}
+		if d := sp.EndV.Sub(sp.StartV); d >= worst {
+			worst, root = d, sp
+		}
+	}
+	if root.Trace == 0 {
+		return 0, "", false
+	}
+	var spans []telemetry.Span
+	for _, sp := range flight {
+		if sp.Trace == root.Trace {
+			spans = append(spans, sp)
+		}
+	}
+	bd := telemetry.CriticalPath(telemetry.Assemble(spans))
+	return worst, fmt.Sprintf("slowest op: %s %s", root.Name, bd.String()), true
 }
 
 // meanLatency runs fn count times and averages the modeled latencies it
@@ -103,5 +134,5 @@ func (w *window) gbps() float64 {
 	if w.last <= w.first {
 		return 0
 	}
-	return metrics.Gbps(w.bytes, w.last.Sub(w.first))
+	return telemetry.Gbps(w.bytes, w.last.Sub(w.first))
 }

@@ -195,6 +195,32 @@ func TestE7MultiClientShape(t *testing.T) {
 	}
 }
 
+func TestE8RepairShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// One small size keeps the real-time cost down; the full sweep runs
+	// under `rstore-bench -exp e8`.
+	orig := E8Sizes
+	E8Sizes = []uint64{2 << 20}
+	defer func() { E8Sizes = orig }()
+	tbl, err := E8RepairMTTR(context.Background())
+	if err != nil {
+		t.Fatalf("E8RepairMTTR: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if mib := cellFloat(t, rows[0][1]); mib < 2 {
+		t.Errorf("repair-mib = %v, want >= 2 (the replica re-replicated)", mib)
+	}
+	if tbl.Footer == "" {
+		t.Error("no slowest-op breakdown footer; flight recorder pinned nothing")
+	}
+}
+
 func TestA1StripeShape(t *testing.T) {
 	tbl, err := A1Stripe(context.Background())
 	if err != nil {

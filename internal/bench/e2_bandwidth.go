@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"rstore/internal/client"
 	"rstore/internal/telemetry"
@@ -20,8 +21,9 @@ var E2Machines = []int{2, 4, 6, 8, 10, 12}
 func E2Bandwidth(ctx context.Context) (*metricsTable, error) {
 	tbl := newTable("E2: aggregate read bandwidth vs machines (modeled)",
 		"machines", "clients", "agg-gbps", "gbps/machine", "rdma-ops", "rdma-gib", "retx")
+	var worst time.Duration
 	for _, n := range E2Machines {
-		agg, snap, err := e2Run(ctx, n)
+		agg, snap, slowD, slowDesc, err := e2Run(ctx, n)
 		if err != nil {
 			return nil, fmt.Errorf("e2 with %d machines: %w", n, err)
 		}
@@ -29,6 +31,10 @@ func E2Bandwidth(ctx context.Context) (*metricsTable, error) {
 			snap.Counter("rdma.ops"),
 			float64(snap.Counter("rdma.bytes"))/float64(1<<30),
 			snap.Counter("rdma.retransmits"))
+		if slowDesc != "" && slowD > worst {
+			worst = slowD
+			tbl.Footer = fmt.Sprintf("%s (%d machines)", slowDesc, n)
+		}
 	}
 	return tbl, nil
 }
@@ -38,7 +44,7 @@ func E2Bandwidth(ctx context.Context) (*metricsTable, error) {
 // full-stripe bulk reads: each operation scatter-gathers one 1 MiB
 // fragment from every server, so all links stay engaged and balanced —
 // the access pattern the paper's bandwidth experiment uses.
-func e2Run(ctx context.Context, n int) (float64, telemetry.Snapshot, error) {
+func e2Run(ctx context.Context, n int) (float64, telemetry.Snapshot, time.Duration, string, error) {
 	const (
 		stripeUnit = 1 << 20
 		rounds     = 12
@@ -46,18 +52,23 @@ func e2Run(ctx context.Context, n int) (float64, telemetry.Snapshot, error) {
 	opSize := n * stripeUnit // one fragment per server
 	cluster, err := startCluster(ctx, n+1, 0, 256<<20)
 	if err != nil {
-		return 0, telemetry.Snapshot{}, err
+		return 0, telemetry.Snapshot{}, 0, "", err
 	}
 	defer cluster.Close()
+
+	// Pin every op in the flight recorder so the run can report its
+	// slowest operation's critical-path breakdown alongside the aggregate:
+	// rounds × (1 envelope + n fragments) spans fit each client's ring.
+	cluster.SetSlowOpThreshold(time.Nanosecond)
 
 	nodes := cluster.MemoryServerNodes()
 	admin, err := cluster.NewClient(ctx, nodes[0])
 	if err != nil {
-		return 0, telemetry.Snapshot{}, err
+		return 0, telemetry.Snapshot{}, 0, "", err
 	}
 	regionSize := uint64(opSize)
 	if _, err := admin.Alloc(ctx, "e2", regionSize, client.AllocOptions{StripeUnit: stripeUnit}); err != nil {
-		return 0, telemetry.Snapshot{}, err
+		return 0, telemetry.Snapshot{}, 0, "", err
 	}
 
 	// One client per machine, mapped up front.
@@ -70,15 +81,15 @@ func e2Run(ctx context.Context, n int) (float64, telemetry.Snapshot, error) {
 	for i, node := range nodes {
 		cli, err := cluster.NewClient(ctx, node)
 		if err != nil {
-			return 0, telemetry.Snapshot{}, err
+			return 0, telemetry.Snapshot{}, 0, "", err
 		}
 		reg, err := cli.Map(ctx, "e2")
 		if err != nil {
-			return 0, telemetry.Snapshot{}, err
+			return 0, telemetry.Snapshot{}, 0, "", err
 		}
 		buf, err := cli.AllocBuf(opSize)
 		if err != nil {
-			return 0, telemetry.Snapshot{}, err
+			return 0, telemetry.Snapshot{}, 0, "", err
 		}
 		eps[i] = &endpoint{reg: reg, buf: buf}
 	}
@@ -105,7 +116,7 @@ func e2Run(ctx context.Context, n int) (float64, telemetry.Snapshot, error) {
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return 0, telemetry.Snapshot{}, err
+				return 0, telemetry.Snapshot{}, 0, "", err
 			}
 		}
 	}
@@ -115,5 +126,6 @@ func e2Run(ctx context.Context, n int) (float64, telemetry.Snapshot, error) {
 	}
 	// The run just finished in-process, so read the registries directly —
 	// the merged snapshot reports what the fabric actually carried.
-	return agg, cluster.TelemetrySnapshot(), nil
+	slowD, slowDesc, _ := slowestPinnedOp(cluster)
+	return agg, cluster.TelemetrySnapshot(), slowD, slowDesc, nil
 }

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/simnet"
+)
+
+// E8Sizes is the region-size sweep of the repair-MTTR experiment.
+var E8Sizes = []uint64{2 << 20, 16 << 20, 64 << 20}
+
+// E8RepairMTTR measures the self-healing plane (not in the paper, which
+// stops at failure detection): for each region size, a memory server
+// holding the replica of an RF=2 region is killed and MTTR is the virtual
+// time from the master declaring it dead to the region reporting full RF
+// again — the master.repair_duration histogram, with master.repair_bytes
+// as the work measure. The flight recorder stays armed through the
+// degraded window, so the footer carries the critical-path breakdown of
+// the slowest client op that rode through the failure.
+func E8RepairMTTR(ctx context.Context) (*metricsTable, error) {
+	tbl := newTable("E8: repair MTTR vs region size (modeled)",
+		"size", "repair-mib", "mttr", "gen")
+	var worst time.Duration
+	for _, size := range E8Sizes {
+		row, slowD, slowDesc, err := e8Run(ctx, size)
+		if err != nil {
+			return nil, fmt.Errorf("e8 with %s: %w", sizeLabel(int(size)), err)
+		}
+		tbl.AddRow(row...)
+		if slowDesc != "" && slowD > worst {
+			worst = slowD
+			tbl.Footer = fmt.Sprintf("%s (%s region)", slowDesc, sizeLabel(int(size)))
+		}
+	}
+	return tbl, nil
+}
+
+// e8Run kills the replica holder of one RF=2 region and waits for the
+// repair plane to restore full replication, issuing degraded-window ops so
+// the flight recorder has traffic to pin.
+func e8Run(ctx context.Context, size uint64) ([]interface{}, time.Duration, string, error) {
+	const beat = 10 * time.Millisecond
+	cluster, err := core.Start(ctx, core.Config{
+		Machines:          6,
+		ExtraClientNodes:  1,
+		ServerCapacity:    256 << 20,
+		HeartbeatInterval: beat,
+	})
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer cluster.Close()
+
+	cli, err := cluster.NewClient(ctx, simnet.NodeID(cluster.Fabric().Size()-1))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	// Arm after the client exists: the extra client node's registry is not
+	// part of the cluster walk until the client opens its device.
+	cluster.SetSlowOpThreshold(time.Nanosecond)
+	reg, err := cli.AllocMap(ctx, "e8", size, client.AllocOptions{
+		StripeUnit: 256 << 10, StripeWidth: 2, Replicas: 1,
+	})
+	if err != nil {
+		return nil, 0, "", err
+	}
+	buf, err := cli.AllocBuf(1 << 20)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if _, err := reg.WriteAt(ctx, 0, buf, 0, 1<<20); err != nil {
+		return nil, 0, "", err
+	}
+
+	victim := reg.Info().Copies()[1][0].Server
+	gen := reg.Info().Generation
+	if err := cluster.KillServer(victim); err != nil {
+		return nil, 0, "", err
+	}
+
+	// Poll until healed, keeping degraded-window traffic flowing so the
+	// recorder sees the ops that pay the failure's latency tax.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := reg.WriteAt(ctx, 0, buf, 0, 64<<10); err != nil {
+			return nil, 0, "", err
+		}
+		statuses, err := cli.RegionStatuses(ctx)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		healed := false
+		var finalGen uint64
+		for _, st := range statuses {
+			if st.Info.Name != "e8" || st.Lost {
+				continue
+			}
+			ok := st.Info.Generation > gen
+			for _, cs := range st.Copies {
+				if !cs.Healthy || cs.Dirty || cs.UnderRepair {
+					ok = false
+				}
+			}
+			if ok {
+				healed, finalGen = true, st.Info.Generation
+			}
+		}
+		if healed {
+			snap := cluster.TelemetrySnapshot()
+			h := snap.Histograms["master.repair_duration"]
+			mttr := time.Duration(h.Max)
+			repairMiB := float64(snap.Counter("master.repair_bytes")) / float64(1<<20)
+			slowD, slowDesc, _ := slowestPinnedOp(cluster)
+			return []interface{}{sizeLabel(int(size)), repairMiB, mttr, finalGen}, slowD, slowDesc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, 0, "", fmt.Errorf("region not healed after 30s")
+		}
+		time.Sleep(beat)
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"testing"
+	"time"
 
 	"rstore/internal/client"
 )
@@ -10,18 +11,25 @@ import (
 // BenchmarkTelemetryOverhead is the observability guard: it measures the
 // telemetry tax on the hot data path — one client issuing 4KiB reads
 // against a mapped region — with the registry disabled, with counters and
-// latency histograms live, and with 1-in-64 op tracing on top. The
-// acceptance bar is ≤5% overhead for the enabled modes (EXPERIMENTS.md
-// records the measured numbers).
+// latency histograms live, with 1-in-64 op tracing on top, and with the
+// slow-op flight recorder armed (every op mints a provisional trace and
+// buffers fragment spans, dropped unless the op crosses the threshold —
+// the always-on production configuration). The acceptance bar is ≤5%
+// overhead for the enabled modes (EXPERIMENTS.md records the measured
+// numbers).
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	modes := []struct {
-		name     string
-		enabled  bool
-		sampling int
+		name      string
+		enabled   bool
+		sampling  int
+		threshold time.Duration
 	}{
-		{"off", false, 0},
-		{"counters", true, 0},
-		{"counters+trace64", true, 64},
+		{"off", false, 0, 0},
+		{"counters", true, 0, 0},
+		{"counters+trace64", true, 64, 0},
+		// 1ms >> the ~12µs modeled op latency: provisional traces are
+		// minted and buffered on every op but never pinned.
+		{"counters+flight", true, 0, time.Millisecond},
 	}
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
@@ -46,6 +54,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 			cluster.SetTelemetryEnabled(mode.enabled)
 			cluster.SetTraceSampling(mode.sampling)
+			cluster.SetSlowOpThreshold(mode.threshold)
 			b.SetBytes(opSize)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

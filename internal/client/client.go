@@ -128,6 +128,7 @@ type clientCounters struct {
 	degradedWrites *telemetry.Counter // writes that succeeded on a strict subset of copies
 	readFailovers  *telemetry.Counter // reads served by a replica after the primary failed
 	staleRemaps    *telemetry.Counter // remaps that discovered a bumped generation
+	slowOps        *telemetry.Counter // ops the flight recorder promoted (slow or failed)
 
 	readLat   *telemetry.Histogram // modeled read latency
 	writeLat  *telemetry.Histogram // modeled write latency
@@ -225,6 +226,7 @@ func Connect(ctx context.Context, dev *rdma.Device, cfg Config) (*Client, error)
 			degradedWrites: tel.Counter("client.degraded_writes"),
 			readFailovers:  tel.Counter("client.read_failovers"),
 			staleRemaps:    tel.Counter("client.stale_generation_remaps"),
+			slowOps:        tel.Counter("client.slow_ops"),
 
 			readLat:   tel.Histogram("client.read_latency"),
 			writeLat:  tel.Histogram("client.write_latency"),
@@ -264,14 +266,33 @@ func (c *Client) Device() *rdma.Device { return c.dev }
 // running on the client's device).
 func (c *Client) Telemetry() *telemetry.Registry { return c.dev.Telemetry() }
 
-// traceRoot returns the ctx's trace ID, minting a sampled root trace when
-// the caller is untraced. Costs one atomic load when tracing is off.
-func (c *Client) traceRoot(ctx context.Context) telemetry.TraceID {
+// opTrace is one data-path operation's tracing decision: its trace, the
+// envelope span covering the whole op, and whether the trace is
+// provisional (minted only so the flight recorder can promote the op if
+// it turns out slow — buffered, never recorded unless promoted).
+type opTrace struct {
+	id          telemetry.TraceID
+	span        telemetry.SpanID // envelope span (parent of io.* fragments)
+	parent      telemetry.SpanID // caller's span from ctx, when nested
+	provisional bool
+}
+
+// startOp makes the tracing decision for a data-path operation starting
+// now: a ctx-propagated trace wins, then head sampling, then — when the
+// flight recorder is armed — a provisional trace that costs the tracer
+// nothing unless the op exceeds the slow threshold or fails. Costs two
+// atomic loads when tracing and the recorder are both off.
+func (c *Client) startOp(ctx context.Context) opTrace {
 	if id := telemetry.TraceFrom(ctx); id != 0 {
-		return id
+		return opTrace{id: id, span: c.tracer.NewSpan(), parent: telemetry.SpanFrom(ctx)}
 	}
-	id, _ := c.tracer.NewTrace()
-	return id
+	if id, ok := c.tracer.NewTrace(); ok {
+		return opTrace{id: id, span: c.tracer.NewSpan()}
+	}
+	if c.tracer.Armed() {
+		return opTrace{id: c.tracer.ProvisionalTrace(), span: c.tracer.NewSpan(), provisional: true}
+	}
+	return opTrace{}
 }
 
 // opKind tags data-path operations for telemetry.
@@ -296,35 +317,55 @@ func (k opKind) spanName() string {
 
 // recordOp folds one completed data-path operation into the client's
 // telemetry: an outcome counter, the per-kind latency histogram, and — when
-// the operation is traced — a span covering its virtual-time extent.
-func (c *Client) recordOp(kind opKind, trace telemetry.TraceID, st IOStat, err error) {
-	if err != nil {
+// the operation is traced — an envelope span covering its virtual-time
+// extent plus the buffered io.* fragment spans. Slow or failed operations
+// are additionally pinned in the flight recorder when it is armed;
+// provisional traces exist only for that promotion and are dropped
+// otherwise.
+func (c *Client) recordOp(kind opKind, ot opTrace, st IOStat, err error, frags []telemetry.Span) {
+	failed := err != nil
+	if failed {
 		c.ctr.ioFailures.Inc()
-		if trace != 0 {
-			c.tracer.Record(telemetry.Span{
-				Trace: trace, Name: kind.spanName(),
-				StartV: st.PostedV, EndV: st.DoneV, Err: err.Error(),
-			})
+	} else {
+		lat := st.Latency().Duration()
+		switch kind {
+		case opRead:
+			c.ctr.reads.Inc()
+			c.ctr.readLat.Record(lat)
+		case opWrite:
+			c.ctr.writes.Inc()
+			c.ctr.writeLat.Record(lat)
+		case opAtomic:
+			c.ctr.atomics.Inc()
+			c.ctr.atomicLat.Record(lat)
+		}
+	}
+	if ot.id == 0 {
+		return
+	}
+	env := telemetry.Span{
+		Trace: ot.id, ID: ot.span, Parent: ot.parent,
+		Name: kind.spanName(), StartV: st.PostedV, EndV: st.DoneV,
+	}
+	if failed {
+		env.Err = err.Error()
+	}
+	thr := c.tracer.SlowOpThreshold()
+	slow := thr > 0 && (failed || st.Latency().Duration() >= thr)
+	if ot.provisional {
+		if slow {
+			c.ctr.slowOps.Inc()
+			c.tracer.Pin(append(frags, env))
 		}
 		return
 	}
-	lat := st.Latency().Duration()
-	switch kind {
-	case opRead:
-		c.ctr.reads.Inc()
-		c.ctr.readLat.Record(lat)
-	case opWrite:
-		c.ctr.writes.Inc()
-		c.ctr.writeLat.Record(lat)
-	case opAtomic:
-		c.ctr.atomics.Inc()
-		c.ctr.atomicLat.Record(lat)
+	for _, s := range frags {
+		c.tracer.Record(s)
 	}
-	if trace != 0 {
-		c.tracer.Record(telemetry.Span{
-			Trace: trace, Name: kind.spanName(),
-			StartV: st.PostedV, EndV: st.DoneV,
-		})
+	c.tracer.Record(env)
+	if slow {
+		c.ctr.slowOps.Inc()
+		c.tracer.Pin(append(frags, env))
 	}
 }
 
@@ -776,6 +817,28 @@ func (c *Client) RegionStatuses(ctx context.Context) ([]proto.RegionStatus, erro
 		return nil, fmt.Errorf("region status: %w", derr)
 	}
 	return out, nil
+}
+
+// FetchTrace pulls every buffered span for a trace: the master fans the
+// request out to its own ring and every alive memory server
+// (MtTraceFetch), and the client merges in its local ring — client-only
+// nodes are not reachable from the master, and the local merge makes
+// their spans part of the picture regardless. The bool result is false
+// when any ring had evicted part of the trace or a node was unreachable.
+// Feed the spans to telemetry.Assemble to build the causal tree.
+func (c *Client) FetchTrace(ctx context.Context, id telemetry.TraceID) ([]telemetry.Span, bool, error) {
+	var e rpc.Encoder
+	(&proto.TraceFetchRequest{Trace: id}).Encode(&e)
+	resp, err := c.call(ctx, proto.MtTraceFetch, e.Bytes())
+	if err != nil {
+		return nil, false, fmt.Errorf("trace fetch: %w", err)
+	}
+	r, err := proto.DecodeTraceFetchResponse(rpc.NewDecoder(resp))
+	if err != nil {
+		return nil, false, fmt.Errorf("trace fetch: %w", err)
+	}
+	local, localComplete := c.tracer.SpansFor(id)
+	return append(r.Spans, local...), r.Complete && localComplete, nil
 }
 
 // reportDegraded tells the master copy copyIdx of the region missed a

@@ -57,13 +57,13 @@ func TestMapMasterError(t *testing.T) {
 func TestIOOpCompletion(t *testing.T) {
 	var clock atomicVTime
 	op := newIOOp(2, 100, clock.max)
-	op.completeOne(rdma.WC{Status: rdma.StatusSuccess, PostedV: 100, DoneV: 200})
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess, PostedV: 100, DoneV: 200}, 1)
 	select {
 	case <-op.done:
 		t.Fatal("done before all fragments")
 	default:
 	}
-	op.completeOne(rdma.WC{Status: rdma.StatusSuccess, PostedV: 150, DoneV: 300})
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess, PostedV: 150, DoneV: 300}, 1)
 	select {
 	case <-op.done:
 	default:
@@ -86,8 +86,8 @@ func TestIOOpCompletion(t *testing.T) {
 
 func TestIOOpErrorPropagates(t *testing.T) {
 	op := newIOOp(2, 0, nil)
-	op.completeOne(rdma.WC{Status: rdma.StatusRetryExceeded, Err: rdma.ErrQPState})
-	op.completeOne(rdma.WC{Status: rdma.StatusSuccess})
+	op.completeOne(rdma.WC{Status: rdma.StatusRetryExceeded, Err: rdma.ErrQPState}, 1)
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess}, 1)
 	if _, err := op.wait(context.Background(), 2); !errors.Is(err, ErrIOFailed) {
 		t.Errorf("wait = %v, want ErrIOFailed", err)
 	}
@@ -95,7 +95,7 @@ func TestIOOpErrorPropagates(t *testing.T) {
 
 func TestIOOpFailShortCircuits(t *testing.T) {
 	op := newIOOp(3, 0, nil)
-	op.completeOne(rdma.WC{Status: rdma.StatusSuccess})
+	op.completeOne(rdma.WC{Status: rdma.StatusSuccess}, 1)
 	op.fail(errors.New("post failed"), 2)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()

@@ -8,6 +8,7 @@ import (
 
 	"rstore/internal/rdma"
 	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
 )
 
 // atomicVTime is a monotonically increasing virtual-time cell.
@@ -38,14 +39,44 @@ type ioOp struct {
 	// onDone receives the operation's completion time (last fragment) to
 	// advance the owning client's virtual clock.
 	onDone func(simnet.VTime)
+
+	// Tracing: when trace is non-zero, every fragment completion buffers
+	// an io.* span tagged with its target server. Spans are buffered in
+	// the op (not recorded immediately) so provisional traces — minted
+	// only in case the flight recorder promotes the op — cost the tracer
+	// nothing unless the op turns out slow.
+	trace  telemetry.TraceID
+	parent telemetry.SpanID // the op's envelope span
+	ioName string           // "io.read" / "io.write" / "io.atomic"
+	mint   func() telemetry.SpanID
+	spans  []telemetry.Span
 }
 
 func newIOOp(fragments int, startV simnet.VTime, onDone func(simnet.VTime)) *ioOp {
 	return &ioOp{remaining: fragments, startV: startV, onDone: onDone, done: make(chan struct{})}
 }
 
-// completeOne folds one work completion into the future.
-func (op *ioOp) completeOne(wc rdma.WC) {
+// setTrace arms per-fragment span collection. Must be called before the
+// op's fragments are posted.
+func (op *ioOp) setTrace(trace telemetry.TraceID, parent telemetry.SpanID, name string, mint func() telemetry.SpanID) {
+	op.trace = trace
+	op.parent = parent
+	op.ioName = name
+	op.mint = mint
+}
+
+// takeSpans drains the buffered fragment spans.
+func (op *ioOp) takeSpans() []telemetry.Span {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	spans := op.spans
+	op.spans = nil
+	return spans
+}
+
+// completeOne folds one work completion into the future. server is the
+// node the fragment targeted (for span attribution).
+func (op *ioOp) completeOne(wc rdma.WC, server simnet.NodeID) {
 	op.mu.Lock()
 	if wc.Status != rdma.StatusSuccess && op.err == nil {
 		if wc.Err != nil {
@@ -56,6 +87,26 @@ func (op *ioOp) completeOne(wc rdma.WC) {
 	}
 	if wc.DoneV > op.lastDone {
 		op.lastDone = wc.DoneV
+	}
+	if op.trace != 0 {
+		sp := telemetry.Span{
+			Trace:  op.trace,
+			Parent: op.parent,
+			Name:   op.ioName,
+			Node:   server,
+			StartV: op.startV,
+			EndV:   wc.DoneV,
+		}
+		if op.mint != nil {
+			sp.ID = op.mint()
+		}
+		if sp.EndV < sp.StartV {
+			sp.EndV = sp.StartV // flushed completions carry no DoneV
+		}
+		if wc.Status != rdma.StatusSuccess {
+			sp.Err = wc.Status.String()
+		}
+		op.spans = append(op.spans, sp)
 	}
 	op.old = wc.Old
 	op.remaining--
@@ -120,6 +171,9 @@ func (op *ioOp) wait(ctx context.Context, fragments int) (IOStat, error) {
 // completion dispatcher that resolves futures.
 type serverConn struct {
 	qp *rdma.QP
+	// node is the memory server this connection targets; fragment spans
+	// are attributed to it.
+	node simnet.NodeID
 	// epoch is the master's incarnation counter for the server at dial
 	// time. A later snapshot with a higher epoch means the server bounced:
 	// the peer QP and arena behind this connection no longer exist, so the
@@ -138,6 +192,7 @@ func newServerConn(qp *rdma.QP) *serverConn {
 	ctx, cancel := context.WithCancel(context.Background())
 	sc := &serverConn{
 		qp:      qp,
+		node:    qp.RemoteNode(),
 		pending: make(map[uint64]*ioOp),
 		cancel:  cancel,
 	}
@@ -161,7 +216,7 @@ func (sc *serverConn) close() {
 	sc.pending = make(map[uint64]*ioOp)
 	sc.mu.Unlock()
 	for _, op := range pend {
-		op.completeOne(rdma.WC{Status: rdma.StatusFlushed, Err: rdma.ErrQPState})
+		op.completeOne(rdma.WC{Status: rdma.StatusFlushed, Err: rdma.ErrQPState}, sc.node)
 	}
 }
 
@@ -179,7 +234,7 @@ func (sc *serverConn) dispatch(ctx context.Context) {
 		delete(sc.pending, wc.WRID)
 		sc.mu.Unlock()
 		if ok {
-			op.completeOne(wc)
+			op.completeOne(wc, sc.node)
 		}
 	}
 }

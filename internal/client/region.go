@@ -134,7 +134,7 @@ type Pending struct {
 	c      *Client
 	r      *Region
 	kind   opKind
-	trace  telemetry.TraceID
+	ot     opTrace
 	copies []pendingCopy
 }
 
@@ -152,7 +152,7 @@ func (p *Pending) Wait(ctx context.Context) (IOStat, error) {
 		pc := p.copies[0]
 		st, err := pc.op.wait(ctx, pc.frags)
 		if p.c != nil {
-			p.c.recordOp(p.kind, p.trace, st, err)
+			p.c.recordOp(p.kind, p.ot, st, err, pc.op.takeSpans())
 		}
 		return st, err
 	}
@@ -161,9 +161,13 @@ func (p *Pending) Wait(ctx context.Context) (IOStat, error) {
 		firstErr error
 		ok       int
 		failed   []int
+		spans    []telemetry.Span
 	)
 	for _, pc := range p.copies {
 		st, err := pc.op.wait(ctx, pc.frags)
+		// Fragment spans from failed copies are kept: a degraded write's
+		// trace should show which copy's io missed.
+		spans = append(spans, pc.op.takeSpans()...)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -181,14 +185,14 @@ func (p *Pending) Wait(ctx context.Context) (IOStat, error) {
 		ok++
 	}
 	if ok == 0 {
-		p.c.recordOp(p.kind, p.trace, IOStat{}, firstErr)
+		p.c.recordOp(p.kind, p.ot, IOStat{}, firstErr, spans)
 		return IOStat{}, firstErr
 	}
 	if len(failed) > 0 {
 		p.c.ctr.degradedWrites.Inc()
 		p.r.reportDegradedAsync(failed)
 	}
-	p.c.recordOp(p.kind, p.trace, merged, nil)
+	p.c.recordOp(p.kind, p.ot, merged, nil, spans)
 	return merged, nil
 }
 
@@ -268,12 +272,15 @@ func (r *Region) StartWriteAt(ctx context.Context, off uint64, buf *Buf, bufOff,
 		}
 		repFrags[i] = rf
 	}
-	p := &Pending{c: r.c, r: r, kind: opWrite, trace: r.c.traceRoot(ctx)}
+	ot := r.c.startOp(ctx)
+	p := &Pending{c: r.c, r: r, kind: opWrite, ot: ot}
 	op := r.newOp(len(frags))
+	op.setTrace(ot.id, ot.span, "io.write", r.c.tracer.NewSpan)
 	r.issue(ctx, rdma.OpWrite, frags, buf, bufOff, op)
 	p.copies = append(p.copies, pendingCopy{op: op, frags: len(frags), copyIdx: 0})
 	for i, rf := range repFrags {
 		rop := r.newOp(len(rf))
+		rop.setTrace(ot.id, ot.span, "io.write", r.c.tracer.NewSpan)
 		r.issue(ctx, rdma.OpWrite, rf, buf, bufOff, rop)
 		p.copies = append(p.copies, pendingCopy{op: rop, frags: len(rf), copyIdx: i + 1})
 	}
@@ -315,9 +322,11 @@ func (r *Region) StartReadAt(ctx context.Context, off uint64, buf *Buf, bufOff, 
 	if err != nil {
 		return nil, fmt.Errorf("read %q: %w", r.Info().Name, err)
 	}
+	ot := r.c.startOp(ctx)
 	op := r.newOp(len(frags))
+	op.setTrace(ot.id, ot.span, "io.read", r.c.tracer.NewSpan)
 	r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
-	p := &Pending{c: r.c, r: r, kind: opRead, trace: r.c.traceRoot(ctx)}
+	p := &Pending{c: r.c, r: r, kind: opRead, ot: ot}
 	p.copies = append(p.copies, pendingCopy{op: op, frags: len(frags), copyIdx: 0})
 	return p, nil
 }
@@ -353,11 +362,19 @@ func (r *Region) readAtOnce(ctx context.Context, off uint64, buf *Buf, bufOff, n
 		if ferr != nil {
 			continue
 		}
+		// The failover attempt joins the failed op's trace with its own
+		// envelope span, so the assembled tree shows the failed primary
+		// read followed by the replica read that served the data.
+		fot := p.ot
+		if fot.id != 0 {
+			fot.span = r.c.tracer.NewSpan()
+		}
 		op := r.newOp(len(frags))
+		op.setTrace(fot.id, fot.span, "io.read", r.c.tracer.NewSpan)
 		r.issue(ctx, rdma.OpRead, frags, buf, bufOff, op)
 		if st, rerr := op.wait(ctx, len(frags)); rerr == nil {
 			r.c.ctr.readFailovers.Inc()
-			r.c.recordOp(opRead, telemetry.TraceFrom(ctx), st, nil)
+			r.c.recordOp(opRead, fot, st, nil, op.takeSpans())
 			return st, nil
 		}
 	}
@@ -479,7 +496,9 @@ func (r *Region) atomicOnce(ctx context.Context, opcode rdma.OpCode, off uint64,
 	}
 	st := r.c.acquireStaging()
 	defer r.c.releaseStaging(st)
+	ot := r.c.startOp(ctx)
 	op := r.newOp(1)
+	op.setTrace(ot.id, ot.span, "io.atomic", r.c.tracer.NewSpan)
 	wr := rdma.SendWR{
 		Op:         opcode,
 		Local:      rdma.SGE{MR: st.mr, Len: 8},
@@ -494,7 +513,7 @@ func (r *Region) atomicOnce(ctx context.Context, opcode rdma.OpCode, off uint64,
 		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
 	stat, err := op.wait(ctx, 1)
-	r.c.recordOp(opAtomic, r.c.traceRoot(ctx), stat, err)
+	r.c.recordOp(opAtomic, ot, stat, err, op.takeSpans())
 	if err != nil {
 		return 0, IOStat{}, err
 	}

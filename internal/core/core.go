@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -260,6 +261,35 @@ func (c *Cluster) SetTelemetryEnabled(on bool) {
 func (c *Cluster) SetTraceSampling(n int) {
 	for _, r := range c.registries() {
 		r.Tracer().SetSampling(n)
+	}
+}
+
+// SetSlowOpThreshold arms (d > 0) or disarms (d == 0) the slow-op flight
+// recorder on every node: data-path ops whose modeled latency reaches d —
+// or that fail — are retroactively promoted to traced and pinned in the
+// flight ring, even when head sampling never picked them.
+func (c *Cluster) SetSlowOpThreshold(d time.Duration) {
+	for _, r := range c.registries() {
+		r.Tracer().SetSlowOpThreshold(d)
+	}
+}
+
+// FlightSpans returns every span pinned in any node's flight-recorder
+// ring, for post-mortem dumps.
+func (c *Cluster) FlightSpans() []telemetry.Span {
+	var spans []telemetry.Span
+	for _, r := range c.registries() {
+		spans = append(spans, r.Tracer().FlightSpans()...)
+	}
+	return spans
+}
+
+// DumpFlight writes every node's flight-recorder contents to w, one
+// section per registry. Used by the chaos harness to attach slow-op
+// evidence to failing runs.
+func (c *Cluster) DumpFlight(w io.Writer) {
+	for _, r := range c.registries() {
+		r.Tracer().DumpFlight(w)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -34,6 +35,26 @@ func startCluster(t *testing.T, machines, extraClients int) *core.Cluster {
 		t.Fatalf("core.Start: %v", err)
 	}
 	t.Cleanup(c.Close)
+	// Keep the flight recorder armed for every integration cluster: failed
+	// ops are always pinned, slow ones past the threshold too, so a failing
+	// run leaves span-level evidence behind. When the CI chaos matrix sets
+	// RSTORE_FLIGHT_DUMP, that evidence is written there on failure and
+	// uploaded as a workflow artifact.
+	c.SetSlowOpThreshold(500 * time.Microsecond)
+	t.Cleanup(func() {
+		path := os.Getenv("RSTORE_FLIGHT_DUMP")
+		if path == "" || !t.Failed() {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Logf("flight dump: %v", err)
+			return
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "=== flight recorder: %s ===\n", t.Name())
+		c.DumpFlight(f)
+	})
 	return c
 }
 

@@ -1,0 +1,270 @@
+package integration
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/telemetry"
+)
+
+// findEnvelope returns the most recent root span with the given name from
+// the client's own ring.
+func findEnvelope(t *testing.T, cli *client.Client, name string) telemetry.Span {
+	t.Helper()
+	var env telemetry.Span
+	for _, s := range cli.Telemetry().Tracer().Spans() {
+		if s.Name == name && s.Parent == 0 {
+			env = s
+		}
+	}
+	if env.Trace == 0 {
+		t.Fatalf("no %s envelope span recorded", name)
+	}
+	return env
+}
+
+// Acceptance: a traced striped read touching three memory servers
+// assembles — via the master's MtTraceFetch fan-out — into one complete
+// causal tree with no orphan spans, and the critical-path breakdown sums
+// exactly to the operation's measured latency.
+func TestTraceAssemblyStripedRead(t *testing.T) {
+	c := startCluster(t, 4, 0)
+	ctx := context.Background()
+	cli, err := c.NewClient(ctx, 1)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c.SetTraceSampling(1)
+
+	reg, err := cli.AllocMap(ctx, "trace/striped", 8<<20, client.AllocOptions{
+		StripeUnit: 64 << 10, StripeWidth: 3,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	const opSize = 192 << 10 // three stripe units: one fragment per server
+	buf := mustBuf(t, cli, opSize)
+	if _, err := reg.WriteAt(ctx, 0, buf, 0, opSize); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	st, err := reg.ReadAt(ctx, 0, buf, 0, opSize)
+	if err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+
+	env := findEnvelope(t, cli, "client.read")
+	spans, complete, err := cli.FetchTrace(ctx, env.Trace)
+	if err != nil {
+		t.Fatalf("FetchTrace: %v", err)
+	}
+	if !complete {
+		t.Error("trace reported incomplete")
+	}
+	tree := telemetry.Assemble(spans)
+	if tree.Root == nil || tree.Root.Span.Name != "client.read" {
+		t.Fatalf("root = %+v, want the client.read envelope", tree.Root)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("%d orphan spans, want 0", len(tree.Orphans))
+	}
+	if got := tree.SpanCount(); got != 4 {
+		t.Errorf("SpanCount = %d, want 4 (envelope + 3 fragments)", got)
+	}
+	if nodes := tree.Nodes(); len(nodes) < 3 {
+		t.Errorf("trace spans %v nodes, want >= 3", nodes)
+	}
+
+	bd := telemetry.CriticalPath(tree)
+	if want := st.Latency().Duration(); bd.Total != want {
+		t.Errorf("breakdown total = %v, want measured latency %v", bd.Total, want)
+	}
+	if bd.Sum() != bd.Total {
+		t.Errorf("layer sum %v != total %v", bd.Sum(), bd.Total)
+	}
+	if bd.Get(telemetry.LayerOneSidedIO) == 0 {
+		t.Error("no latency attributed to one-sided IO on a read")
+	}
+}
+
+// A replicated write fans out to both copies' servers; every fragment span
+// joins the same tree under the one envelope.
+func TestTraceAssemblyReplicatedWrite(t *testing.T) {
+	c := startCluster(t, 6, 0)
+	ctx := context.Background()
+	cli, err := c.NewClient(ctx, 1)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c.SetTraceSampling(1)
+
+	reg, err := cli.AllocMap(ctx, "trace/replicated", 2<<20, client.AllocOptions{
+		StripeUnit: 256 << 10, StripeWidth: 2, Replicas: 1,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	const opSize = 512 << 10 // both extents of each copy
+	buf := mustBuf(t, cli, opSize)
+	if _, err := reg.WriteAt(ctx, 0, buf, 0, opSize); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+
+	env := findEnvelope(t, cli, "client.write")
+	spans, complete, err := cli.FetchTrace(ctx, env.Trace)
+	if err != nil {
+		t.Fatalf("FetchTrace: %v", err)
+	}
+	if !complete {
+		t.Error("trace reported incomplete")
+	}
+	tree := telemetry.Assemble(spans)
+	if tree.Root == nil || len(tree.Orphans) != 0 {
+		t.Fatalf("root=%v orphans=%d, want rooted tree with no orphans", tree.Root, len(tree.Orphans))
+	}
+	// Envelope + 2 fragments per copy x 2 copies.
+	if got := tree.SpanCount(); got != 5 {
+		t.Errorf("SpanCount = %d, want 5", got)
+	}
+	// Primary and replica placements are disjoint: four distinct servers.
+	if nodes := tree.Nodes(); len(nodes) < 4 {
+		t.Errorf("trace spans %v, want >= 4 nodes", nodes)
+	}
+}
+
+// A traced control-path RPC chains client and master spans: the master's
+// rpc.handle span carries the caller's rpc.call span as its parent, so the
+// assembled tree crosses the wire with an explicit edge.
+func TestTraceControlPathRPC(t *testing.T) {
+	c := startCluster(t, 4, 0)
+	ctx := context.Background()
+	cli, err := c.NewClient(ctx, 1)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c.SetTraceSampling(1)
+
+	if _, err := cli.AllocMap(ctx, "trace/ctrl", 1<<20, client.AllocOptions{}); err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	id, ok := cli.Telemetry().Tracer().NewTrace()
+	if !ok {
+		t.Fatal("sampling 1 must trace")
+	}
+	tctx := telemetry.WithTrace(ctx, id)
+	if _, err := cli.Map(tctx, "trace/ctrl"); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+
+	spans, complete, err := cli.FetchTrace(ctx, id)
+	if err != nil {
+		t.Fatalf("FetchTrace: %v", err)
+	}
+	if !complete {
+		t.Error("trace reported incomplete")
+	}
+	calls := make(map[telemetry.SpanID]telemetry.Span)
+	var handles []telemetry.Span
+	for _, s := range spans {
+		switch {
+		case strings.HasPrefix(s.Name, "rpc.call."):
+			calls[s.ID] = s
+		case strings.HasPrefix(s.Name, "rpc.handle."):
+			handles = append(handles, s)
+		}
+	}
+	if len(calls) == 0 || len(handles) == 0 {
+		t.Fatalf("calls=%d handles=%d among %d spans, want both sides", len(calls), len(handles), len(spans))
+	}
+	crossNode := false
+	for _, h := range handles {
+		call, ok := calls[h.Parent]
+		if !ok {
+			t.Errorf("handle %s has no matching call span (parent %v)", h.Name, h.Parent)
+			continue
+		}
+		if call.Node != h.Node {
+			crossNode = true
+		}
+	}
+	if !crossNode {
+		t.Error("no call/handle pair crossed nodes; want client vs master")
+	}
+	// The op has no envelope span, so each sibling RPC is its own root:
+	// any "orphan" must be a root rpc.call, never a torn child.
+	tree := telemetry.Assemble(spans)
+	for _, o := range tree.Orphans {
+		if o.Span.Parent != 0 || !strings.HasPrefix(o.Span.Name, "rpc.call.") {
+			t.Errorf("true orphan in control-path trace: %+v", o.Span)
+		}
+	}
+}
+
+// The flight recorder promotes slow ops with head sampling off: untraced
+// operations mint provisional traces, and crossing the threshold pins the
+// envelope plus fragments where main-ring traffic cannot evict them.
+func TestFlightRecorderPinsSlowOps(t *testing.T) {
+	c := startCluster(t, 4, 0)
+	ctx := context.Background()
+	cli, err := c.NewClient(ctx, 1)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	c.SetTraceSampling(0)
+	c.SetSlowOpThreshold(time.Nanosecond) // everything is slow
+
+	reg, err := cli.AllocMap(ctx, "trace/flight", 1<<20, client.AllocOptions{})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	buf := mustBuf(t, cli, 4096)
+	pre := cli.Telemetry().Snapshot().Counter("client.slow_ops")
+	if _, err := reg.ReadAt(ctx, 0, buf, 0, 4096); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if got := cli.Telemetry().Snapshot().Counter("client.slow_ops") - pre; got != 1 {
+		t.Errorf("slow_ops delta = %d, want 1", got)
+	}
+
+	flight := cli.Telemetry().Tracer().FlightSpans()
+	var env telemetry.Span
+	frags := 0
+	for _, s := range flight {
+		switch {
+		case s.Name == "client.read" && s.Parent == 0:
+			env = s
+		case s.Name == "io.read":
+			frags++
+		}
+	}
+	if env.Trace == 0 {
+		t.Fatalf("no pinned client.read envelope among %d flight spans", len(flight))
+	}
+	if frags == 0 {
+		t.Error("no pinned io.read fragment spans")
+	}
+
+	// Provisional traces never touch the main ring: with sampling off the
+	// only evidence of the op lives in the flight recorder.
+	for _, s := range cli.Telemetry().Tracer().Spans() {
+		if s.Trace == env.Trace {
+			t.Fatalf("provisional span leaked into the main ring: %+v", s)
+		}
+	}
+
+	// Disarmed: no promotion, no counter movement.
+	c.SetSlowOpThreshold(0)
+	pre = cli.Telemetry().Snapshot().Counter("client.slow_ops")
+	before := len(cli.Telemetry().Tracer().FlightSpans())
+	if _, err := reg.ReadAt(ctx, 0, buf, 0, 4096); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if got := cli.Telemetry().Snapshot().Counter("client.slow_ops") - pre; got != 0 {
+		t.Errorf("slow_ops moved while disarmed: %d", got)
+	}
+	if got := len(cli.Telemetry().Tracer().FlightSpans()); got != before {
+		t.Errorf("flight ring grew while disarmed: %d -> %d", before, got)
+	}
+}

@@ -210,6 +210,7 @@ type masterCounters struct {
 	deadTransitions *telemetry.Counter
 	revives         *telemetry.Counter
 	statsRequests   *telemetry.Counter
+	traceFetches    *telemetry.Counter
 	regions         *telemetry.Gauge
 	serversAlive    *telemetry.Gauge
 
@@ -250,6 +251,7 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 			deadTransitions: tel.Counter("master.dead_transitions"),
 			revives:         tel.Counter("master.revives"),
 			statsRequests:   tel.Counter("master.stats_requests"),
+			traceFetches:    tel.Counter("master.trace_fetches"),
 			regions:         tel.Gauge("master.regions"),
 			serversAlive:    tel.Gauge("master.servers_alive"),
 
@@ -283,6 +285,7 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	srv.Handle(proto.MtStats, m.handleStats)
 	srv.Handle(proto.MtRegionStatus, m.handleRegionStatus)
 	srv.Handle(proto.MtReportDegraded, m.handleReportDegraded)
+	srv.Handle(proto.MtTraceFetch, m.handleTraceFetch)
 	m.repair.init()
 	srv.Serve()
 

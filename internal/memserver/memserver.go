@@ -127,6 +127,7 @@ func Start(ctx context.Context, dev *rdma.Device, cfg Config) (*Server, error) {
 		stop:         make(chan struct{}),
 	}
 	ctrlSrv.Handle(proto.MtRepairPull, s.handleRepairPull)
+	ctrlSrv.Handle(proto.MtTracePull, s.handleTracePull)
 	ctrlSrv.Serve()
 
 	// Announce capacity and the arena rkey to the master.

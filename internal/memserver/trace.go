@@ -1,0 +1,28 @@
+package memserver
+
+import (
+	"context"
+
+	"rstore/internal/proto"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// handleTracePull services one MtTracePull: it returns every span this
+// node's telemetry ring (and flight recorder) holds for the requested
+// trace. Because co-located roles share the node's device — and therefore
+// its registry — this also surfaces spans recorded by a client or master
+// running on the same machine.
+func (s *Server) handleTracePull(ctx context.Context, _ simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
+	r := proto.DecodeTraceFetchRequest(req)
+	if err := req.Err(); err != nil {
+		return nil, err
+	}
+	spans, complete := s.dev.Telemetry().Tracer().SpansFor(r.Trace)
+	resp := proto.TraceFetchResponse{Spans: spans, Complete: complete}
+	var e rpc.Encoder
+	if err := resp.Encode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}

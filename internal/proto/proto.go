@@ -39,6 +39,11 @@ const (
 	// schedules repair. The response carries the region's current
 	// generation so the reporter can detect a stale layout.
 	MtReportDegraded
+	// MtTraceFetch asks the master to pull every buffered span for one
+	// TraceID from its own ring and every alive memory server's (via
+	// MtTracePull), merged into one response the caller assembles into a
+	// causal tree.
+	MtTraceFetch
 )
 
 // Control message types served by the memory servers' control endpoint.
@@ -47,6 +52,10 @@ const (
 	// arena into its own via chunked one-sided reads (the repair plane's
 	// server-to-server transfer).
 	MtRepairPull uint16 = iota + 64
+	// MtTracePull asks a memory server for every span of one TraceID in
+	// its telemetry ring and flight recorder (the master's fan-out leg of
+	// MtTraceFetch).
+	MtTracePull
 )
 
 // Service names on the fabric.
@@ -558,4 +567,55 @@ func DecodeDegradedReport(d *rpc.Decoder) DegradedReport {
 		Name: d.String(),
 		Copy: int(d.U32()),
 	}
+}
+
+// TraceFetchRequest asks for every buffered span of one trace
+// (MtTraceFetch to the master, MtTracePull to a memory server).
+type TraceFetchRequest struct {
+	Trace telemetry.TraceID
+}
+
+// Encode marshals the request.
+func (r *TraceFetchRequest) Encode(e *rpc.Encoder) {
+	e.U64(uint64(r.Trace))
+}
+
+// DecodeTraceFetchRequest unmarshals a TraceFetchRequest.
+func DecodeTraceFetchRequest(d *rpc.Decoder) TraceFetchRequest {
+	return TraceFetchRequest{Trace: telemetry.TraceID(d.U64())}
+}
+
+// TraceFetchResponse carries the spans one node (or, from the master, the
+// whole cluster) buffered for a trace. Complete is false when any queried
+// ring had already evicted part of the trace, or when a node could not be
+// reached — the spans returned are real, but the set is known torn.
+type TraceFetchResponse struct {
+	Spans    []telemetry.Span
+	Complete bool
+}
+
+// Encode marshals the response; spans travel in telemetry's span wire
+// format nested as a byte field.
+func (r *TraceFetchResponse) Encode(e *rpc.Encoder) error {
+	blob, err := telemetry.MarshalSpans(r.Spans)
+	if err != nil {
+		return err
+	}
+	e.Bytes32(blob)
+	e.Bool(r.Complete)
+	return nil
+}
+
+// DecodeTraceFetchResponse unmarshals a TraceFetchResponse.
+func DecodeTraceFetchResponse(d *rpc.Decoder) (TraceFetchResponse, error) {
+	blob := d.Bytes32()
+	complete := d.Bool()
+	if err := d.Err(); err != nil {
+		return TraceFetchResponse{}, err
+	}
+	spans, err := telemetry.UnmarshalSpans(blob)
+	if err != nil {
+		return TraceFetchResponse{}, err
+	}
+	return TraceFetchResponse{Spans: spans, Complete: complete}, nil
 }

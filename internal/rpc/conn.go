@@ -21,7 +21,9 @@ import (
 //	_pad    uint8
 //	length  uint32  (payload bytes following the header)
 //	traceID uint64  (telemetry trace propagation; 0 = untraced)
-const headerSize = 24
+//	spanID  uint64  (caller's span, the parent of any span the callee
+//	                 starts; 0 = none)
+const headerSize = 32
 
 const (
 	flagResponse = 1 << 0
@@ -122,7 +124,7 @@ func newEndpoint(qp *rdma.QP, opts Options) (*endpoint, error) {
 
 // send marshals one message into a free send buffer and posts it. startV
 // lets the caller chain virtual time (zero = NIC-free time).
-func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flags uint8, traceID telemetry.TraceID, payload []byte, startV simnet.VTime) error {
+func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flags uint8, traceID telemetry.TraceID, spanID telemetry.SpanID, payload []byte, startV simnet.VTime) error {
 	if len(payload) > ep.opts.BufSize {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), ep.opts.BufSize)
 	}
@@ -148,6 +150,7 @@ func (ep *endpoint) send(ctx context.Context, reqID uint64, msgType uint16, flag
 	buf[11] = 0
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(traceID))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(spanID))
 	copy(buf[headerSize:], payload)
 
 	if err := ep.qp.PostSend(rdma.SendWR{
@@ -180,7 +183,8 @@ type message struct {
 	msgType uint16
 	flags   uint8
 	traceID telemetry.TraceID
-	payload []byte // copied out of the recv buffer
+	spanID  telemetry.SpanID // sender's span (parent for callee spans)
+	payload []byte           // copied out of the recv buffer
 	doneV   simnet.VTime
 }
 
@@ -201,6 +205,7 @@ func (ep *endpoint) repostAndParse(wc rdma.WC) (message, error) {
 		msgType: binary.LittleEndian.Uint16(buf[8:]),
 		flags:   buf[10],
 		traceID: telemetry.TraceID(binary.LittleEndian.Uint64(buf[16:])),
+		spanID:  telemetry.SpanID(binary.LittleEndian.Uint64(buf[24:])),
 		doneV:   wc.DoneV,
 	}
 	n := int(binary.LittleEndian.Uint32(buf[12:]))
@@ -391,8 +396,12 @@ func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, ti
 
 	c.callsOut.Inc()
 	trace := telemetry.TraceFrom(ctx)
+	var span telemetry.SpanID
+	if trace != 0 {
+		span = c.tracer.NewSpan()
+	}
 	startV := c.ep.qp.VNow()
-	if err := c.ep.send(ctx, id, msgType, 0, trace, req, startV); err != nil {
+	if err := c.ep.send(ctx, id, msgType, 0, trace, span, req, startV); err != nil {
 		c.mu.Lock()
 		delete(c.inflight, id)
 		c.mu.Unlock()
@@ -427,6 +436,8 @@ func (c *Conn) Call(ctx context.Context, msgType uint16, req []byte) ([]byte, ti
 		if trace != 0 {
 			c.tracer.Record(telemetry.Span{
 				Trace:  trace,
+				ID:     span,
+				Parent: telemetry.SpanFrom(ctx),
 				Name:   fmt.Sprintf("rpc.call.%d", msgType),
 				StartV: startV,
 				EndV:   m.doneV,

@@ -123,6 +123,13 @@ func (s *Server) dispatch(ctx context.Context, ep *endpoint, m message) {
 	// control-path round trip.
 	respV := m.doneV.Add(s.opts.ServerCPU)
 
+	// The handler span is minted before the handler runs so any nested
+	// RPCs it issues chain under it via the context.
+	var handleSpan telemetry.SpanID
+	if m.traceID != 0 {
+		handleSpan = s.tracer.NewSpan()
+	}
+
 	var (
 		payload []byte
 		flags   uint8 = flagResponse
@@ -133,7 +140,7 @@ func (s *Server) dispatch(ctx context.Context, ep *endpoint, m message) {
 		errMsg = fmt.Sprintf("no handler for message type %d", m.msgType)
 		payload = []byte(errMsg)
 	} else {
-		hctx := telemetry.WithTrace(ctx, m.traceID)
+		hctx := telemetry.WithSpan(ctx, m.traceID, handleSpan)
 		enc, err := h(hctx, ep.qp.RemoteNode(), NewDecoder(m.payload))
 		if err != nil {
 			flags |= flagError
@@ -149,18 +156,20 @@ func (s *Server) dispatch(ctx context.Context, ep *endpoint, m message) {
 	if m.traceID != 0 {
 		s.tracer.Record(telemetry.Span{
 			Trace:  m.traceID,
+			ID:     handleSpan,
+			Parent: m.spanID,
 			Name:   fmt.Sprintf("rpc.handle.%d", m.msgType),
 			StartV: m.doneV,
 			EndV:   respV,
 			Err:    errMsg,
 		})
 	}
-	if err := ep.send(ctx, m.reqID, m.msgType, flags, m.traceID, payload, respV); err != nil {
+	if err := ep.send(ctx, m.reqID, m.msgType, flags, m.traceID, m.spanID, payload, respV); err != nil {
 		if errors.Is(err, ErrTooLarge) && flags&flagError == 0 {
 			// The handler's reply does not fit the connection's buffers;
 			// tell the caller rather than leaving it waiting forever.
 			msg := []byte(fmt.Sprintf("rpc: response of %d bytes exceeds buffer size %d", len(payload), s.opts.BufSize))
-			_ = ep.send(ctx, m.reqID, m.msgType, flagResponse|flagError, m.traceID, msg, respV)
+			_ = ep.send(ctx, m.reqID, m.msgType, flagResponse|flagError, m.traceID, m.spanID, msg, respV)
 		}
 		// Otherwise best effort: if the peer is gone the session loop will
 		// observe the closed QP.

@@ -1,0 +1,385 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"rstore/internal/simnet"
+)
+
+// Layer names the critical-path analyzer attributes latency to. A span's
+// layer is derived from its name prefix; exclusive time of the root
+// client span is the client-side queueing/software overhead.
+const (
+	LayerClientQueue   = "client.queue"
+	LayerRPCWire       = "rpc.wire"
+	LayerServerHandler = "server.handler"
+	LayerOneSidedIO    = "onesided.io"
+	LayerOther         = "other"
+)
+
+// layerOrder fixes the rendering order of per-layer breakdowns.
+var layerOrder = []string{
+	LayerClientQueue, LayerRPCWire, LayerServerHandler, LayerOneSidedIO, LayerOther,
+}
+
+// spanLayer classifies a span by name. The root of an operation (a
+// client.* span) contributes its exclusive time as client queueing.
+func spanLayer(name string) string {
+	switch {
+	case strings.HasPrefix(name, "client."):
+		return LayerClientQueue
+	case strings.HasPrefix(name, "rpc.call."):
+		return LayerRPCWire
+	case strings.HasPrefix(name, "rpc.handle."):
+		return LayerServerHandler
+	case strings.HasPrefix(name, "io."):
+		return LayerOneSidedIO
+	default:
+		return LayerOther
+	}
+}
+
+// TraceNode is one span in an assembled causal tree.
+type TraceNode struct {
+	Span     Span
+	Children []*TraceNode
+}
+
+// TraceTree is the causal tree assembled from one trace's spans. Root is
+// the earliest parentless span; any other span whose parent could not be
+// located (evicted ring slot, lost node) lands in Orphans rather than
+// being silently dropped.
+type TraceTree struct {
+	Trace   TraceID
+	Root    *TraceNode
+	Orphans []*TraceNode
+}
+
+// Nodes returns the distinct fabric nodes the tree's spans touched.
+func (t *TraceTree) Nodes() []simnet.NodeID {
+	seen := make(map[simnet.NodeID]bool)
+	var walk func(n *TraceNode)
+	var out []simnet.NodeID
+	walk = func(n *TraceNode) {
+		if !seen[n.Span.Node] {
+			seen[n.Span.Node] = true
+			out = append(out, n.Span.Node)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	for _, o := range t.Orphans {
+		walk(o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SpanCount returns the number of spans in the tree (root + orphans).
+func (t *TraceTree) SpanCount() int {
+	var count func(n *TraceNode) int
+	count = func(n *TraceNode) int {
+		c := 1
+		for _, ch := range n.Children {
+			c += count(ch)
+		}
+		return c
+	}
+	n := 0
+	if t.Root != nil {
+		n = count(t.Root)
+	}
+	for _, o := range t.Orphans {
+		n += count(o)
+	}
+	return n
+}
+
+// Assemble builds a causal tree from one trace's spans, fetched from any
+// number of nodes. Duplicates (the same span fetched from two rings) are
+// removed; parent/child edges come from the Parent field, with a
+// time-containment fallback for spans recorded before span IDs existed.
+// The root is the earliest parentless span; parentless spans that the
+// root does not temporally contain become Orphans.
+func Assemble(spans []Span) *TraceTree {
+	tree := &TraceTree{}
+	if len(spans) == 0 {
+		return tree
+	}
+	tree.Trace = spans[0].Trace
+
+	// Dedupe: by span ID when present, else by identity of the tuple.
+	type identity struct {
+		id   SpanID
+		name string
+		node simnet.NodeID
+		sv   simnet.VTime
+		ev   simnet.VTime
+	}
+	seen := make(map[identity]bool, len(spans))
+	uniq := make([]*TraceNode, 0, len(spans))
+	for _, s := range spans {
+		key := identity{name: s.Name, node: s.Node, sv: s.StartV, ev: s.EndV}
+		if s.ID != 0 {
+			key = identity{id: s.ID}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		uniq = append(uniq, &TraceNode{Span: s})
+	}
+	// Parents before children at equal start; stable causal order overall.
+	sort.SliceStable(uniq, func(i, j int) bool {
+		si, sj := uniq[i].Span, uniq[j].Span
+		if si.StartV != sj.StartV {
+			return si.StartV < sj.StartV
+		}
+		return si.EndV > sj.EndV
+	})
+
+	byID := make(map[SpanID]*TraceNode, len(uniq))
+	for _, n := range uniq {
+		if n.Span.ID != 0 {
+			byID[n.Span.ID] = n
+		}
+	}
+	var roots []*TraceNode
+	for _, n := range uniq {
+		if p, ok := byID[n.Span.Parent]; ok && n.Span.Parent != 0 && p != n {
+			p.Children = append(p.Children, n)
+			continue
+		}
+		// Fallback: attach to the tightest strictly-enclosing span.
+		var best *TraceNode
+		for _, cand := range uniq {
+			if cand == n || cand.Span.StartV > n.Span.StartV || cand.Span.EndV < n.Span.EndV {
+				continue
+			}
+			if cand.Span.StartV == n.Span.StartV && cand.Span.EndV == n.Span.EndV {
+				continue // identical extent: treat as sibling, not parent
+			}
+			if best == nil || cand.Span.Duration() < best.Span.Duration() {
+				best = cand
+			}
+		}
+		if best != nil {
+			best.Children = append(best.Children, n)
+			continue
+		}
+		roots = append(roots, n)
+	}
+	if len(roots) > 0 {
+		tree.Root = roots[0]
+		tree.Orphans = roots[1:]
+	}
+	return tree
+}
+
+// LayerTime is one layer's share of an operation's latency.
+type LayerTime struct {
+	Layer string
+	Time  time.Duration
+}
+
+// Breakdown attributes an operation's end-to-end latency to layers. The
+// layer times partition the root span's extent exactly: they sum to
+// Total with no residue, because every instant of the root interval is
+// charged to exactly one span (the deepest one covering it).
+type Breakdown struct {
+	Total  time.Duration
+	Layers []LayerTime
+}
+
+// Get returns one layer's time (zero when absent).
+func (b Breakdown) Get(layer string) time.Duration {
+	for _, lt := range b.Layers {
+		if lt.Layer == layer {
+			return lt.Time
+		}
+	}
+	return 0
+}
+
+// Sum returns the sum over layers; by construction it equals Total.
+func (b Breakdown) Sum() time.Duration {
+	var s time.Duration
+	for _, lt := range b.Layers {
+		s += lt.Time
+	}
+	return s
+}
+
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %v", b.Total)
+	for _, lt := range b.Layers {
+		pct := 0.0
+		if b.Total > 0 {
+			pct = 100 * float64(lt.Time) / float64(b.Total)
+		}
+		fmt.Fprintf(&sb, "  %s=%v (%.1f%%)", lt.Layer, lt.Time, pct)
+	}
+	return sb.String()
+}
+
+// CriticalPath walks the assembled tree and attributes every instant of
+// the root span's interval to the deepest span covering it, then groups
+// the charged time by layer. Orphans are ignored (they are evidence of a
+// torn trace, and the caller should surface them separately).
+func CriticalPath(tree *TraceTree) Breakdown {
+	var b Breakdown
+	if tree == nil || tree.Root == nil {
+		return b
+	}
+	root := tree.Root.Span
+	b.Total = root.Duration()
+
+	// Flatten the tree with depths, clamped to the root interval.
+	type covered struct {
+		s     Span
+		depth int
+	}
+	var flat []covered
+	var walk func(n *TraceNode, depth int)
+	walk = func(n *TraceNode, depth int) {
+		flat = append(flat, covered{n.Span, depth})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(tree.Root, 0)
+
+	// Collect segment boundaries inside the root interval.
+	bounds := make([]simnet.VTime, 0, 2*len(flat))
+	clamp := func(v simnet.VTime) simnet.VTime {
+		if v < root.StartV {
+			return root.StartV
+		}
+		if v > root.EndV {
+			return root.EndV
+		}
+		return v
+	}
+	for _, c := range flat {
+		bounds = append(bounds, clamp(c.s.StartV), clamp(c.s.EndV))
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	layers := make(map[string]time.Duration)
+	prev := root.StartV
+	for _, b2 := range bounds {
+		if b2 <= prev {
+			continue
+		}
+		// Charge [prev, b2) to the deepest covering span; ties go to the
+		// latest-starting (most specific) one.
+		var best covered
+		found := false
+		for _, c := range flat {
+			if c.s.StartV > prev || c.s.EndV < b2 {
+				continue
+			}
+			if !found || c.depth > best.depth ||
+				(c.depth == best.depth && c.s.StartV > best.s.StartV) {
+				best, found = c, true
+			}
+		}
+		if found {
+			layers[spanLayer(best.s.Name)] += b2.Sub(prev)
+		}
+		prev = b2
+	}
+
+	for _, l := range layerOrder {
+		if d, ok := layers[l]; ok && d > 0 {
+			b.Layers = append(b.Layers, LayerTime{Layer: l, Time: d})
+			delete(layers, l)
+		}
+	}
+	// Any unforeseen layer names, in deterministic order.
+	rest := make([]string, 0, len(layers))
+	for l := range layers {
+		rest = append(rest, l)
+	}
+	sort.Strings(rest)
+	for _, l := range rest {
+		b.Layers = append(b.Layers, LayerTime{Layer: l, Time: layers[l]})
+	}
+	return b
+}
+
+// Waterfall renders the assembled tree as a text waterfall: one line per
+// span, indented by depth, with a bar showing the span's position and
+// extent within the root interval.
+func Waterfall(w io.Writer, tree *TraceTree) error {
+	if tree == nil || tree.Root == nil {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	root := tree.Root.Span
+	total := root.Duration()
+	const width = 40
+	var render func(n *TraceNode, depth int) error
+	render = func(n *TraceNode, depth int) error {
+		s := n.Span
+		start, length := 0, width
+		if total > 0 {
+			start = int(float64(s.StartV.Sub(root.StartV)) / float64(total) * width)
+			length = int(float64(s.Duration()) / float64(total) * width)
+		}
+		if start > width {
+			start = width
+		}
+		if length < 1 {
+			length = 1
+		}
+		if start+length > width {
+			length = width - start
+			if length < 1 {
+				start, length = width-1, 1
+			}
+		}
+		bar := strings.Repeat(" ", start) + strings.Repeat("█", length) +
+			strings.Repeat(" ", width-start-length)
+		status := ""
+		if s.Err != "" {
+			status = "  err=" + s.Err
+		}
+		name := strings.Repeat("  ", depth) + s.Name
+		if _, err := fmt.Fprintf(w, "%-32s |%s| node=%-3d %8s%s\n",
+			name, bar, s.Node, s.Duration(), status); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "trace %s  span of %v across nodes %v\n",
+		tree.Trace, total, tree.Nodes()); err != nil {
+		return err
+	}
+	if err := render(tree.Root, 0); err != nil {
+		return err
+	}
+	for _, o := range tree.Orphans {
+		if _, err := fmt.Fprintln(w, "orphan:"); err != nil {
+			return err
+		}
+		if err := render(o, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

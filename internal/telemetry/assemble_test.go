@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testTrace builds the span set of one distributed read: a client envelope
+// on node 1, a traced RPC to the master on node 0, and two one-sided
+// fragments against nodes 2 and 3. Durations are in virtual nanoseconds.
+func testTrace() (TraceID, []Span) {
+	id := newTraceID(1, 1)
+	root := newSpanID(1, 1)
+	call := newSpanID(1, 2)
+	handle := newSpanID(0, 1)
+	io1 := newSpanID(1, 3)
+	io2 := newSpanID(1, 4)
+	return id, []Span{
+		{Trace: id, ID: root, Name: "client.read", Node: 1, StartV: vt(0), EndV: vt(100)},
+		{Trace: id, ID: call, Parent: root, Name: "rpc.call.map", Node: 1, StartV: vt(5), EndV: vt(40)},
+		{Trace: id, ID: handle, Parent: call, Name: "rpc.handle.map", Node: 0, StartV: vt(15), EndV: vt(30)},
+		{Trace: id, ID: io1, Parent: root, Name: "io.read", Node: 2, StartV: vt(45), EndV: vt(90)},
+		{Trace: id, ID: io2, Parent: root, Name: "io.read", Node: 3, StartV: vt(45), EndV: vt(80)},
+	}
+}
+
+func TestAssembleParentEdges(t *testing.T) {
+	id, spans := testTrace()
+	tree := Assemble(spans)
+	if tree.Trace != id {
+		t.Fatalf("trace = %v, want %v", tree.Trace, id)
+	}
+	if tree.Root == nil || tree.Root.Span.Name != "client.read" {
+		t.Fatalf("root = %+v", tree.Root)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("%d orphans, want 0", len(tree.Orphans))
+	}
+	if got := tree.SpanCount(); got != 5 {
+		t.Errorf("SpanCount = %d, want 5", got)
+	}
+	if len(tree.Root.Children) != 3 {
+		t.Fatalf("root has %d children, want 3 (rpc.call + 2 io)", len(tree.Root.Children))
+	}
+	var rpcNode *TraceNode
+	for _, c := range tree.Root.Children {
+		if c.Span.Name == "rpc.call.map" {
+			rpcNode = c
+		}
+	}
+	if rpcNode == nil || len(rpcNode.Children) != 1 || rpcNode.Children[0].Span.Name != "rpc.handle.map" {
+		t.Fatalf("rpc.call subtree wrong: %+v", rpcNode)
+	}
+	nodes := tree.Nodes()
+	if len(nodes) != 4 || nodes[0] != 0 || nodes[3] != 3 {
+		t.Errorf("Nodes = %v, want [0 1 2 3]", nodes)
+	}
+}
+
+// Fetching the same trace from several rings produces duplicates; the
+// assembler must collapse them by span ID.
+func TestAssembleDedupes(t *testing.T) {
+	_, spans := testTrace()
+	tree := Assemble(append(append([]Span(nil), spans...), spans...))
+	if got := tree.SpanCount(); got != 5 {
+		t.Errorf("SpanCount after dup feed = %d, want 5", got)
+	}
+}
+
+// Spans without IDs (or whose parent was evicted) attach by temporal
+// containment; parentless spans the root cannot explain become orphans.
+func TestAssembleContainmentAndOrphans(t *testing.T) {
+	id := newTraceID(2, 9)
+	spans := []Span{
+		{Trace: id, Name: "client.write", Node: 1, StartV: vt(0), EndV: vt(50)},
+		{Trace: id, Name: "io.write", Node: 2, StartV: vt(10), EndV: vt(40)},
+		// Parent ID points at a span nobody holds anymore, and its extent
+		// escapes the root: must surface as an orphan, not vanish.
+		{Trace: id, ID: newSpanID(2, 5), Parent: newSpanID(2, 99), Name: "io.write", Node: 3, StartV: vt(60), EndV: vt(70)},
+	}
+	tree := Assemble(spans)
+	if tree.Root == nil || tree.Root.Span.Name != "client.write" {
+		t.Fatalf("root = %+v", tree.Root)
+	}
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Span.Name != "io.write" {
+		t.Fatalf("containment fallback failed: %+v", tree.Root.Children)
+	}
+	if len(tree.Orphans) != 1 || tree.Orphans[0].Span.Node != 3 {
+		t.Fatalf("orphans = %+v, want the node-3 span", tree.Orphans)
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	tree := Assemble(nil)
+	if tree.Root != nil || len(tree.Orphans) != 0 || tree.SpanCount() != 0 {
+		t.Errorf("empty assemble = %+v", tree)
+	}
+}
+
+// The per-layer times must partition the root interval exactly: every
+// instant is charged to the deepest covering span, so the sum equals the
+// measured end-to-end latency with no residue.
+func TestCriticalPathSumsToTotal(t *testing.T) {
+	_, spans := testTrace()
+	bd := CriticalPath(Assemble(spans))
+	if bd.Total != 100*time.Nanosecond {
+		t.Fatalf("Total = %v, want 100ns", bd.Total)
+	}
+	if bd.Sum() != bd.Total {
+		t.Fatalf("Sum %v != Total %v", bd.Sum(), bd.Total)
+	}
+	// Hand-computed segments: client.queue = [0,5)+[40,45)+[90,100) = 20;
+	// rpc.wire = [5,15)+[30,40) = 20; server.handler = [15,30) = 15;
+	// onesided.io = [45,90) = 45.
+	want := map[string]time.Duration{
+		LayerClientQueue:   20,
+		LayerRPCWire:       20,
+		LayerServerHandler: 15,
+		LayerOneSidedIO:    45,
+	}
+	for layer, d := range want {
+		if got := bd.Get(layer); got != d {
+			t.Errorf("%s = %v, want %v", layer, got, d)
+		}
+	}
+	s := bd.String()
+	if !strings.Contains(s, "total 100ns") || !strings.Contains(s, LayerOneSidedIO) {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if bd := CriticalPath(&TraceTree{}); bd.Total != 0 || len(bd.Layers) != 0 {
+		t.Errorf("empty breakdown = %+v", bd)
+	}
+	if bd := CriticalPath(nil); bd.Total != 0 {
+		t.Errorf("nil breakdown = %+v", bd)
+	}
+}
+
+func TestWaterfallRenders(t *testing.T) {
+	id, spans := testTrace()
+	var buf bytes.Buffer
+	if err := Waterfall(&buf, Assemble(spans)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace "+id.String()) {
+		t.Errorf("missing header:\n%s", out)
+	}
+	for _, name := range []string{"client.read", "rpc.call.map", "rpc.handle.map", "io.read"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing span %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "█") {
+		t.Errorf("no bars rendered:\n%s", out)
+	}
+	if strings.Contains(out, "orphan:") {
+		t.Errorf("unexpected orphan section:\n%s", out)
+	}
+}

@@ -1,25 +1,10 @@
-// Package metrics provides the small measurement toolkit used by the
-// benchmark harness: log-bucketed latency histograms, throughput
-// accounting, and fixed-width table rendering for experiment output.
-package metrics
+package telemetry
 
 import (
 	"fmt"
 	"strings"
 	"time"
-
-	"rstore/internal/telemetry"
 )
-
-// Histogram is the reservoir-sampled histogram, now owned by
-// internal/telemetry so running-cluster registries and the bench harness
-// share one implementation (with Merge and snapshot support). The alias
-// keeps the bench API unchanged.
-type Histogram = telemetry.Histogram
-
-// reservoirSize mirrors telemetry's reservoir capacity for tests that
-// exercise sampling beyond it.
-const reservoirSize = 4096
 
 // Gbps converts bytes moved in a duration to gigabits per second.
 func Gbps(bytes int64, d time.Duration) float64 {
@@ -30,11 +15,16 @@ func Gbps(bytes int64, d time.Duration) float64 {
 }
 
 // Table renders experiment output with aligned columns, matching the
-// "rows the paper reports" requirement of the harness.
+// "rows the paper reports" requirement of the harness. It absorbed the
+// old internal/metrics renderer so benches and the running-cluster
+// telemetry share one package.
 type Table struct {
 	Title   string
 	Headers []string
-	rows    [][]string
+	// Footer, when non-empty, is printed verbatim after the rows — used
+	// by benches to attach e.g. a slowest-op critical-path breakdown.
+	Footer string
+	rows   [][]string
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -105,6 +95,12 @@ func (t *Table) String() string {
 	writeRow(sep)
 	for _, row := range t.rows {
 		writeRow(row)
+	}
+	if t.Footer != "" {
+		b.WriteString(t.Footer)
+		if !strings.HasSuffix(t.Footer, "\n") {
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

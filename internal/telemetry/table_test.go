@@ -1,4 +1,4 @@
-package metrics
+package telemetry
 
 import (
 	"math"
@@ -132,6 +132,19 @@ func TestTableRendering(t *testing.T) {
 	rows := tb.Rows()
 	if len(rows) != 2 || rows[0][0] != "8" {
 		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestTableFooter(t *testing.T) {
+	tb := NewTable("E2", "col")
+	tb.AddRow(1)
+	tb.Footer = "slowest op: total 10us  onesided.io=8us (80.0%)"
+	s := tb.String()
+	if !strings.Contains(s, "slowest op") {
+		t.Errorf("missing footer: %q", s)
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Errorf("footer not newline-terminated: %q", s)
 	}
 }
 

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rstore/internal/simnet"
+)
+
+func vt(n int) simnet.VTime { return simnet.VTime(n) }
+
+// Wraparound that evicts part of a live trace must be reported: SpansFor
+// returns complete=false for the torn trace instead of silently handing
+// back an interleaved subset.
+func TestSpansForTearDetection(t *testing.T) {
+	tr := newTracer(1, 4)
+	a := newTraceID(1, 100)
+	b := newTraceID(1, 200)
+	for i := 0; i < 3; i++ {
+		tr.Record(Span{Trace: a, ID: tr.NewSpan(), Name: "a", StartV: vt(i)})
+	}
+	// Two spans of b wrap the ring and evict a's oldest span.
+	for i := 0; i < 2; i++ {
+		tr.Record(Span{Trace: b, ID: tr.NewSpan(), Name: "b", StartV: vt(10 + i)})
+	}
+	spans, complete := tr.SpansFor(a)
+	if complete {
+		t.Errorf("trace a: complete=true with %d spans, want torn", len(spans))
+	}
+	if len(spans) != 2 {
+		t.Errorf("trace a: %d resident spans, want 2", len(spans))
+	}
+	if got, complete := tr.SpansFor(b); !complete || len(got) != 2 {
+		t.Errorf("trace b: complete=%v len=%d, want true/2 (fully resident)", complete, len(got))
+	}
+	// Evicting a's remaining spans deletes its accounting entirely: the
+	// trace then reads as unknown (no spans, nothing to mark torn).
+	for i := 0; i < 2; i++ {
+		tr.Record(Span{Trace: b, ID: tr.NewSpan(), Name: "b", StartV: vt(20 + i)})
+	}
+	if got, _ := tr.SpansFor(a); len(got) != 0 {
+		t.Errorf("fully evicted trace still returns %d spans", len(got))
+	}
+
+	// A trace fully resident is complete.
+	tr2 := newTracer(1, 8)
+	for i := 0; i < 3; i++ {
+		tr2.Record(Span{Trace: a, ID: tr2.NewSpan(), StartV: vt(i)})
+	}
+	if spans, complete := tr2.SpansFor(a); !complete || len(spans) != 3 {
+		t.Errorf("resident trace: complete=%v len=%d, want true/3", complete, len(spans))
+	}
+}
+
+// Pinned spans survive arbitrary main-ring traffic and are merged into
+// SpansFor without duplicating spans still resident in the main ring.
+func TestFlightRingSurvivesWraparound(t *testing.T) {
+	tr := newTracer(2, 4)
+	slow := newTraceID(2, 7)
+	spans := []Span{
+		{Trace: slow, ID: tr.NewSpan(), Name: "client.read", StartV: vt(0), EndV: vt(100)},
+		{Trace: slow, ID: tr.NewSpan(), Name: "io.read", StartV: vt(10), EndV: vt(90)},
+	}
+	for _, s := range spans {
+		tr.Record(s)
+	}
+	tr.Pin(spans)
+	// Merged while still resident: no duplicates.
+	if got, _ := tr.SpansFor(slow); len(got) != 2 {
+		t.Fatalf("before wrap: %d spans, want 2 (dedup across rings)", len(got))
+	}
+	// Flood the main ring.
+	for i := 0; i < 64; i++ {
+		tr.Record(Span{Trace: newTraceID(2, uint64(1000+i)), ID: tr.NewSpan(), StartV: vt(i)})
+	}
+	got, _ := tr.SpansFor(slow)
+	if len(got) != 2 {
+		t.Fatalf("after wrap: %d spans, want 2 pinned survivors", len(got))
+	}
+	if got[0].Name != "client.read" || got[1].Name != "io.read" {
+		t.Errorf("pinned spans = %v, %v", got[0].Name, got[1].Name)
+	}
+	var buf bytes.Buffer
+	if err := tr.DumpFlight(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "client.read") {
+		t.Errorf("DumpFlight missing pinned span:\n%s", buf.String())
+	}
+}
+
+func TestPinSkipsUntraced(t *testing.T) {
+	tr := newTracer(1, 4)
+	tr.Pin([]Span{{Trace: 0, Name: "dropped"}})
+	if got := tr.FlightSpans(); len(got) != 0 {
+		t.Errorf("flight ring has %d spans, want 0", len(got))
+	}
+}
+
+// Provisional trace IDs must never collide with sampled ones, whatever
+// order the two minting paths interleave in.
+func TestProvisionalTraceDisjoint(t *testing.T) {
+	tr := newTracer(3, 4)
+	tr.SetSampling(1)
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 100; i++ {
+		id, ok := tr.NewTrace()
+		if !ok {
+			t.Fatal("sampling 1 must trace every op")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate sampled id %v", id)
+		}
+		seen[id] = true
+		pid := tr.ProvisionalTrace()
+		if seen[pid] {
+			t.Fatalf("provisional id %v collides", pid)
+		}
+		seen[pid] = true
+		if pid.Node() != 3 {
+			t.Fatalf("provisional id node = %v, want 3", pid.Node())
+		}
+	}
+}
+
+func TestSlowOpThreshold(t *testing.T) {
+	tr := newTracer(1, 4)
+	if tr.Armed() {
+		t.Error("armed by default")
+	}
+	tr.SetSlowOpThreshold(2 * time.Millisecond)
+	if !tr.Armed() || tr.SlowOpThreshold() != 2*time.Millisecond {
+		t.Errorf("threshold = %v armed=%v", tr.SlowOpThreshold(), tr.Armed())
+	}
+	tr.SetSlowOpThreshold(-1)
+	if tr.Armed() {
+		t.Error("negative threshold should disarm")
+	}
+}
+
+func TestNewSpanIDs(t *testing.T) {
+	tr := newTracer(5, 4)
+	a, b := tr.NewSpan(), tr.NewSpan()
+	if a == b || a == 0 || b == 0 {
+		t.Errorf("span ids not unique/non-zero: %v %v", a, b)
+	}
+	if uint16(a>>48) != 5 {
+		t.Errorf("span id node bits = %d, want 5", uint16(a>>48))
+	}
+}
+
+func TestWithSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if WithSpan(ctx, 0, 9) != ctx {
+		t.Error("zero trace must return ctx unchanged")
+	}
+	id := newTraceID(1, 3)
+	span := newSpanID(1, 8)
+	ctx2 := WithSpan(ctx, id, span)
+	if TraceFrom(ctx2) != id || SpanFrom(ctx2) != span {
+		t.Errorf("round trip: trace=%v span=%v", TraceFrom(ctx2), SpanFrom(ctx2))
+	}
+	if SpanFrom(ctx) != 0 {
+		t.Error("untagged ctx has a span")
+	}
+	// WithTrace alone leaves the span empty.
+	if SpanFrom(WithTrace(ctx, id)) != 0 {
+		t.Error("WithTrace must not set a span")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"rstore/internal/simnet"
 )
 
 // Snapshot wire format (version 1, little-endian):
@@ -130,6 +132,71 @@ func (s *Snapshot) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(d.buf))
 	}
 	return nil
+}
+
+// Span wire format (version 1, little-endian), used by the MtTraceFetch
+// trace plane to ship ring contents between nodes:
+//
+//	u8  version
+//	u32 span count; per span:
+//	    u64 trace, u64 id, u64 parent,
+//	    u16 name len, name bytes,
+//	    u32 node, u64 startV, u64 endV,
+//	    u16 err len, err bytes
+const spanWireVersion = 1
+
+// MarshalSpans encodes spans for the trace-fetch control plane.
+func MarshalSpans(spans []Span) ([]byte, error) {
+	buf := []byte{spanWireVersion}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(spans)))
+	for _, s := range spans {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Trace))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Parent))
+		var err error
+		if buf, err = appendName(buf, s.Name); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Node))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.StartV))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.EndV))
+		if buf, err = appendName(buf, s.Err); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalSpans decodes a span blob produced by MarshalSpans.
+func UnmarshalSpans(data []byte) ([]Span, error) {
+	d := wireReader{buf: data}
+	if v := d.u8(); v != spanWireVersion {
+		return nil, fmt.Errorf("%w: span version %d", ErrBadSnapshot, v)
+	}
+	n := d.u32()
+	if d.err != nil || n > uint32(len(data)) {
+		return nil, ErrBadSnapshot
+	}
+	spans := make([]Span, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var s Span
+		s.Trace = TraceID(d.u64())
+		s.ID = SpanID(d.u64())
+		s.Parent = SpanID(d.u64())
+		s.Name = d.name()
+		s.Node = simnet.NodeID(d.u32())
+		s.StartV = simnet.VTime(d.u64())
+		s.EndV = simnet.VTime(d.u64())
+		s.Err = d.name()
+		spans = append(spans, s)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(d.buf))
+	}
+	return spans, nil
 }
 
 // wireReader is a tiny sticky-error cursor over the wire buffer.

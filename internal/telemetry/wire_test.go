@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// A registry with nothing registered must survive the wire: the empty
+// snapshot is what a just-booted node reports on its first heartbeat.
+func TestSnapshotWireEmptyRegistry(t *testing.T) {
+	s := New(4).Snapshot()
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Counters) != 0 || len(got.Gauges) != 0 || len(got.Histograms) != 0 {
+		t.Fatalf("empty registry round trip produced %+v", got)
+	}
+	// The decoded snapshot must still be a usable merge accumulator.
+	other := New(5)
+	other.Counter("x").Inc()
+	got.Merge(other.Snapshot())
+	if got.Counter("x") != 1 {
+		t.Fatal("decoded empty snapshot cannot accumulate")
+	}
+}
+
+// A histogram holding exactly one observation: min == max == the sample,
+// and every quantile answers that sample after the round trip.
+func TestSnapshotWireSingleBucketHistogram(t *testing.T) {
+	r := New(1)
+	r.Histogram("lat").RecordValue(42)
+	data, err := r.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	h := got.Histograms["lat"]
+	if h.Count != 1 || h.Min != 42 || h.Max != 42 || h.Sum != 42 {
+		t.Fatalf("single-sample hist: %+v", h)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+}
+
+// A node restart hands the stats plane a fresh registry for the same node
+// (the master sees the epoch bump). Merging the pre-restart snapshot with
+// the new incarnation's must accumulate across both lives, not reset.
+func TestSnapshotMergeAfterRestart(t *testing.T) {
+	epoch0 := New(2)
+	epoch0.Counter("rdma.ops").Add(10)
+	epoch0.Gauge("arena.bytes").Set(100)
+	epoch0.Histogram("lat").RecordValue(5)
+	before, err := epoch0.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same node id, brand-new registry, counters from zero.
+	epoch1 := New(2)
+	epoch1.Counter("rdma.ops").Add(3)
+	epoch1.Gauge("arena.bytes").Set(40)
+	epoch1.Histogram("lat").RecordValue(7)
+	after, err := epoch1.Snapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var merged, s1 Snapshot
+	if err := merged.UnmarshalBinary(before); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.UnmarshalBinary(after); err != nil {
+		t.Fatal(err)
+	}
+	merged.Merge(s1)
+	if merged.Counter("rdma.ops") != 13 {
+		t.Errorf("ops = %d, want 13 across incarnations", merged.Counter("rdma.ops"))
+	}
+	if merged.Gauge("arena.bytes") != 140 {
+		t.Errorf("gauge = %d, want 140", merged.Gauge("arena.bytes"))
+	}
+	h := merged.Histograms["lat"]
+	if h.Count != 2 || h.Min != 5 || h.Max != 7 {
+		t.Errorf("hist across incarnations: %+v", h)
+	}
+}
+
+func TestSpanWireRoundTrip(t *testing.T) {
+	id, spans := testTrace()
+	spans[2].Err = "remote access error"
+	data, err := MarshalSpans(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("len = %d, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Errorf("span %d: got %+v, want %+v", i, got[i], spans[i])
+		}
+	}
+	if got[0].Trace != id {
+		t.Errorf("trace = %v, want %v", got[0].Trace, id)
+	}
+}
+
+func TestSpanWireEmpty(t *testing.T) {
+	data, err := MarshalSpans(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("len = %d, want 0", len(got))
+	}
+}
+
+func TestSpanWireRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{99},                        // bad version
+		{1, 0xff, 0xff, 0xff, 0xff}, // absurd count
+		{1, 1, 0, 0, 0},             // truncated record
+	} {
+		if _, err := UnmarshalSpans(data); err == nil {
+			t.Fatalf("accepted garbage %v", data)
+		}
+	}
+	good, _ := MarshalSpans([]Span{{Trace: 1, Name: "x"}})
+	if _, err := UnmarshalSpans(append(good, 0)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
