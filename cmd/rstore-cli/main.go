@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +29,14 @@ import (
 	"rstore/internal/telemetry"
 )
 
-func runDemo(machines int) error {
-	ctx := context.Background()
-	cluster, err := core.Start(ctx, core.Config{Machines: machines})
+// cmdTimeout bounds every subcommand end to end: an unreachable master
+// group must surface as an error and a non-zero exit, never a hang.
+const cmdTimeout = 2 * time.Minute
+
+func runDemo(machines, masters int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cmdTimeout)
+	defer cancel()
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, MasterReplicas: masters})
 	if err != nil {
 		return err
 	}
@@ -111,15 +117,16 @@ func runDemo(machines int) error {
 // per-copy health, dirty/under-repair flags, and the generation counter.
 // It kills one replica holder mid-run so the output shows the store
 // degrading and then self-healing.
-func runRegions(machines int) error {
-	ctx := context.Background()
+func runRegions(machines, masters int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cmdTimeout)
+	defer cancel()
 	const beat = 20 * time.Millisecond
-	if machines < 5 {
+	if machines < masters+4 {
 		// Two width-2 copies need 4 memory servers for a disjoint
-		// placement (machines counts the master too).
-		machines = 5
+		// placement (machines counts the master replicas too).
+		machines = masters + 4
 	}
-	cluster, err := core.Start(ctx, core.Config{Machines: machines, HeartbeatInterval: beat})
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, MasterReplicas: masters, HeartbeatInterval: beat})
 	if err != nil {
 		return err
 	}
@@ -132,7 +139,7 @@ func runRegions(machines int) error {
 	// Server registration races the boot; allocate only once every server
 	// is in, or the replica falls back to an overlapping placement.
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		if len(cluster.Master().AliveServers()) >= machines-1 {
+		if len(cluster.Master().AliveServers()) >= machines-masters {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -240,10 +247,14 @@ func printRegionStatuses(statuses []core.RegionStatus) {
 // runStats boots a cluster, drives a short mixed workload so every layer's
 // counters move, then fetches the master's aggregated per-node telemetry —
 // the view an operator polls against a running deployment.
-func runStats(machines int) error {
-	ctx := context.Background()
+func runStats(machines, masters int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cmdTimeout)
+	defer cancel()
 	const beat = 50 * time.Millisecond
-	cluster, err := core.Start(ctx, core.Config{Machines: machines, HeartbeatInterval: beat})
+	if machines < masters+2 {
+		machines = masters + 2
+	}
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, MasterReplicas: masters, HeartbeatInterval: beat})
 	if err != nil {
 		return err
 	}
@@ -283,21 +294,38 @@ func runStats(machines int) error {
 	}
 
 	// Server snapshots reach the master on heartbeats; poll until every
-	// node has reported once.
+	// reporting node (the primary plus each memory server — standby
+	// masters do not heartbeat to the primary) has reported once.
 	var stats []core.NodeStats
+	reporting := machines - masters + 1
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		stats, err = cli.ClusterStats(ctx)
 		if err != nil {
 			return err
 		}
-		if len(stats) >= machines || time.Now().After(deadline) {
+		if len(stats) >= reporting || time.Now().After(deadline) {
 			break
 		}
 		time.Sleep(beat)
 	}
 	printStats(stats)
+	printMasterStatuses(cli.MasterStatuses(ctx))
 	return nil
+}
+
+// printMasterStatuses renders the control plane's replication view: each
+// configured master replica's role, epoch, and who it believes leads.
+func printMasterStatuses(statuses []core.MasterStatus) {
+	mt := telemetry.NewTable("master replicas", "node", "role", "epoch", "primary")
+	for _, ms := range statuses {
+		if ms.Err != nil {
+			mt.AddRow(ms.Node, "unreachable", "-", "-")
+			continue
+		}
+		mt.AddRow(ms.Node, ms.Role, ms.Epoch, ms.Primary)
+	}
+	fmt.Println(mt.String())
 }
 
 // printStats renders one column per node for counters and gauges, plus the
@@ -367,12 +395,13 @@ func printStats(stats []core.NodeStats) {
 // operation the flight recorder pinned; with a hex trace id it assembles
 // that trace instead. This is the debugging loop an operator follows when
 // chasing a tail-latency report: stats → trace → waterfall.
-func runTrace(machines int, idArg string) error {
-	ctx := context.Background()
-	if machines < 4 {
-		machines = 4 // a width-3 stripe needs 3 memory servers
+func runTrace(machines, masters int, idArg string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cmdTimeout)
+	defer cancel()
+	if machines < masters+3 {
+		machines = masters + 3 // a width-3 stripe needs 3 memory servers
 	}
-	cluster, err := core.Start(ctx, core.Config{Machines: machines})
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, MasterReplicas: masters})
 	if err != nil {
 		return err
 	}
@@ -458,27 +487,35 @@ func main() {
 		flag.PrintDefaults()
 	}
 	machines := flag.Int("machines", 4, "cluster size")
+	masters := flag.Int("masters", 1, "master replicas (nodes 0..N-1; node 0 boots as primary)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "demo"
 	}
+	if *masters < 1 {
+		*masters = 1
+	}
 	var err error
 	switch cmd {
 	case "demo":
-		err = runDemo(*machines)
+		err = runDemo(*machines, *masters)
 	case "stats":
-		err = runStats(*machines)
+		err = runStats(*machines, *masters)
 	case "regions":
-		err = runRegions(*machines)
+		err = runRegions(*machines, *masters)
 	case "trace":
-		err = runTrace(*machines, flag.Arg(1))
+		err = runTrace(*machines, *masters, flag.Arg(1))
 	default:
 		err = fmt.Errorf("unknown command %q (want demo, stats, regions, or trace)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rstore-cli:", err)
+		if errors.Is(err, core.ErrMasterUnavailable) {
+			fmt.Fprintln(os.Stderr, "rstore-cli: no master replica answered as primary;"+
+				" check that the master group (-masters) is up and reachable, then retry")
+		}
 		os.Exit(1)
 	}
 }

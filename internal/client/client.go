@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rstore/internal/proto"
@@ -53,12 +54,28 @@ var (
 	// and retries once; this error surfaces only when the retry against
 	// the fresh layout also failed.
 	ErrStaleGeneration = errors.New("client: stale region generation")
+
+	// ErrMasterUnavailable means no master replica could be reached — or
+	// none would serve as primary — within the client's retry budget.
+	// One-sided data-path I/O keeps working off leased layouts during a
+	// master outage; only control-plane calls fail with this sentinel.
+	ErrMasterUnavailable = errors.New("client: master unavailable")
 )
+
+// errNotPrimary marks a master replica that answered but is not the
+// primary. The retry loop re-homes to the redirect hint and tries again;
+// the sentinel surfaces (wrapped in ErrMasterUnavailable) only when no
+// replica would serve within the retry budget.
+var errNotPrimary = errors.New("client: master replica is not primary")
 
 // Config tunes a client.
 type Config struct {
 	// Master is the node the master runs on.
 	Master simnet.NodeID
+	// Masters, when set, is the full master replication group. The client
+	// homes on whichever replica answers as primary, chasing not-primary
+	// redirects after a failover. Empty means the single Master above.
+	Masters []simnet.NodeID
 	// RPC tunes the master control connection.
 	RPC rpc.Options
 	// StagingChunk is the size of each staging buffer backing the []byte
@@ -71,6 +88,15 @@ type Config struct {
 	// Retry governs control-plane retries (master RPCs and re-dials).
 	// Zero-valued fields take DefaultRetryPolicy values.
 	Retry RetryPolicy
+}
+
+// masters returns the configured master group (the single Master when no
+// group was given).
+func (c Config) masters() []simnet.NodeID {
+	if len(c.Masters) > 0 {
+		return c.Masters
+	}
+	return []simnet.NodeID{c.Master}
 }
 
 func (c Config) withDefaults() Config {
@@ -150,15 +176,19 @@ type Client struct {
 	// per-operation service times.
 	vnow atomicVTime
 
-	mu      sync.Mutex
-	closed  bool
-	master  *rpc.Conn // replaced on re-dial after a connection failure
-	conns   map[simnet.NodeID]*serverConn
-	epochs  map[simnet.NodeID]uint64 // last observed master epoch per server
-	notify  map[simnet.NodeID]*notifyConn
-	regions map[proto.RegionID][]*Region // mapped handles, for invalidation push
-	ctrl    ControlStats
-	staging chan *Buf
+	// allocSeq numbers Alloc idempotency tokens (unique per client).
+	allocSeq atomic.Uint64
+
+	mu        sync.Mutex
+	closed    bool
+	preferred simnet.NodeID // master replica currently believed primary
+	master    *rpc.Conn     // replaced on re-dial after a connection failure
+	conns     map[simnet.NodeID]*serverConn
+	epochs    map[simnet.NodeID]uint64 // last observed master epoch per server
+	notify    map[simnet.NodeID]*notifyConn
+	regions   map[proto.RegionID][]*Region // mapped handles, for invalidation push
+	ctrl      ControlStats
+	staging   chan *Buf
 }
 
 // registerRegion indexes a mapped handle so invalidation pushes can find it.
@@ -240,14 +270,14 @@ func Connect(ctx context.Context, dev *rdma.Device, cfg Config) (*Client, error)
 		staging: make(chan *Buf, cfg.StagingCount),
 	}
 	c.retry.onRetry = c.ctr.retries.Inc
-	master, err := rpc.Dial(ctx, dev, cfg.Master, proto.MasterService, pd, cfg.RPC)
+	c.preferred = cfg.masters()[0]
+	master, err := c.dialAnyMaster(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial master: %w", err)
 	}
 	c.master = master
 	// Join the fabric's virtual timeline at connect time.
 	c.advanceVNow(dev.Network().Fabric().VNow())
-	c.chargeConnect()
 	for i := 0; i < cfg.StagingCount; i++ {
 		b, err := c.AllocBuf(cfg.StagingChunk)
 		if err != nil {
@@ -441,9 +471,69 @@ func (c *Client) checkOpen() error {
 	return nil
 }
 
+// dialAnyMaster dials the preferred master replica, falling back to the
+// rest of the configured group in order. A successful dial re-homes the
+// preference; a standby answering is fine — the first call against it
+// returns a not-primary redirect and the client chases the hint. When
+// every replica is unreachable the error wraps ErrMasterUnavailable.
+func (c *Client) dialAnyMaster(ctx context.Context) (*rpc.Conn, error) {
+	c.mu.Lock()
+	pref := c.preferred
+	c.mu.Unlock()
+	candidates := []simnet.NodeID{pref}
+	for _, n := range c.cfg.masters() {
+		if n != pref {
+			candidates = append(candidates, n)
+		}
+	}
+	var lastErr error
+	for _, node := range candidates {
+		conn, err := rpc.Dial(ctx, c.dev, node, proto.MasterService, c.pd, c.cfg.RPC)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.chargeConnect()
+		c.mu.Lock()
+		c.preferred = node
+		c.mu.Unlock()
+		return conn, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrMasterUnavailable, lastErr)
+}
+
+// noteNotPrimary re-homes the client after a not-primary redirect: adopt
+// the hinted leader (or rotate to the next configured replica when the
+// hint is unknown) and retire the control connection so the next attempt
+// dials the new preference.
+func (c *Client) noteNotPrimary(conn *rpc.Conn, hint simnet.NodeID) {
+	c.mu.Lock()
+	if hint >= 0 {
+		c.preferred = hint
+	} else {
+		ms := c.cfg.masters()
+		for i, n := range ms {
+			if n == c.preferred {
+				c.preferred = ms[(i+1)%len(ms)]
+				break
+			}
+		}
+	}
+	var old *rpc.Conn
+	if c.master == conn {
+		old = c.master
+		c.master = nil
+	}
+	c.mu.Unlock()
+	if old != nil {
+		go old.Close()
+	}
+}
+
 // masterConn returns the control connection, re-dialing when the current
 // one has failed (the QP of a partitioned or bounced master dies
-// permanently; recovery is a fresh connection).
+// permanently; recovery is a fresh connection) or was retired by a
+// not-primary redirect.
 func (c *Client) masterConn(ctx context.Context) (*rpc.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -457,11 +547,10 @@ func (c *Client) masterConn(ctx context.Context) (*rpc.Conn, error) {
 	}
 
 	c.ctr.redials.Inc()
-	fresh, err := rpc.Dial(ctx, c.dev, c.cfg.Master, proto.MasterService, c.pd, c.cfg.RPC)
+	fresh, err := c.dialAnyMaster(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("client: redial master: %w", err)
 	}
-	c.chargeConnect()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -498,12 +587,28 @@ func (c *Client) call(ctx context.Context, mt uint16, req []byte) ([]byte, error
 		r, lat, err := conn.Call(ctx, mt, req)
 		c.chargeRPC(lat)
 		if err != nil {
+			var re *rpc.RemoteError
+			if errors.As(err, &re) {
+				if p, _, ok := proto.IsNotPrimaryMsg(re.Msg); ok {
+					// A standby (or fenced stale primary) answered: re-home
+					// to the hinted leader and retry there.
+					c.noteNotPrimary(conn, p)
+					return fmt.Errorf("%w: %s", errNotPrimary, re.Msg)
+				}
+			}
 			return mapMasterError(err)
 		}
 		resp = r
 		return nil
 	})
 	if err != nil {
+		// Retries exhausted without reaching a serving primary: a transport
+		// failure class (or an unresolved redirect loop) means the master
+		// group is effectively unavailable to this client right now.
+		if errors.Is(err, errNotPrimary) ||
+			(retryable(err) && !errors.Is(err, ErrMasterUnavailable)) {
+			err = fmt.Errorf("%w: %v", ErrMasterUnavailable, err)
+		}
 		return nil, err
 	}
 	return resp, nil
@@ -545,6 +650,10 @@ func (c *Client) Alloc(ctx context.Context, name string, size uint64, opts Alloc
 		StripeUnit:  opts.StripeUnit,
 		StripeWidth: opts.StripeWidth,
 		Replicas:    opts.Replicas,
+		// The idempotency token makes a retried Alloc (possibly landing on a
+		// freshly promoted primary after a failover) return the region the
+		// first attempt created instead of "already exists".
+		Token: uint64(c.dev.Node())<<32 | c.allocSeq.Add(1),
 	}
 	var e rpc.Encoder
 	req.Encode(&e)
@@ -572,13 +681,24 @@ func (c *Client) Map(ctx context.Context, name string) (*Region, error) {
 	}
 	d := rpc.NewDecoder(resp)
 	info := proto.DecodeRegionInfo(d)
+	lease := decodeLease(d)
 	if derr := d.Err(); derr != nil {
 		return nil, fmt.Errorf("map %q: %w", name, derr)
 	}
 	if err := c.connectRegion(ctx, info); err != nil {
 		return nil, fmt.Errorf("map %q: %w", name, err)
 	}
-	return newRegion(c, info), nil
+	return newRegion(c, info, lease), nil
+}
+
+// decodeLease reads the layout-lease term (virtual nanoseconds) a map or
+// remap response carries after the region metadata. Tolerant of its
+// absence — an old or lease-disabled master simply grants no lease (0).
+func decodeLease(d *rpc.Decoder) uint64 {
+	if d.Err() == nil && d.Remaining() > 0 {
+		return d.U64()
+	}
+	return 0
 }
 
 // connectRegion eagerly connects to every server a region touches so the
@@ -797,6 +917,51 @@ func (c *Client) ClusterStats(ctx context.Context) ([]proto.NodeStats, error) {
 		return nil, fmt.Errorf("cluster stats: %w", derr)
 	}
 	return out, nil
+}
+
+// MasterStatus is one master replica's self-reported replication role, as
+// probed by MasterStatuses. Err is set when the replica was unreachable.
+type MasterStatus struct {
+	Node    simnet.NodeID
+	Role    string
+	Epoch   uint64
+	Primary simnet.NodeID
+	Err     error
+}
+
+// MasterStatuses probes every configured master replica for its
+// replication role. Unlike the primary-fenced control RPCs, the status
+// probe answers from any role, so standbys (and a fenced stale primary)
+// report too; an unreachable replica gets a non-nil Err in its row
+// instead of failing the whole probe.
+func (c *Client) MasterStatuses(ctx context.Context) []MasterStatus {
+	out := make([]MasterStatus, 0, len(c.cfg.masters()))
+	for _, node := range c.cfg.masters() {
+		st := MasterStatus{Node: node, Role: "unreachable", Primary: -1}
+		conn, err := rpc.Dial(ctx, c.dev, node, proto.MasterService, c.pd, c.cfg.RPC)
+		if err != nil {
+			st.Err = fmt.Errorf("%w: %v", ErrMasterUnavailable, err)
+			out = append(out, st)
+			continue
+		}
+		resp, lat, err := conn.Call(ctx, proto.MtMasterStatus, nil)
+		c.chargeRPC(lat)
+		conn.Close()
+		if err != nil {
+			st.Err = fmt.Errorf("%w: %v", ErrMasterUnavailable, err)
+			out = append(out, st)
+			continue
+		}
+		d := rpc.NewDecoder(resp)
+		ms := proto.DecodeMasterStatus(d)
+		if derr := d.Err(); derr != nil {
+			st.Err = derr
+		} else {
+			st.Role, st.Epoch, st.Primary = ms.Role, ms.Epoch, ms.Primary
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // RegionStatuses fetches the master's repair-plane view of every region:

@@ -158,6 +158,55 @@ func TestWriteToKilledServerIsTyped(t *testing.T) {
 	}
 }
 
+// TestMasterUnavailableTyped: with the whole master group unreachable,
+// control-plane calls fail fast — bounded by the retry budget, no hang —
+// with the typed ErrMasterUnavailable sentinel, while the one-sided data
+// path keeps serving off the cached layout (the master is not on it).
+func TestMasterUnavailableTyped(t *testing.T) {
+	f, cli := testCluster(t, 1)
+	ctx := context.Background()
+	reg, err := cli.AllocMap(ctx, "outage", 1<<20, AllocOptions{StripeWidth: 1})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	buf, err := cli.AllocBuf(4096)
+	if err != nil {
+		t.Fatalf("AllocBuf: %v", err)
+	}
+
+	if err := f.SetNodeUp(0, false); err != nil {
+		t.Fatalf("SetNodeUp: %v", err)
+	}
+
+	start := time.Now()
+	if _, err := cli.Alloc(ctx, "unreachable", 1<<20, AllocOptions{}); !errors.Is(err, ErrMasterUnavailable) {
+		t.Errorf("Alloc with dead master = %v, want ErrMasterUnavailable", err)
+	}
+	if _, err := cli.ClusterInfo(ctx); !errors.Is(err, ErrMasterUnavailable) {
+		t.Errorf("ClusterInfo with dead master = %v, want ErrMasterUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("control calls blocked %v; the retry budget should bound them", elapsed)
+	}
+
+	// The data path needs no master: reads and writes keep flowing.
+	if _, err := reg.WriteAt(ctx, 0, buf, 0, 4096); err != nil {
+		t.Errorf("WriteAt during master outage: %v", err)
+	}
+	if _, err := reg.ReadAt(ctx, 0, buf, 0, 4096); err != nil {
+		t.Errorf("ReadAt during master outage: %v", err)
+	}
+
+	// The status probe degrades row-by-row instead of failing whole.
+	sts := cli.MasterStatuses(ctx)
+	if len(sts) != 1 {
+		t.Fatalf("MasterStatuses rows = %d, want 1", len(sts))
+	}
+	if !errors.Is(sts[0].Err, ErrMasterUnavailable) {
+		t.Errorf("status row err = %v, want ErrMasterUnavailable", sts[0].Err)
+	}
+}
+
 // TestSubscribeAbortCleansState is the regression test for the subscribe
 // handshake leak: a Subscribe that failed (dead home server, expired
 // context) used to leave its ack-queue entry and channel registered, so the

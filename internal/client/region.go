@@ -25,28 +25,73 @@ type Region struct {
 	// changed); the next data-path operation remaps before issuing.
 	stale atomic.Bool
 
+	// leaseTermNs is the layout lease the master granted at Map/Remap time,
+	// in virtual nanoseconds (0 = no lease discipline, serve forever), and
+	// leaseExpiry the virtual time it lapses. An expired lease triggers a
+	// renewal remap; while the master group is unavailable the region keeps
+	// serving one-sided I/O off the cached layout under a short renewal
+	// cooldown — the paper's separation philosophy applied to failover.
+	leaseTermNs atomic.Int64
+	leaseExpiry atomic.Int64
+
 	mu       sync.Mutex
 	unmapped bool
 }
 
-func newRegion(c *Client, info *proto.RegionInfo) *Region {
+func newRegion(c *Client, info *proto.RegionInfo, leaseNs uint64) *Region {
 	r := &Region{c: c}
 	r.info.Store(info)
+	r.armLease(leaseNs)
 	c.registerRegion(r)
 	return r
+}
+
+// armLease installs a freshly granted lease term and re-arms its expiry
+// from the client's virtual clock.
+func (r *Region) armLease(leaseNs uint64) {
+	r.leaseTermNs.Store(int64(leaseNs))
+	if leaseNs > 0 {
+		r.leaseExpiry.Store(int64(r.c.VNow()) + int64(leaseNs))
+	}
 }
 
 // refreshIfStale remaps before issuing when an invalidation push marked
 // the snapshot stale. Best effort: if the remap fails the operation
 // proceeds on the old snapshot (a surviving copy may still serve it) and
-// the stale mark is restored for the next attempt.
+// the stale mark is restored for the next attempt. With no stale mark an
+// expired layout lease also triggers a renewal.
 func (r *Region) refreshIfStale(ctx context.Context) {
-	if !r.stale.CompareAndSwap(true, false) {
+	if r.stale.CompareAndSwap(true, false) {
+		if err := r.Remap(ctx); err != nil {
+			r.stale.Store(true)
+		}
 		return
 	}
-	if err := r.Remap(ctx); err != nil {
-		r.stale.Store(true)
+	r.refreshLease(ctx)
+}
+
+// refreshLease renews the layout lease when it has expired. Exactly one
+// in-flight operation claims the renewal (a CAS pushes the expiry out by
+// a quarter term as a cooldown) so concurrent data-path ops never
+// stampede the master; if the renewal fails — the usual case being
+// ErrMasterUnavailable mid-failover — the region keeps serving off the
+// cached layout and the cooldown retries renewal shortly. Stale layouts
+// are still caught by the one-sided path itself: a failed access against
+// a replaced layout remaps via remapFreshGeneration.
+func (r *Region) refreshLease(ctx context.Context) {
+	term := r.leaseTermNs.Load()
+	if term <= 0 {
+		return
 	}
+	now := int64(r.c.VNow())
+	exp := r.leaseExpiry.Load()
+	if now < exp {
+		return
+	}
+	if !r.leaseExpiry.CompareAndSwap(exp, now+term/4) {
+		return
+	}
+	_ = r.Remap(ctx) // success re-arms the full term
 }
 
 // Info returns the region's current metadata snapshot.
@@ -79,6 +124,7 @@ func (r *Region) Remap(ctx context.Context) error {
 	}
 	d := rpc.NewDecoder(resp)
 	info := proto.DecodeRegionInfo(d)
+	lease := decodeLease(d)
 	if derr := d.Err(); derr != nil {
 		return fmt.Errorf("remap %q: %w", name, derr)
 	}
@@ -86,6 +132,7 @@ func (r *Region) Remap(ctx context.Context) error {
 		return fmt.Errorf("remap %q: %w", name, err)
 	}
 	r.info.Store(info)
+	r.armLease(lease)
 	return nil
 }
 

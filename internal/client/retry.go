@@ -156,7 +156,12 @@ func retryable(err error) bool {
 		errors.Is(err, simnet.ErrDropped),
 		errors.Is(err, rdma.ErrQPState),
 		errors.Is(err, rdma.ErrTimeout),
-		errors.Is(err, context.DeadlineExceeded):
+		errors.Is(err, context.DeadlineExceeded),
+		// A not-primary redirect retries against the re-homed replica; an
+		// all-replicas-unreachable dial round is worth retrying too — the
+		// group may be mid-failover.
+		errors.Is(err, errNotPrimary),
+		errors.Is(err, ErrMasterUnavailable):
 		return true
 	default:
 		return false

@@ -47,16 +47,31 @@ type (
 	NodeStats = proto.NodeStats
 	// RegionStatus is the master's repair-plane view of one region.
 	RegionStatus = proto.RegionStatus
+	// MasterStatus is one master replica's self-reported replication role.
+	MasterStatus = client.MasterStatus
 )
 
 // ErrBadNode reports a node outside the cluster.
 var ErrBadNode = errors.New("core: node outside cluster")
 
+// ErrMasterUnavailable is the client's master-outage sentinel, re-exported
+// so tooling depending on core alone can errors.Is against it.
+var ErrMasterUnavailable = client.ErrMasterUnavailable
+
 // Config sizes a cluster.
 type Config struct {
-	// Machines is the total node count (master + memory servers). The
+	// Machines is the total node count (masters + memory servers). The
 	// paper's testbed has 12. Default 4.
 	Machines int
+	// MasterReplicas is how many machines run master replicas (nodes
+	// 0..MasterReplicas-1; node 0 boots as primary, the rest as standbys).
+	// Default 1 — a single, unreplicated master, exactly the paper's
+	// deployment.
+	MasterReplicas int
+	// LeaseTerm is the layout-lease term masters grant to clients
+	// (forwarded to master.Config.LeaseTerm: 0 = master default, negative
+	// = disable lease discipline).
+	LeaseTerm time.Duration
 	// ExtraClientNodes adds client-only machines beyond Machines.
 	ExtraClientNodes int
 	// ServerCapacity is the DRAM each memory server donates. Default 64 MiB.
@@ -92,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.Machines <= 0 {
 		c.Machines = 4
 	}
+	if c.MasterReplicas <= 0 {
+		c.MasterReplicas = 1
+	}
 	if c.ServerCapacity == 0 {
 		c.ServerCapacity = 64 << 20
 	}
@@ -103,7 +121,7 @@ type Cluster struct {
 	cfg     Config
 	fabric  *simnet.Fabric
 	network *rdma.Network
-	master  *master.Master
+	masters []*master.Master
 	servers []*memserver.Server
 
 	mu      sync.Mutex
@@ -111,10 +129,15 @@ type Cluster struct {
 	closed  bool
 }
 
-// Start boots a cluster: node 0 runs the master, nodes 1..Machines-1 run
+// Start boots a cluster: nodes 0..MasterReplicas-1 run master replicas
+// (node 0 as the boot primary), nodes MasterReplicas..Machines-1 run
 // memory servers, and ExtraClientNodes further nodes are client-only.
 func Start(ctx context.Context, cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	if cfg.MasterReplicas >= cfg.Machines {
+		return nil, fmt.Errorf("core: %d master replicas leave no memory servers among %d machines",
+			cfg.MasterReplicas, cfg.Machines)
+	}
 	params := simnet.DefaultParams()
 	if cfg.Params != nil {
 		params = *cfg.Params
@@ -126,24 +149,37 @@ func Start(ctx context.Context, cfg Config) (*Cluster, error) {
 	fabric := simnet.NewFabric(cfg.Machines+cfg.ExtraClientNodes, params)
 	network := rdma.NewNetworkWithCosts(fabric, costs)
 
-	masterDev, err := network.OpenDevice(0)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	var peers []simnet.NodeID
+	if cfg.MasterReplicas > 1 {
+		for i := 0; i < cfg.MasterReplicas; i++ {
+			peers = append(peers, simnet.NodeID(i))
+		}
 	}
-	m, err := master.Start(masterDev, master.Config{
-		HeartbeatInterval:     cfg.HeartbeatInterval,
-		RepairConcurrency:     cfg.Repair.Concurrency,
-		RepairChunk:           cfg.Repair.Chunk,
-		RepairRateBytesPerSec: cfg.Repair.RateBytesPerSec,
-		RepairPullHook:        cfg.Repair.PullHook,
-		RPC:                   cfg.RPC,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: start master: %w", err)
+	cl := &Cluster{cfg: cfg, fabric: fabric, network: network}
+	for i := 0; i < cfg.MasterReplicas; i++ {
+		masterDev, err := network.OpenDevice(simnet.NodeID(i))
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m, err := master.Start(masterDev, master.Config{
+			HeartbeatInterval:     cfg.HeartbeatInterval,
+			Peers:                 peers,
+			LeaseTerm:             cfg.LeaseTerm,
+			RepairConcurrency:     cfg.Repair.Concurrency,
+			RepairChunk:           cfg.Repair.Chunk,
+			RepairRateBytesPerSec: cfg.Repair.RateBytesPerSec,
+			RepairPullHook:        cfg.Repair.PullHook,
+			RPC:                   cfg.RPC,
+		})
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("core: start master on node %d: %w", i, err)
+		}
+		cl.masters = append(cl.masters, m)
 	}
 
-	cl := &Cluster{cfg: cfg, fabric: fabric, network: network, master: m}
-	for node := 1; node < cfg.Machines; node++ {
+	for node := cfg.MasterReplicas; node < cfg.Machines; node++ {
 		dev, err := network.OpenDevice(simnet.NodeID(node))
 		if err != nil {
 			cl.Close()
@@ -152,6 +188,7 @@ func Start(ctx context.Context, cfg Config) (*Cluster, error) {
 		srv, err := memserver.Start(ctx, dev, memserver.Config{
 			Capacity:          cfg.ServerCapacity,
 			Master:            0,
+			Masters:           cl.MasterNodes(),
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			RPC:               cfg.RPC,
 		})
@@ -170,8 +207,68 @@ func (c *Cluster) Fabric() *simnet.Fabric { return c.fabric }
 // Network exposes the verbs network.
 func (c *Cluster) Network() *rdma.Network { return c.network }
 
-// Master exposes the coordinator.
-func (c *Cluster) Master() *master.Master { return c.master }
+// Master exposes the coordinator: the replica currently acting as primary
+// (the highest-epoch one when a stale primary has not yet fenced itself),
+// falling back to the boot primary when none claims the role.
+func (c *Cluster) Master() *master.Master {
+	var best *master.Master
+	var bestEpoch uint64
+	for _, m := range c.masters {
+		role, epoch, _ := m.Status()
+		if role == "primary" && (best == nil || epoch > bestEpoch) {
+			best = m
+			bestEpoch = epoch
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return c.masters[0]
+}
+
+// Masters returns every running master replica, in node order.
+func (c *Cluster) Masters() []*master.Master {
+	out := make([]*master.Master, len(c.masters))
+	copy(out, c.masters)
+	return out
+}
+
+// MasterNodes returns the fabric nodes hosting master replicas.
+func (c *Cluster) MasterNodes() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(c.masters))
+	for i := range c.masters {
+		out = append(out, simnet.NodeID(i))
+	}
+	return out
+}
+
+// KillMaster drops a master replica's node off the fabric (the failover
+// trigger). ReviveServer brings it back as a fenced stale replica.
+func (c *Cluster) KillMaster(node simnet.NodeID) error {
+	return c.fabric.SetNodeUp(node, false)
+}
+
+// WaitMasterRole blocks until the master replica on the given node reports
+// the wanted role ("primary" or "standby") at an epoch of at least
+// minEpoch, or the timeout passes. Wall-clock polling, like
+// WaitServerDead: failover progress rides on heartbeat timers.
+func (c *Cluster) WaitMasterRole(node simnet.NodeID, want string, minEpoch uint64, timeout time.Duration) error {
+	if int(node) < 0 || int(node) >= len(c.masters) {
+		return fmt.Errorf("%w: %v", ErrBadNode, node)
+	}
+	m := c.masters[node]
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		role, epoch, _ := m.Status()
+		if role == want && epoch >= minEpoch {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	role, epoch, _ := m.Status()
+	return fmt.Errorf("core: master %v still %s@%d (want %s@>=%d) after %v",
+		node, role, epoch, want, minEpoch, timeout)
+}
 
 // Servers returns the running memory servers.
 func (c *Cluster) Servers() []*memserver.Server {
@@ -199,7 +296,7 @@ func (c *Cluster) NewClient(ctx context.Context, node simnet.NodeID) (*client.Cl
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	cli, err := client.Connect(ctx, dev, client.Config{Master: 0, RPC: c.cfg.RPC})
+	cli, err := client.Connect(ctx, dev, client.Config{Master: 0, Masters: c.MasterNodes(), RPC: c.cfg.RPC})
 	if err != nil {
 		return nil, fmt.Errorf("core: connect client on %v: %w", node, err)
 	}
@@ -222,7 +319,9 @@ func (c *Cluster) registries() []*telemetry.Registry {
 			out = append(out, r)
 		}
 	}
-	add(c.master.Telemetry())
+	for _, m := range c.masters {
+		add(m.Telemetry())
+	}
 	for _, s := range c.servers {
 		add(s.Telemetry())
 	}
@@ -309,7 +408,7 @@ func (c *Cluster) WaitServerDead(node simnet.NodeID, timeout time.Duration) erro
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		alive := false
-		for _, id := range c.master.AliveServers() {
+		for _, id := range c.Master().AliveServers() {
 			if id == node {
 				alive = true
 				break
@@ -341,7 +440,7 @@ func (c *Cluster) Close() {
 	for _, s := range c.servers {
 		s.Close()
 	}
-	if c.master != nil {
-		c.master.Close()
+	for _, m := range c.masters {
+		m.Close()
 	}
 }

@@ -49,7 +49,8 @@ func newChaosClient(t *testing.T, c *core.Cluster, node simnet.NodeID) *client.C
 		t.Fatalf("OpenDevice: %v", err)
 	}
 	cli, err := client.Connect(context.Background(), dev, client.Config{
-		Master: 0,
+		Master:  0,
+		Masters: c.MasterNodes(),
 		Retry: client.RetryPolicy{
 			MaxAttempts: 40,
 			BaseDelay:   2 * time.Millisecond,

@@ -1,0 +1,344 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/proto"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// startFailoverCluster boots a cluster with a replicated master group and
+// a short layout-lease term. The lease is virtual time, so 2ms is plenty:
+// the modeled ops of a single test advance well past it, exercising both
+// the stale-serve path (renewal fails during the outage) and renewal.
+func startFailoverCluster(t *testing.T, machines, replicas int, repair core.RepairConfig) *core.Cluster {
+	t.Helper()
+	return startClusterCfg(t, core.Config{
+		Machines:          machines,
+		MasterReplicas:    replicas,
+		ExtraClientNodes:  1,
+		ServerCapacity:    64 << 20,
+		HeartbeatInterval: 20 * time.Millisecond,
+		LeaseTerm:         2 * time.Millisecond,
+		Repair:            repair,
+	})
+}
+
+// newFailoverClient is newChaosClient with a deeper retry budget: an op
+// in flight when the primary dies must ride out the whole failover —
+// silence detection, election, and the virtual-time lease wait — which
+// under the race detector stretches well past the chaos suite's ~700ms
+// budget. ~4s of capped 20ms backoff covers it with margin.
+func newFailoverClient(t *testing.T, c *core.Cluster, node simnet.NodeID) *client.Client {
+	t.Helper()
+	dev, err := c.Network().OpenDevice(node)
+	if err != nil {
+		t.Fatalf("OpenDevice: %v", err)
+	}
+	cli, err := client.Connect(context.Background(), dev, client.Config{
+		Master:  0,
+		Masters: c.MasterNodes(),
+		Retry: client.RetryPolicy{
+			MaxAttempts: 200,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			Seed:        chaosSeed,
+		},
+	})
+	if err != nil {
+		t.Fatalf("client.Connect: %v", err)
+	}
+	t.Cleanup(cli.Close)
+	return cli
+}
+
+// waitAliveServers blocks until the acting primary sees n registered,
+// alive memory servers — the allocation runs below need a settled server
+// set so placement is deterministic across runs.
+func waitAliveServers(t *testing.T, c *core.Cluster, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.Master().AliveServers()) >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("only %d/%d servers alive after 10s", len(c.Master().AliveServers()), n)
+}
+
+// encodeInfo flattens region metadata to its canonical wire bytes, the
+// unit of the zero-lost-metadata comparison.
+func encodeInfo(info *proto.RegionInfo) string {
+	var e rpc.Encoder
+	proto.EncodeRegionInfo(&e, info)
+	return string(e.Bytes())
+}
+
+// failoverAllocRun drives one allocation sequence against a two-replica
+// master group and returns every committed region's encoded metadata by
+// name. With kill=true the primary's node is dropped off the fabric while
+// allocation #3 is in flight; the sequence must still complete — each op
+// either succeeded on the old primary (and the response doubled as the
+// commit ack, so the metadata is on the standby) or is retried with the
+// same idempotency token against the promoted standby.
+func failoverAllocRun(t *testing.T, kill bool) map[string]string {
+	c := startFailoverCluster(t, 6, 2, core.RepairConfig{})
+	ctx := context.Background()
+	cli := newFailoverClient(t, c, simnet.NodeID(c.Fabric().Size()-1))
+	waitAliveServers(t, c, 4)
+
+	// A region mapped before the failure, with live data: its cached
+	// layout plus lease is what keeps the data path serving when the
+	// master group has no primary.
+	reg, err := cli.AllocMap(ctx, "lease-io", 1<<20, client.AllocOptions{
+		StripeUnit: 256 << 10, StripeWidth: 2,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap lease-io: %v", err)
+	}
+	buf := mustBuf(t, cli, 64<<10)
+	for i := range buf.Bytes() {
+		buf.Bytes()[i] = byte(i * 7)
+	}
+	if _, err := reg.WriteAt(ctx, 0, buf, 0, 64<<10); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("fo-%d", i)
+		opts := client.AllocOptions{StripeUnit: 64 << 10, StripeWidth: 2, Replicas: 1}
+		if kill && i == 3 {
+			// Launch the alloc, then yank the primary's node while it is
+			// (likely) in flight. Whether the kill lands before, during, or
+			// after the commit, the final metadata must be identical: the
+			// idempotency token dedupes a retried-but-committed alloc, and
+			// an uncommitted one replays deterministically on the standby.
+			done := make(chan error, 1)
+			go func() {
+				_, aerr := cli.Alloc(ctx, name, 256<<10, opts)
+				done <- aerr
+			}()
+			if err := c.KillMaster(0); err != nil {
+				t.Fatalf("KillMaster: %v", err)
+			}
+			// The standby needs three missed beats before it even starts
+			// the election; in this window the cluster has no reachable
+			// primary. The data path must not notice: lease renewal fails
+			// over to stale-serve on the cached layout.
+			verify := mustBuf(t, cli, 64<<10)
+			for k := 0; k < 4; k++ {
+				if _, err := reg.WriteAt(ctx, 0, buf, 0, 64<<10); err != nil {
+					t.Fatalf("write #%d during master outage: %v", k, err)
+				}
+				if _, err := reg.ReadAt(ctx, 0, verify, 0, 64<<10); err != nil {
+					t.Fatalf("read #%d during master outage: %v", k, err)
+				}
+			}
+			if !bytes.Equal(verify.Bytes(), buf.Bytes()) {
+				t.Fatal("outage-window read returned wrong data")
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("alloc %s across failover: %v", name, err)
+			}
+			continue
+		}
+		if _, err := cli.Alloc(ctx, name, 256<<10, opts); err != nil {
+			t.Fatalf("alloc %s: %v", name, err)
+		}
+	}
+
+	if kill {
+		if err := c.WaitMasterRole(1, "primary", 1, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		// Bring the old primary back: its first replication contact with
+		// the higher-epoch group must fence it down to standby, and the
+		// client keeps converging on the real primary throughout.
+		if err := c.ReviveServer(0); err != nil {
+			t.Fatalf("revive master 0: %v", err)
+		}
+		if err := c.WaitMasterRole(0, "standby", 1, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		roles := map[simnet.NodeID]string{}
+		for _, st := range cli.MasterStatuses(ctx) {
+			if st.Err != nil {
+				t.Errorf("master status %v: %v", st.Node, st.Err)
+				continue
+			}
+			roles[st.Node] = st.Role
+		}
+		if roles[0] != "standby" || roles[1] != "primary" {
+			t.Errorf("post-failover roles = %v, want 0:standby 1:primary", roles)
+		}
+	}
+
+	statuses, err := cli.RegionStatuses(ctx)
+	if err != nil {
+		t.Fatalf("RegionStatuses: %v", err)
+	}
+	got := map[string]string{}
+	for _, st := range statuses {
+		if st.Info.Name == "lease-io" || strings.HasPrefix(st.Info.Name, "fo-") {
+			info := st.Info
+			got[info.Name] = encodeInfo(&info)
+		}
+	}
+	return got
+}
+
+// TestChaosMasterFailoverMidAlloc is the headline robustness scenario:
+// kill the primary master while a client is mid-allocation. The standby
+// waits out the lease on virtual time, promotes at a bumped epoch, the
+// client re-homes via the retry policy, and — the acceptance bar — the
+// surviving metadata is byte-identical to a run with no failure at all.
+// Committed means replicated: nothing the client was told succeeded may
+// differ, nothing may be lost, and nothing spurious may appear.
+func TestChaosMasterFailoverMidAlloc(t *testing.T) {
+	want := failoverAllocRun(t, false)
+	got := failoverAllocRun(t, true)
+
+	if len(got) != len(want) {
+		t.Errorf("region count after failover = %d, want %d", len(got), len(want))
+	}
+	for name, enc := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("region %q lost across failover", name)
+			continue
+		}
+		if g != enc {
+			t.Errorf("region %q metadata diverged across failover", name)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("region %q appeared only in the failover run", name)
+		}
+	}
+}
+
+// TestChaosMasterFailoverMidRepair kills the primary in the middle of a
+// repair pull (via the repair-plane fault hook). The dirty-copy verdict
+// was replicated as the sweep latched it, so the promoted standby
+// reschedules the stalled repair from its own log and completes it: the
+// region returns to full replication at an advanced generation, off the
+// dead server, with the data intact.
+func TestChaosMasterFailoverMidRepair(t *testing.T) {
+	var clusterRef atomic.Pointer[core.Cluster]
+	var once sync.Once
+	repair := core.RepairConfig{
+		PullHook: func(proto.Extent) {
+			once.Do(func() {
+				if c := clusterRef.Load(); c != nil {
+					_ = c.KillMaster(0)
+				}
+			})
+		},
+	}
+	c := startFailoverCluster(t, 7, 2, repair)
+	clusterRef.Store(c)
+	ctx := context.Background()
+	cli := newFailoverClient(t, c, simnet.NodeID(c.Fabric().Size()-1))
+	waitAliveServers(t, c, 5)
+
+	reg, err := cli.AllocMap(ctx, "repairme", 512<<10, client.AllocOptions{
+		StripeUnit: 128 << 10, StripeWidth: 2, Replicas: 1,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	buf := mustBuf(t, cli, 128<<10)
+	for i := range buf.Bytes() {
+		buf.Bytes()[i] = byte(i * 13)
+	}
+	if _, err := reg.WriteAt(ctx, 0, buf, 0, 128<<10); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	gen := reg.Info().Generation
+
+	// Kill a replica holder. The primary's sweep declares it dead, dirties
+	// the copy (replicated), and schedules the repair whose first pull
+	// triggers the hook above — killing the master itself mid-repair.
+	victim := reg.Info().Copies()[1][0].Server
+	if err := c.KillServer(victim); err != nil {
+		t.Fatalf("KillServer: %v", err)
+	}
+	if err := c.WaitServerDead(victim, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitMasterRole(1, "primary", 1, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The promoted standby owns the repair now. Poll through the client —
+	// which re-homes onto the new primary — until the region is healed.
+	deadline := time.Now().Add(30 * time.Second)
+	var last proto.RegionStatus
+	for {
+		statuses, err := cli.RegionStatuses(ctx)
+		if err == nil {
+			healed := false
+			for _, st := range statuses {
+				if st.Info.Name == "repairme" {
+					last = st
+				}
+				if st.Info.Name != "repairme" || st.Lost || st.Info.Generation <= gen {
+					continue
+				}
+				ok := true
+				for _, cs := range st.Copies {
+					if !cs.Healthy || cs.Dirty || cs.UnderRepair {
+						ok = false
+					}
+				}
+				for _, x := range append(st.Info.Extents, st.Info.Replicas[0]...) {
+					if x.Server == victim {
+						ok = false
+					}
+				}
+				if ok {
+					healed = true
+				}
+			}
+			if healed {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			snap := c.TelemetrySnapshot()
+			for _, m := range c.Masters() {
+				role, epoch, leader := m.Status()
+				t.Logf("master %v: %s@%d leader=%v alive=%v", m.Node(), role, epoch, leader, m.AliveServers())
+			}
+			t.Logf("beats=%d reconnects=%d", snap.Counter("memserver.heartbeats"), snap.Counter("memserver.reconnects"))
+			t.Fatalf("repair never completed on the promoted standby (last err: %v)\nlast status: lost=%v gen=%d copies=%+v\nextents=%+v replicas=%+v",
+				err, last.Lost, last.Info.Generation, last.Copies, last.Info.Extents, last.Info.Replicas)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Refresh the layout at the new generation and verify the data rode
+	// through both failures.
+	if err := reg.Remap(ctx); err != nil {
+		t.Fatalf("Remap after repair: %v", err)
+	}
+	verify := mustBuf(t, cli, 128<<10)
+	if _, err := reg.ReadAt(ctx, 0, verify, 0, 128<<10); err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if !bytes.Equal(verify.Bytes(), buf.Bytes()) {
+		t.Fatal("data corrupted across server death + master failover")
+	}
+}

@@ -25,12 +25,20 @@ import (
 
 func startCluster(t *testing.T, machines, extraClients int) *core.Cluster {
 	t.Helper()
-	c, err := core.Start(context.Background(), core.Config{
+	return startClusterCfg(t, core.Config{
 		Machines:          machines,
 		ExtraClientNodes:  extraClients,
 		ServerCapacity:    64 << 20,
 		HeartbeatInterval: 20 * time.Millisecond,
 	})
+}
+
+// startClusterCfg boots a cluster from an explicit config (the failover
+// tests need master replication knobs) with the same flight-recorder
+// arming and dump-on-failure hook as startCluster.
+func startClusterCfg(t *testing.T, cfg core.Config) *core.Cluster {
+	t.Helper()
+	c, err := core.Start(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("core.Start: %v", err)
 	}

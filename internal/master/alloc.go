@@ -81,6 +81,38 @@ func (a *spaceAllocator) Alloc(n uint64) (uint64, error) {
 	return 0, fmt.Errorf("%w: need %d, largest free %d", ErrNoSpace, n, a.largestFree())
 }
 
+// AllocAt carves the exact span [off, off+n) (n rounded up to the
+// allocation granularity) out of the free list. It is how a standby
+// rebuilding from a snapshot or log replays the primary's placement
+// decisions byte-for-byte instead of re-running first-fit.
+func (a *spaceAllocator) AllocAt(off, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	n = alignUp(n)
+	if off+n > a.capacity || off+n < off {
+		return fmt.Errorf("%w: [%d,%d) beyond capacity %d", ErrNoSpace, off, off+n, a.capacity)
+	}
+	for i := range a.free {
+		s := a.free[i]
+		if off < s.off || off+n > s.off+s.len {
+			continue
+		}
+		// Split the free span around the carved window.
+		var repl []span
+		if off > s.off {
+			repl = append(repl, span{s.off, off - s.off})
+		}
+		if off+n < s.off+s.len {
+			repl = append(repl, span{off + n, s.off + s.len - (off + n)})
+		}
+		a.free = append(a.free[:i], append(repl, a.free[i+1:]...)...)
+		a.used += n
+		return nil
+	}
+	return fmt.Errorf("%w: [%d,%d) not free", ErrNoSpace, off, off+n)
+}
+
 func (a *spaceAllocator) largestFree() uint64 {
 	var max uint64
 	for _, s := range a.free {

@@ -62,6 +62,18 @@ type Config struct {
 	// point: chaos tests use it to kill the repair source mid-transfer at a
 	// deterministic moment. Nil in production.
 	RepairPullHook func(src proto.Extent)
+	// Peers is the full master replication group (this node included), in
+	// election-priority order: on primary silence the earliest live peer
+	// wins the candidacy. Empty means an unreplicated single master — no
+	// log streaming, no elections, no fencing overhead.
+	Peers []simnet.NodeID
+	// LeaseTerm bounds how long clients may serve from a cached region
+	// layout, on virtual time; a promoted standby waits this long past the
+	// old primary's last observed activity before taking writes, so no
+	// lease issued by the old primary can outlive a conflicting new layout.
+	// 0 means the 250ms default; negative disables leases entirely (both
+	// the client expiry and the candidate's wait).
+	LeaseTerm time.Duration
 	// RPC tunes the control connection buffering.
 	RPC rpc.Options
 }
@@ -87,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RepairRetryDelay <= 0 {
 		c.RepairRetryDelay = 5 * c.HeartbeatInterval
+	}
+	if c.LeaseTerm == 0 {
+		c.LeaseTerm = 250 * time.Millisecond
 	}
 	return c
 }
@@ -133,6 +148,11 @@ type regionState struct {
 	degraded []bool
 	// lost means no clean copy on live servers remains.
 	lost bool
+	// allocToken is the idempotency token the allocating client stamped on
+	// MtAlloc. A post-failover retry of the same allocation presents the
+	// same token and gets the existing region back instead of
+	// ErrRegionExists.
+	allocToken uint64
 }
 
 func newRegionState(info *proto.RegionInfo) *regionState {
@@ -189,6 +209,20 @@ type Master struct {
 	regionsByName map[string]*regionState
 	nextID        proto.RegionID
 
+	// Replication-group state (all guarded by mu). epoch is the master
+	// epoch — bumped once per failover, it fences stale primaries. leader
+	// is the node this replica believes currently leads (-1 unknown).
+	// lastPrimary{Wall,V} track the last evidence of a live primary, on
+	// the wall clock (election trigger) and virtual time (lease wait);
+	// applySeq is the follower's position in the replicated log.
+	role            role
+	epoch           uint64
+	leader          simnet.NodeID
+	lastPrimaryWall time.Time
+	lastPrimaryV    simnet.VTime
+	applySeq        uint64
+	repl            repl
+
 	repair repairQueue
 	// ctrlConns are the repair plane's connections to the memory servers'
 	// control endpoints, guarded separately so pulls never hold m.mu.
@@ -213,6 +247,12 @@ type masterCounters struct {
 	traceFetches    *telemetry.Counter
 	regions         *telemetry.Gauge
 	serversAlive    *telemetry.Gauge
+
+	failovers     *telemetry.Counter
+	fencedRejects *telemetry.Counter
+	replRecords   *telemetry.Counter
+	roleGauge     *telemetry.Gauge
+	epochGauge    *telemetry.Gauge
 
 	repairsStarted    *telemetry.Counter
 	repairsDone       *telemetry.Counter
@@ -255,6 +295,12 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 			regions:         tel.Gauge("master.regions"),
 			serversAlive:    tel.Gauge("master.servers_alive"),
 
+			failovers:     tel.Counter("master.failovers"),
+			fencedRejects: tel.Counter("master.fenced_rejects"),
+			replRecords:   tel.Counter("master.repl_records"),
+			roleGauge:     tel.Gauge("master.role"),
+			epochGauge:    tel.Gauge("master.epoch"),
+
 			repairsStarted:    tel.Counter("master.repairs_started"),
 			repairsDone:       tel.Counter("master.repairs_done"),
 			repairsFailed:     tel.Counter("master.repairs_failed"),
@@ -286,7 +332,24 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	srv.Handle(proto.MtRegionStatus, m.handleRegionStatus)
 	srv.Handle(proto.MtReportDegraded, m.handleReportDegraded)
 	srv.Handle(proto.MtTraceFetch, m.handleTraceFetch)
+	srv.Handle(proto.MtMasterStatus, m.handleMasterStatus)
+	srv.Handle(proto.MtReplHello, m.handleReplHello)
+	srv.Handle(proto.MtReplAppend, m.handleReplAppend)
 	m.repair.init()
+	m.repl.init()
+
+	// The group boots with a known leader: the first configured peer. An
+	// unreplicated master (no peers) is its own permanent primary and all
+	// of the replication machinery stays dormant.
+	m.leader = cfg.Node
+	m.role = rolePrimary
+	if len(cfg.Peers) > 0 && cfg.Peers[0] != cfg.Node {
+		m.role = roleStandby
+		m.leader = cfg.Peers[0]
+	}
+	m.lastPrimaryWall = time.Now()
+	m.lastPrimaryV = m.vnow()
+	m.setRoleGaugesLocked()
 	srv.Serve()
 
 	m.wg.Add(1)
@@ -295,7 +358,24 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 		m.wg.Add(1)
 		go m.repairWorker()
 	}
+	if len(cfg.Peers) > 0 {
+		if m.role == rolePrimary {
+			m.mu.Lock()
+			m.startPrimaryLocked()
+			m.mu.Unlock()
+		}
+		m.wg.Add(1)
+		go m.electionLoop()
+	}
 	return m, nil
+}
+
+// Status returns the replica's current role name, master epoch, and the
+// node it believes leads the group.
+func (m *Master) Status() (role string, epoch uint64, leader simnet.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.role.String(), m.epoch, m.leader
 }
 
 // Node returns the fabric node the master serves on.
@@ -329,6 +409,13 @@ func (m *Master) monitor() {
 		case now := <-ticker.C:
 			deadline := now.Add(-time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatInterval)
 			m.mu.Lock()
+			// Only the primary renders liveness verdicts: a standby's view
+			// of heartbeat recency is secondhand (servers beat at the
+			// primary), so it would sweep everything spuriously.
+			if m.role != rolePrimary {
+				m.mu.Unlock()
+				continue
+			}
 			var died []simnet.NodeID
 			for _, s := range m.servers {
 				if s.alive && s.lastBeat.Before(deadline) {
@@ -338,6 +425,9 @@ func (m *Master) monitor() {
 				}
 			}
 			if len(died) > 0 {
+				for _, n := range died {
+					m.appendLocked(proto.ReplRecord{Kind: proto.ReplServerDead, Node: n})
+				}
 				m.scheduleRepairsLocked(died, true)
 			}
 			m.updateAliveGauge()
@@ -381,8 +471,13 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 	if err := req.Err(); err != nil {
 		return nil, err
 	}
+	var commit uint64
+	defer func() { m.repl.waitCommitted(commit) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	s, ok := m.servers[from]
 	revived := false
 	if !ok {
@@ -411,6 +506,13 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 	s.rkey = rkey
 	s.alive = true
 	s.lastBeat = time.Now()
+	m.appendLocked(proto.ReplRecord{
+		Kind:        proto.ReplServer,
+		Node:        from,
+		Capacity:    capacity,
+		RKey:        rkey,
+		ServerEpoch: s.epoch,
+	})
 	if revived {
 		// The revived arena is empty: every copy with an extent there lost
 		// its bytes, so mark them dirty and repair in place. The loss is
@@ -421,6 +523,7 @@ func (m *Master) handleRegisterServer(_ context.Context, from simnet.NodeID, req
 	// degraded placement, and retry repairs that failed for space.
 	m.rescheduleStalledLocked()
 	m.updateAliveGauge()
+	commit = m.commitSeqLocked()
 	return &rpc.Encoder{}, nil
 }
 
@@ -456,8 +559,13 @@ func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, req *rpc
 		}
 	}
 	m.ctr.heartbeats.Inc()
+	var commit uint64
+	defer func() { m.repl.waitCommitted(commit) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	s, ok := m.servers[from]
 	if !ok {
 		return nil, fmt.Errorf("master: heartbeat from unregistered server %v", from)
@@ -474,8 +582,10 @@ func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, req *rpc
 		// Lift the provisional dirtiness the sweep applied, and re-queue
 		// any repairs that stalled for lack of capacity or a clean source.
 		m.ctr.revives.Inc()
+		m.appendLocked(proto.ReplRecord{Kind: proto.ReplServerAlive, Node: from})
 		m.absolveDeathDirtyLocked(from)
 		m.rescheduleStalledLocked()
+		commit = m.commitSeqLocked()
 	}
 	m.updateAliveGauge()
 	return &rpc.Encoder{}, nil
@@ -550,9 +660,22 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 		a.StripeUnit = m.cfg.DefaultStripeUnit
 	}
 
+	var commit uint64
+	defer func() { m.repl.waitCommitted(commit) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.regionsByName[a.Name]; ok {
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
+	if rs, ok := m.regionsByName[a.Name]; ok {
+		if a.Token != 0 && rs.allocToken == a.Token {
+			// The same allocation, retried — the client's first attempt
+			// committed but its response was lost (e.g. to a failover).
+			// Idempotence: hand back the region it already owns.
+			var e rpc.Encoder
+			proto.EncodeRegionInfo(&e, rs.info)
+			return &e, nil
+		}
 		return nil, fmt.Errorf("%w: %q", ErrRegionExists, a.Name)
 	}
 
@@ -620,6 +743,7 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	}
 
 	rs := newRegionState(info)
+	rs.allocToken = a.Token
 	for r, deg := range degradedReplicas {
 		if deg {
 			rs.degraded[1+r] = true
@@ -629,6 +753,15 @@ func (m *Master) handleAlloc(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	m.regionsByName[a.Name] = rs
 	m.ctr.allocs.Inc()
 	m.ctr.regions.Set(int64(len(m.regionsByName)))
+	m.appendLocked(proto.ReplRecord{
+		Kind:           proto.ReplRegion,
+		Region:         info.ID,
+		Name:           info.Name,
+		Info:           info.Clone(),
+		Token:          a.Token,
+		DegradedCopies: append([]bool(nil), rs.degraded...),
+	})
+	commit = m.commitSeqLocked()
 	var e rpc.Encoder
 	proto.EncodeRegionInfo(&e, info)
 	return &e, nil
@@ -646,17 +779,35 @@ func (m *Master) handleMap(_ context.Context, _ simnet.NodeID, req *rpc.Decoder)
 	if err := req.Err(); err != nil {
 		return nil, err
 	}
+	var commit uint64
+	defer func() { m.repl.waitCommitted(commit) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	rs, ok := m.regionsByName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
 	}
 	rs.mapCount++
 	m.ctr.maps.Inc()
+	m.appendLocked(proto.ReplRecord{Kind: proto.ReplMapCount, Name: name, Count: rs.mapCount})
+	commit = m.commitSeqLocked()
 	var e rpc.Encoder
 	proto.EncodeRegionInfo(&e, rs.info)
+	e.U64(m.leaseNanosLocked())
 	return &e, nil
+}
+
+// leaseNanosLocked returns the layout lease term stamped on Map/Remap
+// responses, in nanoseconds of virtual time (0 = no lease discipline, the
+// layout never self-expires). Caller holds m.mu.
+func (m *Master) leaseNanosLocked() uint64 {
+	if m.cfg.LeaseTerm < 0 || len(m.cfg.Peers) == 0 {
+		return 0
+	}
+	return uint64(m.cfg.LeaseTerm)
 }
 
 // handleRemap returns a region's metadata without touching its map count:
@@ -668,6 +819,9 @@ func (m *Master) handleRemap(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	rs, ok := m.regionsByName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
@@ -675,6 +829,7 @@ func (m *Master) handleRemap(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	m.ctr.remaps.Inc()
 	var e rpc.Encoder
 	proto.EncodeRegionInfo(&e, rs.info)
+	e.U64(m.leaseNanosLocked())
 	return &e, nil
 }
 
@@ -683,14 +838,21 @@ func (m *Master) handleUnmap(_ context.Context, _ simnet.NodeID, req *rpc.Decode
 	if err := req.Err(); err != nil {
 		return nil, err
 	}
+	var commit uint64
+	defer func() { m.repl.waitCommitted(commit) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	rs, ok := m.regionsByName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
 	}
 	if rs.mapCount > 0 {
 		rs.mapCount--
+		m.appendLocked(proto.ReplRecord{Kind: proto.ReplMapCount, Name: name, Count: rs.mapCount})
+		commit = m.commitSeqLocked()
 	}
 	return &rpc.Encoder{}, nil
 }
@@ -700,8 +862,13 @@ func (m *Master) handleFree(_ context.Context, _ simnet.NodeID, req *rpc.Decoder
 	if err := req.Err(); err != nil {
 		return nil, err
 	}
+	var commit uint64
+	defer func() { m.repl.waitCommitted(commit) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	rs, ok := m.regionsByName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
@@ -716,12 +883,17 @@ func (m *Master) handleFree(_ context.Context, _ simnet.NodeID, req *rpc.Decoder
 	delete(m.regionsByName, name)
 	m.ctr.frees.Inc()
 	m.ctr.regions.Set(int64(len(m.regionsByName)))
+	m.appendLocked(proto.ReplRecord{Kind: proto.ReplRegionFree, Name: name})
+	commit = m.commitSeqLocked()
 	return &rpc.Encoder{}, nil
 }
 
 func (m *Master) handleClusterInfo(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	nodes := make([]simnet.NodeID, 0, len(m.servers))
 	for id := range m.servers {
 		nodes = append(nodes, id)
@@ -755,6 +927,9 @@ func (m *Master) handleStats(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	nodes := make([]simnet.NodeID, 0, len(m.servers))
 	for id := range m.servers {
 		if m.servers[id].stats != nil {
@@ -778,6 +953,9 @@ func (m *Master) handleStats(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder)
 func (m *Master) handleListRegions(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	names := make([]string, 0, len(m.regionsByName))
 	for n := range m.regionsByName {
 		names = append(names, n)

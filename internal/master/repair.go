@@ -137,6 +137,12 @@ func (m *Master) scheduleRepairsLocked(nodes []simnet.NodeID, presumed bool) {
 				if presumed && !wasDirty {
 					rs.deathEpoch[j] = rs.dirtyEpoch[j]
 				}
+				m.appendLocked(proto.ReplRecord{
+					Kind:        proto.ReplDirty,
+					Name:        name,
+					Copy:        j,
+					Provisional: presumed,
+				})
 				m.enqueueRepair(repairKey{name: name, copy: j}, false)
 			}
 		}
@@ -175,6 +181,7 @@ func (m *Master) absolveDeathDirtyLocked(node simnet.NodeID) {
 			}
 			rs.dirty[j] = false
 			rs.deathEpoch[j] = 0
+			m.appendLocked(proto.ReplRecord{Kind: proto.ReplClean, Name: name, Copy: j})
 			absolved = true
 		}
 		if !absolved || !rs.lost {
@@ -194,6 +201,7 @@ func (m *Master) absolveDeathDirtyLocked(node simnet.NodeID) {
 			}
 			if available {
 				rs.lost = false
+				m.appendLocked(proto.ReplRecord{Kind: proto.ReplLost, Name: name, Lost: false})
 				break
 			}
 		}
@@ -244,6 +252,16 @@ func (m *Master) repairWorker() {
 			continue
 		}
 		m.ctr.repairQueueDepth.Set(int64(m.repair.depth()))
+		m.mu.Lock()
+		primary := m.role == rolePrimary
+		m.mu.Unlock()
+		if !primary {
+			// A stepped-down replica drops its queued repairs: the new
+			// primary re-derives them from the replicated dirty state (its
+			// promotion reschedules every stalled copy).
+			m.repair.finish(task.key)
+			continue
+		}
 		if m.runRepair(task) {
 			select {
 			case <-m.stop:
@@ -300,6 +318,10 @@ func (m *Master) planRepair(task repairTask) (plan repairPlan, retry, ok bool) {
 	defer m.mu.Unlock()
 	finish := func() { m.repair.finish(task.key) }
 
+	if m.role != rolePrimary {
+		finish()
+		return plan, false, false
+	}
 	rs, exists := m.regionsByName[task.key.name]
 	ci := task.key.copy
 	if !exists || ci >= rs.copyCount() {
@@ -328,6 +350,7 @@ func (m *Master) planRepair(task repairTask) (plan repairPlan, retry, ok bool) {
 		if !rs.lost {
 			rs.lost = true
 			m.ctr.regionsLost.Inc()
+			m.appendLocked(proto.ReplRecord{Kind: proto.ReplLost, Name: task.key.name, Lost: true})
 		}
 		finish()
 		return plan, false, false
@@ -583,6 +606,14 @@ func (m *Master) closeCtrlConns() {
 // and clears the under-repair mark so the copy can be re-queued.
 func (m *Master) abortRepair(plan repairPlan) {
 	m.mu.Lock()
+	if m.role != rolePrimary {
+		// Stepped down mid-repair: our allocators were (or will be) rebuilt
+		// from the new primary's snapshot, so the plan's reservations no
+		// longer exist to be freed.
+		m.mu.Unlock()
+		m.repair.finish(plan.key)
+		return
+	}
 	if plan.realloc {
 		m.freeExtents(plan.dest)
 	}
@@ -600,6 +631,14 @@ func (m *Master) abortRepair(plan repairPlan) {
 // then only re-transfers on top of already-landed bytes.
 func (m *Master) commitRepair(plan repairPlan, enqueuedV simnet.VTime) {
 	m.mu.Lock()
+	if m.role != rolePrimary {
+		// Stepped down while the transfer ran: this replica no longer owns
+		// the metadata, and its allocator state was rebuilt from the new
+		// primary's snapshot. The new primary re-runs the repair.
+		m.mu.Unlock()
+		m.repair.finish(plan.key)
+		return
+	}
 	rs, exists := m.regionsByName[plan.key.name]
 	ci := plan.key.copy
 	if !exists || ci >= rs.copyCount() {
@@ -624,10 +663,24 @@ func (m *Master) commitRepair(plan repairPlan, enqueuedV simnet.VTime) {
 	rs.degraded[ci] = plan.fellBack
 	rs.underRepair[ci] = false
 	rs.lost = false
+	rec := proto.ReplRecord{
+		Kind:       proto.ReplCommit,
+		Name:       plan.key.name,
+		Copy:       ci,
+		Generation: rs.info.Generation,
+		Degraded:   plan.fellBack,
+		StillDirty: stillDirty,
+	}
+	if layoutChanged {
+		rec.Extents = append([]proto.Extent(nil), plan.dest...)
+	}
+	m.appendLocked(rec)
+	commit := m.commitSeqLocked()
 	gen := rs.info.Generation
 	home := rs.info.HomeServer()
 	id := rs.info.ID
 	m.mu.Unlock()
+	m.repl.waitCommitted(commit)
 	m.repair.finish(plan.key)
 
 	m.ctr.repairsDone.Inc()
@@ -675,6 +728,9 @@ func (m *Master) pushInvalidation(home simnet.NodeID, id proto.RegionID, gen uin
 func (m *Master) handleRegionStatus(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		return nil, err
+	}
 	names := make([]string, 0, len(m.regionsByName))
 	for n := range m.regionsByName {
 		names = append(names, n)
@@ -720,6 +776,10 @@ func (m *Master) handleReportDegraded(_ context.Context, _ simnet.NodeID, req *r
 		return nil, err
 	}
 	m.mu.Lock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
 	rs, ok := m.regionsByName[r.Name]
 	if !ok {
 		m.mu.Unlock()
@@ -731,9 +791,12 @@ func (m *Master) handleReportDegraded(_ context.Context, _ simnet.NodeID, req *r
 	}
 	m.ctr.degradedReports.Inc()
 	rs.markDirty(r.Copy)
+	m.appendLocked(proto.ReplRecord{Kind: proto.ReplDirty, Name: r.Name, Copy: r.Copy})
+	commit := m.commitSeqLocked()
 	gen := rs.info.Generation
 	key := repairKey{name: r.Name, copy: r.Copy}
 	m.mu.Unlock()
+	m.repl.waitCommitted(commit)
 	m.enqueueRepair(key, false)
 	var e rpc.Encoder
 	e.U64(gen)

@@ -1,0 +1,327 @@
+package master
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rstore/internal/proto"
+	"rstore/internal/rdma"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+)
+
+// replHarness boots a replicated master group on the low nodes of a small
+// fabric. LeaseTerm is negative so candidates skip the virtual-time lease
+// wait — the fake memory servers in these tests speak no MtPing.
+type replHarness struct {
+	t   *testing.T
+	f   *simnet.Fabric
+	net *rdma.Network
+	ms  []*Master
+}
+
+func newReplHarness(t *testing.T, nodes, replicas int) *replHarness {
+	t.Helper()
+	f := simnet.NewFabric(nodes, simnet.DefaultParams())
+	n := rdma.NewNetwork(f)
+	peers := make([]simnet.NodeID, replicas)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	h := &replHarness{t: t, f: f, net: n}
+	for i := 0; i < replicas; i++ {
+		dev, err := n.OpenDevice(simnet.NodeID(i))
+		if err != nil {
+			t.Fatalf("OpenDevice(%d): %v", i, err)
+		}
+		m, err := Start(dev, Config{
+			HeartbeatInterval: 20 * time.Millisecond,
+			Peers:             peers,
+			LeaseTerm:         -1,
+		})
+		if err != nil {
+			t.Fatalf("Start master %d: %v", i, err)
+		}
+		t.Cleanup(m.Close)
+		h.ms = append(h.ms, m)
+	}
+	return h
+}
+
+func (h *replHarness) dial(from, to simnet.NodeID) *rpc.Conn {
+	h.t.Helper()
+	dev, err := h.net.OpenDevice(from)
+	if err != nil {
+		h.t.Fatalf("OpenDevice: %v", err)
+	}
+	conn, err := rpc.Dial(context.Background(), dev, to, proto.MasterService, nil, rpc.Options{})
+	if err != nil {
+		h.t.Fatalf("Dial %v->%v: %v", from, to, err)
+	}
+	h.t.Cleanup(conn.Close)
+	return conn
+}
+
+func (h *replHarness) waitRole(m *Master, want string, minEpoch uint64) {
+	h.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		role, epoch, _ := m.Status()
+		if role == want && epoch >= minEpoch {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	role, epoch, leader := m.Status()
+	h.t.Fatalf("master %v stuck at %s@%d (leader %v), want %s@>=%d",
+		m.Node(), role, epoch, leader, want, minEpoch)
+}
+
+func regionStatusOf(t *testing.T, conn *rpc.Conn, name string) (proto.RegionStatus, bool) {
+	t.Helper()
+	resp, _, err := conn.Call(context.Background(), proto.MtRegionStatus, nil)
+	if err != nil {
+		t.Fatalf("region status: %v", err)
+	}
+	d := rpc.NewDecoder(resp)
+	n := d.U32()
+	for i := uint32(0); i < n; i++ {
+		if st := proto.DecodeRegionStatus(d); st.Info.Name == name {
+			return st, true
+		}
+	}
+	return proto.RegionStatus{}, false
+}
+
+// TestFailoverPromotesStandbyAndFencesOldPrimary: the boot primary streams
+// its metadata log to the standby; when the primary's node drops off the
+// fabric, the standby waits out the silence, promotes itself at a bumped
+// epoch, and serves the replicated metadata. When the old primary's node
+// comes back, the first contact with the higher-epoch group steps it down,
+// and client-facing RPCs against it redirect with a not-primary error.
+//
+// It also extends TestSpuriousDeathAbsolvedOnHeartbeat across a failover:
+// servers presumed dead by the OLD primary (provisional dirtiness and even
+// a latched Lost verdict, all replicated) beat the NEW primary with the
+// same incarnation — the absolution must lift everything with the layout
+// generation untouched, because the arenas were intact all along.
+func TestFailoverPromotesStandbyAndFencesOldPrimary(t *testing.T) {
+	h := newReplHarness(t, 5, 2)
+	a, b := h.ms[0], h.ms[1]
+
+	cli := h.dial(4, 0)
+	srvConn := map[simnet.NodeID]*rpc.Conn{}
+	for n := simnet.NodeID(2); n <= 3; n++ {
+		c := h.dial(n, 0)
+		var e rpc.Encoder
+		e.U64(1 << 20)
+		e.U32(uint32(10 * n))
+		if _, _, err := c.Call(context.Background(), proto.MtRegisterServer, e.Bytes()); err != nil {
+			t.Fatalf("register server %v: %v", n, err)
+		}
+		srvConn[n] = c
+	}
+
+	var e rpc.Encoder
+	(&proto.AllocRequest{
+		Name: "flap", Size: 64 << 10, StripeUnit: 16 << 10,
+		StripeWidth: 1, Replicas: 1,
+	}).Encode(&e)
+	resp, _, err := cli.Call(context.Background(), proto.MtAlloc, e.Bytes())
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	d := rpc.NewDecoder(resp)
+	info := proto.DecodeRegionInfo(d)
+	if derr := d.Err(); derr != nil {
+		t.Fatalf("decode alloc: %v", derr)
+	}
+
+	// Starve the fake servers' heartbeats until the primary's sweep latches
+	// the region Lost — provisional dirtiness on both copies, replicated to
+	// the standby as it happens.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := regionStatusOf(t, cli, "flap")
+		if ok && st.Lost && st.Copies[0].Dirty && st.Copies[1].Dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lost latch never reached; status %+v (found=%v)", st, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the primary's node. The standby notices the silent stream and
+	// takes over at a bumped epoch.
+	if err := h.f.SetNodeUp(0, false); err != nil {
+		t.Fatalf("kill node 0: %v", err)
+	}
+	h.waitRole(b, "primary", 1)
+
+	// The replicated metadata survived the failover: same region, same
+	// identity, still latched Lost with both copies dirty.
+	cliB := h.dial(4, 1)
+	st, ok := regionStatusOf(t, cliB, "flap")
+	if !ok {
+		t.Fatal("region missing on promoted standby")
+	}
+	if st.Info.ID != info.ID || st.Info.Size != info.Size {
+		t.Fatalf("promoted standby serves different region identity: %+v vs %+v", st.Info, info)
+	}
+	if !st.Lost || !st.Copies[0].Dirty || !st.Copies[1].Dirty {
+		t.Fatalf("replicated dirty/lost state missing after promotion: %+v", st)
+	}
+
+	// Same-incarnation heartbeats reach the freshly promoted primary: the
+	// provisional dirtiness and the Lost latch lift without any repair —
+	// the layout generation stays 0.
+	for n := simnet.NodeID(2); n <= 3; n++ {
+		c := h.dial(n, 1)
+		if _, _, err := c.Call(context.Background(), proto.MtHeartbeat, nil); err != nil {
+			t.Fatalf("heartbeat %v at new primary: %v", n, err)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st, ok = regionStatusOf(t, cliB, "flap")
+		if ok && !st.Lost && !st.Copies[0].Dirty && !st.Copies[1].Dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("absolution never reached on new primary; status %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Info.Generation != 0 {
+		t.Errorf("generation %d after absolution, want 0 (no layout change)", st.Info.Generation)
+	}
+
+	// The old primary comes back partitioned in time, not space: its first
+	// replication contact with the higher-epoch group must step it down.
+	if err := h.f.SetNodeUp(0, true); err != nil {
+		t.Fatalf("revive node 0: %v", err)
+	}
+	h.waitRole(a, "standby", 1)
+
+	// And client-facing RPCs against the stale replica are fenced with a
+	// redirect hint pointing at the real primary.
+	cliA := h.dial(4, 0)
+	var ae rpc.Encoder
+	(&proto.AllocRequest{Name: "fenced", Size: 16 << 10}).Encode(&ae)
+	_, _, err = cliA.Call(context.Background(), proto.MtAlloc, ae.Bytes())
+	if err == nil {
+		t.Fatal("stale replica accepted an alloc")
+	}
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("fencing error is not a remote error: %v", err)
+	}
+	hint, epoch, ok := proto.IsNotPrimaryMsg(re.Msg)
+	if !ok {
+		t.Fatalf("fencing error lacks the not-primary marker: %v", re.Msg)
+	}
+	if hint != 1 {
+		t.Errorf("redirect hint %v, want 1", hint)
+	}
+	if epoch < 1 {
+		t.Errorf("fencing epoch %d, want >= 1", epoch)
+	}
+}
+
+// TestAllocTokenIdempotent: a retried Alloc carrying the same nonzero
+// token must return the originally created region instead of "already
+// exists" — the contract a client retry relies on when its first attempt
+// committed just before a failover.
+func TestAllocTokenIdempotent(t *testing.T) {
+	h := newHarness(t, 2)
+	conn := h.dial(1)
+	h.registerServer(conn, 1<<20, 7)
+
+	req := proto.AllocRequest{Name: "idem", Size: 64 << 10, Token: 42}
+	first, err := h.alloc(conn, req)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	second, err := h.alloc(conn, req)
+	if err != nil {
+		t.Fatalf("retried alloc with same token: %v", err)
+	}
+	if first.ID != second.ID || first.Size != second.Size {
+		t.Fatalf("retry returned a different region: %+v vs %+v", first, second)
+	}
+
+	// A different token for the same name is a genuine conflict.
+	req.Token = 43
+	if _, err := h.alloc(conn, req); err == nil {
+		t.Fatal("conflicting alloc with a fresh token succeeded")
+	}
+}
+
+// TestReplicatedAllocVisibleOnStandbyAfterPromotion: registrations and
+// allocations stream to the standby as they commit; killing the primary
+// immediately after a burst of allocations must lose none of them.
+func TestReplicatedAllocVisibleOnStandbyAfterPromotion(t *testing.T) {
+	h := newReplHarness(t, 4, 2)
+	b := h.ms[1]
+
+	cli := h.dial(3, 0)
+	sc := h.dial(2, 0)
+	var e rpc.Encoder
+	e.U64(4 << 20)
+	e.U32(99)
+	if _, _, err := sc.Call(context.Background(), proto.MtRegisterServer, e.Bytes()); err != nil {
+		t.Fatalf("register server: %v", err)
+	}
+
+	names := []string{"a", "b", "c", "d", "e"}
+	ids := map[string]proto.RegionID{}
+	for _, name := range names {
+		var ae rpc.Encoder
+		(&proto.AllocRequest{Name: name, Size: 32 << 10}).Encode(&ae)
+		resp, _, err := cli.Call(context.Background(), proto.MtAlloc, ae.Bytes())
+		if err != nil {
+			t.Fatalf("alloc %q: %v", name, err)
+		}
+		d := rpc.NewDecoder(resp)
+		info := proto.DecodeRegionInfo(d)
+		if derr := d.Err(); derr != nil {
+			t.Fatalf("decode alloc %q: %v", name, derr)
+		}
+		ids[name] = info.ID
+	}
+
+	// The alloc response is the commit acknowledgment: by the time the last
+	// one returned, every record is acked by the standby. Kill the primary
+	// with no settling delay.
+	if err := h.f.SetNodeUp(0, false); err != nil {
+		t.Fatalf("kill node 0: %v", err)
+	}
+	h.waitRole(b, "primary", 1)
+
+	cliB := h.dial(3, 1)
+	resp, _, err := cliB.Call(context.Background(), proto.MtListRegions, nil)
+	if err != nil {
+		t.Fatalf("list regions on promoted standby: %v", err)
+	}
+	d := rpc.NewDecoder(resp)
+	n := d.U32()
+	got := map[string]proto.RegionID{}
+	for i := uint32(0); i < n; i++ {
+		name := d.String()
+		id := proto.RegionID(d.U64())
+		d.U64() // size
+		d.U32() // map count
+		got[name] = id
+	}
+	if derr := d.Err(); derr != nil {
+		t.Fatalf("decode list: %v", derr)
+	}
+	for _, name := range names {
+		if got[name] != ids[name] {
+			t.Errorf("region %q: id %v on standby, want %v", name, got[name], ids[name])
+		}
+	}
+}

@@ -21,6 +21,12 @@ func (m *Master) handleTraceFetch(ctx context.Context, _ simnet.NodeID, req *rpc
 	if err := req.Err(); err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.mu.Unlock()
 	m.ctr.traceFetches.Inc()
 
 	spans, complete := m.tel.Tracer().SpansFor(r.Trace)

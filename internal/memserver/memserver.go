@@ -29,6 +29,11 @@ type Config struct {
 	Capacity uint64
 	// Master is the node the master runs on.
 	Master simnet.NodeID
+	// Masters, when set, is the full master replication group. The server
+	// registers with (and beats at) whichever replica currently answers as
+	// primary, following not-primary redirects after a failover. Empty
+	// means the single Master above.
+	Masters []simnet.NodeID
 	// HeartbeatInterval is how often to beat. Default 100ms (should match
 	// the master's interval).
 	HeartbeatInterval time.Duration
@@ -41,6 +46,15 @@ func (c Config) withDefaults() Config {
 		c.HeartbeatInterval = 100 * time.Millisecond
 	}
 	return c
+}
+
+// masters returns the configured master group (the single Master when no
+// group was given).
+func (c Config) masters() []simnet.NodeID {
+	if len(c.Masters) > 0 {
+		return c.Masters
+	}
+	return []simnet.NodeID{c.Master}
 }
 
 // Server is a running memory server.
@@ -60,6 +74,13 @@ type Server struct {
 	notifyLis *rdma.Listener
 	ctrlSrv   *rpc.Server
 	masterCon *rpc.Conn
+
+	// needAnnounce (owned by the heartbeat goroutine) is armed when the
+	// whole master group went unreachable: the fault may have been this
+	// machine's own link, and a severed machine must assume the master
+	// wrote it off — the next contact re-registers as a new incarnation
+	// instead of presenting itself as a survivor.
+	needAnnounce bool
 
 	mu       sync.Mutex
 	dataQPs  []*rdma.QP
@@ -99,12 +120,12 @@ func Start(ctx context.Context, dev *rdma.Device, cfg Config) (*Server, error) {
 		notifyLis.Close()
 		return nil, fmt.Errorf("memserver: %w", err)
 	}
-	conn, err := rpc.Dial(ctx, dev, cfg.Master, proto.MasterService, pd, cfg.RPC)
+	conn, err := dialAndRegister(ctx, dev, pd, cfg, arena.RKey())
 	if err != nil {
 		dataLis.Close()
 		notifyLis.Close()
 		ctrlSrv.Close()
-		return nil, fmt.Errorf("memserver: dial master: %w", err)
+		return nil, fmt.Errorf("memserver: register with master: %w", err)
 	}
 
 	tel := dev.Telemetry()
@@ -128,16 +149,8 @@ func Start(ctx context.Context, dev *rdma.Device, cfg Config) (*Server, error) {
 	}
 	ctrlSrv.Handle(proto.MtRepairPull, s.handleRepairPull)
 	ctrlSrv.Handle(proto.MtTracePull, s.handleTracePull)
+	ctrlSrv.Handle(proto.MtPing, s.handlePing)
 	ctrlSrv.Serve()
-
-	// Announce capacity and the arena rkey to the master.
-	var e rpc.Encoder
-	e.U64(cfg.Capacity)
-	e.U32(arena.RKey())
-	if _, _, err := conn.Call(ctx, proto.MtRegisterServer, e.Bytes()); err != nil {
-		s.teardown()
-		return nil, fmt.Errorf("memserver: register with master: %w", err)
-	}
 
 	loopCtx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
@@ -251,28 +264,150 @@ func (s *Server) beatPayload() []byte {
 	return e.Bytes()
 }
 
-// reconnect re-establishes the master control connection and re-registers
-// the arena. Failures are ignored; the next heartbeat tick retries. Every
-// step is bounded by a deadline so a half-partitioned master cannot stall
-// the heartbeat loop past a few beat intervals.
+// reconnect re-establishes the master control connection, re-homing to
+// whichever replica currently answers as primary. Failures are ignored;
+// the next heartbeat tick retries. Every step is bounded by a deadline so
+// a half-partitioned master cannot stall the heartbeat loop past a few
+// beat intervals.
 func (s *Server) reconnect(ctx context.Context) {
 	ctx, cancel := context.WithTimeout(ctx, 4*s.cfg.HeartbeatInterval)
 	defer cancel()
 	s.reconnects.Inc()
-	conn, err := rpc.Dial(ctx, s.dev, s.cfg.Master, proto.MasterService, s.pd, s.cfg.RPC)
+	conn, reached, err := s.rehome(ctx)
 	if err != nil {
+		if !reached {
+			s.needAnnounce = true
+		}
 		return
 	}
-	var e rpc.Encoder
-	e.U64(s.cfg.Capacity)
-	e.U32(s.arena.RKey())
-	if _, _, err := conn.Call(ctx, proto.MtRegisterServer, e.Bytes()); err != nil {
-		conn.Close()
-		return
-	}
+	s.needAnnounce = false
 	s.mu.Lock()
 	old := s.masterCon
 	s.masterCon = conn
 	s.mu.Unlock()
 	old.Close()
+}
+
+// rehome locates the master group's current primary and re-establishes
+// the control connection. As long as some replica stayed reachable, the
+// fault was on the master's side, the arena is demonstrably intact, and
+// the server presents itself with a plain heartbeat: the same incarnation
+// re-homing — at a freshly promoted primary this lifts any provisional
+// death verdict the failover sweep applied, with no epoch bump and no
+// repair. It falls back to a full registration when the primary does not
+// know the server (a standby promoted before the registration replicated)
+// or when needAnnounce marks this incarnation as suspect. The second
+// return reports whether any replica answered at all.
+func (s *Server) rehome(ctx context.Context) (*rpc.Conn, bool, error) {
+	var lastErr error
+	reached := false
+	tried := make(map[simnet.NodeID]bool)
+	candidates := append([]simnet.NodeID(nil), s.cfg.masters()...)
+	for i := 0; i < len(candidates); i++ {
+		node := candidates[i]
+		if tried[node] {
+			continue
+		}
+		tried[node] = true
+		conn, err := rpc.Dial(ctx, s.dev, node, proto.MasterService, s.pd, s.cfg.RPC)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reached = true
+		register := s.needAnnounce
+		if !register {
+			_, _, err = conn.Call(ctx, proto.MtHeartbeat, s.beatPayload())
+			if err == nil {
+				return conn, true, nil
+			}
+			lastErr = err
+			var re *rpc.RemoteError
+			if !errors.As(err, &re) {
+				conn.Close()
+				continue
+			}
+			if p, _, ok := proto.IsNotPrimaryMsg(re.Msg); ok {
+				conn.Close()
+				if p >= 0 {
+					candidates = append(candidates, p)
+				}
+				continue
+			}
+			// The primary answered but refused the beat — it does not know
+			// this server. Announce in full on the same connection.
+			register = true
+		}
+		if register {
+			var e rpc.Encoder
+			e.U64(s.cfg.Capacity)
+			e.U32(s.arena.RKey())
+			if _, _, err := conn.Call(ctx, proto.MtRegisterServer, e.Bytes()); err != nil {
+				conn.Close()
+				lastErr = err
+				var re *rpc.RemoteError
+				if errors.As(err, &re) {
+					if p, _, ok := proto.IsNotPrimaryMsg(re.Msg); ok && p >= 0 {
+						candidates = append(candidates, p)
+					}
+				}
+				continue
+			}
+			return conn, true, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("memserver: no masters configured")
+	}
+	return nil, reached, lastErr
+}
+
+// dialAndRegister locates the master group's current primary, announces
+// the arena (capacity + rkey), and returns the control connection. It
+// tries each configured replica in order, chasing not-primary redirect
+// hints it has not already tried.
+func dialAndRegister(ctx context.Context, dev *rdma.Device, pd *rdma.PD, cfg Config, rkey uint32) (*rpc.Conn, error) {
+	var lastErr error
+	tried := make(map[simnet.NodeID]bool)
+	candidates := append([]simnet.NodeID(nil), cfg.masters()...)
+	for i := 0; i < len(candidates); i++ {
+		node := candidates[i]
+		if tried[node] {
+			continue
+		}
+		tried[node] = true
+		conn, err := rpc.Dial(ctx, dev, node, proto.MasterService, pd, cfg.RPC)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var e rpc.Encoder
+		e.U64(cfg.Capacity)
+		e.U32(rkey)
+		_, _, err = conn.Call(ctx, proto.MtRegisterServer, e.Bytes())
+		if err == nil {
+			return conn, nil
+		}
+		conn.Close()
+		lastErr = err
+		var re *rpc.RemoteError
+		if errors.As(err, &re) {
+			if p, _, ok := proto.IsNotPrimaryMsg(re.Msg); ok && p >= 0 {
+				// Chase the redirect even if it points outside the
+				// configured list (it never should, but the hint is
+				// authoritative).
+				candidates = append(candidates, p)
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("memserver: no masters configured")
+	}
+	return nil, lastErr
+}
+
+// handlePing answers the master candidacy probe: a no-op round trip whose
+// only job is to prove reachability and move the virtual clock.
+func (s *Server) handlePing(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+	return &rpc.Encoder{}, nil
 }

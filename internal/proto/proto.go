@@ -44,6 +44,19 @@ const (
 	// MtTracePull), merged into one response the caller assembles into a
 	// causal tree.
 	MtTraceFetch
+	// MtMasterStatus returns a master replica's view of the replication
+	// group: its role (primary/standby), the master epoch, and who it
+	// believes the primary is. It is the only master RPC a standby answers,
+	// so clients and probes can use it to locate the primary.
+	MtMasterStatus
+	// MtReplHello is the primary's stream-open message to a standby: it
+	// carries the primary's epoch and a full metadata snapshot, resetting
+	// the standby's state to the primary's log position.
+	MtReplHello
+	// MtReplAppend streams ordered metadata log records from the primary to
+	// a standby. An empty append doubles as the primary's lease renewal
+	// beat; a standby that misses them long enough starts an election.
+	MtReplAppend
 )
 
 // Control message types served by the memory servers' control endpoint.
@@ -56,6 +69,13 @@ const (
 	// its telemetry ring and flight recorder (the master's fan-out leg of
 	// MtTraceFetch).
 	MtTracePull
+	// MtPing is a no-op round trip on the control endpoint. A master
+	// candidate uses it during an election to confirm it can still reach
+	// the cluster's memory servers before assuming the primaryship (each
+	// successful round trip also advances the fabric's virtual clock, which
+	// is what lets the candidate wait out the old primary's lease on
+	// virtual time).
+	MtPing
 )
 
 // Service names on the fabric.
@@ -286,6 +306,18 @@ func decodeExtents(d *rpc.Decoder) []Extent {
 	return xs
 }
 
+// Clone returns a deep copy of the region metadata. The master replication
+// plane uses it so snapshots and log records never alias live state.
+func (r *RegionInfo) Clone() *RegionInfo {
+	c := *r
+	c.Extents = append([]Extent(nil), r.Extents...)
+	c.Replicas = make([][]Extent, len(r.Replicas))
+	for i, rep := range r.Replicas {
+		c.Replicas[i] = append([]Extent(nil), rep...)
+	}
+	return &c
+}
+
 // EncodeRegionInfo appends the full region metadata.
 func EncodeRegionInfo(e *rpc.Encoder, r *RegionInfo) {
 	e.U64(uint64(r.ID))
@@ -327,6 +359,12 @@ type AllocRequest struct {
 	StripeWidth int
 	// Replicas is the number of additional copies (zero for none).
 	Replicas int
+	// Token makes the request idempotent across a master failover: the
+	// client stamps each allocation with a unique token, the master records
+	// it with the region, and a retried Alloc whose token matches the
+	// existing region returns that region's metadata instead of
+	// ErrRegionExists. Zero means no token (legacy callers).
+	Token uint64
 }
 
 // Encode marshals the request.
@@ -336,17 +374,24 @@ func (a *AllocRequest) Encode(e *rpc.Encoder) {
 	e.U64(a.StripeUnit)
 	e.U32(uint32(a.StripeWidth))
 	e.U32(uint32(a.Replicas))
+	e.U64(a.Token)
 }
 
 // DecodeAllocRequest unmarshals an AllocRequest.
 func DecodeAllocRequest(d *rpc.Decoder) AllocRequest {
-	return AllocRequest{
+	a := AllocRequest{
 		Name:        d.String(),
 		Size:        d.U64(),
 		StripeUnit:  d.U64(),
 		StripeWidth: int(d.U32()),
 		Replicas:    int(d.U32()),
 	}
+	// The token rides at the end so requests from older encoders still
+	// decode (as token zero).
+	if d.Err() == nil && d.Remaining() > 0 {
+		a.Token = d.U64()
+	}
+	return a
 }
 
 // ServerInfo describes one memory server in cluster status responses.

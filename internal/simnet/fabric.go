@@ -151,6 +151,14 @@ func (f *Fabric) SetInjector(inj Injector) {
 // VNow returns the fabric-wide virtual-time frontier.
 func (f *Fabric) VNow() VTime { return VTime(f.vnow.Load()) }
 
+// WaitUntil models an actor sitting out a timer: virtual time is the
+// simulation's only clock, so a node that must let a duration elapse
+// (a lease term, a quarantine) contributes that wait to the frontier
+// exactly as a transfer of equal duration would. Idle actors rejoin the
+// timeline at the lifted frontier; a frontier already past v is a no-op
+// (the wait had, in virtual terms, already happened).
+func (f *Fabric) WaitUntil(v VTime) { f.advanceVNow(v) }
+
 // advanceVNow lifts the frontier to at least v.
 func (f *Fabric) advanceVNow(v VTime) {
 	for {
