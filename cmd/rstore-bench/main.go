@@ -8,8 +8,8 @@
 //
 // Experiment IDs follow DESIGN.md's per-experiment index: e1 latency,
 // e2 bandwidth, e3 control path, e4 pagerank, e5 sort, e6 notify,
-// e7 multi-client, e8 repair MTTR, e9 failover MTTR, a1 stripe width,
-// a2 replication, a3 qp-sharing, a4 kv-store.
+// e7 multi-client, e8 repair MTTR, e9 failover MTTR, e10 txn contention,
+// a1 stripe width, a2 replication, a3 qp-sharing, a4 kv-store.
 package main
 
 import (
@@ -44,6 +44,7 @@ func experiments() []experiment {
 		{"e7", "small-op throughput vs clients", bench.E7MultiClient},
 		{"e8", "repair MTTR vs region size", bench.E8RepairMTTR},
 		{"e9", "master failover MTTR vs lease term", bench.E9FailoverMTTR},
+		{"e10", "optimistic txn abort rate vs contention", bench.E10TxnContention},
 		{"a1", "ablation: stripe width", bench.A1Stripe},
 		{"a2", "ablation: replication", bench.A2Replication},
 		{"a3", "ablation: QP sharing", bench.A3QPSharing},
@@ -52,7 +53,7 @@ func experiments() []experiment {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment id (e1..e9, a1..a4) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e1..e10, a1..a4) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 

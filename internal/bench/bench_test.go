@@ -295,3 +295,48 @@ func TestA3QPSharingShape(t *testing.T) {
 		t.Errorf("later maps should reuse QPs, got %v connects", laterConnects)
 	}
 }
+
+func TestE10TxnShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Two corners of the sweep keep the real-time cost down; the full
+	// grid runs under `rstore-bench -exp e10`.
+	origW, origS := E10Workers, E10Skews
+	E10Workers = []int{1, 8}
+	E10Skews = E10Skews[:1:1]
+	E10Skews = append(E10Skews, origS[len(origS)-1])
+	defer func() { E10Workers, E10Skews = origW, origS }()
+
+	tbl, err := E10TxnContention(context.Background())
+	if err != nil {
+		t.Fatalf("E10TxnContention: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	rate := func(row []string) float64 {
+		return cellFloat(t, strings.TrimSuffix(row[4], "%"))
+	}
+	for _, row := range rows {
+		if cellFloat(t, row[2]) < 1 {
+			t.Errorf("row %v: nothing committed", row)
+		}
+	}
+	// Contention must show: the skewed many-worker corner aborts more
+	// than the single uncontended worker.
+	if lo, hi := rate(rows[0]), rate(rows[len(rows)-1]); hi <= lo {
+		t.Errorf("abort rate flat under contention: uncontended %.1f%% vs contended %.1f%%", lo, hi)
+	}
+	// The design's promise: the transactional envelope costs at most 2x
+	// the raw one-sided write pair it replaces.
+	commit, pair, err := e10Baseline(context.Background())
+	if err != nil {
+		t.Fatalf("e10Baseline: %v", err)
+	}
+	if ratio := float64(commit) / float64(pair); ratio > 2.0 {
+		t.Errorf("uncontended commit %v = %.2fx write pair %v, want <= 2x", commit, ratio, pair)
+	}
+}

@@ -529,20 +529,54 @@ func (r *Region) atomic(ctx context.Context, opcode rdma.OpCode, off uint64, add
 }
 
 func (r *Region) atomicOnce(ctx context.Context, opcode rdma.OpCode, off uint64, add, cmp, swap uint64) (uint64, IOStat, error) {
-	if err := r.checkMapped(); err != nil {
+	p, err := r.startAtomic(ctx, opcode, off, add, cmp, swap)
+	if err != nil {
 		return 0, IOStat{}, err
+	}
+	return p.Wait(ctx)
+}
+
+// AtomicPending is an in-flight asynchronous atomic. Unlike writes, an
+// atomic always targets exactly one word on one server, so there is a
+// single future; Wait returns the word's prior value.
+type AtomicPending struct {
+	c      *Client
+	op     *ioOp
+	ot     opTrace
+	st     *Buf // staging word, released on Wait
+	pooled bool // st belongs to the shared staging pool
+}
+
+// StartFetchAdd begins an asynchronous FETCH_ADD on the word at off.
+// Issuing several independent atomics before waiting overlaps their
+// round-trips — the transaction layer's lock and unlock fan-outs depend
+// on this.
+func (r *Region) StartFetchAdd(ctx context.Context, off uint64, delta uint64) (*AtomicPending, error) {
+	return r.startAtomic(ctx, rdma.OpFetchAdd, off, delta, 0, 0)
+}
+
+// StartCompareSwap begins an asynchronous CMP_SWAP on the word at off.
+func (r *Region) StartCompareSwap(ctx context.Context, off uint64, cmp, swap uint64) (*AtomicPending, error) {
+	return r.startAtomic(ctx, rdma.OpCmpSwap, off, cmp, cmp, swap)
+}
+
+func (r *Region) startAtomic(ctx context.Context, opcode rdma.OpCode, off uint64, add, cmp, swap uint64) (*AtomicPending, error) {
+	if err := r.checkMapped(); err != nil {
+		return nil, err
 	}
 	r.refreshIfStale(ctx)
 	frag, err := r.atomicFragment(off)
 	if err != nil {
-		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
+		return nil, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
 	sc, err := r.c.serverConn(ctx, frag.Server)
 	if err != nil {
-		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
+		return nil, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
-	st := r.c.acquireStaging()
-	defer r.c.releaseStaging(st)
+	st, pooled, err := r.c.acquireAtomicStaging()
+	if err != nil {
+		return nil, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
+	}
 	ot := r.c.startOp(ctx)
 	op := r.newOp(1)
 	op.setTrace(ot.id, ot.span, "io.atomic", r.c.tracer.NewSpan)
@@ -557,15 +591,23 @@ func (r *Region) atomicOnce(ctx context.Context, opcode rdma.OpCode, off uint64,
 		StartV:     op.startV,
 	}
 	if err := sc.post(wr, op); err != nil {
-		return 0, IOStat{}, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
+		r.c.releaseAtomicStaging(st, pooled)
+		return nil, fmt.Errorf("atomic %q: %w", r.Info().Name, err)
 	}
-	stat, err := op.wait(ctx, 1)
-	r.c.recordOp(opAtomic, ot, stat, err, op.takeSpans())
+	return &AtomicPending{c: r.c, op: op, ot: ot, st: st, pooled: pooled}, nil
+}
+
+// Wait blocks until the atomic completes and returns the prior value of
+// the word. It must be called exactly once.
+func (p *AtomicPending) Wait(ctx context.Context) (uint64, IOStat, error) {
+	stat, err := p.op.wait(ctx, 1)
+	p.c.recordOp(opAtomic, p.ot, stat, err, p.op.takeSpans())
+	p.c.releaseAtomicStaging(p.st, p.pooled)
 	if err != nil {
 		return 0, IOStat{}, err
 	}
-	op.mu.Lock()
-	old := op.old
-	op.mu.Unlock()
+	p.op.mu.Lock()
+	old := p.op.old
+	p.op.mu.Unlock()
 	return old, stat, nil
 }

@@ -1,0 +1,287 @@
+package integration
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/simnet"
+	"rstore/internal/txn"
+	"rstore/internal/txn/txntest"
+)
+
+// errClientKilled marks a transfer whose commit was cut dead mid-protocol.
+// It may have struck before or after the decision point, so the history
+// records the outcome as Unknown and the checker enforces all-or-none.
+var errClientKilled = errors.New("client killed mid-commit")
+
+// chaosTxnOptions tunes a transaction space for chaos runs: a short
+// virtual-time stale-lock timeout so a dead owner's locks mature within a
+// survivor's read-retry budget, and a seeded retry policy so runs are
+// reproducible per RSTORE_CHAOS_SEED.
+func chaosTxnOptions(owner int) txn.Options {
+	return txn.Options{
+		Cells:            64,
+		CellSize:         64,
+		Owner:            owner,
+		StaleLockTimeout: 20 * time.Microsecond,
+		ReadRetries:      256,
+		Retry: client.RetryPolicy{
+			MaxAttempts: 64,
+			BaseDelay:   2 * time.Microsecond,
+			MaxDelay:    64 * time.Microsecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+			Seed:        chaosSeed,
+		},
+	}
+}
+
+// Scenario: a client dies between acquiring its write-set locks and
+// installing the new values. Another client must break the stale locks
+// and the outcome must be all-or-none: a death before the decision CAS
+// leaves no trace of the transaction, a death after it means every cell
+// eventually carries the new value (the breaker rolls the commit
+// forward). Both arms end with the serializability checker over the full
+// history.
+func TestChaosClientDeathMidCommit(t *testing.T) {
+	t.Run("before-decision", func(t *testing.T) {
+		testClientDeathMidCommit(t, txn.StageLocked, false)
+	})
+	t.Run("after-decision", func(t *testing.T) {
+		testClientDeathMidCommit(t, txn.StageDecided, true)
+	})
+}
+
+func testClientDeathMidCommit(t *testing.T, stage txn.CommitStage, wantVisible bool) {
+	c := startCluster(t, 4, 2)
+	ctx := context.Background()
+	const (
+		accounts = 8
+		initial  = int64(100)
+	)
+	victimNode := simnet.NodeID(c.Fabric().Size() - 1)
+	survivorNode := simnet.NodeID(c.Fabric().Size() - 2)
+	victimCli := newChaosClient(t, c, victimNode)
+	survivorCli := newChaosClient(t, c, survivorNode)
+
+	victim, err := txn.Create(ctx, victimCli, "death-bank", chaosTxnOptions(1))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	survivor, err := txn.Open(ctx, survivorCli, "death-bank", chaosTxnOptions(2))
+	if err != nil {
+		t.Fatalf("Open survivor: %v", err)
+	}
+	if err := txntest.SetupBank(ctx, victim, accounts, initial); err != nil {
+		t.Fatalf("SetupBank: %v", err)
+	}
+
+	h := txntest.NewHistory(c.Fabric().VNow)
+	chaos := simnet.NewChaos(c.Fabric(), chaosSeed)
+	defer chaos.Detach()
+
+	// The victim transfers between accounts 0 and 1 and is killed at the
+	// target stage: the fail point drops its node off the fabric and stops
+	// the commit dead, locks still held, nothing rolled back.
+	victim.FailPoint = func(s txn.CommitStage) error {
+		if s != stage {
+			return nil
+		}
+		if err := chaos.KillNode(victimNode); err != nil {
+			t.Errorf("KillNode: %v", err)
+		}
+		return errClientKilled
+	}
+	classify := func(err error) txntest.Outcome {
+		if errors.Is(err, errClientKilled) {
+			return txntest.Unknown
+		}
+		if errors.Is(err, txn.ErrContended) {
+			return txntest.Aborted
+		}
+		return txntest.Unknown
+	}
+	if err := txntest.Transfer(ctx, victim, h, 1, 0, 0, 1, 7, classify); err != nil {
+		t.Fatalf("victim transfer: %v", err)
+	}
+
+	// The survivor now drives transfers across every account, including
+	// the two the victim left locked. It must break the stale locks —
+	// roll back if the victim died before its decision CAS, roll forward
+	// if after — and keep committing.
+	rng := rand.New(rand.NewSource(chaosSeed))
+	for i := 0; i < 24; i++ {
+		from := i % accounts
+		to := (i + 1 + rng.Intn(accounts-1)) % accounts
+		if to == from {
+			to = (from + 1) % accounts
+		}
+		if err := txntest.Transfer(ctx, survivor, h, 2, i, from, to, int64(rng.Intn(20)+1), nil); err != nil {
+			t.Fatalf("survivor transfer %d: %v", i, err)
+		}
+		if i%8 == 5 {
+			if err := txntest.Snapshot(ctx, survivor, h, 2, 1000+i, accounts); err != nil {
+				t.Fatalf("survivor snapshot %d: %v", i, err)
+			}
+		}
+	}
+
+	final, err := txntest.Sweep(ctx, survivor, accounts)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for _, v := range txntest.Check(h, final, accounts, initial) {
+		t.Errorf("checker: %s", v)
+	}
+
+	// All-or-none, asserted directly: the victim's stamp is visible on an
+	// account if any later read observed it (a survivor leg's PrevStamp or
+	// the final sweep). Before the decision it must appear nowhere; after
+	// it, on both accounts it wrote.
+	victimStamp := txntest.Stamp(1, 0)
+	visible := map[int]bool{}
+	for _, ev := range h.Events() {
+		if ev.Worker == 1 {
+			continue
+		}
+		for _, leg := range ev.Legs {
+			if leg.PrevStamp == victimStamp {
+				visible[leg.Account] = true
+			}
+		}
+		for _, st := range ev.Snapshot {
+			if st.Stamp == victimStamp {
+				visible[st.Account] = true
+			}
+		}
+	}
+	for _, st := range final {
+		if st.Stamp == victimStamp {
+			visible[st.Account] = true
+		}
+	}
+	if wantVisible {
+		if !visible[0] || !visible[1] {
+			t.Errorf("death after decision: victim writes visible on %v, want both accounts 0 and 1", visible)
+		}
+	} else if len(visible) != 0 {
+		t.Errorf("death before decision: victim writes visible on %v, want none", visible)
+	}
+
+	committed := 0
+	for _, ev := range h.Events() {
+		if ev.Worker == 2 && ev.Outcome == txntest.Committed && len(ev.Legs) > 0 {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Error("survivor never committed past the stale lock")
+	}
+}
+
+// Scenario: transactions are in flight when the primary master dies.
+// Commits ride on one-sided data-path verbs and cached layouts, so they
+// must keep completing through the failover (modulo typed failures the
+// history absorbs as Unknown), and the full history must still check out
+// serializable once the standby is promoted.
+func TestChaosTxnAcrossMasterFailover(t *testing.T) {
+	c := startFailoverCluster(t, 6, 2, core.RepairConfig{})
+	ctx := context.Background()
+	const (
+		accounts  = 8
+		workers   = 2
+		transfers = 30
+		initial   = int64(500)
+	)
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli := newFailoverClient(t, c, clientNode)
+	waitAliveServers(t, c, 4)
+
+	sp, err := txn.Create(ctx, cli, "failover-bank", chaosTxnOptions(0))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := txntest.SetupBank(ctx, sp, accounts, initial); err != nil {
+		t.Fatalf("SetupBank: %v", err)
+	}
+
+	h := txntest.NewHistory(c.Fabric().VNow)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	// Each worker signals once it is a few transfers in, then holds until
+	// the primary is dead — its remaining transfers run during the
+	// masterless window and across the promotion, which is the scenario.
+	warm := make(chan struct{}, workers)
+	resume := make(chan struct{})
+	for w := 1; w <= workers; w++ {
+		wsp, err := txn.Open(ctx, cli, "failover-bank", chaosTxnOptions(0))
+		if err != nil {
+			t.Fatalf("Open worker %d: %v", w, err)
+		}
+		wg.Add(1)
+		go func(w int, wsp *txn.Space) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(chaosSeed + int64(w)))
+			for i := 0; i < transfers; i++ {
+				if i == 5 {
+					warm <- struct{}{}
+					<-resume
+				}
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				for to == from {
+					to = rng.Intn(accounts)
+				}
+				if err := txntest.Transfer(ctx, wsp, h, w, i, from, to, int64(rng.Intn(40)+1), nil); err != nil {
+					errs <- fmt.Errorf("worker %d transfer %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w, wsp)
+	}
+
+	for i := 0; i < workers; i++ {
+		<-warm
+	}
+	killV := c.Fabric().VNow()
+	if err := c.KillMaster(0); err != nil {
+		t.Fatalf("KillMaster: %v", err)
+	}
+	close(resume)
+	if err := c.WaitMasterRole(1, "primary", 1, 20*time.Second); err != nil {
+		t.Fatalf("standby never promoted: %v", err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("%v", err)
+	}
+
+	final, err := txntest.Sweep(ctx, sp, accounts)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for _, v := range txntest.Check(h, final, accounts, initial) {
+		t.Errorf("checker: %s", v)
+	}
+
+	// The failover must not have wedged the commit path: at least one
+	// transfer invoked after the kill committed.
+	after := 0
+	for _, ev := range h.Events() {
+		if ev.Outcome == txntest.Committed && len(ev.Legs) > 0 && ev.InvokeV.Sub(killV) > 0 {
+			after++
+		}
+	}
+	if after == 0 {
+		t.Error("no transfer committed after the primary died")
+	}
+}

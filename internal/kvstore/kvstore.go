@@ -4,17 +4,16 @@
 // one-sided reads and writes, and RDMA compare-and-swap for coordination.
 //
 // The table is a fixed-capacity open-addressing hash table striped across
-// the cluster's memory servers. Every slot carries a sequence word
-// manipulated only with RDMA atomics:
-//
-//   - even value  = stable (0 = empty, >=2 = occupied generation)
-//   - odd value   = locked by a writer
-//
-// Writers CAS the sequence to odd, deposit the entry with a one-sided
-// write, and release by writing the next even generation. Readers are
-// lock-free: read the slot, then re-read the sequence word and retry if it
-// changed or was odd (a seqlock over RDMA). Multiple clients on different
-// machines can share one table with no server-side code at all.
+// the cluster's memory servers, carried on the internal/txn optimistic
+// transaction layer: every slot is a txn cell whose leading word is a
+// version/lock word, updates run as (usually single-cell) transactions
+// whose CAS lock doubles as the old seqlock, and reads are the txn
+// layer's validated lock-free reads. What the move buys over the previous
+// hand-rolled seqlock: a writer that dies mid-update no longer wedges its
+// slot (stale locks are broken through the transaction log), and probe
+// chains are claimed under real read-set validation, so racing inserts of
+// the same new key can never land in two slots. Multiple clients on
+// different machines share one table with no server-side code at all.
 package kvstore
 
 import (
@@ -27,6 +26,7 @@ import (
 	"time"
 
 	"rstore/internal/client"
+	"rstore/internal/txn"
 )
 
 // Store-level errors.
@@ -40,14 +40,20 @@ var (
 	ErrContention = errors.New("kvstore: slot contention retries exhausted")
 )
 
-// Slot layout:
+// Slot layout (a txn cell):
 //
-//	[0,8)    seq      uint64 (even=stable, odd=locked, 0=empty)
+//	[0,8)    version/lock word (owned by the txn layer)
 //	[8,10)   keyLen   uint16
 //	[10,12)  valLen   uint16
 //	[12,12+keyLen)          key bytes
 //	[12+keyLen, ...)        value bytes
+//
+// A never-written cell (version 0) is empty; a written cell with
+// keyLen 0 is a tombstone.
 const slotHeader = 12
+
+// entryHeader is the body-relative prefix (the txn layer owns the word).
+const entryHeader = slotHeader - 8
 
 // Options tunes table geometry.
 type Options struct {
@@ -60,7 +66,9 @@ type Options struct {
 	StripeUnit uint64
 	// MaxProbe bounds linear probing. Default 64.
 	MaxProbe int
-	// LockRetries bounds CAS retries on a locked slot. Default 64.
+	// LockRetries bounds retries against a locked or churning slot — both
+	// the read path's validated-read loop and the write path's commit
+	// attempts. Default 64.
 	LockRetries int
 }
 
@@ -83,54 +91,75 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Store is a handle to a shared table. Every client opens its own handle;
-// handles on different machines see the same data.
-type Store struct {
-	cli  *client.Client
-	reg  *client.Region
-	opts Options
-	buf  *client.Buf // slot-sized scratch, one per handle (handles are not goroutine-safe)
+// txnOptions maps table geometry onto the transaction layer: one cell per
+// slot, and the old lock-retry budget split between the validated-read
+// loop and the commit retry policy (whose backoff mirrors the historical
+// 5µs-doubling-to-320µs discipline, now with jitter).
+func (o Options) txnOptions() txn.Options {
+	return txn.Options{
+		Cells:       o.Slots,
+		CellSize:    o.SlotSize,
+		StripeUnit:  o.StripeUnit,
+		ReadRetries: o.LockRetries,
+		Retry: client.RetryPolicy{
+			MaxAttempts: o.LockRetries,
+			BaseDelay:   5 * time.Microsecond,
+			MaxDelay:    320 * time.Microsecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+		},
+	}
 }
 
-// Create allocates the backing region and opens a handle. The creating
-// client owns the region name; other clients use Open.
+// Store is a handle to a shared table. Every client opens its own handle;
+// handles on different machines see the same data. A handle is not safe
+// for concurrent use.
+type Store struct {
+	sp   *txn.Space
+	opts Options
+}
+
+func (o Options) check() error {
+	if o.SlotSize <= slotHeader || o.SlotSize%8 != 0 {
+		return fmt.Errorf("%w: slot size %d", ErrBadGeometry, o.SlotSize)
+	}
+	if o.StripeUnit%uint64(o.SlotSize) != 0 {
+		return fmt.Errorf("%w: stripe %d not a multiple of slot %d", ErrBadGeometry, o.StripeUnit, o.SlotSize)
+	}
+	return nil
+}
+
+// Create allocates the backing region (and its transaction log) and opens
+// a handle. The creating client owns the region name; other clients use
+// Open.
 func Create(ctx context.Context, cli *client.Client, name string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if opts.SlotSize <= slotHeader || opts.SlotSize%8 != 0 {
-		return nil, fmt.Errorf("%w: slot size %d", ErrBadGeometry, opts.SlotSize)
+	if err := opts.check(); err != nil {
+		return nil, err
 	}
-	size := uint64(opts.Slots) * uint64(opts.SlotSize)
-	// Keep whole slots inside one stripe unit so slot IO is one fragment
-	// and the seq word never straddles servers.
-	if opts.StripeUnit%uint64(opts.SlotSize) != 0 {
-		return nil, fmt.Errorf("%w: stripe %d not a multiple of slot %d", ErrBadGeometry, opts.StripeUnit, opts.SlotSize)
-	}
-	if _, err := cli.Alloc(ctx, name, size, client.AllocOptions{StripeUnit: opts.StripeUnit}); err != nil {
+	sp, err := txn.Create(ctx, cli, name, opts.txnOptions())
+	if err != nil {
 		return nil, fmt.Errorf("kvstore create: %w", err)
 	}
-	return Open(ctx, cli, name, opts)
+	return &Store{sp: sp, opts: opts}, nil
 }
 
 // Open maps an existing table.
 func Open(ctx context.Context, cli *client.Client, name string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	reg, err := cli.Map(ctx, name)
+	if err := opts.check(); err != nil {
+		return nil, err
+	}
+	sp, err := txn.Open(ctx, cli, name, opts.txnOptions())
 	if err != nil {
 		return nil, fmt.Errorf("kvstore open: %w", err)
 	}
-	if reg.Size() != uint64(opts.Slots)*uint64(opts.SlotSize) {
-		return nil, fmt.Errorf("%w: region %d bytes != %d slots x %d", ErrBadGeometry, reg.Size(), opts.Slots, opts.SlotSize)
-	}
-	buf, err := cli.AllocBuf(opts.SlotSize)
-	if err != nil {
-		return nil, fmt.Errorf("kvstore open: %w", err)
-	}
-	return &Store{cli: cli, reg: reg, opts: opts, buf: buf}, nil
+	return &Store{sp: sp, opts: opts}, nil
 }
 
 // Close unmaps the table (the region itself persists).
 func (s *Store) Close(ctx context.Context) error {
-	return s.reg.Unmap(ctx)
+	return s.sp.Close(ctx)
 }
 
 // Capacity returns the slot count.
@@ -139,16 +168,19 @@ func (s *Store) Capacity() int { return s.opts.Slots }
 // MaxEntry returns the largest key+value an entry may hold.
 func (s *Store) MaxEntry() int { return s.opts.SlotSize - slotHeader }
 
-func (s *Store) slotOffset(slot int) uint64 {
-	return uint64(slot) * uint64(s.opts.SlotSize)
-}
+// Txn exposes the table's transaction space, so callers can compose
+// multi-key updates over the same cells the Store serves.
+func (s *Store) Txn() *txn.Space { return s.sp }
 
 // backoff waits before reprobing a contended slot. The first few retries
 // spin — a writer's critical section is a handful of one-sided ops — then
 // the wait doubles from 5µs up to a 320µs cap so a descheduled lock holder
 // gets CPU without the reader hammering the fabric. It returns ctx.Err()
 // as soon as the caller's context is done, so operations do not grind
-// through their remaining LockRetries against a dead deadline.
+// through their remaining retries against a dead deadline. The txn layer
+// applies this same discipline inside its validated-read loop; the
+// function remains the package's statement of the policy (and is covered
+// directly by tests).
 func backoff(ctx context.Context, retry int) error {
 	if retry < 8 {
 		return ctx.Err()
@@ -184,54 +216,66 @@ func (s *Store) checkEntry(key, value []byte) error {
 	return nil
 }
 
-// readSlot fetches a slot into the scratch buffer and parses it.
-func (s *Store) readSlot(ctx context.Context, slot int) (seq uint64, key, val []byte, err error) {
-	if _, err := s.reg.ReadAt(ctx, s.slotOffset(slot), s.buf, 0, s.opts.SlotSize); err != nil {
-		return 0, nil, nil, err
-	}
-	b := s.buf.Bytes()
-	seq = binary.LittleEndian.Uint64(b)
-	keyLen := int(binary.LittleEndian.Uint16(b[8:]))
-	valLen := int(binary.LittleEndian.Uint16(b[10:]))
-	if slotHeader+keyLen+valLen > s.opts.SlotSize {
-		return seq, nil, nil, nil // torn or garbage; caller retries via seq check
-	}
-	key = b[slotHeader : slotHeader+keyLen]
-	val = b[slotHeader+keyLen : slotHeader+keyLen+valLen]
-	return seq, key, val, nil
+// encodeEntry renders a cell body. A nil key produces a tombstone.
+func encodeEntry(key, value []byte) []byte {
+	b := make([]byte, entryHeader+len(key)+len(value))
+	binary.LittleEndian.PutUint16(b, uint16(len(key)))
+	binary.LittleEndian.PutUint16(b[2:], uint16(len(value)))
+	copy(b[entryHeader:], key)
+	copy(b[entryHeader+len(key):], value)
+	return b
 }
 
-// lockSlot CAS-locks the slot if its current seq matches expect (which
-// must be even). Returns the locked (odd) value.
-func (s *Store) lockSlot(ctx context.Context, slot int, expect uint64) (bool, error) {
-	old, _, err := s.reg.CompareSwap(ctx, s.slotOffset(slot), expect, expect|1)
-	if err != nil {
-		return false, err
+// decodeEntry parses a cell body; key and val alias body.
+func decodeEntry(body []byte, slotSize int) (key, val []byte, ok bool) {
+	if len(body) < entryHeader {
+		return nil, nil, false
 	}
-	return old == expect, nil
+	keyLen := int(binary.LittleEndian.Uint16(body))
+	valLen := int(binary.LittleEndian.Uint16(body[2:]))
+	if entryHeader+keyLen+valLen > slotSize-8 {
+		return nil, nil, false
+	}
+	return body[entryHeader : entryHeader+keyLen], body[entryHeader+keyLen : entryHeader+keyLen+valLen], true
 }
 
-// publish writes the full slot (entry + next even generation) and is the
-// lock release: the one-sided write replaces the odd seq word with gen.
-func (s *Store) publish(ctx context.Context, slot int, gen uint64, key, value []byte) error {
-	b := s.buf.Bytes()
-	for i := range b {
-		b[i] = 0
+// wrapErr maps transaction-layer verdicts onto the store's sentinels.
+func wrapErr(op string, key []byte, err error) error {
+	if err == nil {
+		return nil
 	}
-	binary.LittleEndian.PutUint64(b, gen)
-	binary.LittleEndian.PutUint16(b[8:], uint16(len(key)))
-	binary.LittleEndian.PutUint16(b[10:], uint16(len(value)))
-	copy(b[slotHeader:], key)
-	copy(b[slotHeader+len(key):], value)
-	_, err := s.reg.WriteAt(ctx, s.slotOffset(slot), s.buf, 0, s.opts.SlotSize)
+	if errors.Is(err, txn.ErrContended) {
+		return fmt.Errorf("%w: %s %q", ErrContention, op, key)
+	}
 	return err
 }
 
-// unlock restores a locked slot's previous stable seq after a failed
-// attempt.
-func (s *Store) unlock(ctx context.Context, slot int, locked uint64) {
-	// CAS back from the odd value to the prior even one; best effort.
-	_, _, _ = s.reg.CompareSwap(ctx, s.slotOffset(slot), locked, locked&^uint64(1))
+// findSlot probes the table inside a transaction. It returns the key's
+// slot (found=true), or the first never-written slot the key could claim
+// (free >= 0), or neither (probe budget exhausted: the chain is full).
+// Tombstones are probed past, never reused — in this fixed-capacity table
+// a slot once used stays consumed, which keeps the concurrent protocol
+// free of the duplicate-insert hazard tombstone reuse would introduce.
+func (s *Store) findSlot(ctx context.Context, tx *txn.Tx, key []byte) (slot int, found bool, free int, err error) {
+	h := hashKey(key)
+	for probe := 0; probe < s.opts.MaxProbe; probe++ {
+		slot := int((h + uint64(probe)) % uint64(s.opts.Slots))
+		version, body, err := tx.ReadVersioned(ctx, slot)
+		if err != nil {
+			return 0, false, -1, err
+		}
+		if version == 0 {
+			// End of the probe chain: the key is not in the table, and this
+			// slot (now in our read set at version 0) is claimable.
+			return 0, false, slot, nil
+		}
+		k, _, ok := decodeEntry(body, s.opts.SlotSize)
+		if ok && len(k) > 0 && bytes.Equal(k, key) {
+			return slot, true, -1, nil
+		}
+		// Tombstone or another key's slot: keep probing.
+	}
+	return 0, false, -1, nil
 }
 
 // Put inserts or replaces the value for key.
@@ -239,59 +283,26 @@ func (s *Store) Put(ctx context.Context, key, value []byte) error {
 	if err := s.checkEntry(key, value); err != nil {
 		return err
 	}
-	h := hashKey(key)
-	for probe := 0; probe < s.opts.MaxProbe; probe++ {
-		slot := int((h + uint64(probe)) % uint64(s.opts.Slots))
-		stable := false
-		for retry := 0; retry < s.opts.LockRetries; retry++ {
-			seq, k, _, err := s.readSlot(ctx, slot)
-			if err != nil {
-				return err
-			}
-			if seq%2 == 1 {
-				if err := backoff(ctx, retry); err != nil {
-					return err
-				}
-				continue // writer active; retry this slot
-			}
-			occupied := seq != 0
-			if occupied && !bytes.Equal(k, key) {
-				stable = true
-				break // stably another key's slot: next probe
-			}
-			ok, err := s.lockSlot(ctx, slot, seq)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				if err := backoff(ctx, retry); err != nil {
-					return err
-				}
-				continue // raced; re-read
-			}
-			// The CAS matched seq, so the slot is unchanged since the
-			// read. Deposit the entry; the publish releases the lock.
-			gen := seq + 2
-			if gen == 0 {
-				gen = 2
-			}
-			if err := s.publish(ctx, slot, gen, key, value); err != nil {
-				s.unlock(ctx, slot, seq|1)
-				return err
-			}
-			return nil
+	err := s.sp.RunTx(ctx, func(tx *txn.Tx) error {
+		slot, found, free, err := s.findSlot(ctx, tx, key)
+		if err != nil {
+			return err
 		}
-		if !stable {
-			// We never saw this slot stable; it may hold our key. Moving
-			// on could insert a duplicate.
-			return fmt.Errorf("%w: put %q", ErrContention, key)
+		switch {
+		case found:
+		case free >= 0:
+			slot = free
+		default:
+			return fmt.Errorf("%w: after %d probes", ErrFull, s.opts.MaxProbe)
 		}
-	}
-	return fmt.Errorf("%w: after %d probes", ErrFull, s.opts.MaxProbe)
+		return tx.Write(slot, encodeEntry(key, value))
+	})
+	return wrapErr("put", key, err)
 }
 
 // Get returns the value for key. The returned slice is owned by the
-// caller.
+// caller. Reads are lock-free validated reads straight off the cells — no
+// transaction, no locks, same as the historical seqlock read.
 func (s *Store) Get(ctx context.Context, key []byte) ([]byte, error) {
 	if err := s.checkEntry(key, nil); err != nil {
 		return nil, err
@@ -299,41 +310,16 @@ func (s *Store) Get(ctx context.Context, key []byte) ([]byte, error) {
 	h := hashKey(key)
 	for probe := 0; probe < s.opts.MaxProbe; probe++ {
 		slot := int((h + uint64(probe)) % uint64(s.opts.Slots))
-		stable := false
-		for retry := 0; retry < s.opts.LockRetries; retry++ {
-			seq, k, v, err := s.readSlot(ctx, slot)
-			if err != nil {
-				return nil, err
-			}
-			if seq == 0 {
-				return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
-			}
-			if seq%2 == 1 {
-				if err := backoff(ctx, retry); err != nil {
-					return nil, err
-				}
-				continue // mid-update; retry
-			}
-			if !bytes.Equal(k, key) {
-				stable = true
-				break // stably another key's slot: next probe
-			}
-			// Seqlock validation: confirm the slot did not change while
-			// we copied it.
-			val := append([]byte(nil), v...)
-			seq2, _, _, err := s.readSlot(ctx, slot)
-			if err != nil {
-				return nil, err
-			}
-			if seq2 == seq {
-				return val, nil
-			}
-			if err := backoff(ctx, retry); err != nil { // changed under us; retry
-				return nil, err
-			}
+		version, body, err := s.sp.ReadCell(ctx, slot)
+		if err != nil {
+			return nil, wrapErr("get", key, err)
 		}
-		if !stable {
-			return nil, fmt.Errorf("%w: get %q", ErrContention, key)
+		if version == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		k, v, ok := decodeEntry(body, s.opts.SlotSize)
+		if ok && len(k) > 0 && bytes.Equal(k, key) {
+			return append([]byte(nil), v...), nil
 		}
 	}
 	return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -341,60 +327,21 @@ func (s *Store) Get(ctx context.Context, key []byte) ([]byte, error) {
 
 // Delete removes key. Deleting an absent key returns ErrNotFound.
 //
-// Deleted slots become tombstones (occupied generation with zero-length
-// key) so probe chains stay intact. Tombstones are not reclaimed: in this
-// fixed-capacity table a slot once used stays consumed, which keeps the
-// concurrent protocol free of the duplicate-insert hazard tombstone reuse
-// would introduce.
+// Deleted slots become tombstones (occupied version with zero-length key)
+// so probe chains stay intact.
 func (s *Store) Delete(ctx context.Context, key []byte) error {
 	if err := s.checkEntry(key, nil); err != nil {
 		return err
 	}
-	h := hashKey(key)
-	for probe := 0; probe < s.opts.MaxProbe; probe++ {
-		slot := int((h + uint64(probe)) % uint64(s.opts.Slots))
-		stable := false
-		for retry := 0; retry < s.opts.LockRetries; retry++ {
-			seq, k, _, err := s.readSlot(ctx, slot)
-			if err != nil {
-				return err
-			}
-			if seq == 0 {
-				return fmt.Errorf("%w: %q", ErrNotFound, key)
-			}
-			if seq%2 == 1 {
-				if err := backoff(ctx, retry); err != nil {
-					return err
-				}
-				continue
-			}
-			if !bytes.Equal(k, key) {
-				stable = true
-				break
-			}
-			ok, err := s.lockSlot(ctx, slot, seq)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				if err := backoff(ctx, retry); err != nil {
-					return err
-				}
-				continue
-			}
-			gen := seq + 2
-			if gen == 0 {
-				gen = 2
-			}
-			if err := s.publish(ctx, slot, gen, nil, nil); err != nil {
-				s.unlock(ctx, slot, seq|1)
-				return err
-			}
-			return nil
+	err := s.sp.RunTx(ctx, func(tx *txn.Tx) error {
+		slot, found, _, err := s.findSlot(ctx, tx, key)
+		if err != nil {
+			return err
 		}
-		if !stable {
-			return fmt.Errorf("%w: delete %q", ErrContention, key)
+		if !found {
+			return fmt.Errorf("%w: %q", ErrNotFound, key)
 		}
-	}
-	return fmt.Errorf("%w: %q", ErrNotFound, key)
+		return tx.Write(slot, encodeEntry(nil, nil))
+	})
+	return wrapErr("delete", key, err)
 }

@@ -376,3 +376,26 @@ func TestBackoffRespectsContext(t *testing.T) {
 		t.Fatalf("backoff with live ctx: got %v", err)
 	}
 }
+
+// Regression: an operation cancelled mid-retry must surface the caller's
+// ctx.Err(), not a generic retry-exhausted error.
+func TestCancelledContextSurfacesCtxErr(t *testing.T) {
+	c := startCluster(t)
+	s, _ := newStore(t, c, "cancel", Options{})
+	ctx := context.Background()
+	if err := s.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.Put(canceled, []byte("k"), []byte("v2")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Put on canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := s.Get(canceled, []byte("k")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Get on canceled ctx = %v, want context.Canceled", err)
+	}
+	if err := s.Delete(canceled, []byte("k")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Delete on canceled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,144 @@
+package txn_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rstore/internal/txn"
+	"rstore/internal/txn/txntest"
+)
+
+// errFuzzKill marks a commit attempt the fuzzer cut dead mid-protocol.
+var errFuzzKill = errors.New("fuzz: killed mid-commit")
+
+// ownerOptions pins a handle to a fixed log slot so fuzz inputs replay
+// byte-for-byte identically.
+func ownerOptions(owner int) txn.Options {
+	o := testOptions()
+	o.Owner = owner
+	return o
+}
+
+// FuzzTxnCommitProtocol drives the commit protocol through randomized
+// interleavings of transfers, snapshots, raw reads, and mid-commit kills
+// at every stage (record staged / locks held / decision taken / first
+// cell installed), on two competing handles. Each input byte is one op:
+//
+//	bits 0-2: op kind — 0,1 transfer on A; 2,3 transfer on B;
+//	          4 snapshot on B; 5 arm one-shot kill on A; 6 arm one-shot
+//	          kill on B; 7 raw ReadCell on A (drives stale-lock breaking)
+//	bits 3-5: from-account (transfers), kill stage mod 4 (kills),
+//	          cell (reads)
+//	bits 6-7: to-account offset (transfers)
+//
+// A killed handle keeps running — the worst case for slot reuse — so the
+// harness exercises owner self-recovery as well as peer lock breaking.
+// Whatever the interleaving, the sweep must succeed and the history must
+// check out serializable with all-or-none visibility for every cut
+// commit.
+func FuzzTxnCommitProtocol(f *testing.F) {
+	// Plain contention, no kills.
+	f.Add([]byte{0x00, 0x0a, 0x19, 0x22, 0x08, 0x11, 0x3a, 0x04})
+	// Kill A with locks held; B breaks the stale locks and rolls back.
+	f.Add([]byte{0x0d, 0x00, 0x0a, 0x12, 0x1a, 0x04, 0x0f})
+	// Kill A after its decision CAS; B must roll the commit forward.
+	f.Add([]byte{0x15, 0x08, 0x02, 0x2a, 0x04, 0x17, 0x3f})
+	// Kill B at record-staged and at first-cell-installed; A sweeps past.
+	f.Add([]byte{0x06, 0x02, 0x1e, 0x0a, 0x00, 0x09, 0x04, 0x11})
+	// Kill both workers back to back, then read every account.
+	f.Add([]byte{0x0d, 0x00, 0x16, 0x02, 0x07, 0x0f, 0x17, 0x1f, 0x27, 0x2f, 0x37, 0x3f, 0x01, 0x0b})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 48 {
+			t.Skip("op stream out of bounds")
+		}
+		runFuzzScenario(t, data)
+	})
+}
+
+func runFuzzScenario(t *testing.T, data []byte) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	const (
+		accounts = 8
+		initial  = int64(100)
+	)
+	spA, err := txn.Create(ctx, cli, "fuzz", ownerOptions(1))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	spB, err := txn.Open(ctx, cli, "fuzz", ownerOptions(2))
+	if err != nil {
+		t.Fatalf("Open B: %v", err)
+	}
+	if err := txntest.SetupBank(ctx, spA, accounts, initial); err != nil {
+		t.Fatalf("SetupBank: %v", err)
+	}
+
+	h := txntest.NewHistory(c.Fabric().VNow)
+	classify := func(err error) txntest.Outcome {
+		switch {
+		case errors.Is(err, errFuzzKill):
+			return txntest.Unknown
+		case errors.Is(err, txn.ErrContended):
+			return txntest.Aborted
+		default:
+			return txntest.Unknown
+		}
+	}
+	armKill := func(sp *txn.Space, stage txn.CommitStage) {
+		sp.FailPoint = func(s txn.CommitStage) error {
+			if s != stage {
+				return nil
+			}
+			sp.FailPoint = nil
+			return errFuzzKill
+		}
+	}
+	seq := map[int]int{1: 0, 2: 0}
+	transfer := func(sp *txn.Space, worker int, b byte) {
+		from := int(b>>3) % accounts
+		to := (from + 1 + int(b>>6)) % accounts
+		amount := int64((b>>3)&0x0f) + 1
+		if err := txntest.Transfer(ctx, sp, h, worker, seq[worker], from, to, amount, classify); err != nil {
+			t.Errorf("transfer worker %d seq %d: %v", worker, seq[worker], err)
+		}
+		seq[worker]++
+	}
+
+	for _, b := range data {
+		switch b % 8 {
+		case 0, 1:
+			transfer(spA, 1, b)
+		case 2, 3:
+			transfer(spB, 2, b)
+		case 4:
+			if err := txntest.Snapshot(ctx, spB, h, 2, seq[2], accounts); err != nil {
+				t.Errorf("snapshot: %v", err)
+			}
+			seq[2]++
+		case 5:
+			armKill(spA, txn.CommitStage(int(b>>3)%4))
+		case 6:
+			armKill(spB, txn.CommitStage(int(b>>3)%4))
+		case 7:
+			// Raw read: in this fault-free fabric every lock is breakable,
+			// so a read may never fail.
+			cell := int(b>>3) % accounts
+			if _, _, err := spA.ReadCell(ctx, cell); err != nil {
+				t.Errorf("ReadCell(%d): %v", cell, err)
+			}
+		}
+	}
+
+	spA.FailPoint = nil
+	spB.FailPoint = nil
+	final, err := txntest.Sweep(ctx, spB, accounts)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for _, v := range txntest.Check(h, final, accounts, initial) {
+		t.Errorf("checker: %s", v)
+	}
+}

@@ -1,0 +1,88 @@
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Owner log layout. The log region holds one claim header slot followed
+// by one slot per owner:
+//
+//	slot 0                      [0,8) owner auto-claim counter (FETCH_ADD)
+//	slot 1+i (owner i)          [0,8)  incarnation counter (FETCH_ADD)
+//	                            [8,16) status word
+//	                            [16,…) record body
+//
+// A record body is:
+//
+//	u16 count, then per entry: u32 cell, u64 expect, u16 bodyLen, body
+//
+// The status word and body are published in a single one-sided write
+// (they never straddle a stripe boundary because LogSlotSize divides
+// StripeUnit), so a reader that observes a status matching a lock word is
+// guaranteed a complete record behind it.
+const (
+	logStatusOff = 8
+	logRecordOff = 16
+	entryHeader  = 4 + 8 + 2
+)
+
+// entry is one cell's share of a staged write set.
+type entry struct {
+	cell   int
+	expect uint64 // the unlocked word the lock CAS replaced
+	body   []byte // the bytes a committed transaction installs
+}
+
+func (sp *Space) slotOff(owner int) uint64 {
+	return uint64(owner+1) * uint64(sp.opts.LogSlotSize)
+}
+
+// encodeRecord lays status+body into buf (status first, as stored at
+// [logStatusOff,…) of the slot) and returns the total byte length.
+func encodeRecord(buf []byte, status uint64, entries []entry) int {
+	binary.LittleEndian.PutUint64(buf, status)
+	binary.LittleEndian.PutUint16(buf[8:], uint16(len(entries)))
+	off := 10
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(e.cell))
+		binary.LittleEndian.PutUint64(buf[off+4:], e.expect)
+		binary.LittleEndian.PutUint16(buf[off+12:], uint16(len(e.body)))
+		copy(buf[off+entryHeader:], e.body)
+		off += entryHeader + len(e.body)
+	}
+	return off
+}
+
+// decodeRecord parses a slot image read from [logStatusOff,…). The
+// returned entries alias buf.
+func decodeRecord(buf []byte) (status uint64, entries []entry, err error) {
+	if len(buf) < 10 {
+		return 0, nil, fmt.Errorf("txn: short record (%d bytes)", len(buf))
+	}
+	status = binary.LittleEndian.Uint64(buf)
+	n := int(binary.LittleEndian.Uint16(buf[8:]))
+	off := 10
+	for i := 0; i < n; i++ {
+		if off+entryHeader > len(buf) {
+			return status, nil, fmt.Errorf("txn: truncated record entry %d", i)
+		}
+		e := entry{
+			cell:   int(binary.LittleEndian.Uint32(buf[off:])),
+			expect: binary.LittleEndian.Uint64(buf[off+4:]),
+		}
+		bl := int(binary.LittleEndian.Uint16(buf[off+12:]))
+		if off+entryHeader+bl > len(buf) {
+			return status, nil, fmt.Errorf("txn: truncated record body %d", i)
+		}
+		e.body = buf[off+entryHeader : off+entryHeader+bl]
+		entries = append(entries, e)
+		off += entryHeader + bl
+	}
+	return status, entries, nil
+}
+
+// recordCapacity returns how many full-size entries fit one log slot.
+func recordCapacity(logSlotSize, cellSize int) int {
+	return (logSlotSize - logRecordOff - 2) / (entryHeader + cellSize - 8)
+}

@@ -1,0 +1,217 @@
+package txn
+
+// Stale-lock detection and recovery.
+//
+// A lock whose owner died stays set forever unless someone breaks it.
+// Liveness here is observational: a reader (or a blind writer capturing
+// its expected word) that finds a cell locked notes the word and the
+// virtual time; only when the SAME word is seen again at least
+// StaleLockTimeout later is the owner presumed dead. Two observations —
+// not one old timestamp — are required, so a virtual-time frontier jump
+// (a failover wait, a latency storm) can never mature a healthy lock in
+// one step. Owners hold up their half of the lease-style bargain by
+// forfeiting any commit still undecided at half the window (commit.go).
+//
+// Resolution is driven entirely by the words:
+//
+//   - single-cell locks carry their prior version; breaking always rolls
+//     the version forward (prior+2) — sound whether or not the owner's
+//     body landed, costing at worst one spurious version bump.
+//   - multi-key locks name the owner's log record. The breaker reads it,
+//     checks the status names the same transaction, then: PENDING is
+//     retired by CAS to ABORTED (arbitrating against the owner's own
+//     commit-point CAS) and the cell rolled back; ABORTED is rolled back;
+//     COMMITTED is rolled FORWARD — the breaker re-stages the cell's redo
+//     entry under its own log slot, CASes the lock over to itself
+//     (ownership transfer, so a breaker dying mid-break is itself
+//     recoverable), and installs the committed body.
+//
+// Every mutation is a CAS from the observed word, so any number of
+// breakers — plus a slow-but-alive owner — race to the same outcome.
+
+import (
+	"context"
+)
+
+// noteSight records an observation of a locked word for staleness
+// tracking. A different word on the same cell restarts the clock.
+func (sp *Space) noteSight(cell int, w uint64) {
+	if s, ok := sp.sight[cell]; ok && s.word == w {
+		return
+	}
+	sp.sight[cell] = sighting{word: w, firstV: sp.vnow()}
+}
+
+// clearSight forgets a cell observed unlocked.
+func (sp *Space) clearSight(cell int) {
+	delete(sp.sight, cell)
+}
+
+// maybeBreak notes a locked-word observation and, once the same word has
+// been sighted across the full stale window, resolves the orphaned
+// transaction. Callers must not hold a staged record of their own (the
+// read path and pre-record expect capture qualify; mid-commit code never
+// calls this).
+func (sp *Space) maybeBreak(ctx context.Context, cell int, w uint64) {
+	s, ok := sp.sight[cell]
+	if !ok || s.word != w {
+		sp.noteSight(cell, w)
+		return
+	}
+	if sp.vnow().Sub(s.firstV) < sp.opts.StaleLockTimeout {
+		return
+	}
+	delete(sp.sight, cell)
+	if wordSingle(w) {
+		sp.breakSingle(ctx, cell, w)
+		return
+	}
+	sp.breakMulti(ctx, cell, w)
+}
+
+// breakSingle rolls a stale single-cell lock forward to the next version.
+func (sp *Space) breakSingle(ctx context.Context, cell int, w uint64) {
+	old, _, err := sp.data.CompareSwap(ctx, sp.cellOff(cell), w, nextVersion(singlePrior(w)))
+	if err == nil && old == w {
+		sp.ctr.lockBreaks.Inc()
+	}
+}
+
+// breakMulti resolves one cell of a stale logged transaction through the
+// owner's record.
+func (sp *Space) breakMulti(ctx context.Context, cell int, w uint64) {
+	victim := lockOwnerSlot(w)
+	n := sp.opts.LogSlotSize - logStatusOff
+	if _, err := sp.log.ReadAt(ctx, sp.slotOff(victim)+logStatusOff, sp.breakBuf, 0, n); err != nil {
+		return
+	}
+	status, entries, err := decodeRecord(sp.breakBuf.Bytes()[:n])
+	if err != nil || !statusMatches(status, w) {
+		// The slot has moved on to a different transaction: the lock we
+		// observed is gone or about to be. Re-observe.
+		return
+	}
+	var rec *entry
+	for i := range entries {
+		if entries[i].cell == cell {
+			rec = &entries[i]
+			break
+		}
+	}
+	if rec == nil {
+		return
+	}
+
+	switch statusState(status) {
+	case statePending:
+		// Retire the transaction before touching its locks; this CAS
+		// arbitrates against the owner's own PENDING→COMMITTED decision.
+		aborted := statusWord(stateAborted, statusIncarn(status), statusSeq(status))
+		old, _, cerr := sp.log.CompareSwap(ctx, sp.slotOff(victim)+logStatusOff, status, aborted)
+		if cerr != nil || old != status {
+			// Lost the race — the owner decided, or another breaker got
+			// there first. Next observation resolves the new state.
+			return
+		}
+		sp.rollBack(ctx, w, entries)
+		sp.ctr.lockBreaks.Inc()
+	case stateAborted:
+		sp.rollBack(ctx, w, entries)
+		sp.ctr.lockBreaks.Inc()
+	case stateCommitted:
+		sp.rollForward(ctx, cell, w, *rec)
+	}
+}
+
+// rollBack releases every still-held lock of a retired transaction back
+// to its prior version.
+func (sp *Space) rollBack(ctx context.Context, w uint64, entries []entry) {
+	for _, e := range entries {
+		_, _, _ = sp.data.CompareSwap(ctx, sp.cellOff(e.cell), w, e.expect)
+	}
+}
+
+// rollForward installs one committed-but-unpublished cell on behalf of a
+// dead owner. The redo entry is first re-staged under the breaker's own
+// log slot as an already-COMMITTED single-entry record, then the lock is
+// CASed over to the breaker: from that point the cell is a committed cell
+// of OURS, and a breaker dying mid-break is recovered exactly like any
+// other dead owner. Other cells of the victim transaction are rolled
+// forward by whoever observes them.
+func (sp *Space) rollForward(ctx context.Context, cell int, w uint64, rec entry) {
+	if sp.unclean {
+		// Our own slot record may still be the only path to locks a cut
+		// attempt left behind — possibly including this very cell, if the
+		// victim is a past self. Resolve our slot before overwriting it;
+		// if that already resolved the cell, the CAS below simply misses.
+		if err := sp.recoverOwnSlot(ctx); err != nil {
+			return
+		}
+		sp.unclean = false
+	}
+	sp.seq++
+	seq := sp.seq
+	committed := statusWord(stateCommitted, sp.incarn, seq)
+	n := encodeRecord(sp.recBuf.Bytes(), committed, []entry{rec})
+	if _, err := sp.log.WriteAt(ctx, sp.slotOff(sp.owner)+logStatusOff, sp.recBuf, 0, n); err != nil {
+		return
+	}
+	mine := lockWord(sp.owner, sp.incarn, seq)
+	old, _, err := sp.data.CompareSwap(ctx, sp.cellOff(cell), w, mine)
+	if err != nil || old != w {
+		return
+	}
+	if _, err := sp.publishCell(ctx, entry{cell: cell, expect: rec.expect, body: rec.body}, 0); err != nil {
+		return
+	}
+	sp.ctr.lockBreaks.Inc()
+}
+
+// recoverOwnSlot finishes whatever a prior incarnation of this owner slot
+// left behind, before the new incarnation runs its first transaction:
+// PENDING is retired and rolled back, ABORTED rolled back, COMMITTED
+// rolled forward (idempotently — concurrent breakers publish identical
+// bytes under identical versions).
+func (sp *Space) recoverOwnSlot(ctx context.Context) error {
+	// Deliberately not breakBuf: rollForward calls here while the victim
+	// record it is resolving still aliases breakBuf.
+	n := sp.opts.LogSlotSize - logStatusOff
+	if _, err := sp.log.ReadAt(ctx, sp.slotOff(sp.owner)+logStatusOff, sp.recovBuf, 0, n); err != nil {
+		return err
+	}
+	status, entries, err := decodeRecord(sp.recovBuf.Bytes()[:n])
+	if err != nil || statusState(status) == stateFree || len(entries) == 0 {
+		return nil
+	}
+	lock := lockWord(sp.owner, statusIncarn(status), statusSeq(status))
+
+	switch statusState(status) {
+	case statePending:
+		aborted := statusWord(stateAborted, statusIncarn(status), statusSeq(status))
+		old, _, cerr := sp.log.CompareSwap(ctx, sp.slotOff(sp.owner)+logStatusOff, status, aborted)
+		if cerr != nil {
+			return cerr
+		}
+		if old != status {
+			// A breaker is mid-resolution on our slot right now; whatever it
+			// decided, it also resolves the cells.
+			return nil
+		}
+		sp.rollBack(ctx, lock, entries)
+	case stateAborted:
+		sp.rollBack(ctx, lock, entries)
+	case stateCommitted:
+		for _, e := range entries {
+			if _, rerr := sp.data.ReadAt(ctx, sp.cellOff(e.cell), sp.wordBuf, 0, 8); rerr != nil {
+				return rerr
+			}
+			if le64(sp.wordBuf.Bytes()) != lock {
+				continue // already installed, or a breaker transferred it
+			}
+			if _, perr := sp.publishCell(ctx, e, 0); perr != nil {
+				return perr
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package txn
+
+import (
+	"context"
+
+	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
+)
+
+// commitTrace is a commit's tracing decision: a txn.commit envelope span
+// with one child span per protocol phase, threaded into the client ops
+// each phase issues via the context so the assembled trace shows the full
+// tree — txn.commit → txn.lock → client.atomic → io.atomic.
+type commitTrace struct {
+	sp     *Space
+	id     telemetry.TraceID
+	env    telemetry.SpanID
+	parent telemetry.SpanID
+	startV simnet.VTime
+}
+
+// startCommitTrace joins the caller's trace when the context carries one,
+// otherwise consults head sampling. The returned context carries the
+// envelope span so nested ops parent under it.
+func (sp *Space) startCommitTrace(ctx context.Context) (commitTrace, context.Context) {
+	ct := commitTrace{sp: sp}
+	if id := telemetry.TraceFrom(ctx); id != 0 {
+		ct.id = id
+		ct.parent = telemetry.SpanFrom(ctx)
+	} else if id, ok := sp.tracer.NewTrace(); ok {
+		ct.id = id
+	} else {
+		return ct, ctx
+	}
+	ct.env = sp.tracer.NewSpan()
+	ct.startV = sp.vnow()
+	return ct, telemetry.WithSpan(ctx, ct.id, ct.env)
+}
+
+// phase runs fn under a named child span (a no-op wrapper when the commit
+// is untraced).
+func (ct commitTrace) phase(ctx context.Context, name string, fn func(ctx context.Context) error) error {
+	if ct.id == 0 {
+		return fn(ctx)
+	}
+	span := telemetry.Span{
+		Trace:  ct.id,
+		ID:     ct.sp.tracer.NewSpan(),
+		Parent: ct.env,
+		Name:   name,
+		StartV: ct.sp.vnow(),
+	}
+	err := fn(telemetry.WithSpan(ctx, ct.id, span.ID))
+	span.EndV = ct.sp.vnow()
+	if err != nil {
+		span.Err = err.Error()
+	}
+	ct.sp.tracer.Record(span)
+	return err
+}
+
+// finish records the txn.commit envelope.
+func (ct commitTrace) finish(err error) {
+	if ct.id == 0 {
+		return
+	}
+	span := telemetry.Span{
+		Trace:  ct.id,
+		ID:     ct.env,
+		Parent: ct.parent,
+		Name:   "txn.commit",
+		StartV: ct.startV,
+		EndV:   ct.sp.vnow(),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	ct.sp.tracer.Record(span)
+}

@@ -1,0 +1,415 @@
+package txn_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/txn"
+	"rstore/internal/txn/txntest"
+)
+
+func startCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.Start(context.Background(), core.Config{
+		Machines:          4,
+		ServerCapacity:    32 << 20,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("core.Start: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func newClient(t *testing.T, c *core.Cluster) *client.Client {
+	t.Helper()
+	cli, err := c.NewClient(context.Background(), c.MemoryServerNodes()[0])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return cli
+}
+
+// testOptions keeps unit-test spaces small and recovery windows short so
+// stale locks mature within a few read retries of modeled time.
+func testOptions() txn.Options {
+	return txn.Options{
+		Cells:            64,
+		CellSize:         64,
+		StaleLockTimeout: 20 * time.Microsecond,
+		ReadRetries:      256,
+		Retry:            client.RetryPolicy{MaxAttempts: 32, BaseDelay: 2 * time.Microsecond, MaxDelay: 64 * time.Microsecond, Multiplier: 2, Jitter: 0.2, Seed: 1},
+	}
+}
+
+func TestTxnReadWriteBasic(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	sp, err := txn.Create(ctx, cli, "basic", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	// Multi-cell commit.
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		if err := tx.Write(1, []byte("one")); err != nil {
+			return err
+		}
+		return tx.Write(2, []byte("two"))
+	})
+	if err != nil {
+		t.Fatalf("RunTx write: %v", err)
+	}
+
+	// A transaction sees its own writes before commit.
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		if err := tx.Write(3, []byte("three")); err != nil {
+			return err
+		}
+		b, err := tx.Read(ctx, 3)
+		if err != nil {
+			return err
+		}
+		if string(b) != "three" {
+			return fmt.Errorf("read own write = %q", b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunTx own-write: %v", err)
+	}
+
+	for cell, want := range map[int]string{1: "one", 2: "two", 3: "three"} {
+		v, body, err := sp.ReadCell(ctx, cell)
+		if err != nil {
+			t.Fatalf("ReadCell(%d): %v", cell, err)
+		}
+		if v == 0 {
+			t.Errorf("cell %d: version still 0 after commit", cell)
+		}
+		if !bytes.Equal(bytes.TrimRight(body, "\x00"), []byte(want)) {
+			t.Errorf("cell %d = %q, want %q", cell, body, want)
+		}
+	}
+
+	// A never-written cell reads as version 0.
+	v, _, err := sp.ReadCell(ctx, 9)
+	if err != nil || v != 0 {
+		t.Errorf("empty cell: v=%d err=%v", v, err)
+	}
+}
+
+func TestTxnValidationAbortsStaleRead(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	sp, err := txn.Create(ctx, cli, "stale", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	opts := testOptions()
+	opts.Owner = 2
+	sp2, err := txn.Open(ctx, cli, "stale", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	// sp reads cell 0, then sp2 updates it under sp's feet; sp's commit
+	// writing elsewhere must abort and retry against the fresh value.
+	attempts := 0
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		attempts++
+		if _, err := tx.Read(ctx, 0); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			if werr := sp2.RunTx(ctx, func(tx2 *txn.Tx) error {
+				return tx2.Write(0, []byte("interloper"))
+			}); werr != nil {
+				return fmt.Errorf("interloper: %w", werr)
+			}
+		}
+		return tx.Write(1, []byte("dependent"))
+	})
+	if err != nil {
+		t.Fatalf("RunTx: %v", err)
+	}
+	if attempts < 2 {
+		t.Errorf("commit succeeded in %d attempts; stale read was not detected", attempts)
+	}
+}
+
+func TestTxnBankConcurrent(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	const (
+		accounts  = 8
+		workers   = 4
+		transfers = 40
+		initial   = int64(1000)
+	)
+	sp, err := txn.Create(ctx, cli, "bank", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := txntest.SetupBank(ctx, sp, accounts, initial); err != nil {
+		t.Fatalf("SetupBank: %v", err)
+	}
+
+	h := txntest.NewHistory(c.Fabric().VNow)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 1; w <= workers; w++ {
+		wsp, err := txn.Open(ctx, cli, "bank", testOptions())
+		if err != nil {
+			t.Fatalf("Open worker %d: %v", w, err)
+		}
+		wg.Add(1)
+		go func(w int, wsp *txn.Space) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				if i%10 == 9 {
+					if err := txntest.Snapshot(ctx, wsp, h, w, i, accounts); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				for to == from {
+					to = rng.Intn(accounts)
+				}
+				if err := txntest.Transfer(ctx, wsp, h, w, i, from, to, int64(rng.Intn(50)+1), nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w, wsp)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("worker: %v", err)
+	}
+
+	final, err := txntest.Sweep(ctx, sp, accounts)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for _, v := range txntest.Check(h, final, accounts, initial) {
+		t.Errorf("checker: %s", v)
+	}
+
+	committed := 0
+	for _, ev := range h.Events() {
+		if ev.Outcome == txntest.Committed && len(ev.Legs) > 0 {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Error("no transfer ever committed")
+	}
+}
+
+func TestTxnStaleLockRollBack(t *testing.T) {
+	testStaleLock(t, txn.StageLocked, false)
+}
+
+func TestTxnStaleLockRollForward(t *testing.T) {
+	testStaleLock(t, txn.StageDecided, true)
+}
+
+// testStaleLock kills a transaction at the given stage (locks held, no
+// unlock ever) and verifies a second handle breaks the locks with
+// all-or-none effect: nothing installed before the commit point, both
+// cells installed after it.
+func testStaleLock(t *testing.T, stage txn.CommitStage, wantInstalled bool) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	sp, err := txn.Create(ctx, cli, "break", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	seed := sp.RunTx(ctx, func(tx *txn.Tx) error {
+		if err := tx.Write(4, []byte("old4")); err != nil {
+			return err
+		}
+		return tx.Write(5, []byte("old5"))
+	})
+	if seed != nil {
+		t.Fatalf("seed: %v", seed)
+	}
+
+	errKilled := errors.New("killed by failpoint")
+	sp.FailPoint = func(s txn.CommitStage) error {
+		if s == stage {
+			return errKilled
+		}
+		return nil
+	}
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		if err := tx.Write(4, []byte("new4")); err != nil {
+			return err
+		}
+		return tx.Write(5, []byte("new5"))
+	})
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("RunTx = %v, want failpoint kill", err)
+	}
+	sp.FailPoint = nil
+
+	opts := testOptions()
+	opts.Owner = 2
+	sp2, err := txn.Open(ctx, cli, "break", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want4, want5 := "old4", "old5"
+	if wantInstalled {
+		want4, want5 = "new4", "new5"
+	}
+	for cell, want := range map[int]string{4: want4, 5: want5} {
+		_, body, err := sp2.ReadCell(ctx, cell)
+		if err != nil {
+			t.Fatalf("ReadCell(%d): %v", cell, err)
+		}
+		if got := string(bytes.TrimRight(body, "\x00")); got != want {
+			t.Errorf("cell %d = %q, want %q (stage %v)", cell, got, want, stage)
+		}
+	}
+	// The broken-into state must be writable again.
+	if err := sp2.RunTx(ctx, func(tx *txn.Tx) error {
+		return tx.Write(4, []byte("after"))
+	}); err != nil {
+		t.Fatalf("post-break write: %v", err)
+	}
+}
+
+func TestTxnOpenRecoversOwnSlot(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	opts := testOptions()
+	opts.Owner = 1
+	sp, err := txn.Create(ctx, cli, "reopen", opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	errKilled := errors.New("killed")
+	sp.FailPoint = func(s txn.CommitStage) error {
+		if s == txn.StageDecided {
+			return errKilled
+		}
+		return nil
+	}
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		if err := tx.Write(0, []byte("a")); err != nil {
+			return err
+		}
+		return tx.Write(1, []byte("b"))
+	})
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("RunTx = %v", err)
+	}
+
+	// Reopening the same owner slot must roll the decided transaction
+	// forward before serving anything.
+	sp2, err := txn.Open(ctx, cli, "reopen", opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for cell, want := range map[int]string{0: "a", 1: "b"} {
+		_, body, err := sp2.ReadCell(ctx, cell)
+		if err != nil {
+			t.Fatalf("ReadCell(%d): %v", cell, err)
+		}
+		if got := string(bytes.TrimRight(body, "\x00")); got != want {
+			t.Errorf("cell %d = %q, want %q", cell, got, want)
+		}
+	}
+}
+
+func TestTxnSingleCellFastPath(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	sp, err := txn.Create(ctx, cli, "single", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	atomics := cli.Telemetry().Counter("client.atomics").Value()
+	writes := cli.Telemetry().Counter("client.writes").Value()
+	if err := sp.RunTx(ctx, func(tx *txn.Tx) error {
+		return tx.Write(7, []byte("solo"))
+	}); err != nil {
+		t.Fatalf("RunTx: %v", err)
+	}
+	gotAtomics := cli.Telemetry().Counter("client.atomics").Value() - atomics
+	gotWrites := cli.Telemetry().Counter("client.writes").Value() - writes
+	// Fast path: one CAS (lock+validate) and one publish — no log write.
+	if gotAtomics != 1 || gotWrites != 1 {
+		t.Errorf("single-cell commit cost %d atomics + %d writes, want 1 + 1", gotAtomics, gotWrites)
+	}
+}
+
+func TestTxnReadCancelledContext(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	sp, err := txn.Create(ctx, cli, "cancel", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := sp.RunTx(cctx, func(tx *txn.Tx) error {
+		_, err := tx.Read(cctx, 0)
+		return err
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunTx on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestTxnWriteSetLimits(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	opts := testOptions()
+	opts.MaxWriteSet = 2
+	sp, err := txn.Create(ctx, cli, "limits", opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		for i := 0; i < 3; i++ {
+			if err := tx.Write(i, []byte("x")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, txn.ErrTooLarge) {
+		t.Errorf("3-cell write with MaxWriteSet=2 = %v, want ErrTooLarge", err)
+	}
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		return tx.Write(0, make([]byte, sp.BodySize()+1))
+	})
+	if !errors.Is(err, txn.ErrTooLarge) {
+		t.Errorf("oversized body = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,495 @@
+// Package txntest is the transaction layer's adversarial test harness: a
+// history-recording bank workload plus a serializability checker.
+//
+// Workers run transfers (and consistent snapshots) over a txn.Space whose
+// cells are bank accounts, logging an invoke/complete Event on virtual
+// time for every operation with its observed reads and intended writes.
+// Every committed write carries a globally unique stamp, so the final
+// state of each account induces a *stamp chain* — the serial order of
+// writes the account actually went through. The checker rebuilds those
+// chains and asserts the history is a serializable bank:
+//
+//   - conservation: every transfer moves value, never creates it, and the
+//     final (and every snapshot's) total equals the initial total;
+//   - no lost updates: each account's writes form one linear chain from
+//     the initial state to the final state — a fork means two commits
+//     both validated against the same version;
+//   - atomicity: an Unknown-outcome event (a client killed mid-commit) is
+//     either entirely in the chains or entirely absent — one leg visible
+//     without the other is torn multi-key state;
+//   - snapshot consistency: every snapshot is a cut through the chains;
+//   - real-time order: a transfer that completed before another was
+//     invoked appears earlier in every chain they share.
+//
+// The harness is deliberately reusable: unit tests drive it directly,
+// chaos tests add FailPoint kills and failovers, and the bench smoke test
+// runs it under load.
+package txntest
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rstore/internal/simnet"
+	"rstore/internal/txn"
+)
+
+// Outcome is what the worker knows about an operation's fate.
+type Outcome int
+
+const (
+	// Aborted: the operation definitely did not commit.
+	Aborted Outcome = iota
+	// Committed: the operation definitely committed.
+	Committed
+	// Unknown: the client died (or was cut off) mid-commit; the commit
+	// point may or may not have been reached. The checker accepts either,
+	// but never half.
+	Unknown
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Aborted:
+		return "aborted"
+	case Committed:
+		return "committed"
+	default:
+		return "unknown"
+	}
+}
+
+// Leg is one account's share of a transfer: the state the transaction
+// read and the state it wrote.
+type Leg struct {
+	Account   int
+	PrevStamp uint64
+	NewStamp  uint64
+	PrevBal   int64
+	NewBal    int64
+}
+
+// AccountState is one account in a snapshot or the final sweep.
+type AccountState struct {
+	Account int
+	Stamp   uint64
+	Balance int64
+}
+
+// Event is one logged operation.
+type Event struct {
+	Worker    int
+	Seq       int
+	InvokeV   simnet.VTime
+	CompleteV simnet.VTime
+	Outcome   Outcome
+	Legs      []Leg          // transfers: the read/written accounts
+	Snapshot  []AccountState // read-only snapshots: the cut observed
+}
+
+// History collects events from concurrent workers, timestamping them
+// from one shared monotone clock. The clock MUST be global across every
+// worker (e.g. the cluster fabric's VNow) — the real-time precedence
+// check is sound only against a single monotone order.
+type History struct {
+	now    func() simnet.VTime
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewHistory builds a history around the shared clock.
+func NewHistory(now func() simnet.VTime) *History {
+	return &History{now: now}
+}
+
+// Record appends one event.
+func (h *History) Record(e Event) {
+	h.mu.Lock()
+	h.events = append(h.events, e)
+	h.mu.Unlock()
+}
+
+// Events returns the recorded events (shared slice; call after workers
+// are done).
+func (h *History) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.events
+}
+
+// Account body codec: 16 bytes, balance then stamp.
+const accountBytes = 16
+
+// EncodeAccount renders an account body.
+func EncodeAccount(balance int64, stamp uint64) []byte {
+	b := make([]byte, accountBytes)
+	binary.LittleEndian.PutUint64(b, uint64(balance))
+	binary.LittleEndian.PutUint64(b[8:], stamp)
+	return b
+}
+
+// DecodeAccount parses an account body (zero-value for a never-written
+// cell).
+func DecodeAccount(b []byte) (balance int64, stamp uint64) {
+	if len(b) < accountBytes {
+		return 0, 0
+	}
+	return int64(binary.LittleEndian.Uint64(b)), binary.LittleEndian.Uint64(b[8:])
+}
+
+// Stamp builds the globally unique write stamp for (worker, seq). Worker
+// 0 is reserved for the initial state.
+func Stamp(worker, seq int) uint64 {
+	return uint64(worker)<<32 | uint64(uint32(seq))
+}
+
+// SetupBank initializes accounts 0..accounts-1 with `initial` balance
+// each, stamped as worker 0.
+func SetupBank(ctx context.Context, sp *txn.Space, accounts int, initial int64) error {
+	for a := 0; a < accounts; a++ {
+		acct := a
+		err := sp.RunTx(ctx, func(tx *txn.Tx) error {
+			return tx.Write(acct, EncodeAccount(initial, Stamp(0, acct)))
+		})
+		if err != nil {
+			return fmt.Errorf("setup account %d: %w", acct, err)
+		}
+	}
+	return nil
+}
+
+// Transfer moves amount from one account to another as one transaction,
+// recording the event. classify maps a commit error to an outcome
+// (nil classify treats every error as Aborted); errors classified Aborted
+// or Unknown are swallowed into the history, others returned.
+func Transfer(ctx context.Context, sp *txn.Space, h *History, worker, seq, from, to int, amount int64, classify func(error) Outcome) error {
+	ev := Event{Worker: worker, Seq: seq, InvokeV: h.now()}
+	err := sp.RunTx(ctx, func(tx *txn.Tx) error {
+		ev.Legs = ev.Legs[:0]
+		fb, err := tx.Read(ctx, from)
+		if err != nil {
+			return err
+		}
+		tb, err := tx.Read(ctx, to)
+		if err != nil {
+			return err
+		}
+		fBal, fStamp := DecodeAccount(fb)
+		tBal, tStamp := DecodeAccount(tb)
+		stamp := Stamp(worker, seq)
+		ev.Legs = append(ev.Legs,
+			Leg{Account: from, PrevStamp: fStamp, NewStamp: stamp, PrevBal: fBal, NewBal: fBal - amount},
+			Leg{Account: to, PrevStamp: tStamp, NewStamp: stamp, PrevBal: tBal, NewBal: tBal + amount},
+		)
+		if err := tx.Write(from, EncodeAccount(fBal-amount, stamp)); err != nil {
+			return err
+		}
+		if err := tx.Write(to, EncodeAccount(tBal+amount, stamp)); err != nil {
+			return err
+		}
+		// Virtual time never preempts a goroutine, so without an explicit
+		// yield between read-set capture and commit, concurrent workers
+		// rarely overlap their optimistic windows in real execution order.
+		// The yield models independent clients racing, which is the point
+		// of every harness built on this helper.
+		runtime.Gosched()
+		return nil
+	})
+	ev.CompleteV = h.now()
+	switch {
+	case err == nil:
+		ev.Outcome = Committed
+	case classify != nil:
+		ev.Outcome = classify(err)
+	default:
+		ev.Outcome = defaultClassify(err)
+	}
+	h.Record(ev)
+	if err != nil && ev.Outcome == Committed {
+		return fmt.Errorf("classify returned Committed for error: %w", err)
+	}
+	return nil
+}
+
+// defaultClassify maps a RunTx error to the soundest outcome: retries
+// exhausted means no attempt ever reached its commit point (Aborted);
+// anything else — a kill, a cancellation, an IO failure — may have struck
+// after the decision, so the fate is Unknown.
+func defaultClassify(err error) Outcome {
+	if errors.Is(err, txn.ErrContended) {
+		return Aborted
+	}
+	return Unknown
+}
+
+// Snapshot reads every account in one read-only transaction and records
+// the observed cut.
+func Snapshot(ctx context.Context, sp *txn.Space, h *History, worker, seq, accounts int) error {
+	ev := Event{Worker: worker, Seq: seq, InvokeV: h.now()}
+	err := sp.RunTx(ctx, func(tx *txn.Tx) error {
+		ev.Snapshot = ev.Snapshot[:0]
+		for a := 0; a < accounts; a++ {
+			b, err := tx.Read(ctx, a)
+			if err != nil {
+				return err
+			}
+			bal, stamp := DecodeAccount(b)
+			ev.Snapshot = append(ev.Snapshot, AccountState{Account: a, Stamp: stamp, Balance: bal})
+		}
+		return nil
+	})
+	ev.CompleteV = h.now()
+	if err != nil {
+		ev.Outcome = Aborted
+		h.Record(ev)
+		return nil
+	}
+	ev.Outcome = Committed
+	h.Record(ev)
+	return nil
+}
+
+// Sweep reads the final state of every account outside any transaction
+// churn (call after workers quiesce and stale locks are resolved).
+func Sweep(ctx context.Context, sp *txn.Space, accounts int) ([]AccountState, error) {
+	final := make([]AccountState, accounts)
+	for a := 0; a < accounts; a++ {
+		_, body, err := sp.ReadCell(ctx, a)
+		if err != nil {
+			return nil, fmt.Errorf("sweep account %d: %w", a, err)
+		}
+		bal, stamp := DecodeAccount(body)
+		final[a] = AccountState{Account: a, Stamp: stamp, Balance: bal}
+	}
+	return final, nil
+}
+
+// chainLink is one write in an account's reconstructed serial order.
+type chainLink struct {
+	leg Leg
+	ev  *Event
+	pos int
+}
+
+// Check verifies the history against the final account sweep. accounts is
+// the account count, initial the per-account starting balance. It returns
+// every violation found (empty = serializable).
+func Check(h *History, final []AccountState, accounts int, initial int64) []string {
+	events := h.Events()
+	var violations []string
+	fail := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Total conservation over the final state.
+	var total int64
+	for _, a := range final {
+		total += a.Balance
+	}
+	if want := initial * int64(accounts); total != want {
+		fail("final total %d != initial total %d", total, want)
+	}
+
+	// Per-event conservation: committed and unknown transfers must move
+	// value, not mint it. (Aborted events claim nothing.)
+	for i := range events {
+		ev := &events[i]
+		if ev.Outcome == Aborted || len(ev.Legs) == 0 {
+			continue
+		}
+		var delta int64
+		for _, l := range ev.Legs {
+			delta += l.NewBal - l.PrevBal
+		}
+		if delta != 0 {
+			fail("w%d/%d: transfer legs sum to %+d", ev.Worker, ev.Seq, delta)
+		}
+	}
+
+	// Rebuild each account's stamp chain: committed legs plus the legs of
+	// Unknown events whose stamp is visible anywhere (final state or as a
+	// later write's PrevStamp). An Unknown event must contribute all of
+	// its legs or none.
+	visible := make(map[uint64]bool) // stamp -> observed in the world
+	for _, a := range final {
+		visible[a.Stamp] = true
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Outcome == Aborted {
+			continue
+		}
+		for _, l := range ev.Legs {
+			visible[l.PrevStamp] = true
+		}
+		for _, s := range ev.Snapshot {
+			visible[s.Stamp] = true
+		}
+	}
+
+	inChains := func(ev *Event) bool {
+		if ev.Outcome == Committed {
+			return true
+		}
+		// Unknown: in if any of its legs' stamps was ever observed.
+		for _, l := range ev.Legs {
+			if visible[l.NewStamp] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Torn-write detection for Unknown events: visibility must be
+	// all-or-none across legs.
+	for i := range events {
+		ev := &events[i]
+		if ev.Outcome != Unknown || len(ev.Legs) == 0 {
+			continue
+		}
+		seen := 0
+		for _, l := range ev.Legs {
+			if visible[l.NewStamp] {
+				seen++
+			}
+		}
+		if seen != 0 && seen != len(ev.Legs) {
+			fail("w%d/%d: torn unknown transfer — %d of %d legs visible", ev.Worker, ev.Seq, seen, len(ev.Legs))
+		}
+	}
+
+	chains := make([][]chainLink, accounts)
+	for i := range events {
+		ev := &events[i]
+		if ev.Outcome == Aborted || !inChains(ev) {
+			continue
+		}
+		for _, l := range ev.Legs {
+			if l.Account < 0 || l.Account >= accounts {
+				fail("w%d/%d: leg on unknown account %d", ev.Worker, ev.Seq, l.Account)
+				continue
+			}
+			chains[l.Account] = append(chains[l.Account], chainLink{leg: l, ev: ev})
+		}
+	}
+
+	chainPos := make(map[int]map[uint64]int, accounts) // account -> stamp -> position
+	for a := 0; a < accounts; a++ {
+		chainPos[a] = make(map[uint64]int)
+		byPrev := make(map[uint64][]*chainLink)
+		for i := range chains[a] {
+			l := &chains[a][i]
+			byPrev[l.leg.PrevStamp] = append(byPrev[l.leg.PrevStamp], l)
+		}
+		// Walk from the initial state; each step must have exactly one
+		// successor (a fork is a lost update).
+		stamp := Stamp(0, a)
+		bal := initial
+		pos := 0
+		walked := 0
+		for {
+			next := byPrev[stamp]
+			if len(next) == 0 {
+				break
+			}
+			if len(next) > 1 {
+				workers := ""
+				for _, l := range next {
+					workers += fmt.Sprintf(" w%d/%d", l.ev.Worker, l.ev.Seq)
+				}
+				fail("account %d: lost update — %d writes from stamp %x:%s", a, len(next), stamp, workers)
+				break
+			}
+			l := next[0]
+			if l.leg.PrevBal != bal {
+				fail("account %d: w%d/%d read balance %d, chain says %d", a, l.ev.Worker, l.ev.Seq, l.leg.PrevBal, bal)
+			}
+			stamp = l.leg.NewStamp
+			bal = l.leg.NewBal
+			pos++
+			l.pos = pos
+			chainPos[a][stamp] = pos
+			walked++
+			if walked > len(chains[a]) {
+				fail("account %d: stamp cycle", a)
+				break
+			}
+		}
+		if walked < len(chains[a]) {
+			fail("account %d: %d committed writes unreachable from the initial state", a, len(chains[a])-walked)
+		}
+		if final[a].Stamp != stamp || final[a].Balance != bal {
+			fail("account %d: chain ends at stamp %x bal %d, final state stamp %x bal %d",
+				a, stamp, bal, final[a].Stamp, final[a].Balance)
+		}
+	}
+
+	// Snapshots must be cuts: correct total, every entry on its chain.
+	for i := range events {
+		ev := &events[i]
+		if ev.Outcome != Committed || len(ev.Snapshot) == 0 {
+			continue
+		}
+		var snapTotal int64
+		for _, s := range ev.Snapshot {
+			snapTotal += s.Balance
+			if s.Account < 0 || s.Account >= accounts {
+				continue
+			}
+			if s.Stamp == Stamp(0, s.Account) {
+				if s.Balance != initial {
+					fail("w%d/%d: snapshot account %d at initial stamp with balance %d", ev.Worker, ev.Seq, s.Account, s.Balance)
+				}
+				continue
+			}
+			if _, ok := chainPos[s.Account][s.Stamp]; !ok {
+				fail("w%d/%d: snapshot observed account %d at stamp %x — not on its chain", ev.Worker, ev.Seq, s.Account, s.Stamp)
+			}
+		}
+		if want := initial * int64(len(ev.Snapshot)); snapTotal != want {
+			fail("w%d/%d: snapshot total %d != %d", ev.Worker, ev.Seq, snapTotal, want)
+		}
+	}
+
+	// Real-time order: a committed transfer that finished before another
+	// began must precede it on every shared account.
+	type committed struct {
+		ev  *Event
+		pos map[int]int // account -> chain position
+	}
+	var cs []committed
+	for i := range events {
+		ev := &events[i]
+		if ev.Outcome != Committed || len(ev.Legs) == 0 {
+			continue
+		}
+		pos := make(map[int]int, len(ev.Legs))
+		for _, l := range ev.Legs {
+			if p, ok := chainPos[l.Account][l.NewStamp]; ok {
+				pos[l.Account] = p
+			}
+		}
+		cs = append(cs, committed{ev: ev, pos: pos})
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ev.CompleteV < cs[j].ev.CompleteV })
+	for i := range cs {
+		for j := range cs {
+			if cs[i].ev.CompleteV >= cs[j].ev.InvokeV {
+				continue
+			}
+			for acct, pi := range cs[i].pos {
+				if pj, ok := cs[j].pos[acct]; ok && pi >= pj {
+					fail("real-time violation on account %d: w%d/%d (pos %d) completed before w%d/%d (pos %d) was invoked",
+						acct, cs[i].ev.Worker, cs[i].ev.Seq, pi, cs[j].ev.Worker, cs[j].ev.Seq, pj)
+				}
+			}
+		}
+	}
+
+	return violations
+}

@@ -1,0 +1,90 @@
+package txn
+
+// Cell word and log status encodings.
+//
+// The first 8 bytes of every cell are its word, manipulated only with
+// RDMA atomics:
+//
+//	unlocked:  LSB 0; the word is the cell's version (0 = never written,
+//	           bumped by 2 on every commit so the LSB stays clear).
+//	locked:    LSB 1. Bit 1 selects the flavor:
+//
+//	multi-key lock (bit1=0) — the cell belongs to a logged transaction:
+//	  bits  2..10   owner log slot (8 bits)
+//	  bits 10..26   owner incarnation, low 16 bits
+//	  bits 26..64   transaction sequence, low 38 bits
+//	The (slot, incarnation, seq) triple names the owner's log record; a
+//	breaker resolves the transaction's fate from it.
+//
+//	single-cell lock (bit1=1) — a one-cell transaction needs no log
+//	record, so the lock word carries its own recovery state instead:
+//	  bits  2..10   owner log slot (8 bits, accounting only)
+//	  bits 10..64   prior version >> 1 (54 bits)
+//	Breaking a stale single-cell lock always rolls the version forward
+//	to prior+2: the body is either the old or the new bytes, and in both
+//	cases a bumped version is sound — at worst it re-publishes the old
+//	bytes under a fresh version, which only costs optimists a retry.
+const (
+	wordLockBit   = 1 << 0
+	wordSingleBit = 1 << 1
+)
+
+const (
+	lockSeqBits   = 38
+	statusSeqBits = 46
+)
+
+func lockWord(owner int, incarn, seq uint64) uint64 {
+	return wordLockBit |
+		uint64(owner&0xff)<<2 |
+		(incarn&0xffff)<<10 |
+		(seq&(1<<lockSeqBits-1))<<26
+}
+
+func wordLocked(w uint64) bool   { return w&wordLockBit != 0 }
+func wordSingle(w uint64) bool   { return w&wordSingleBit != 0 }
+func lockOwnerSlot(w uint64) int { return int(w >> 2 & 0xff) }
+func lockIncarn(w uint64) uint64 { return w >> 10 & 0xffff }
+func lockSeq(w uint64) uint64    { return w >> 26 }
+
+func singleLockWord(owner int, prior uint64) uint64 {
+	return wordLockBit | wordSingleBit | uint64(owner&0xff)<<2 | (prior>>1)<<10
+}
+
+func singlePrior(w uint64) uint64 { return w >> 10 << 1 }
+
+// nextVersion is the unlocked word a commit publishes over the prior one.
+func nextVersion(prior uint64) uint64 { return prior + 2 }
+
+// Log status word: the second 8 bytes of an owner's log slot.
+//
+//	bits  0..2    state
+//	bits  2..18   incarnation, low 16 bits
+//	bits 18..64   transaction sequence, low 46 bits
+//
+// The pending→committed transition is the transaction's commit point and
+// is arbitrated by CMP_SWAP: a breaker rolling back a stale transaction
+// first CASes pending→aborted, so a slow owner's committed decision and a
+// breaker's abort can never both win.
+const (
+	stateFree      = 0
+	statePending   = 1
+	stateCommitted = 2
+	stateAborted   = 3
+)
+
+func statusWord(state int, incarn, seq uint64) uint64 {
+	return uint64(state&3) | (incarn&0xffff)<<2 | (seq&(1<<statusSeqBits-1))<<18
+}
+
+func statusState(w uint64) int     { return int(w & 3) }
+func statusIncarn(w uint64) uint64 { return w >> 2 & 0xffff }
+func statusSeq(w uint64) uint64    { return w >> 18 }
+
+// statusMatches reports whether a status word names the same transaction
+// as a multi-key lock word (comparing the truncated incarnation and
+// sequence both encodings carry).
+func statusMatches(status, lock uint64) bool {
+	return statusIncarn(status) == lockIncarn(lock) &&
+		statusSeq(status)&(1<<lockSeqBits-1) == lockSeq(lock)
+}
