@@ -9,7 +9,8 @@
 // Experiment IDs follow DESIGN.md's per-experiment index: e1 latency,
 // e2 bandwidth, e3 control path, e4 pagerank, e5 sort, e6 notify,
 // e7 multi-client, e8 repair MTTR, e9 failover MTTR, e10 txn contention,
-// a1 stripe width, a2 replication, a3 qp-sharing, a4 kv-store.
+// e11 ordered index, a1 stripe width, a2 replication, a3 qp-sharing,
+// a4 kv-store.
 package main
 
 import (
@@ -45,6 +46,7 @@ func experiments() []experiment {
 		{"e8", "repair MTTR vs region size", bench.E8RepairMTTR},
 		{"e9", "master failover MTTR vs lease term", bench.E9FailoverMTTR},
 		{"e10", "optimistic txn abort rate vs contention", bench.E10TxnContention},
+		{"e11", "ordered index: point vs range vs skew", bench.E11Index},
 		{"a1", "ablation: stripe width", bench.A1Stripe},
 		{"a2", "ablation: replication", bench.A2Replication},
 		{"a3", "ablation: QP sharing", bench.A3QPSharing},

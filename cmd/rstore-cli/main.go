@@ -8,6 +8,9 @@
 //	trace  trace a workload, assemble one op's distributed trace via the
 //	       master's MtTraceFetch fan-out, and render the waterfall plus
 //	       its critical-path layer breakdown
+//	index  load an ordered B+tree index and print its shape (depth,
+//	       fanout, splits) plus the reading client's cache and bloom
+//	       telemetry
 //
 // It doubles as a smoke test of the admin API (ClusterInfo / ListRegions /
 // ClusterStats) a real deployment's tooling would use.
@@ -25,8 +28,10 @@ import (
 	"time"
 
 	"rstore/internal/core"
+	"rstore/internal/index"
 	"rstore/internal/kvstore"
 	"rstore/internal/telemetry"
+	"rstore/internal/workload"
 )
 
 // cmdTimeout bounds every subcommand end to end: an unreachable master
@@ -474,6 +479,107 @@ func runTrace(machines, masters int, idArg string) error {
 	return nil
 }
 
+// runIndex boots a cluster, loads an ordered B+tree index through one
+// client and reads it through another, then prints the tree's shape
+// (depth, node count, fanout) and the reader's cache/bloom telemetry —
+// the quick health check for "is the index actually serving lookups
+// from its cache".
+func runIndex(machines, masters int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cmdTimeout)
+	defer cancel()
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, MasterReplicas: masters})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	writerCli, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		return err
+	}
+	const keys = 400
+	opts := index.Options{Nodes: 512, NodeSize: 512, MaxKey: 32}
+	tree, err := index.Create(ctx, writerCli, "app/index", opts)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < keys; i++ {
+		if err := tree.Insert(ctx, workload.OrderedKey(i), []byte(fmt.Sprintf("row-%d", i))); err != nil {
+			return err
+		}
+	}
+
+	readerCli, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		return err
+	}
+	reader, err := index.Open(ctx, readerCli, "app/index", opts)
+	if err != nil {
+		return err
+	}
+	// One cold pass warms the route cache and blooms; the second pass and
+	// the misses show what steady state costs.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < keys; i += 7 {
+			if _, err := reader.Get(ctx, workload.OrderedKey(i)); err != nil {
+				return err
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 32; i++ {
+			if _, err := reader.Get(ctx, []byte(fmt.Sprintf("absent-%03d", i))); !errors.Is(err, index.ErrNotFound) {
+				return fmt.Errorf("absent key: %v", err)
+			}
+		}
+	}
+	ents, err := reader.Scan(ctx, workload.OrderedKey(100), workload.OrderedKey(110))
+	if err != nil {
+		return err
+	}
+
+	st, err := reader.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fanout := 0.0
+	if st.Nodes > 0 {
+		fanout = float64(keys) / float64(st.Nodes)
+	}
+	tt := telemetry.NewTable("tree shape", "metric", "value")
+	tt.AddRow("keys", keys)
+	tt.AddRow("depth", st.Height)
+	tt.AddRow("nodes", st.Nodes)
+	tt.AddRow("avg-fanout", fmt.Sprintf("%.1f", fanout))
+	tt.AddRow("cached-nodes", st.CachedNodes)
+	tt.AddRow("cached-blooms", st.CachedBlooms)
+	tt.AddRow("splits (writer)", writerCli.Telemetry().Counter("index.splits").Value())
+	fmt.Println(tt.String())
+
+	snap := readerCli.Telemetry().Snapshot()
+	hits := snap.Counters["index.cache_hits"]
+	misses := snap.Counters["index.cache_misses"]
+	hitRate := "-"
+	if hits+misses > 0 {
+		hitRate = fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	rt := telemetry.NewTable("reader telemetry", "metric", "value")
+	rt.AddRow("lookups", snap.Counters["index.lookups"])
+	rt.AddRow("cache hits", hits)
+	rt.AddRow("cache misses", misses)
+	rt.AddRow("cache hit-rate", hitRate)
+	rt.AddRow("bloom shortcuts", snap.Counters["index.bloom_shortcuts"])
+	rt.AddRow("retraversals", snap.Counters["index.retraversals"])
+	rt.AddRow("one-sided reads", snap.Counters["client.reads"])
+	fmt.Println(rt.String())
+
+	fmt.Printf("scan [%s, %s):\n", workload.OrderedKey(100), workload.OrderedKey(110))
+	for _, e := range ents {
+		fmt.Printf("  %s = %q\n", e.Key, e.Val)
+	}
+	return nil
+}
+
 func main() {
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -483,7 +589,9 @@ func main() {
 		fmt.Fprintf(out, "  regions  show placement, per-copy health, and generations; kill a server\n")
 		fmt.Fprintf(out, "           and watch the repair plane self-heal\n")
 		fmt.Fprintf(out, "  trace [id]  trace a workload, assemble the slowest op's distributed trace\n")
-		fmt.Fprintf(out, "           (or the given hex trace id), and render its waterfall\n\nflags:\n")
+		fmt.Fprintf(out, "           (or the given hex trace id), and render its waterfall\n")
+		fmt.Fprintf(out, "  index    load an ordered B+tree index and print its shape plus the\n")
+		fmt.Fprintf(out, "           reader's cache/bloom telemetry\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	machines := flag.Int("machines", 4, "cluster size")
@@ -507,8 +615,10 @@ func main() {
 		err = runRegions(*machines, *masters)
 	case "trace":
 		err = runTrace(*machines, *masters, flag.Arg(1))
+	case "index":
+		err = runIndex(*machines, *masters)
 	default:
-		err = fmt.Errorf("unknown command %q (want demo, stats, regions, or trace)", cmd)
+		err = fmt.Errorf("unknown command %q (want demo, stats, regions, trace, or index)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rstore-cli:", err)

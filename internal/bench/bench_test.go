@@ -340,3 +340,66 @@ func TestE10TxnShape(t *testing.T) {
 		t.Errorf("uncontended commit %v = %.2fx write pair %v, want <= 2x", commit, ratio, pair)
 	}
 }
+
+func TestE11IndexShape(t *testing.T) {
+	// A shrunken corner of the sweep; the full table runs under
+	// `rstore-bench -exp e11`.
+	origK, origL, origN, origS := E11Keys, E11Lookups, E11Negatives, E11ScanSizes
+	E11Keys, E11Lookups, E11Negatives = 256, 96, 64
+	E11ScanSizes = []int{16, 64}
+	defer func() { E11Keys, E11Lookups, E11Negatives, E11ScanSizes = origK, origL, origN, origS }()
+
+	tbl, err := E11Index(context.Background())
+	if err != nil {
+		t.Fatalf("E11Index: %v", err)
+	}
+	t.Log("\n" + tbl.String())
+	rows := tbl.Rows()
+	if len(rows) != 6+2*len(E11ScanSizes) {
+		t.Fatalf("rows = %d, want %d", len(rows), 6+2*len(E11ScanSizes))
+	}
+	flatLat, flatReads := cellDuration(t, rows[0][2]), cellFloat(t, rows[0][3])
+	coldReads := cellFloat(t, rows[1][3])
+	warmLat, warmReads := cellDuration(t, rows[2][2]), cellFloat(t, rows[2][3])
+	zipfReads := cellFloat(t, rows[3][3])
+	missPlainReads := cellFloat(t, rows[4][3])
+	missBloomReads := cellFloat(t, rows[5][3])
+
+	// (a) A warm client's point get routes through its cache: at most
+	// the two wire reads of one validated leaf read, and within 1.5x the
+	// flat hash table's validated slot read.
+	if warmReads > 2.2 {
+		t.Errorf("warm get costs %.2f reads/op, want <= 2.2", warmReads)
+	}
+	if zipfReads > 2.2 {
+		t.Errorf("warm zipf get costs %.2f reads/op, want <= 2.2", zipfReads)
+	}
+	if float64(warmLat) > 1.5*float64(flatLat) {
+		t.Errorf("warm get %v vs flat-hash %v, want <= 1.5x", warmLat, flatLat)
+	}
+	if coldReads <= warmReads {
+		t.Errorf("cold get %.2f reads/op not above warm %.2f: cache buys nothing", coldReads, warmReads)
+	}
+	if flatReads <= 0 {
+		t.Errorf("flat get read nothing (%.2f reads/op)", flatReads)
+	}
+
+	// (c) Bloom sidecars cut negative-lookup wire reads by at least half.
+	if missBloomReads > 0.5*missPlainReads {
+		t.Errorf("bloom miss %.2f reads/op vs nobloom %.2f, want <= 50%%", missBloomReads, missPlainReads)
+	}
+
+	// (b) A range scan of n keys beats the n point gets it replaces,
+	// from the smallest swept size up, on both latency and wire reads.
+	for i, n := range E11ScanSizes {
+		scanRow, getsRow := rows[6+2*i], rows[7+2*i]
+		scanLat, scanReads := cellDuration(t, scanRow[2]), cellFloat(t, scanRow[3])
+		getsLat, getsReads := cellDuration(t, getsRow[2]), cellFloat(t, getsRow[3])
+		if scanLat >= getsLat {
+			t.Errorf("scan-%d %v not below %d point gets %v", n, scanLat, n, getsLat)
+		}
+		if scanReads >= getsReads {
+			t.Errorf("scan-%d %.2f reads not below point gets %.2f", n, scanReads, getsReads)
+		}
+	}
+}

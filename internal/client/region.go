@@ -103,6 +103,11 @@ func (r *Region) Name() string { return r.Info().Name }
 // Size returns the region's size in bytes.
 func (r *Region) Size() uint64 { return r.Info().Size }
 
+// Generation returns the region's layout generation as currently mapped.
+// The repair plane bumps it whenever extents move; layers that cache
+// region contents client-side key their invalidation off it.
+func (r *Region) Generation() uint64 { return r.Info().Generation }
+
 // Remap refetches the region's metadata from the master and re-establishes
 // server connections (the recovery step after a memory-server bounce). It
 // is idempotent — the master does not count it as an additional mapping —

@@ -1,0 +1,73 @@
+package index
+
+// Per-leaf bloom sidecar. Every node cell is paired with the cell right
+// after it; for leaves that companion holds a bloom filter over the
+// leaf's keys so a client with the filter cached can answer "definitely
+// absent" without touching the leaf at all. The sidecar is written in
+// the same transaction as the leaf mutation that changes it, so on the
+// wire it is never out of sync. Bits are only ever set on insert —
+// deletes leave them alone and splits rebuild each half from its actual
+// keys — so a filter can only over-approximate its leaf, and a false
+// positive just costs the leaf read the filter would have saved.
+//
+// Cell body: [0] kind (4), rest is the bit array. Four probes per key
+// via double hashing on fnv-64a.
+
+const (
+	kindBloom   = 4
+	bloomProbes = 4
+)
+
+// bloomBits returns the filter's bit capacity for a cell body size.
+func bloomBits(bodySize int) uint64 { return uint64(bodySize-1) * 8 }
+
+func fnv64a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// bloomSet sets key's probe bits in a sidecar body; reports whether any
+// bit actually changed (an unchanged sidecar needn't be rewritten).
+func bloomSet(body []byte, key []byte) bool {
+	bits := bloomBits(len(body))
+	h := fnv64a(key)
+	h2 := h>>32 | 1
+	changed := false
+	for i := uint64(0); i < bloomProbes; i++ {
+		bit := (h + i*h2) % bits
+		idx, mask := 1+bit/8, byte(1)<<(bit%8)
+		if body[idx]&mask == 0 {
+			body[idx] |= mask
+			changed = true
+		}
+	}
+	return changed
+}
+
+// bloomTest reports whether key may be present (false = definitely not).
+func bloomTest(body []byte, key []byte) bool {
+	bits := bloomBits(len(body))
+	h := fnv64a(key)
+	h2 := h>>32 | 1
+	for i := uint64(0); i < bloomProbes; i++ {
+		bit := (h + i*h2) % bits
+		if body[1+bit/8]&(byte(1)<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildBloom renders a fresh sidecar body over a key set.
+func buildBloom(bodySize int, keys [][]byte) []byte {
+	b := make([]byte, bodySize)
+	b[0] = kindBloom
+	for _, k := range keys {
+		bloomSet(b, k)
+	}
+	return b
+}

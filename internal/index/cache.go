@@ -1,0 +1,67 @@
+package index
+
+import "container/list"
+
+// nodeCache is the client-side LRU over the meta cell and inner nodes.
+// Cached entries are traversed speculatively — zero wire reads — and the
+// fence check on the leaf the route lands on is what validates the whole
+// path; a mismatch invalidates the path and forces an authoritative
+// re-traversal. Versions ride along so a re-read can tell whether the
+// node actually changed. Leaves are never cached: the leaf read is the
+// one remote access a warm lookup pays, and it doubles as the validator.
+type nodeCache struct {
+	cap   int
+	order *list.List               // front = most recent
+	byCel map[uint32]*list.Element // cell -> element
+}
+
+type cacheEnt struct {
+	cell    uint32
+	version uint64
+	n       *node
+}
+
+func newNodeCache(capacity int) *nodeCache {
+	return &nodeCache{cap: capacity, order: list.New(), byCel: make(map[uint32]*list.Element)}
+}
+
+func (c *nodeCache) get(cell uint32) (*node, uint64, bool) {
+	el, ok := c.byCel[cell]
+	if !ok {
+		return nil, 0, false
+	}
+	c.order.MoveToFront(el)
+	ent := el.Value.(*cacheEnt)
+	return ent.n, ent.version, true
+}
+
+func (c *nodeCache) put(cell uint32, version uint64, n *node) {
+	if el, ok := c.byCel[cell]; ok {
+		ent := el.Value.(*cacheEnt)
+		ent.version, ent.n = version, n
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byCel[cell] = c.order.PushFront(&cacheEnt{cell: cell, version: version, n: n})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		delete(c.byCel, last.Value.(*cacheEnt).cell)
+		c.order.Remove(last)
+	}
+}
+
+func (c *nodeCache) drop(cell uint32) {
+	if el, ok := c.byCel[cell]; ok {
+		delete(c.byCel, cell)
+		c.order.Remove(el)
+	}
+}
+
+func (c *nodeCache) clear() {
+	c.order.Init()
+	for k := range c.byCel {
+		delete(c.byCel, k)
+	}
+}
+
+func (c *nodeCache) len() int { return c.order.Len() }

@@ -1,0 +1,821 @@
+// Package index is RStore's ordered index: a B+tree whose nodes live as
+// fixed-size cells in a transactional cell space (internal/txn) and are
+// traversed with one-sided reads — the servers never run index code.
+//
+// Layout: cell 0 is the meta cell (root pointer, height, allocation
+// cursor); nodes are allocated in pairs, the node at cell 2i+1 and its
+// sidecar at cell 2i+2. Leaf sidecars hold a bloom filter over the
+// leaf's keys; inner sidecars are unused. Cells are never freed or
+// retyped and node key ranges only ever shrink (splits move upper keys
+// right), which is the invariant the client cache leans on.
+//
+// Reads: every node read is a validated seqlock read (txn.ReadCell), so
+// a single node costs two wire reads (body + version re-check). A warm
+// client routes root→leaf through its LRU cache of the meta cell and
+// inner nodes with zero wire traffic and pays only the leaf read; the
+// leaf's fence keys validate the whole speculative route, and a
+// mismatch (someone split along the path) falls back to an
+// authoritative traversal inside a read-only transaction, which also
+// refreshes the cache. A cached leaf bloom filter answers negative
+// lookups with zero reads.
+//
+// Writes: leaf mutations and structural changes run as optimistic
+// transactions. A split rewrites the overflowing node, the new right
+// sibling, the parent link, the meta cell and (for leaves) both bloom
+// sidecars in ONE transaction, so concurrent clients see either the
+// old tree or the new one and a client dying mid-split leaves locks the
+// two-sighting breaker resolves.
+//
+// Like txn.Space, a Tree handle is not safe for concurrent use: open
+// one per worker. Handles on different clients share the tree.
+package index
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/telemetry"
+	"rstore/internal/txn"
+)
+
+var (
+	// ErrNotFound reports a key absent from the tree.
+	ErrNotFound = errors.New("index: key not found")
+	// ErrTooLarge reports an entry over the per-entry capacity bound.
+	ErrTooLarge = errors.New("index: entry exceeds node capacity")
+	// ErrBadKey reports an empty key or one longer than MaxKey.
+	ErrBadKey = errors.New("index: bad key")
+	// ErrCorrupt reports an undecodable node cell.
+	ErrCorrupt = errors.New("index: corrupt node")
+	// ErrFull reports the node cell pool is exhausted.
+	ErrFull = errors.New("index: node cells exhausted")
+	// ErrBadGeometry reports options that cannot host a working tree.
+	ErrBadGeometry = errors.New("index: bad geometry")
+)
+
+// Sentinels internal to the insert/delete retry loops.
+var (
+	errWrongLeaf = errors.New("index: routed to wrong leaf")
+	errNeedSplit = errors.New("index: leaf overflow")
+)
+
+// Options sizes a tree. The zero value is usable.
+type Options struct {
+	// Nodes caps how many tree nodes (each a node+sidecar cell pair)
+	// the space can ever hold. Default 4096.
+	Nodes int
+	// NodeSize is the cell size in bytes (8 of which are the txn
+	// version word). Default 1024.
+	NodeSize int
+	// MaxKey bounds key length; it also reserves fence headroom in
+	// every node. Default 128.
+	MaxKey int
+	// CacheNodes caps the client-side LRU over meta + inner nodes.
+	// Default 256.
+	CacheNodes int
+	// NoCache disables the node cache: every lookup is a full
+	// root-to-leaf chase. Bench ablation; leave false.
+	NoCache bool
+	// NoBloom disables bloom sidecar maintenance and consultation.
+	// Must be uniform across every writer of a tree: a NoBloom writer
+	// skips sidecar updates, so mixing modes lets filters go stale for
+	// everyone. Bench ablation; leave false.
+	NoBloom bool
+
+	// Passed through to the txn space.
+	Owner            int
+	Owners           int
+	StripeUnit       uint64
+	Retry            client.RetryPolicy
+	ReadRetries      int
+	StaleLockTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 4096
+	}
+	if o.NodeSize <= 0 {
+		o.NodeSize = 1024
+	}
+	if o.MaxKey <= 0 {
+		o.MaxKey = 128
+	}
+	if o.CacheNodes <= 0 {
+		o.CacheNodes = 256
+	}
+	return o
+}
+
+// txnOptions maps tree geometry onto the cell space: one meta cell plus
+// a node+sidecar pair per node. The 16 KiB log slot keeps the split
+// write set (6 cells) well inside one redo record at the default node
+// size.
+func (o Options) txnOptions() txn.Options {
+	return txn.Options{
+		Cells:            1 + 2*o.Nodes,
+		CellSize:         o.NodeSize,
+		StripeUnit:       o.StripeUnit,
+		Owners:           o.Owners,
+		Owner:            o.Owner,
+		LogSlotSize:      16 << 10,
+		MaxWriteSet:      8,
+		Retry:            o.Retry,
+		ReadRetries:      o.ReadRetries,
+		StaleLockTimeout: o.StaleLockTimeout,
+	}
+}
+
+// maxEntry is the largest encoded leaf entry (4-byte header + key +
+// value) the tree accepts: half a node's payload after fence headroom,
+// which guarantees any overflowing leaf can split into two fitting
+// halves with the pending entry landing in either.
+func (o Options) maxEntry() int {
+	return (o.NodeSize - 8 - nodeHeader - 2*o.MaxKey) / 2
+}
+
+func (o Options) check() error {
+	if o.maxEntry() < 4+o.MaxKey+1 {
+		return fmt.Errorf("%w: node size %d cannot hold a max-key entry (max entry %d)", ErrBadGeometry, o.NodeSize, o.maxEntry())
+	}
+	inner := nodeHeader + 2*o.MaxKey + 4 + 2*(6+o.MaxKey)
+	if o.NodeSize-8 < inner {
+		return fmt.Errorf("%w: node size %d cannot hold a two-separator inner node (%d bytes)", ErrBadGeometry, o.NodeSize, inner)
+	}
+	return nil
+}
+
+// idxCounters is the subsystem's telemetry.
+type idxCounters struct {
+	lookups    *telemetry.Counter
+	inserts    *telemetry.Counter
+	deletes    *telemetry.Counter
+	scans      *telemetry.Counter
+	splits     *telemetry.Counter
+	cacheHits  *telemetry.Counter // lookups served via a validated cached route
+	cacheMiss  *telemetry.Counter // route absent or invalidated by the fence check
+	bloomShort *telemetry.Counter // negative lookups answered with zero reads
+	bloomFetch *telemetry.Counter // sidecar reads to populate the bloom cache
+	retraverse *telemetry.Counter // authoritative root-to-leaf walks
+	depth      *telemetry.Histogram
+}
+
+// Tree is one client's handle onto a shared ordered index.
+type Tree struct {
+	sp       *txn.Space
+	opts     Options
+	bodySize int
+
+	cache      *nodeCache
+	cachedMeta *meta
+	blooms     map[uint32][]byte // leaf cell -> cached sidecar body
+	gen        uint64            // data-region generation the caches were built under
+
+	ctr    idxCounters
+	tracer *telemetry.Tracer
+
+	// SplitFailPoint, when set, is armed as the txn space's FailPoint
+	// for the duration of each split transaction — chaos harnesses use
+	// it to die mid-split without perturbing ordinary commits.
+	SplitFailPoint func(stage txn.CommitStage) error
+}
+
+// Entry is one key/value pair returned by Scan.
+type Entry struct {
+	Key []byte
+	Val []byte
+}
+
+// Create allocates the cell space and seeds an empty tree: a meta cell
+// pointing at a single empty root leaf. Other clients use Open.
+func Create(ctx context.Context, cli *client.Client, name string, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	if err := opts.check(); err != nil {
+		return nil, err
+	}
+	sp, err := txn.Create(ctx, cli, name, opts.txnOptions())
+	if err != nil {
+		return nil, err
+	}
+	t := newTree(sp, opts, cli.Telemetry())
+	err = sp.RunTx(ctx, func(tx *txn.Tx) error {
+		if err := tx.Write(0, meta{root: 1, height: 0, nextCell: 3}.encode()); err != nil {
+			return err
+		}
+		root := &node{kind: kindLeaf}
+		if err := tx.Write(1, root.encode()); err != nil {
+			return err
+		}
+		return tx.Write(2, buildBloom(t.bodySize, nil))
+	})
+	if err != nil {
+		sp.Close(ctx)
+		return nil, fmt.Errorf("index create: %w", err)
+	}
+	return t, nil
+}
+
+// Open maps an existing tree and sanity-checks its meta cell.
+func Open(ctx context.Context, cli *client.Client, name string, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	if err := opts.check(); err != nil {
+		return nil, err
+	}
+	sp, err := txn.Open(ctx, cli, name, opts.txnOptions())
+	if err != nil {
+		return nil, err
+	}
+	_, body, err := sp.ReadCell(ctx, 0)
+	if err != nil {
+		sp.Close(ctx)
+		return nil, fmt.Errorf("index open: %w", err)
+	}
+	if _, err := decodeMeta(body); err != nil {
+		sp.Close(ctx)
+		return nil, fmt.Errorf("index open: %w", err)
+	}
+	return newTree(sp, opts, cli.Telemetry()), nil
+}
+
+func newTree(sp *txn.Space, opts Options, tel *telemetry.Registry) *Tree {
+	return &Tree{
+		sp:       sp,
+		opts:     opts,
+		bodySize: sp.BodySize(),
+		cache:    newNodeCache(opts.CacheNodes),
+		blooms:   make(map[uint32][]byte),
+		gen:      sp.Generation(),
+		ctr: idxCounters{
+			lookups:    tel.Counter("index.lookups"),
+			inserts:    tel.Counter("index.inserts"),
+			deletes:    tel.Counter("index.deletes"),
+			scans:      tel.Counter("index.scans"),
+			splits:     tel.Counter("index.splits"),
+			cacheHits:  tel.Counter("index.cache_hits"),
+			cacheMiss:  tel.Counter("index.cache_misses"),
+			bloomShort: tel.Counter("index.bloom_shortcuts"),
+			bloomFetch: tel.Counter("index.bloom_fetches"),
+			retraverse: tel.Counter("index.retraversals"),
+			depth:      tel.Histogram("index.traversal_depth"),
+		},
+		tracer: tel.Tracer(),
+	}
+}
+
+// Close releases the underlying cell space handle.
+func (t *Tree) Close(ctx context.Context) error { return t.sp.Close(ctx) }
+
+// Space exposes the underlying transactional cell space (tests and the
+// chaos harness reach through it).
+func (t *Tree) Space() *txn.Space { return t.sp }
+
+func (t *Tree) checkKey(key []byte) error {
+	if len(key) == 0 || len(key) > t.opts.MaxKey {
+		return fmt.Errorf("%w: %d bytes (max %d, empty disallowed)", ErrBadKey, len(key), t.opts.MaxKey)
+	}
+	return nil
+}
+
+// checkGen drops every cached body when the data region's layout
+// generation moved: the repair plane relocated extents, so cached
+// routes may describe memory that no longer holds what they claim.
+func (t *Tree) checkGen() {
+	if g := t.sp.Generation(); g != t.gen {
+		t.invalidateAll()
+		t.gen = g
+	}
+}
+
+func (t *Tree) invalidateAll() {
+	t.cache.clear()
+	t.cachedMeta = nil
+	for k := range t.blooms {
+		delete(t.blooms, k)
+	}
+}
+
+// span wraps fn in a named tracer span, joining the caller's trace when
+// the context carries one. ErrNotFound is an answer, not a failure, so
+// it does not mark the span errored.
+func (t *Tree) span(ctx context.Context, name string, fn func(ctx context.Context) error) error {
+	id := telemetry.TraceFrom(ctx)
+	parent := telemetry.SpanFrom(ctx)
+	if id == 0 {
+		var ok bool
+		if id, ok = t.tracer.NewTrace(); !ok {
+			return fn(ctx)
+		}
+		parent = 0
+	}
+	span := telemetry.Span{
+		Trace:  id,
+		ID:     t.tracer.NewSpan(),
+		Parent: parent,
+		Name:   name,
+		StartV: t.sp.VNow(),
+	}
+	err := fn(telemetry.WithSpan(ctx, id, span.ID))
+	span.EndV = t.sp.VNow()
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		span.Err = err.Error()
+	}
+	t.tracer.Record(span)
+	return err
+}
+
+// routeLeaf resolves key to a candidate leaf cell purely from cache —
+// zero wire reads. ok is false when any hop is missing or the cached
+// fences already disclaim the key.
+func (t *Tree) routeLeaf(key []byte) (uint32, bool) {
+	if t.opts.NoCache || t.cachedMeta == nil {
+		return 0, false
+	}
+	cell := t.cachedMeta.root
+	for d := 0; d < int(t.cachedMeta.height); d++ {
+		n, _, ok := t.cache.get(cell)
+		if !ok || n.kind != kindInner || !n.covers(key) {
+			return 0, false
+		}
+		cell = n.childFor(key)
+	}
+	return cell, true
+}
+
+// authLeaf walks root-to-leaf inside a read-only transaction. The
+// validate-only commit proves the whole path was a consistent snapshot,
+// and the path's meta + inner nodes refresh the cache. Depth records
+// the remote cell reads spent (meta + inners + leaf).
+func (t *Tree) authLeaf(ctx context.Context, key []byte) (uint32, *node, error) {
+	t.ctr.retraverse.Inc()
+	type hop struct {
+		cell    uint32
+		version uint64
+		n       *node
+	}
+	var (
+		m        meta
+		path     []hop
+		leaf     *node
+		leafCell uint32
+	)
+	err := t.sp.RunReadTx(ctx, func(tx *txn.Tx) error {
+		path, leaf = path[:0], nil
+		mb, err := tx.Read(ctx, 0)
+		if err != nil {
+			return err
+		}
+		if m, err = decodeMeta(mb); err != nil {
+			return err
+		}
+		cell := m.root
+		for d := 0; d <= int(m.height); d++ {
+			v, body, err := tx.ReadVersioned(ctx, int(cell))
+			if err != nil {
+				return err
+			}
+			n, err := decodeNode(body)
+			if err != nil {
+				return err
+			}
+			if d < int(m.height) {
+				if n.kind != kindInner {
+					return fmt.Errorf("%w: cell %d: leaf at inner depth %d", ErrCorrupt, cell, d)
+				}
+				path = append(path, hop{cell, v, n})
+				cell = n.childFor(key)
+				continue
+			}
+			if n.kind != kindLeaf {
+				return fmt.Errorf("%w: cell %d: inner at leaf depth", ErrCorrupt, cell)
+			}
+			leaf, leafCell = n, cell
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if !t.opts.NoCache {
+		mCopy := m
+		t.cachedMeta = &mCopy
+		for _, h := range path {
+			t.cache.put(h.cell, h.version, h.n)
+		}
+	}
+	t.ctr.depth.RecordValue(float64(int(m.height) + 2))
+	return leafCell, leaf, nil
+}
+
+// findLeaf resolves key to its current leaf: the cached route when its
+// fence check holds (one remote cell read), the authoritative walk
+// otherwise.
+func (t *Tree) findLeaf(ctx context.Context, key []byte) (uint32, *node, error) {
+	t.checkGen()
+	if cell, ok := t.routeLeaf(key); ok {
+		if _, body, err := t.sp.ReadCell(ctx, int(cell)); err == nil {
+			if leaf, derr := decodeNode(body); derr == nil && leaf.kind == kindLeaf && leaf.covers(key) {
+				t.ctr.cacheHits.Inc()
+				t.ctr.depth.RecordValue(1)
+				return cell, leaf, nil
+			}
+		}
+		// The route lied: a split moved the key's range, or the read
+		// failed outright. Rebuild from scratch.
+		t.invalidateAll()
+	}
+	t.ctr.cacheMiss.Inc()
+	return t.authLeaf(ctx, key)
+}
+
+// Get returns the value stored under key, or ErrNotFound. Steady-state
+// warm-cache cost is one validated leaf read; a cached bloom sidecar
+// answers repeated negative lookups with zero reads.
+func (t *Tree) Get(ctx context.Context, key []byte) ([]byte, error) {
+	if err := t.checkKey(key); err != nil {
+		return nil, err
+	}
+	t.ctr.lookups.Inc()
+	var val []byte
+	err := t.span(ctx, "index.lookup", func(ctx context.Context) error {
+		var err error
+		val, err = t.get(ctx, key)
+		return err
+	})
+	return val, err
+}
+
+func (t *Tree) get(ctx context.Context, key []byte) ([]byte, error) {
+	t.checkGen()
+	if cell, ok := t.routeLeaf(key); ok {
+		if !t.opts.NoBloom {
+			if bits, ok := t.blooms[cell]; ok && !bloomTest(bits, key) {
+				// Definitely absent as of when the filter was cached.
+				// Keys other clients inserted since are the staleness
+				// window; own writes keep the cached copy exact.
+				t.ctr.bloomShort.Inc()
+				t.ctr.cacheHits.Inc()
+				t.ctr.depth.RecordValue(0)
+				return nil, ErrNotFound
+			}
+		}
+		if _, body, err := t.sp.ReadCell(ctx, int(cell)); err == nil {
+			if leaf, derr := decodeNode(body); derr == nil && leaf.kind == kindLeaf && leaf.covers(key) {
+				t.ctr.cacheHits.Inc()
+				t.ctr.depth.RecordValue(1)
+				return t.finishGet(ctx, cell, leaf, key)
+			}
+		}
+		t.invalidateAll()
+	}
+	t.ctr.cacheMiss.Inc()
+	cell, leaf, err := t.authLeaf(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return t.finishGet(ctx, cell, leaf, key)
+}
+
+// finishGet searches the resolved leaf; on a miss it primes the bloom
+// cache so the next negative on this leaf costs nothing.
+func (t *Tree) finishGet(ctx context.Context, cell uint32, leaf *node, key []byte) ([]byte, error) {
+	if i, found := leaf.search(key); found {
+		return leaf.vals[i], nil
+	}
+	if !t.opts.NoBloom && !t.opts.NoCache {
+		if _, ok := t.blooms[cell]; !ok {
+			t.fetchBloom(ctx, cell)
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// fetchBloom pulls a leaf's sidecar into the bloom cache. Best effort:
+// a failed or unwritten sidecar just leaves the cache cold.
+func (t *Tree) fetchBloom(ctx context.Context, cell uint32) {
+	_, body, err := t.sp.ReadCell(ctx, int(cell)+1)
+	if err != nil || len(body) == 0 || body[0] != kindBloom {
+		return
+	}
+	t.ctr.bloomFetch.Inc()
+	t.blooms[cell] = body
+}
+
+// Insert stores val under key, replacing any existing value. Leaf
+// overflow triggers transactional splits and a retry.
+func (t *Tree) Insert(ctx context.Context, key, val []byte) error {
+	if err := t.checkKey(key); err != nil {
+		return err
+	}
+	if 4+len(key)+len(val) > t.opts.maxEntry() {
+		return fmt.Errorf("%w: entry %d bytes > %d", ErrTooLarge, 4+len(key)+len(val), t.opts.maxEntry())
+	}
+	key = append([]byte(nil), key...)
+	val = append([]byte(nil), val...)
+	t.ctr.inserts.Inc()
+	return t.span(ctx, "index.insert", func(ctx context.Context) error {
+		for {
+			cell, _, err := t.findLeaf(ctx, key)
+			if err != nil {
+				return err
+			}
+			err = t.tryInsert(ctx, cell, key, val)
+			switch {
+			case err == nil:
+				if bits, ok := t.blooms[cell]; ok {
+					bloomSet(bits, key)
+				}
+				return nil
+			case errors.Is(err, errWrongLeaf):
+				t.invalidateAll()
+			case errors.Is(err, errNeedSplit):
+				if err := t.split(ctx, key, 4+len(key)+len(val)); err != nil {
+					return err
+				}
+			default:
+				return err
+			}
+		}
+	})
+}
+
+// tryInsert is one transactional attempt against a resolved leaf cell:
+// re-read it inside the transaction, re-check the fences, and write the
+// leaf plus its sidecar back.
+func (t *Tree) tryInsert(ctx context.Context, cell uint32, key, val []byte) error {
+	return t.sp.RunTx(ctx, func(tx *txn.Tx) error {
+		body, err := tx.Read(ctx, int(cell))
+		if err != nil {
+			return err
+		}
+		leaf, err := decodeNode(body)
+		if err != nil {
+			return err
+		}
+		if leaf.kind != kindLeaf || !leaf.covers(key) {
+			return errWrongLeaf
+		}
+		leaf.insertEntry(key, val)
+		if leaf.encodedLen() > t.bodySize {
+			return errNeedSplit
+		}
+		if err := tx.Write(int(cell), leaf.encode()); err != nil {
+			return err
+		}
+		if t.opts.NoBloom {
+			return nil
+		}
+		side, err := tx.Read(ctx, int(cell)+1)
+		if err != nil {
+			return err
+		}
+		if len(side) == 0 || side[0] != kindBloom {
+			side = buildBloom(t.bodySize, nil)
+		}
+		if bloomSet(side, key) {
+			return tx.Write(int(cell)+1, side)
+		}
+		return nil
+	})
+}
+
+// Delete removes key; ErrNotFound when absent. Bloom bits are left set
+// (they over-approximate), so deletes cost false positives, never false
+// negatives.
+func (t *Tree) Delete(ctx context.Context, key []byte) error {
+	if err := t.checkKey(key); err != nil {
+		return err
+	}
+	t.ctr.deletes.Inc()
+	return t.span(ctx, "index.delete", func(ctx context.Context) error {
+		for {
+			cell, _, err := t.findLeaf(ctx, key)
+			if err != nil {
+				return err
+			}
+			found := false
+			err = t.sp.RunTx(ctx, func(tx *txn.Tx) error {
+				body, err := tx.Read(ctx, int(cell))
+				if err != nil {
+					return err
+				}
+				leaf, err := decodeNode(body)
+				if err != nil {
+					return err
+				}
+				if leaf.kind != kindLeaf || !leaf.covers(key) {
+					return errWrongLeaf
+				}
+				if found = leaf.removeEntry(key); !found {
+					return nil // validate-only commit
+				}
+				return tx.Write(int(cell), leaf.encode())
+			})
+			switch {
+			case err == nil && found:
+				return nil
+			case err == nil:
+				return ErrNotFound
+			case errors.Is(err, errWrongLeaf):
+				t.invalidateAll()
+			default:
+				return err
+			}
+		}
+	})
+}
+
+// split runs transactional splits along key's path until no node on it
+// would overflow: each transaction splits the TOPMOST full node, so by
+// the time a lower node splits its parent is guaranteed to have room
+// for the promoted separator.
+func (t *Tree) split(ctx context.Context, key []byte, entrySize int) error {
+	return t.span(ctx, "index.split", func(ctx context.Context) error {
+		if t.SplitFailPoint != nil {
+			t.sp.FailPoint = t.SplitFailPoint
+			defer func() { t.sp.FailPoint = nil }()
+		}
+		for {
+			did, err := t.splitOne(ctx, key, entrySize)
+			if err != nil {
+				return err
+			}
+			if !did {
+				return nil
+			}
+			t.ctr.splits.Inc()
+			// Fences and possibly the root moved; cached routes along
+			// this path are stale.
+			t.invalidateAll()
+		}
+	})
+}
+
+// splitOne splits the topmost overflow-risk node on key's path, if any,
+// in one transaction: meta (allocation + root bookkeeping), the split
+// node, its new right sibling, the parent link (or a brand-new root),
+// and for leaves both rebuilt bloom sidecars.
+func (t *Tree) splitOne(ctx context.Context, key []byte, entrySize int) (bool, error) {
+	var did bool
+	err := t.sp.RunTx(ctx, func(tx *txn.Tx) error {
+		did = false
+		mb, err := tx.Read(ctx, 0)
+		if err != nil {
+			return err
+		}
+		m, err := decodeMeta(mb)
+		if err != nil {
+			return err
+		}
+		var parent *node
+		var parentCell uint32
+		cell := m.root
+		for d := 0; d <= int(m.height); d++ {
+			body, err := tx.Read(ctx, int(cell))
+			if err != nil {
+				return err
+			}
+			n, err := decodeNode(body)
+			if err != nil {
+				return err
+			}
+			isLeaf := d == int(m.height)
+			full := false
+			if isLeaf {
+				full = n.kind == kindLeaf && n.encodedLen()+entrySize > t.bodySize && len(n.keys) >= 2
+			} else {
+				full = n.kind == kindInner && n.encodedLen()+6+t.opts.MaxKey > t.bodySize && len(n.seps) >= 2
+			}
+			if !full {
+				if isLeaf {
+					return nil
+				}
+				parent, parentCell = n, cell
+				cell = n.childFor(key)
+				continue
+			}
+			rightCell := m.nextCell
+			m.nextCell += 2
+			var left, right *node
+			var sep []byte
+			if isLeaf {
+				left, right, sep = n.splitLeaf()
+			} else {
+				left, right, sep = n.splitInner()
+			}
+			if parent == nil {
+				rootCell := m.nextCell
+				m.nextCell += 2
+				if int(m.nextCell) > t.sp.Cells() {
+					return ErrFull
+				}
+				newRoot := &node{kind: kindInner, children: []uint32{cell, rightCell}, seps: [][]byte{sep}}
+				if err := tx.Write(int(rootCell), newRoot.encode()); err != nil {
+					return err
+				}
+				m.root = rootCell
+				m.height++
+			} else {
+				if int(m.nextCell) > t.sp.Cells() {
+					return ErrFull
+				}
+				parent.insertSep(sep, rightCell)
+				if err := tx.Write(int(parentCell), parent.encode()); err != nil {
+					return err
+				}
+			}
+			if err := tx.Write(int(cell), left.encode()); err != nil {
+				return err
+			}
+			if err := tx.Write(int(rightCell), right.encode()); err != nil {
+				return err
+			}
+			if isLeaf && !t.opts.NoBloom {
+				if err := tx.Write(int(cell)+1, buildBloom(t.bodySize, left.keys)); err != nil {
+					return err
+				}
+				if err := tx.Write(int(rightCell)+1, buildBloom(t.bodySize, right.keys)); err != nil {
+					return err
+				}
+			}
+			if err := tx.Write(0, m.encode()); err != nil {
+				return err
+			}
+			did = true
+			return nil
+		}
+		return nil
+	})
+	return did, err
+}
+
+// Scan returns every entry with start <= key < end in order. An empty
+// end means "to the end of the keyspace". The scan hops leaf to leaf on
+// fence keys — each leaf read is an independent consistent snapshot, so
+// a concurrent writer may be reflected in one leaf and not the next,
+// but every key present throughout the scan appears exactly once.
+func (t *Tree) Scan(ctx context.Context, start, end []byte) ([]Entry, error) {
+	if len(end) > 0 && bytes.Compare(start, end) >= 0 {
+		return nil, nil
+	}
+	t.ctr.scans.Inc()
+	var out []Entry
+	err := t.span(ctx, "index.scan", func(ctx context.Context) error {
+		cursor := start
+		if len(cursor) == 0 {
+			cursor = []byte{0} // empty keys are disallowed, so this is -inf
+		}
+		for {
+			_, leaf, err := t.findLeaf(ctx, cursor)
+			if err != nil {
+				return err
+			}
+			for i, k := range leaf.keys {
+				if bytes.Compare(k, cursor) < 0 {
+					continue
+				}
+				if len(end) > 0 && bytes.Compare(k, end) >= 0 {
+					return nil
+				}
+				out = append(out, Entry{Key: k, Val: leaf.vals[i]})
+			}
+			if leaf.hiInf() || (len(end) > 0 && bytes.Compare(leaf.hi, end) >= 0) {
+				return nil
+			}
+			cursor = leaf.hi
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats is a point-in-time summary of the tree and this handle's caches.
+type Stats struct {
+	Height       int // levels including the leaf level (1 = lone root leaf)
+	Nodes        int // allocated nodes (leaf + inner)
+	CachedNodes  int // LRU residents (meta not counted)
+	CachedBlooms int // leaf sidecars cached client-side
+}
+
+// Stats reads the meta cell and reports tree shape plus cache state.
+func (t *Tree) Stats(ctx context.Context) (Stats, error) {
+	_, body, err := t.sp.ReadCell(ctx, 0)
+	if err != nil {
+		return Stats{}, err
+	}
+	m, err := decodeMeta(body)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Height:       int(m.height) + 1,
+		Nodes:        int(m.nextCell-1) / 2,
+		CachedNodes:  t.cache.len(),
+		CachedBlooms: len(t.blooms),
+	}, nil
+}

@@ -1,0 +1,426 @@
+package index_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/index"
+)
+
+func startCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.Start(context.Background(), core.Config{
+		Machines:          4,
+		ServerCapacity:    32 << 20,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("core.Start: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func newClient(t *testing.T, c *core.Cluster) *client.Client {
+	t.Helper()
+	cli, err := c.NewClient(context.Background(), c.MemoryServerNodes()[0])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return cli
+}
+
+// testOptions shrinks nodes so a few dozen keys force real splits.
+func testOptions() index.Options {
+	return index.Options{
+		Nodes:    512,
+		NodeSize: 512,
+		MaxKey:   32,
+		Retry:    client.RetryPolicy{MaxAttempts: 64, BaseDelay: 2 * time.Microsecond, MaxDelay: 64 * time.Microsecond, Multiplier: 2, Jitter: 0.2, Seed: 1},
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestIndexBasicCRUD(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	tr, err := index.Create(ctx, cli, "crud", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer tr.Close(ctx)
+
+	if _, err := tr.Get(ctx, key(1)); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("empty-tree Get: %v", err)
+	}
+	if err := tr.Insert(ctx, key(1), val(1)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	got, err := tr.Get(ctx, key(1))
+	if err != nil || !bytes.Equal(got, val(1)) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := tr.Insert(ctx, key(1), []byte("v2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if got, _ := tr.Get(ctx, key(1)); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if err := tr.Delete(ctx, key(1)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := tr.Delete(ctx, key(1)); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := tr.Get(ctx, key(1)); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+
+	// Key validation.
+	if err := tr.Insert(ctx, nil, val(0)); !errors.Is(err, index.ErrBadKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if err := tr.Insert(ctx, bytes.Repeat([]byte{'k'}, 33), val(0)); !errors.Is(err, index.ErrBadKey) {
+		t.Fatalf("long key: %v", err)
+	}
+	if err := tr.Insert(ctx, key(2), bytes.Repeat([]byte{'v'}, 400)); !errors.Is(err, index.ErrTooLarge) {
+		t.Fatalf("huge value: %v", err)
+	}
+}
+
+func TestIndexSplitsToDepth(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	tr, err := index.Create(ctx, cli, "deep", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer tr.Close(ctx)
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	st, err := tr.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Height < 3 {
+		t.Fatalf("height %d after %d inserts into %d-byte nodes; splits not cascading", st.Height, n, testOptions().NodeSize)
+	}
+	if ctr := cli.Telemetry().Counter("index.splits").Value(); ctr == 0 {
+		t.Fatal("split counter never moved")
+	}
+	for i := 0; i < n; i++ {
+		got, err := tr.Get(ctx, key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get %d after splits = %q, %v", i, got, err)
+		}
+	}
+	// Full scan returns everything in order.
+	entries, err := tr.Scan(ctx, nil, nil)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(entries) != n {
+		t.Fatalf("scan %d entries, want %d", len(entries), n)
+	}
+	for i, e := range entries {
+		if !bytes.Equal(e.Key, key(i)) {
+			t.Fatalf("scan[%d] = %q, want %q", i, e.Key, key(i))
+		}
+	}
+}
+
+func TestIndexScanRanges(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	tr, err := index.Create(ctx, cli, "ranges", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer tr.Close(ctx)
+	for i := 0; i < 200; i += 2 { // even keys only
+		if err := tr.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	got, err := tr.Scan(ctx, key(50), key(100))
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("[50,100) returned %d entries, want 25", len(got))
+	}
+	if !bytes.Equal(got[0].Key, key(50)) || !bytes.Equal(got[24].Key, key(98)) {
+		t.Fatalf("range edges: %q .. %q", got[0].Key, got[24].Key)
+	}
+	// Start key absent (odd) — scan starts at the next present key.
+	got, err = tr.Scan(ctx, key(51), key(56))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("[51,56) = %d entries, %v", len(got), err)
+	}
+	// Empty range and out-of-domain ranges.
+	if got, _ := tr.Scan(ctx, key(10), key(10)); len(got) != 0 {
+		t.Fatal("empty range returned entries")
+	}
+	if got, _ := tr.Scan(ctx, []byte("zzz"), nil); len(got) != 0 {
+		t.Fatal("past-the-end scan returned entries")
+	}
+}
+
+// TestIndexWarmLookupReadBudget pins the headline number: once the node
+// cache is warm, a point Get costs at most one validated leaf read — two
+// wire reads — and a repeated negative lookup costs zero.
+func TestIndexWarmLookupReadBudget(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	tr, err := index.Create(ctx, cli, "warm", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer tr.Close(ctx)
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	reads := cli.Telemetry().Counter("client.reads")
+	hits := cli.Telemetry().Counter("index.cache_hits")
+
+	// Warm every route.
+	for i := 0; i < 300; i++ {
+		if _, err := tr.Get(ctx, key(i)); err != nil {
+			t.Fatalf("warmup Get: %v", err)
+		}
+	}
+	before, hitsBefore := reads.Value(), hits.Value()
+	for i := 0; i < 300; i++ {
+		if _, err := tr.Get(ctx, key(i)); err != nil {
+			t.Fatalf("warm Get: %v", err)
+		}
+	}
+	perOp := float64(reads.Value()-before) / 300
+	if perOp > 2.0 {
+		t.Fatalf("warm Get costs %.2f wire reads/op, want <= 2", perOp)
+	}
+	if hits.Value()-hitsBefore != 300 {
+		t.Fatalf("cache hits %d/300", hits.Value()-hitsBefore)
+	}
+
+	// Negative lookups: first round fetches sidecars, second round is free.
+	neg := func() {
+		for i := 0; i < 300; i++ {
+			if _, err := tr.Get(ctx, []byte(fmt.Sprintf("nope-%06d", i))); !errors.Is(err, index.ErrNotFound) {
+				t.Fatalf("negative Get: %v", err)
+			}
+		}
+	}
+	neg()
+	before = reads.Value()
+	shortBefore := cli.Telemetry().Counter("index.bloom_shortcuts").Value()
+	neg()
+	if d := reads.Value() - before; d != 0 {
+		t.Fatalf("cached-bloom negatives cost %d reads, want 0", d)
+	}
+	if d := cli.Telemetry().Counter("index.bloom_shortcuts").Value() - shortBefore; d != 300 {
+		t.Fatalf("bloom shortcuts %d/300", d)
+	}
+}
+
+// TestIndexStaleRouteHeals splits the tree through a second handle and
+// checks the first handle's cached route detects the lie via fences and
+// re-traverses instead of returning wrong answers.
+func TestIndexStaleRouteHeals(t *testing.T) {
+	c := startCluster(t)
+	ctx := context.Background()
+	cliA, cliB := newClient(t, c), newClient(t, c)
+	opts := testOptions()
+	opts.Owner = 1
+	trA, err := index.Create(ctx, cliA, "stale", opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer trA.Close(ctx)
+	optsB := testOptions()
+	optsB.Owner = 2
+	trB, err := index.Open(ctx, cliB, "stale", optsB)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer trB.Close(ctx)
+
+	for i := 0; i < 50; i++ {
+		if err := trA.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Warm A's cache, then grow the tree through B until it splits a lot.
+	for i := 0; i < 50; i++ {
+		if _, err := trA.Get(ctx, key(i)); err != nil {
+			t.Fatalf("warm Get: %v", err)
+		}
+	}
+	for i := 50; i < 400; i++ {
+		if err := trB.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("B Insert: %v", err)
+		}
+	}
+	// A must still answer correctly for every key, old and new.
+	for i := 0; i < 400; i++ {
+		got, err := trA.Get(ctx, key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("A Get %d through stale cache = %q, %v", i, got, err)
+		}
+	}
+	ents, err := trA.Scan(ctx, nil, nil)
+	if err != nil || len(ents) != 400 {
+		t.Fatalf("A scan: %d entries, %v", len(ents), err)
+	}
+	if cliA.Telemetry().Counter("index.retraversals").Value() == 0 {
+		t.Fatal("A never re-traversed despite B's splits")
+	}
+}
+
+// TestIndexPropertyVsOracle drives random Put/Delete/Get/Scan against a
+// model map and a sorted-keys oracle.
+func TestIndexPropertyVsOracle(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	tr, err := index.Create(ctx, cli, "prop", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer tr.Close(ctx)
+
+	rng := rand.New(rand.NewSource(42))
+	model := map[string]string{}
+	randKey := func() []byte { return key(rng.Intn(500)) }
+
+	checkScan := func(start, end []byte) {
+		got, err := tr.Scan(ctx, start, end)
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		var want []string
+		for k := range model {
+			if bytes.Compare([]byte(k), start) >= 0 && (len(end) == 0 || bytes.Compare([]byte(k), end) < 0) {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("scan[%q,%q): %d entries, oracle %d", start, end, len(got), len(want))
+		}
+		for i, e := range got {
+			if string(e.Key) != want[i] || string(e.Val) != model[want[i]] {
+				t.Fatalf("scan[%d] = (%q,%q), oracle (%q,%q)", i, e.Key, e.Val, want[i], model[want[i]])
+			}
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		k := randKey()
+		switch op := rng.Intn(10); {
+		case op < 5: // put
+			v := fmt.Sprintf("v%d-%d", step, rng.Intn(1e6))
+			if err := tr.Insert(ctx, k, []byte(v)); err != nil {
+				t.Fatalf("step %d Insert(%q): %v", step, k, err)
+			}
+			model[string(k)] = v
+		case op < 7: // delete
+			err := tr.Delete(ctx, k)
+			if _, ok := model[string(k)]; ok {
+				if err != nil {
+					t.Fatalf("step %d Delete(%q): %v", step, k, err)
+				}
+				delete(model, string(k))
+			} else if !errors.Is(err, index.ErrNotFound) {
+				t.Fatalf("step %d Delete(absent %q): %v", step, k, err)
+			}
+		case op < 9: // get
+			got, err := tr.Get(ctx, k)
+			if want, ok := model[string(k)]; ok {
+				if err != nil || string(got) != want {
+					t.Fatalf("step %d Get(%q) = %q, %v; want %q", step, k, got, err, want)
+				}
+			} else if !errors.Is(err, index.ErrNotFound) {
+				t.Fatalf("step %d Get(absent %q): %v", step, k, err)
+			}
+		default: // scan a random window
+			a, b := rng.Intn(500), rng.Intn(500)
+			if a > b {
+				a, b = b, a
+			}
+			checkScan(key(a), key(b))
+		}
+	}
+	checkScan(nil, nil)
+	st, err := tr.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Height < 2 || st.Nodes < 4 {
+		t.Fatalf("property run never grew the tree: %+v", st)
+	}
+}
+
+// TestIndexAblationsStillCorrect runs the cache/bloom ablations the
+// bench measures and checks plain correctness holds in each mode.
+func TestIndexAblationsStillCorrect(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		mutate func(*index.Options)
+	}{
+		{"nocache", func(o *index.Options) { o.NoCache = true }},
+		{"nobloom", func(o *index.Options) { o.NoBloom = true }},
+		{"bare", func(o *index.Options) { o.NoCache, o.NoBloom = true, true }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			c := startCluster(t)
+			cli := newClient(t, c)
+			ctx := context.Background()
+			opts := testOptions()
+			mode.mutate(&opts)
+			tr, err := index.Create(ctx, cli, "abl-"+mode.name, opts)
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			defer tr.Close(ctx)
+			for i := 0; i < 150; i++ {
+				if err := tr.Insert(ctx, key(i), val(i)); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+			}
+			for i := 0; i < 150; i++ {
+				if got, err := tr.Get(ctx, key(i)); err != nil || !bytes.Equal(got, val(i)) {
+					t.Fatalf("Get %d = %q, %v", i, got, err)
+				}
+			}
+			if _, err := tr.Get(ctx, []byte("absent")); !errors.Is(err, index.ErrNotFound) {
+				t.Fatalf("negative Get: %v", err)
+			}
+			if ents, err := tr.Scan(ctx, nil, nil); err != nil || len(ents) != 150 {
+				t.Fatalf("scan: %d, %v", len(ents), err)
+			}
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestLeafEncodeDecodeRoundTrip(t *testing.T) {
+	n := &node{kind: kindLeaf, lo: []byte("aaa"), hi: []byte("mmm")}
+	for i := 0; i < 10; i++ {
+		n.insertEntry([]byte(fmt.Sprintf("key%02d", i)), []byte(fmt.Sprintf("val-%d", i*i)))
+	}
+	body := n.encode()
+	if len(body) != n.encodedLen() {
+		t.Fatalf("encode %d bytes, encodedLen says %d", len(body), n.encodedLen())
+	}
+	got, err := decodeNode(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.kind != kindLeaf || !bytes.Equal(got.lo, n.lo) || !bytes.Equal(got.hi, n.hi) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.keys) != len(n.keys) {
+		t.Fatalf("keys %d != %d", len(got.keys), len(n.keys))
+	}
+	for i := range n.keys {
+		if !bytes.Equal(got.keys[i], n.keys[i]) || !bytes.Equal(got.vals[i], n.vals[i]) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestInnerEncodeDecodeRoundTrip(t *testing.T) {
+	n := &node{kind: kindInner, lo: nil, hi: []byte("zz"),
+		children: []uint32{1, 3, 5, 7},
+		seps:     [][]byte{[]byte("bb"), []byte("dd"), []byte("ff")}}
+	got, err := decodeNode(n.encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.children) != 4 || len(got.seps) != 3 {
+		t.Fatalf("shape mismatch: %d children, %d seps", len(got.children), len(got.seps))
+	}
+	for i, c := range n.children {
+		if got.children[i] != c {
+			t.Fatalf("child %d: %d != %d", i, got.children[i], c)
+		}
+	}
+	for _, k := range [][]byte{[]byte("aa"), []byte("bb"), []byte("cc"), []byte("ee"), []byte("zz")} {
+		if got.childFor(k) != n.childFor(k) {
+			t.Fatalf("childFor(%q) diverged", k)
+		}
+	}
+	// Routing: keys >= sep go right of it.
+	if got.childFor([]byte("aa")) != 1 || got.childFor([]byte("bb")) != 3 || got.childFor([]byte("ff")) != 7 {
+		t.Fatalf("routing wrong: %d %d %d",
+			got.childFor([]byte("aa")), got.childFor([]byte("bb")), got.childFor([]byte("ff")))
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	m := meta{root: 41, height: 3, nextCell: 99}
+	got, err := decodeMeta(m.encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != m {
+		t.Fatalf("%+v != %+v", got, m)
+	}
+	if _, err := decodeMeta([]byte{0, 1, 2}); err == nil {
+		t.Fatal("short meta decoded")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, body := range [][]byte{
+		nil,
+		{},
+		{9, 0, 0, 0, 0, 0, 0},                // unknown kind
+		{kindLeaf, 5, 0, 0, 0, 0, 0},         // claims 5 entries, has none
+		{kindInner, 0, 0, 200, 0, 0, 0, 'a'}, // fence past end
+	} {
+		if _, err := decodeNode(body); err == nil {
+			t.Fatalf("decoded garbage %v", body)
+		}
+	}
+	// Zero cell (never written) must not decode as a node.
+	if _, err := decodeNode(make([]byte, 64)); err == nil {
+		t.Fatal("zero cell decoded as node")
+	}
+}
+
+func TestSplitLeafBalancedAndFenced(t *testing.T) {
+	n := &node{kind: kindLeaf, lo: []byte("a"), hi: nil}
+	for i := 0; i < 20; i++ {
+		n.insertEntry([]byte(fmt.Sprintf("k%03d", i)), bytes.Repeat([]byte{'v'}, 10))
+	}
+	left, right, sep := n.splitLeaf()
+	if !bytes.Equal(left.hi, sep) || !bytes.Equal(right.lo, sep) {
+		t.Fatalf("fences don't meet at sep %q: left.hi=%q right.lo=%q", sep, left.hi, right.lo)
+	}
+	if !bytes.Equal(left.lo, []byte("a")) || right.hi != nil {
+		t.Fatalf("outer fences not preserved")
+	}
+	if len(left.keys)+len(right.keys) != 20 {
+		t.Fatalf("lost entries: %d + %d", len(left.keys), len(right.keys))
+	}
+	if len(left.keys) < 5 || len(right.keys) < 5 {
+		t.Fatalf("unbalanced split: %d / %d", len(left.keys), len(right.keys))
+	}
+	if !bytes.Equal(right.keys[0], sep) {
+		t.Fatalf("sep %q is not right's first key %q", sep, right.keys[0])
+	}
+	for _, k := range left.keys {
+		if !left.covers(k) {
+			t.Fatalf("left does not cover own key %q", k)
+		}
+	}
+	for _, k := range right.keys {
+		if !right.covers(k) {
+			t.Fatalf("right does not cover own key %q", k)
+		}
+	}
+}
+
+func TestSplitInnerPromotes(t *testing.T) {
+	n := &node{kind: kindInner, children: []uint32{10}}
+	for i := 0; i < 7; i++ {
+		n.insertSep([]byte(fmt.Sprintf("s%d", i)), uint32(20+i))
+	}
+	left, right, promoted := n.splitInner()
+	if len(left.seps)+len(right.seps) != 6 {
+		t.Fatalf("promoted sep must leave both halves: %d + %d", len(left.seps), len(right.seps))
+	}
+	if len(left.children) != len(left.seps)+1 || len(right.children) != len(right.seps)+1 {
+		t.Fatal("children/seps arity broken")
+	}
+	if !bytes.Equal(left.hi, promoted) || !bytes.Equal(right.lo, promoted) {
+		t.Fatal("fences don't meet at promoted sep")
+	}
+	// Every original child survives in exactly one half.
+	seen := map[uint32]int{}
+	for _, c := range append(append([]uint32{}, left.children...), right.children...) {
+		seen[c]++
+	}
+	for _, c := range n.children {
+		if seen[c] != 1 {
+			t.Fatalf("child %d appears %d times", c, seen[c])
+		}
+	}
+}
+
+func TestInsertSepKeepsRouting(t *testing.T) {
+	n := &node{kind: kindInner, children: []uint32{1}}
+	n.insertSep([]byte("m"), 2)
+	n.insertSep([]byte("e"), 3)
+	n.insertSep([]byte("t"), 4)
+	cases := []struct {
+		key  string
+		want uint32
+	}{{"a", 1}, {"e", 3}, {"f", 3}, {"m", 2}, {"s", 2}, {"t", 4}, {"z", 4}}
+	for _, c := range cases {
+		if got := n.childFor([]byte(c.key)); got != c.want {
+			t.Fatalf("childFor(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestBloomSetTest(t *testing.T) {
+	body := buildBloom(256, nil)
+	keys := make([][]byte, 50)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("present-%03d", i))
+		if !bloomSet(body, keys[i]) {
+			t.Fatalf("fresh key %d set no bits", i)
+		}
+	}
+	for _, k := range keys {
+		if !bloomTest(body, k) {
+			t.Fatalf("false negative for %q", k)
+		}
+		if bloomSet(body, k) {
+			t.Fatalf("re-set of %q changed bits", k)
+		}
+	}
+	// False-positive rate over absent keys stays sane for this load.
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if bloomTest(body, []byte(fmt.Sprintf("absent-%04d", i))) {
+			fp++
+		}
+	}
+	if fp > 200 {
+		t.Fatalf("%d/1000 false positives", fp)
+	}
+}
+
+func TestBuildBloomMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var keys [][]byte
+	inc := buildBloom(512, nil)
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("k%d", rng.Intn(1000)))
+		keys = append(keys, k)
+		bloomSet(inc, k)
+	}
+	if !bytes.Equal(inc, buildBloom(512, keys)) {
+		t.Fatal("incremental and rebuilt filters diverge")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newNodeCache(3)
+	for i := uint32(1); i <= 3; i++ {
+		c.put(i, uint64(i), &node{kind: kindInner})
+	}
+	c.get(1) // 1 is now most recent; 2 is the LRU victim
+	c.put(4, 4, &node{kind: kindInner})
+	if _, _, ok := c.get(2); ok {
+		t.Fatal("LRU victim survived")
+	}
+	for _, want := range []uint32{1, 3, 4} {
+		if _, _, ok := c.get(want); !ok {
+			t.Fatalf("cell %d evicted wrongly", want)
+		}
+	}
+	c.drop(3)
+	if c.len() != 2 {
+		t.Fatalf("len %d after drop", c.len())
+	}
+	c.clear()
+	if c.len() != 0 {
+		t.Fatal("clear left residents")
+	}
+}

@@ -1,0 +1,168 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/index"
+	"rstore/internal/simnet"
+	"rstore/internal/txn"
+)
+
+// chaosIndexOptions shrinks nodes so a few hundred keys force multi-level
+// splits, and tunes lock-breaking the way the bank chaos tests do: stale
+// locks mature in tens of µs of virtual time, well inside a read-retry
+// budget. The stale window is 3× the bank tests' because a split commit
+// locks up to six cells and must decide within half the window.
+func chaosIndexOptions(owner int) index.Options {
+	return index.Options{
+		Nodes:            512,
+		NodeSize:         512,
+		MaxKey:           32,
+		Owner:            owner,
+		StaleLockTimeout: 60 * time.Microsecond,
+		ReadRetries:      256,
+		Retry: client.RetryPolicy{
+			MaxAttempts: 64,
+			BaseDelay:   2 * time.Microsecond,
+			MaxDelay:    64 * time.Microsecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+			Seed:        chaosSeed,
+		},
+	}
+}
+
+// Scenario: a client dies in the middle of a B+tree node split — the
+// multi-cell transaction rewriting the meta cell, the overflowing node,
+// its new sibling and the parent link. A split only reorganizes the
+// tree, so whichever side of the decision point the death lands on, the
+// key set must be exactly the successfully inserted keys: a survivor
+// breaks the stale locks (rolling the split back or forward) and the
+// tree must come back consistent, fully scannable, and writable.
+func TestChaosClientDeathMidSplit(t *testing.T) {
+	t.Run("before-decision", func(t *testing.T) {
+		testClientDeathMidSplit(t, txn.StageLocked)
+	})
+	t.Run("after-decision", func(t *testing.T) {
+		testClientDeathMidSplit(t, txn.StageDecided)
+	})
+}
+
+func testClientDeathMidSplit(t *testing.T, stage txn.CommitStage) {
+	c := startCluster(t, 4, 2)
+	ctx := context.Background()
+	victimNode := simnet.NodeID(c.Fabric().Size() - 1)
+	survivorNode := simnet.NodeID(c.Fabric().Size() - 2)
+	victimCli := newChaosClient(t, c, victimNode)
+	survivorCli := newChaosClient(t, c, survivorNode)
+
+	victim, err := index.Create(ctx, victimCli, "chaos-tree", chaosIndexOptions(1))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	survivor, err := index.Open(ctx, survivorCli, "chaos-tree", chaosIndexOptions(2))
+	if err != nil {
+		t.Fatalf("Open survivor: %v", err)
+	}
+
+	chaos := simnet.NewChaos(c.Fabric(), chaosSeed)
+	defer chaos.Detach()
+
+	// Let a few splits complete normally, then kill the victim's node at
+	// the target stage of a later split — locks on the meta cell, the
+	// split node, its sibling and the parent are left standing.
+	splitStages := 0
+	victim.SplitFailPoint = func(s txn.CommitStage) error {
+		if s != stage {
+			return nil
+		}
+		splitStages++
+		if splitStages < 3 {
+			return nil
+		}
+		if err := chaos.KillNode(victimNode); err != nil {
+			t.Errorf("KillNode: %v", err)
+		}
+		return errClientKilled
+	}
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("chaos-%06d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("v-%d", i)) }
+
+	// The dying insert's split transaction may roll either way, but the
+	// insert itself is a separate transaction that never ran, so the
+	// oracle is exactly the set of inserts that returned nil.
+	inserted := map[int]bool{}
+	killed := false
+	for i := 0; i < 600 && !killed; i++ {
+		err := victim.Insert(ctx, key(i), val(i))
+		switch {
+		case err == nil:
+			inserted[i] = true
+		case errors.Is(err, errClientKilled):
+			killed = true
+		default:
+			t.Fatalf("victim Insert %d: %v", i, err)
+		}
+	}
+	if !killed {
+		t.Fatal("victim was never killed mid-split; not enough splits?")
+	}
+
+	// The survivor writes through the wreckage: its first operations must
+	// sight the dead client's locks twice, break them (rolling the
+	// orphaned split back or forward), and commit.
+	const extra = 50
+	for i := 1000; i < 1000+extra; i++ {
+		if err := survivor.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("survivor Insert %d: %v", i, err)
+		}
+		inserted[i] = true
+	}
+
+	// The whole tree must be scannable and match the oracle exactly.
+	var want []string
+	for i := range inserted {
+		want = append(want, string(key(i)))
+	}
+	sort.Strings(want)
+	ents, err := survivor.Scan(ctx, nil, nil)
+	if err != nil {
+		t.Fatalf("survivor Scan: %v", err)
+	}
+	if len(ents) != len(want) {
+		t.Fatalf("scan found %d keys, oracle has %d", len(ents), len(want))
+	}
+	for i, e := range ents {
+		if string(e.Key) != want[i] {
+			t.Fatalf("scan[%d] = %q, oracle %q", i, e.Key, want[i])
+		}
+		if i > 0 && bytes.Compare(ents[i-1].Key, e.Key) >= 0 {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, ents[i-1].Key, e.Key)
+		}
+	}
+	// Point lookups agree with the scan.
+	for i := range inserted {
+		got, err := survivor.Get(ctx, key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("survivor Get %d = %q, %v", i, got, err)
+		}
+	}
+	st, err := survivor.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Height < 2 {
+		t.Fatalf("tree never split: %+v", st)
+	}
+	if survivorCli.Telemetry().Counter("txn.lock_breaks").Value() == 0 {
+		t.Error("survivor never broke the dead client's locks")
+	}
+}

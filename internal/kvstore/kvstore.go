@@ -31,9 +31,15 @@ import (
 
 // Store-level errors.
 var (
-	ErrFull        = errors.New("kvstore: table full")
-	ErrNotFound    = errors.New("kvstore: key not found")
-	ErrTooLarge    = errors.New("kvstore: entry exceeds slot size")
+	ErrFull     = errors.New("kvstore: table full")
+	ErrNotFound = errors.New("kvstore: key not found")
+	// ErrEntryTooLarge reports a key/value pair that cannot fit a
+	// store's slot (or ordered-index node) geometry, and empty keys.
+	ErrEntryTooLarge = errors.New("kvstore: entry exceeds slot size")
+	// ErrTooLarge is the historical alias for ErrEntryTooLarge.
+	//
+	// Deprecated: match ErrEntryTooLarge instead.
+	ErrTooLarge    = ErrEntryTooLarge
 	ErrBadGeometry = errors.New("kvstore: bad table geometry")
 	// ErrContention reports that a slot stayed locked (or kept changing)
 	// through every retry; the operation can simply be retried.
@@ -208,10 +214,10 @@ func hashKey(key []byte) uint64 {
 // checkEntry validates sizes.
 func (s *Store) checkEntry(key, value []byte) error {
 	if len(key) == 0 {
-		return fmt.Errorf("%w: empty key", ErrTooLarge)
+		return fmt.Errorf("%w: empty key", ErrEntryTooLarge)
 	}
 	if len(key) > 0xffff || len(value) > 0xffff || len(key)+len(value) > s.MaxEntry() {
-		return fmt.Errorf("%w: key %d + value %d > %d", ErrTooLarge, len(key), len(value), s.MaxEntry())
+		return fmt.Errorf("%w: key %d + value %d > %d", ErrEntryTooLarge, len(key), len(value), s.MaxEntry())
 	}
 	return nil
 }

@@ -143,11 +143,15 @@ func TestEntryTooLarge(t *testing.T) {
 	c := startCluster(t)
 	s, _ := newStore(t, c, "kv", Options{SlotSize: 64})
 	ctx := context.Background()
-	if err := s.Put(ctx, []byte("k"), make([]byte, 64)); !errors.Is(err, ErrTooLarge) {
+	if err := s.Put(ctx, []byte("k"), make([]byte, 64)); !errors.Is(err, ErrEntryTooLarge) {
 		t.Errorf("oversize put = %v", err)
 	}
-	if err := s.Put(ctx, nil, []byte("v")); !errors.Is(err, ErrTooLarge) {
+	if err := s.Put(ctx, nil, []byte("v")); !errors.Is(err, ErrEntryTooLarge) {
 		t.Errorf("empty key = %v", err)
+	}
+	// The historical alias must keep matching the same failures.
+	if err := s.Put(ctx, []byte("k"), make([]byte, 64)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize put does not match deprecated alias: %v", err)
 	}
 }
 

@@ -1,0 +1,87 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rstore/internal/client"
+	"rstore/internal/index"
+)
+
+// OrderedStore is the ordered sibling of Store: the same Put/Get/Delete
+// surface plus range Scan, backed by the client-cached B+tree in
+// internal/index instead of a flat hash table. Like Store, a handle is
+// not safe for concurrent use; handles on different machines share the
+// data.
+type OrderedStore struct {
+	tree *index.Tree
+}
+
+// OrderedOptions passes through to the index layer.
+type OrderedOptions = index.Options
+
+// CreateOrdered allocates and seeds an ordered store. Other clients use
+// OpenOrdered.
+func CreateOrdered(ctx context.Context, cli *client.Client, name string, opts OrderedOptions) (*OrderedStore, error) {
+	tree, err := index.Create(ctx, cli, name, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore ordered create: %w", err)
+	}
+	return &OrderedStore{tree: tree}, nil
+}
+
+// OpenOrdered maps an existing ordered store.
+func OpenOrdered(ctx context.Context, cli *client.Client, name string, opts OrderedOptions) (*OrderedStore, error) {
+	tree, err := index.Open(ctx, cli, name, opts)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore ordered open: %w", err)
+	}
+	return &OrderedStore{tree: tree}, nil
+}
+
+// Close releases the handle.
+func (s *OrderedStore) Close(ctx context.Context) error { return s.tree.Close(ctx) }
+
+// Tree exposes the underlying index handle (stats, chaos hooks).
+func (s *OrderedStore) Tree() *index.Tree { return s.tree }
+
+// mapErr translates index sentinels into the store's error vocabulary so
+// callers written against Store semantics keep working.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, index.ErrNotFound):
+		return fmt.Errorf("%w: %w", ErrNotFound, err)
+	case errors.Is(err, index.ErrTooLarge), errors.Is(err, index.ErrBadKey):
+		return fmt.Errorf("%w: %w", ErrEntryTooLarge, err)
+	case errors.Is(err, index.ErrFull):
+		return fmt.Errorf("%w: %w", ErrFull, err)
+	default:
+		return err
+	}
+}
+
+// Put stores value under key, replacing any existing value.
+func (s *OrderedStore) Put(ctx context.Context, key, value []byte) error {
+	return mapErr(s.tree.Insert(ctx, key, value))
+}
+
+// Get returns the value under key, or ErrNotFound.
+func (s *OrderedStore) Get(ctx context.Context, key []byte) ([]byte, error) {
+	v, err := s.tree.Get(ctx, key)
+	return v, mapErr(err)
+}
+
+// Delete removes key; ErrNotFound when absent.
+func (s *OrderedStore) Delete(ctx context.Context, key []byte) error {
+	return mapErr(s.tree.Delete(ctx, key))
+}
+
+// Scan returns every entry with start <= key < end in key order; an
+// empty end runs to the end of the keyspace.
+func (s *OrderedStore) Scan(ctx context.Context, start, end []byte) ([]index.Entry, error) {
+	ents, err := s.tree.Scan(ctx, start, end)
+	return ents, mapErr(err)
+}

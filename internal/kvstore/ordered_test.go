@@ -1,0 +1,117 @@
+package kvstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+)
+
+func newOrdered(t *testing.T, c *core.Cluster, name string) (*OrderedStore, *client.Client) {
+	t.Helper()
+	cli, err := c.NewClient(context.Background(), c.MemoryServerNodes()[0])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	s, err := CreateOrdered(context.Background(), cli, name, OrderedOptions{
+		Nodes:    256,
+		NodeSize: 512,
+		MaxKey:   32,
+	})
+	if err != nil {
+		t.Fatalf("CreateOrdered: %v", err)
+	}
+	return s, cli
+}
+
+func TestOrderedPutGetDeleteScan(t *testing.T) {
+	c := startCluster(t)
+	s, _ := newOrdered(t, c, "okv")
+	ctx := context.Background()
+
+	for i := 0; i < 120; i++ {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		if err := s.Put(ctx, k, []byte(fmt.Sprintf("row-%d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	v, err := s.Get(ctx, []byte("user:0042"))
+	if err != nil || string(v) != "row-42" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+
+	// Range scan comes back sorted and half-open.
+	ents, err := s.Scan(ctx, []byte("user:0010"), []byte("user:0020"))
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(ents) != 10 {
+		t.Fatalf("scan returned %d entries, want 10", len(ents))
+	}
+	for i, e := range ents {
+		want := fmt.Sprintf("user:%04d", 10+i)
+		if string(e.Key) != want {
+			t.Fatalf("scan[%d] = %q, want %q", i, e.Key, want)
+		}
+	}
+
+	if err := s.Delete(ctx, []byte("user:0042")); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get(ctx, []byte("user:0042")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	if err := s.Delete(ctx, []byte("user:0042")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestOrderedErrorMapping(t *testing.T) {
+	c := startCluster(t)
+	s, _ := newOrdered(t, c, "oerr")
+	ctx := context.Background()
+
+	if err := s.Put(ctx, nil, []byte("v")); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if err := s.Put(ctx, []byte("k"), bytes.Repeat([]byte{'v'}, 4096)); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("oversize value: %v", err)
+	}
+	if _, err := s.Get(ctx, []byte("absent")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent get: %v", err)
+	}
+}
+
+func TestOrderedSharedAcrossClients(t *testing.T) {
+	c := startCluster(t)
+	ctx := context.Background()
+	s1, _ := newOrdered(t, c, "oshare")
+	cli2, err := c.NewClient(ctx, c.MemoryServerNodes()[1])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	s2, err := OpenOrdered(ctx, cli2, "oshare", OrderedOptions{
+		Nodes:    256,
+		NodeSize: 512,
+		MaxKey:   32,
+	})
+	if err != nil {
+		t.Fatalf("OpenOrdered: %v", err)
+	}
+
+	if err := s1.Put(ctx, []byte("shared"), []byte("one-sided")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, err := s2.Get(ctx, []byte("shared"))
+	if err != nil || string(v) != "one-sided" {
+		t.Fatalf("cross-client Get = %q, %v", v, err)
+	}
+	ents, err := s2.Scan(ctx, nil, nil)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("cross-client Scan: %d entries, %v", len(ents), err)
+	}
+}

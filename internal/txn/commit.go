@@ -19,12 +19,13 @@ const valChunk = 32
 // captured, writes are buffered locally until commit. A Tx is only valid
 // inside the RunTx callback that created it.
 type Tx struct {
-	sp     *Space
-	gen    uint64
-	genSet bool
-	reads  map[int]uint64 // cell -> version captured at first read
-	cache  map[int][]byte // cell -> body snapshot backing repeat reads
-	writes map[int][]byte // cell -> buffered new body
+	sp       *Space
+	gen      uint64
+	genSet   bool
+	readOnly bool           // opened by RunReadTx: Write is rejected
+	reads    map[int]uint64 // cell -> version captured at first read
+	cache    map[int][]byte // cell -> body snapshot backing repeat reads
+	writes   map[int][]byte // cell -> buffered new body
 }
 
 // noteGen pins the region generation the transaction runs against; a
@@ -72,6 +73,9 @@ func (tx *Tx) ReadVersioned(ctx context.Context, cell int) (uint64, []byte, erro
 // Write buffers body as the cell's new contents. Bytes past body up to
 // the cell's capacity are zeroed on install.
 func (tx *Tx) Write(cell int, body []byte) error {
+	if tx.readOnly {
+		return ErrReadOnly
+	}
 	if err := tx.sp.checkCell(cell); err != nil {
 		return err
 	}
@@ -92,6 +96,22 @@ func (tx *Tx) Write(cell int, body []byte) error {
 // any lock. Context cancellation surfaces as ctx.Err(); exhausting every
 // attempt surfaces ErrContended.
 func (sp *Space) RunTx(ctx context.Context, fn func(tx *Tx) error) error {
+	return sp.runTx(ctx, fn, false)
+}
+
+// RunReadTx runs fn as a read-only transaction: the commit is a pure
+// validation round — the read-set words are re-read and compared — with no
+// log-slot write and no lock CAS anywhere on the path (ROADMAP's
+// "validate-only, no log slot" fast path). A successful return means every
+// value fn read was part of one consistent snapshot. tx.Write inside fn
+// fails with ErrReadOnly. Index traversals and multi-cell reads ride this;
+// it costs one extra 8-byte read per read-set cell over raw ReadCells and
+// buys a serializable multi-cell view.
+func (sp *Space) RunReadTx(ctx context.Context, fn func(tx *Tx) error) error {
+	return sp.runTx(ctx, fn, true)
+}
+
+func (sp *Space) runTx(ctx context.Context, fn func(tx *Tx) error, readOnly bool) error {
 	attempts := sp.opts.Retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -103,10 +123,11 @@ func (sp *Space) RunTx(ctx context.Context, fn func(tx *Tx) error) error {
 			}
 		}
 		tx := &Tx{
-			sp:     sp,
-			reads:  make(map[int]uint64),
-			cache:  make(map[int][]byte),
-			writes: make(map[int][]byte),
+			sp:       sp,
+			readOnly: readOnly,
+			reads:    make(map[int]uint64),
+			cache:    make(map[int][]byte),
+			writes:   make(map[int][]byte),
 		}
 		if err := fn(tx); err != nil {
 			if errors.Is(err, errAborted) {
@@ -161,6 +182,9 @@ func (sp *Space) commit(ctx context.Context, tx *Tx) error {
 	ct.finish(err)
 	if err == nil {
 		sp.ctr.commits.Inc()
+		if len(tx.writes) == 0 {
+			sp.ctr.roCommits.Inc()
+		}
 		sp.ctr.commitLat.Record(sp.vnow().Sub(startV))
 	} else if !errors.Is(err, errAborted) {
 		// An abort cleaned up after itself (abandonAttempt flags its own
@@ -241,7 +265,12 @@ func (sp *Space) commitInner(ctx context.Context, tx *Tx, ct commitTrace, startV
 	}
 
 	// Round 2 — lock. All CASes in flight at once; each validates its
-	// cell's version as it claims it.
+	// cell's version as it claims it. The lease clock starts here: the
+	// stale-window discipline bounds how long locks are *held*, and the
+	// pre-lock rounds (blind-write word fetches, the log record) can cost
+	// several fabric round trips on a remote client without making any
+	// lock observable.
+	startV = sp.vnow()
 	var locked []entry
 	err = ct.phase(ctx, "txn.lock", func(ctx context.Context) error {
 		var lerr error
@@ -371,6 +400,9 @@ func (sp *Space) commitInner(ctx context.Context, tx *Tx, ct commitTrace, startV
 func (sp *Space) commitSingle(ctx context.Context, ct commitTrace, e entry, startV simnet.VTime) error {
 	sp.seq++
 	lock := singleLockWord(sp.owner, e.expect)
+	// As in commitInner, the lease clock starts at the lock round: a blind
+	// write's word fetch happened before this call and holds nothing.
+	startV = sp.vnow()
 	err := ct.phase(ctx, "txn.lock", func(ctx context.Context) error {
 		old, _, cerr := sp.data.CompareSwap(ctx, sp.cellOff(e.cell), e.expect, lock)
 		if cerr != nil {

@@ -1,0 +1,185 @@
+package txn_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"rstore/internal/txn"
+)
+
+// TestReadOnlyTxTouchesNoLogOrLocks is the read-only fast path's
+// contract: a validate-only commit issues reads only — no log-slot
+// record, no lock CAS, no install — so the wire sees zero writes and
+// zero atomics, and the log region's bytes are untouched.
+func TestReadOnlyTxTouchesNoLogOrLocks(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	sp, err := txn.Create(ctx, cli, "ro", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := sp.RunTx(ctx, func(tx *txn.Tx) error {
+		if err := tx.Write(1, []byte("alpha")); err != nil {
+			return err
+		}
+		return tx.Write(2, []byte("beta"))
+	}); err != nil {
+		t.Fatalf("seed RunTx: %v", err)
+	}
+
+	// Observe the raw log region through a second client so the
+	// snapshot reads don't pollute the counters under test.
+	cli2, err := c.NewClient(ctx, c.MemoryServerNodes()[1])
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	logRegion, err := cli2.Map(ctx, "ro.txnlog")
+	if err != nil {
+		t.Fatalf("Map log: %v", err)
+	}
+	logBefore := make([]byte, logRegion.Size())
+	if err := logRegion.Read(ctx, 0, logBefore); err != nil {
+		t.Fatalf("log snapshot: %v", err)
+	}
+
+	tel := cli.Telemetry()
+	writes := tel.Counter("client.writes")
+	atomics := tel.Counter("client.atomics")
+	roCommits := tel.Counter("txn.readonly_commits")
+	writesBefore, atomicsBefore, roBefore := writes.Value(), atomics.Value(), roCommits.Value()
+
+	for i := 0; i < 10; i++ {
+		err := sp.RunReadTx(ctx, func(tx *txn.Tx) error {
+			a, err := tx.Read(ctx, 1)
+			if err != nil {
+				return err
+			}
+			b, err := tx.Read(ctx, 2)
+			if err != nil {
+				return err
+			}
+			a = bytes.TrimRight(a, "\x00")
+			b = bytes.TrimRight(b, "\x00")
+			if !bytes.Equal(a, []byte("alpha")) || !bytes.Equal(b, []byte("beta")) {
+				t.Fatalf("snapshot read %q/%q", a, b)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("RunReadTx %d: %v", i, err)
+		}
+	}
+
+	if d := writes.Value() - writesBefore; d != 0 {
+		t.Errorf("read-only commits issued %d wire writes, want 0", d)
+	}
+	if d := atomics.Value() - atomicsBefore; d != 0 {
+		t.Errorf("read-only commits issued %d atomics (lock CAS?), want 0", d)
+	}
+	if d := roCommits.Value() - roBefore; d != 10 {
+		t.Errorf("txn.readonly_commits moved by %d, want 10", d)
+	}
+
+	logAfter := make([]byte, logRegion.Size())
+	if err := logRegion.Read(ctx, 0, logAfter); err != nil {
+		t.Fatalf("log re-read: %v", err)
+	}
+	if !bytes.Equal(logBefore, logAfter) {
+		t.Error("log region bytes changed across read-only commits")
+	}
+}
+
+// TestReadOnlyTxRejectsWrites: Write inside RunReadTx fails with
+// ErrReadOnly and nothing commits.
+func TestReadOnlyTxRejectsWrites(t *testing.T) {
+	c := startCluster(t)
+	cli := newClient(t, c)
+	ctx := context.Background()
+	sp, err := txn.Create(ctx, cli, "rowr", testOptions())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	err = sp.RunReadTx(ctx, func(tx *txn.Tx) error {
+		return tx.Write(1, []byte("nope"))
+	})
+	if !errors.Is(err, txn.ErrReadOnly) {
+		t.Fatalf("Write in RunReadTx: %v, want ErrReadOnly", err)
+	}
+	v, body, err := sp.ReadCell(ctx, 1)
+	if err != nil || v != 0 || len(bytes.TrimRight(body, "\x00")) != 0 {
+		t.Fatalf("cell 1 mutated: v=%d body=%q err=%v", v, body, err)
+	}
+}
+
+// TestReadOnlyTxValidatesSnapshot: a concurrent write between a
+// read-only transaction's reads aborts validation and the retry sees a
+// consistent snapshot.
+func TestReadOnlyTxValidatesSnapshot(t *testing.T) {
+	c := startCluster(t)
+	ctx := context.Background()
+	cliA, cliB := newClient(t, c), newClient(t, c)
+	optsA := testOptions()
+	optsA.Owner = 1
+	spA, err := txn.Create(ctx, cliA, "roval", optsA)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	optsB := testOptions()
+	optsB.Owner = 2
+	spB, err := txn.Open(ctx, cliB, "roval", optsB)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Invariant the writer maintains: cells 1 and 2 always hold the
+	// same value.
+	put := func(sp *txn.Space, v string) {
+		t.Helper()
+		if err := sp.RunTx(ctx, func(tx *txn.Tx) error {
+			if err := tx.Write(1, []byte(v)); err != nil {
+				return err
+			}
+			return tx.Write(2, []byte(v))
+		}); err != nil {
+			t.Fatalf("put %q: %v", v, err)
+		}
+	}
+	put(spA, "v1")
+
+	aborts := cliA.Telemetry().Counter("txn.aborts")
+	abortsBefore := aborts.Value()
+	attempt := 0
+	lastTorn := false
+	err = spA.RunReadTx(ctx, func(tx *txn.Tx) error {
+		attempt++
+		a, err := tx.Read(ctx, 1)
+		if err != nil {
+			return err
+		}
+		if attempt == 1 {
+			put(spB, "v2") // invalidate A's snapshot mid-flight
+		}
+		b, err := tx.Read(ctx, 2)
+		if err != nil {
+			return err
+		}
+		// An attempt may OBSERVE the tear — validation's job is to
+		// refuse to commit it.
+		lastTorn = !bytes.Equal(a, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunReadTx: %v", err)
+	}
+	if lastTorn {
+		t.Fatal("a torn snapshot survived validation and committed")
+	}
+	if attempt < 2 {
+		t.Fatalf("validation let a stale first attempt commit (attempts=%d)", attempt)
+	}
+	if aborts.Value() == abortsBefore {
+		t.Error("txn.aborts never moved despite the forced conflict")
+	}
+}

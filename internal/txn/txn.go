@@ -50,6 +50,8 @@ var (
 	ErrTooLarge = errors.New("txn: write set too large")
 	// ErrBadGeometry reports inconsistent sizing options.
 	ErrBadGeometry = errors.New("txn: bad geometry")
+	// ErrReadOnly reports a Write inside a RunReadTx transaction.
+	ErrReadOnly = errors.New("txn: write in read-only transaction")
 
 	// errAborted is the internal retryable verdict: a lock CAS lost, a
 	// read validation failed, or a breaker aborted us. RunTx retries it
@@ -156,6 +158,7 @@ type sighting struct {
 // txnCounters is the layer's telemetry.
 type txnCounters struct {
 	commits     *telemetry.Counter
+	roCommits   *telemetry.Counter // validate-only commits (no log, no locks)
 	aborts      *telemetry.Counter
 	lockBreaks  *telemetry.Counter // stale locks this handle broke
 	locksBroken *telemetry.Counter // our locks a breaker resolved for us
@@ -288,6 +291,7 @@ func Open(ctx context.Context, cli *client.Client, name string, opts Options) (*
 		opts: opts,
 		ctr: txnCounters{
 			commits:     tel.Counter("txn.commits"),
+			roCommits:   tel.Counter("txn.readonly_commits"),
 			aborts:      tel.Counter("txn.aborts"),
 			lockBreaks:  tel.Counter("txn.lock_breaks"),
 			locksBroken: tel.Counter("txn.locks_broken"),
@@ -356,6 +360,12 @@ func (sp *Space) BodySize() int { return sp.opts.CellSize - 8 }
 
 // Owner returns the handle's log slot index.
 func (sp *Space) Owner() int { return sp.owner }
+
+// Generation returns the data region's layout generation as currently
+// mapped. Client-side caches built over a space (the ordered index's node
+// cache) compare it across operations: a bump means the repair plane moved
+// extents and every cached body is suspect.
+func (sp *Space) Generation() uint64 { return sp.data.Generation() }
 
 // Incarnation returns the handle's claimed incarnation.
 func (sp *Space) Incarnation() uint64 { return sp.incarn }

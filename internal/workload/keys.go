@@ -1,0 +1,10 @@
+package workload
+
+import "fmt"
+
+// OrderedKey returns a fixed-width decimal key for i whose lexicographic
+// order matches numeric order — the key shape ordered-index workloads
+// (bench E11, rstore-cli index) load and scan.
+func OrderedKey(i int) []byte {
+	return []byte(fmt.Sprintf("k%08d", i))
+}

@@ -252,3 +252,17 @@ func TestCSRInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOrderedKeySorts(t *testing.T) {
+	prev := OrderedKey(0)
+	for i := 1; i < 2000; i += 37 {
+		k := OrderedKey(i)
+		if bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("OrderedKey not ordered: %q >= %q", prev, k)
+		}
+		if len(k) != len(prev) {
+			t.Fatalf("OrderedKey width varies: %q vs %q", prev, k)
+		}
+		prev = k
+	}
+}
