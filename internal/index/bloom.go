@@ -3,12 +3,19 @@ package index
 // Per-leaf bloom sidecar. Every node cell is paired with the cell right
 // after it; for leaves that companion holds a bloom filter over the
 // leaf's keys so a client with the filter cached can answer "definitely
-// absent" without touching the leaf at all. The sidecar is written in
-// the same transaction as the leaf mutation that changes it, so on the
-// wire it is never out of sync. Bits are only ever set on insert —
-// deletes leave them alone and splits rebuild each half from its actual
-// keys — so a filter can only over-approximate its leaf, and a false
+// absent" without fetching the leaf. The sidecar is written in the same
+// transaction as the leaf mutation that changes it, so on the wire it
+// is never out of sync. Bits are only ever set on insert — deletes
+// leave them alone and splits rebuild each half from its actual keys —
+// so the on-wire filter can only over-approximate its leaf, and a false
 // positive just costs the leaf read the filter would have saved.
+//
+// A client-side *cached* copy has no such one-sided guarantee: a key
+// another client inserts after capture is missing from the cached bits,
+// which would turn "no" into a wrong answer. The cache therefore never
+// trusts a cached negative without revalidation — see
+// Tree.bloomNegative, which re-reads the sidecar's version word (bumped
+// by every bit-setting rewrite and every split) before shortcutting.
 //
 // Cell body: [0] kind (4), rest is the bit array. Four probes per key
 // via double hashing on fnv-64a.

@@ -17,7 +17,10 @@
 // mismatch (someone split along the path) falls back to an
 // authoritative traversal inside a read-only transaction, which also
 // refreshes the cache. A cached leaf bloom filter answers negative
-// lookups with zero reads.
+// lookups for one 8-byte read: the filter says "no", and re-reading the
+// sidecar's version word proves the cached copy still matches the wire
+// (any insert that could add the key, and any split, rewrites the
+// sidecar) — so a stale filter is detected, never trusted.
 //
 // Writes: leaf mutations and structural changes run as optimistic
 // transactions. A split rewrites the overflowing node, the new right
@@ -158,7 +161,7 @@ type idxCounters struct {
 	splits     *telemetry.Counter
 	cacheHits  *telemetry.Counter // lookups served via a validated cached route
 	cacheMiss  *telemetry.Counter // route absent or invalidated by the fence check
-	bloomShort *telemetry.Counter // negative lookups answered with zero reads
+	bloomShort *telemetry.Counter // negatives answered by a revalidated cached filter (one word read)
 	bloomFetch *telemetry.Counter // sidecar reads to populate the bloom cache
 	retraverse *telemetry.Counter // authoritative root-to-leaf walks
 	depth      *telemetry.Histogram
@@ -172,8 +175,8 @@ type Tree struct {
 
 	cache      *nodeCache
 	cachedMeta *meta
-	blooms     map[uint32][]byte // leaf cell -> cached sidecar body
-	gen        uint64            // data-region generation the caches were built under
+	blooms     map[uint32]bloomEntry // leaf cell -> cached sidecar snapshot
+	gen        uint64                // data-region generation the caches were built under
 
 	ctr    idxCounters
 	tracer *telemetry.Tracer
@@ -188,6 +191,23 @@ type Tree struct {
 type Entry struct {
 	Key []byte
 	Val []byte
+}
+
+// bloomEntry is one cached leaf filter: the sidecar's bits and version
+// word, plus the fence interval of the leaf state the sidecar described
+// when the pair was captured (fetchBloom proves the two were read from
+// one consistent instant). The fences gate the negative shortcut — a
+// key outside them may live in a sibling this entry knows nothing about
+// even while a stale route still points here — and the version word is
+// what pre-shortcut revalidation compares against the wire.
+type bloomEntry struct {
+	version uint64 // sidecar cell version at capture
+	lo, hi  []byte // leaf fences at capture (hi empty = +inf)
+	bits    []byte // sidecar body
+}
+
+func (e *bloomEntry) covers(key []byte) bool {
+	return bytes.Compare(e.lo, key) <= 0 && (len(e.hi) == 0 || bytes.Compare(key, e.hi) < 0)
 }
 
 // Create allocates the cell space and seeds an empty tree: a meta cell
@@ -247,7 +267,7 @@ func newTree(sp *txn.Space, opts Options, tel *telemetry.Registry) *Tree {
 		opts:     opts,
 		bodySize: sp.BodySize(),
 		cache:    newNodeCache(opts.CacheNodes),
-		blooms:   make(map[uint32][]byte),
+		blooms:   make(map[uint32]bloomEntry),
 		gen:      sp.Generation(),
 		ctr: idxCounters{
 			lookups:    tel.Counter("index.lookups"),
@@ -348,8 +368,9 @@ func (t *Tree) routeLeaf(key []byte) (uint32, bool) {
 // authLeaf walks root-to-leaf inside a read-only transaction. The
 // validate-only commit proves the whole path was a consistent snapshot,
 // and the path's meta + inner nodes refresh the cache. Depth records
-// the remote cell reads spent (meta + inners + leaf).
-func (t *Tree) authLeaf(ctx context.Context, key []byte) (uint32, *node, error) {
+// the remote cell reads spent (meta + inners + leaf). leafV is the
+// leaf's version word within that snapshot.
+func (t *Tree) authLeaf(ctx context.Context, key []byte) (uint32, *node, uint64, error) {
 	t.ctr.retraverse.Inc()
 	type hop struct {
 		cell    uint32
@@ -361,6 +382,7 @@ func (t *Tree) authLeaf(ctx context.Context, key []byte) (uint32, *node, error) 
 		path     []hop
 		leaf     *node
 		leafCell uint32
+		leafV    uint64
 	)
 	err := t.sp.RunReadTx(ctx, func(tx *txn.Tx) error {
 		path, leaf = path[:0], nil
@@ -392,12 +414,12 @@ func (t *Tree) authLeaf(ctx context.Context, key []byte) (uint32, *node, error) 
 			if n.kind != kindLeaf {
 				return fmt.Errorf("%w: cell %d: inner at leaf depth", ErrCorrupt, cell)
 			}
-			leaf, leafCell = n, cell
+			leaf, leafCell, leafV = n, cell, v
 		}
 		return nil
 	})
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	if !t.opts.NoCache {
 		mCopy := m
@@ -407,7 +429,7 @@ func (t *Tree) authLeaf(ctx context.Context, key []byte) (uint32, *node, error) 
 		}
 	}
 	t.ctr.depth.RecordValue(float64(int(m.height) + 2))
-	return leafCell, leaf, nil
+	return leafCell, leaf, leafV, nil
 }
 
 // findLeaf resolves key to its current leaf: the cached route when its
@@ -428,12 +450,14 @@ func (t *Tree) findLeaf(ctx context.Context, key []byte) (uint32, *node, error) 
 		t.invalidateAll()
 	}
 	t.ctr.cacheMiss.Inc()
-	return t.authLeaf(ctx, key)
+	cell, leaf, _, err := t.authLeaf(ctx, key)
+	return cell, leaf, err
 }
 
 // Get returns the value stored under key, or ErrNotFound. Steady-state
-// warm-cache cost is one validated leaf read; a cached bloom sidecar
-// answers repeated negative lookups with zero reads.
+// warm-cache cost is one validated leaf read (two wire reads); a cached
+// bloom sidecar answers repeated negative lookups with a single 8-byte
+// revalidation read.
 func (t *Tree) Get(ctx context.Context, key []byte) ([]byte, error) {
 	if err := t.checkKey(key); err != nil {
 		return nil, err
@@ -451,57 +475,93 @@ func (t *Tree) Get(ctx context.Context, key []byte) ([]byte, error) {
 func (t *Tree) get(ctx context.Context, key []byte) ([]byte, error) {
 	t.checkGen()
 	if cell, ok := t.routeLeaf(key); ok {
-		if !t.opts.NoBloom {
-			if bits, ok := t.blooms[cell]; ok && !bloomTest(bits, key) {
-				// Definitely absent as of when the filter was cached.
-				// Keys other clients inserted since are the staleness
-				// window; own writes keep the cached copy exact.
-				t.ctr.bloomShort.Inc()
-				t.ctr.cacheHits.Inc()
-				t.ctr.depth.RecordValue(0)
-				return nil, ErrNotFound
-			}
+		if !t.opts.NoBloom && t.bloomNegative(ctx, cell, key) {
+			return nil, ErrNotFound
 		}
-		if _, body, err := t.sp.ReadCell(ctx, int(cell)); err == nil {
+		if v, body, err := t.sp.ReadCell(ctx, int(cell)); err == nil {
 			if leaf, derr := decodeNode(body); derr == nil && leaf.kind == kindLeaf && leaf.covers(key) {
 				t.ctr.cacheHits.Inc()
 				t.ctr.depth.RecordValue(1)
-				return t.finishGet(ctx, cell, leaf, key)
+				return t.finishGet(ctx, cell, leaf, v, key)
 			}
 		}
 		t.invalidateAll()
 	}
 	t.ctr.cacheMiss.Inc()
-	cell, leaf, err := t.authLeaf(ctx, key)
+	cell, leaf, leafV, err := t.authLeaf(ctx, key)
 	if err != nil {
 		return nil, err
 	}
-	return t.finishGet(ctx, cell, leaf, key)
+	return t.finishGet(ctx, cell, leaf, leafV, key)
+}
+
+// bloomNegative reports whether the cached filter for cell proves key
+// absent right now. A cached "no" is never trusted on its own — the
+// filter was captured earlier, and another client may have inserted the
+// key since — so the shortcut first re-reads the sidecar's version word
+// (one 8-byte wire read) and requires it to equal the cached one. An
+// unchanged word means no split touched this leaf (splits rewrite both
+// sidecars) and no insert set new bits since capture; inserting this
+// key would have set its missing bits, so the key is absent as of the
+// word read, and the cached fences still bound the leaf's range, so the
+// stale-route case (key now living in a sibling) cannot slip through
+// either. Any mismatch — bumped version, in-flight lock, read error —
+// drops the entry and falls back to the leaf read, which re-primes the
+// cache on a miss.
+func (t *Tree) bloomNegative(ctx context.Context, cell uint32, key []byte) bool {
+	e, ok := t.blooms[cell]
+	if !ok || !e.covers(key) || bloomTest(e.bits, key) {
+		return false
+	}
+	if w, err := t.sp.ReadCellVersion(ctx, int(cell)+1); err != nil || w != e.version {
+		delete(t.blooms, cell)
+		return false
+	}
+	t.ctr.bloomShort.Inc()
+	t.ctr.cacheHits.Inc()
+	t.ctr.depth.RecordValue(0)
+	return true
 }
 
 // finishGet searches the resolved leaf; on a miss it primes the bloom
-// cache so the next negative on this leaf costs nothing.
-func (t *Tree) finishGet(ctx context.Context, cell uint32, leaf *node, key []byte) ([]byte, error) {
+// cache so the next negative on this leaf costs one word read. leafV is
+// the version the leaf body was validated at.
+func (t *Tree) finishGet(ctx context.Context, cell uint32, leaf *node, leafV uint64, key []byte) ([]byte, error) {
 	if i, found := leaf.search(key); found {
 		return leaf.vals[i], nil
 	}
 	if !t.opts.NoBloom && !t.opts.NoCache {
 		if _, ok := t.blooms[cell]; !ok {
-			t.fetchBloom(ctx, cell)
+			t.fetchBloom(ctx, cell, leaf, leafV)
 		}
 	}
 	return nil, ErrNotFound
 }
 
-// fetchBloom pulls a leaf's sidecar into the bloom cache. Best effort:
-// a failed or unwritten sidecar just leaves the cache cold.
-func (t *Tree) fetchBloom(ctx context.Context, cell uint32) {
-	_, body, err := t.sp.ReadCell(ctx, int(cell)+1)
+// fetchBloom captures a leaf's sidecar into the bloom cache together
+// with the fences of the leaf state it describes. The caller has just
+// read the leaf at version leafV; after the sidecar read the leaf's
+// word is re-read, and the pair is cached only if the leaf is unchanged
+// — that sandwich proves no split slid between the two reads, so the
+// fences and the filter are one consistent snapshot (a split rewrites
+// the leaf and rebuilds the sidecar, and a half-captured pair could
+// cover keys the split already moved to a sibling). Best effort: any
+// wrinkle just leaves the cache cold.
+func (t *Tree) fetchBloom(ctx context.Context, cell uint32, leaf *node, leafV uint64) {
+	v, body, err := t.sp.ReadCell(ctx, int(cell)+1)
 	if err != nil || len(body) == 0 || body[0] != kindBloom {
 		return
 	}
+	if w, err := t.sp.ReadCellVersion(ctx, int(cell)); err != nil || w != leafV {
+		return
+	}
 	t.ctr.bloomFetch.Inc()
-	t.blooms[cell] = body
+	t.blooms[cell] = bloomEntry{
+		version: v,
+		lo:      append([]byte(nil), leaf.lo...),
+		hi:      append([]byte(nil), leaf.hi...),
+		bits:    body,
+	}
 }
 
 // Insert stores val under key, replacing any existing value. Leaf
@@ -525,8 +585,14 @@ func (t *Tree) Insert(ctx context.Context, key, val []byte) error {
 			err = t.tryInsert(ctx, cell, key, val)
 			switch {
 			case err == nil:
-				if bits, ok := t.blooms[cell]; ok {
-					bloomSet(bits, key)
+				if e, ok := t.blooms[cell]; ok && bloomSet(e.bits, key) {
+					// Setting new bits means our commit rewrote the
+					// sidecar on the wire, bumping its version past the
+					// cached word — drop the entry rather than keep a
+					// copy revalidation would reject anyway. (No new
+					// bits means no sidecar write, so the entry stays
+					// current.)
+					delete(t.blooms, cell)
 				}
 				return nil
 			case errors.Is(err, errWrongLeaf):

@@ -187,7 +187,8 @@ func TestIndexScanRanges(t *testing.T) {
 
 // TestIndexWarmLookupReadBudget pins the headline number: once the node
 // cache is warm, a point Get costs at most one validated leaf read — two
-// wire reads — and a repeated negative lookup costs zero.
+// wire reads — and a repeated negative lookup costs exactly the one
+// 8-byte sidecar-version read that revalidates the cached filter.
 func TestIndexWarmLookupReadBudget(t *testing.T) {
 	c := startCluster(t)
 	cli := newClient(t, c)
@@ -225,7 +226,8 @@ func TestIndexWarmLookupReadBudget(t *testing.T) {
 		t.Fatalf("cache hits %d/300", hits.Value()-hitsBefore)
 	}
 
-	// Negative lookups: first round fetches sidecars, second round is free.
+	// Negative lookups: the first round fetches sidecars, the second
+	// rides the cached filters for one revalidation word read apiece.
 	neg := func() {
 		for i := 0; i < 300; i++ {
 			if _, err := tr.Get(ctx, []byte(fmt.Sprintf("nope-%06d", i))); !errors.Is(err, index.ErrNotFound) {
@@ -237,11 +239,147 @@ func TestIndexWarmLookupReadBudget(t *testing.T) {
 	before = reads.Value()
 	shortBefore := cli.Telemetry().Counter("index.bloom_shortcuts").Value()
 	neg()
-	if d := reads.Value() - before; d != 0 {
-		t.Fatalf("cached-bloom negatives cost %d reads, want 0", d)
+	if d := reads.Value() - before; d != 300 {
+		t.Fatalf("cached-bloom negatives cost %d reads, want 300 (one word read per op)", d)
 	}
 	if d := cli.Telemetry().Counter("index.bloom_shortcuts").Value() - shortBefore; d != 300 {
 		t.Fatalf("bloom shortcuts %d/300", d)
+	}
+}
+
+// TestIndexBloomStaleAcrossHandles pins the bloom cache's revalidation
+// protocol against its nastiest staleness window: handle A caches a
+// leaf's filter via a Get miss, handle B then inserts that very key
+// WITHOUT splitting the leaf — so none of A's fences or routes are
+// invalidated, only the sidecar's version word moves — and A's next Get
+// must return B's committed value, not a false ErrNotFound.
+func TestIndexBloomStaleAcrossHandles(t *testing.T) {
+	c := startCluster(t)
+	ctx := context.Background()
+	cliA, cliB := newClient(t, c), newClient(t, c)
+	optsA := testOptions()
+	optsA.Owner = 1
+	trA, err := index.Create(ctx, cliA, "bloomstale", optsA)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer trA.Close(ctx)
+	optsB := testOptions()
+	optsB.Owner = 2
+	trB, err := index.Open(ctx, cliB, "bloomstale", optsB)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer trB.Close(ctx)
+
+	// A handful of keys: the lone root leaf stays far from overflow.
+	for i := 0; i < 4; i++ {
+		if err := trA.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// A misses key(7); the miss primes A's bloom cache for the leaf.
+	if _, err := trA.Get(ctx, key(7)); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("priming Get: %v", err)
+	}
+	shortcuts := cliA.Telemetry().Counter("index.bloom_shortcuts")
+	s0 := shortcuts.Value()
+	if _, err := trA.Get(ctx, key(7)); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("cached-bloom Get: %v", err)
+	}
+	if shortcuts.Value() == s0 {
+		t.Fatal("bloom shortcut never engaged; the scenario exercises nothing")
+	}
+
+	// B inserts the key A's filter disclaims. No split may occur, or the
+	// fence checks would bail A out for the wrong reason.
+	splits0 := cliB.Telemetry().Counter("index.splits").Value()
+	if err := trB.Insert(ctx, key(7), []byte("from-B")); err != nil {
+		t.Fatalf("B Insert: %v", err)
+	}
+	if d := cliB.Telemetry().Counter("index.splits").Value() - splits0; d != 0 {
+		t.Fatalf("B's insert split %d times; the scenario needs a non-splitting insert", d)
+	}
+
+	got, err := trA.Get(ctx, key(7))
+	if err != nil || !bytes.Equal(got, []byte("from-B")) {
+		t.Fatalf("A Get after B's insert = %q, %v; stale cached bloom served a false negative", got, err)
+	}
+}
+
+// TestIndexBloomFencesGateShortcut pins the other staleness edge: a
+// filter captured AFTER another client's split describes the shrunken
+// leaf, but this handle's inner-node route is still pre-split — so a
+// key the split moved to the new right sibling still routes to the old
+// leaf, whose fresh filter honestly lacks it. The cached fences must
+// keep that key off the shortcut (version revalidation alone would
+// pass: nothing changed since capture).
+func TestIndexBloomFencesGateShortcut(t *testing.T) {
+	c := startCluster(t)
+	ctx := context.Background()
+	cliA, cliB := newClient(t, c), newClient(t, c)
+	optsA := testOptions()
+	optsA.Owner = 1
+	trA, err := index.Create(ctx, cliA, "bloomfence", optsA)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer trA.Close(ctx)
+	optsB := testOptions()
+	optsB.Owner = 2
+	trB, err := index.Open(ctx, cliB, "bloomfence", optsB)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer trB.Close(ctx)
+
+	// A fills a single root leaf and warms its route cache on it.
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := trA.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if _, err := trA.Get(ctx, key(0)); err != nil {
+		t.Fatalf("warm Get: %v", err)
+	}
+
+	// B overflows the leaf: exactly the first split, moving the upper
+	// half of the keys to a new right sibling A's route knows nothing
+	// about.
+	splits := cliB.Telemetry().Counter("index.splits")
+	for i := n; splits.Value() == 0; i++ {
+		if err := trB.Insert(ctx, key(i), val(i)); err != nil {
+			t.Fatalf("B Insert: %v", err)
+		}
+	}
+	if splits.Value() != 1 {
+		t.Fatalf("B caused %d splits, want exactly 1", splits.Value())
+	}
+
+	// A misses a key inside the shrunken left range: the stale route
+	// still resolves it, the leaf's (new) fences still cover it, and the
+	// miss captures the post-split filter + fences — all while A's route
+	// stays stale.
+	if _, err := trA.Get(ctx, []byte("key-000000a")); !errors.Is(err, index.ErrNotFound) {
+		t.Fatalf("priming Get: %v", err)
+	}
+	st, err := trA.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.CachedBlooms == 0 {
+		t.Fatal("priming miss cached no bloom; the scenario exercises nothing")
+	}
+
+	// Every key the split moved right is absent from the captured filter
+	// but very much present in the tree; the fences must route these past
+	// the shortcut into the fence-miss → retraversal path.
+	for i := 0; i < n; i++ {
+		got, err := trA.Get(ctx, key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("A Get %d through post-split bloom = %q, %v", i, got, err)
+		}
 	}
 }
 

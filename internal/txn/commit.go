@@ -182,7 +182,10 @@ func (sp *Space) commit(ctx context.Context, tx *Tx) error {
 	ct.finish(err)
 	if err == nil {
 		sp.ctr.commits.Inc()
-		if len(tx.writes) == 0 {
+		// Counts RunReadTx commits only: a RunTx that happened to buffer
+		// no writes also commits validate-only, but counting it here
+		// would overstate how often callers ride the declared fast path.
+		if tx.readOnly {
 			sp.ctr.roCommits.Inc()
 		}
 		sp.ctr.commitLat.Record(sp.vnow().Sub(startV))

@@ -420,6 +420,23 @@ func (sp *Space) ReadCell(ctx context.Context, cell int) (version uint64, body [
 	return 0, nil, fmt.Errorf("%w: cell %d", ErrContended, cell)
 }
 
+// ReadCellVersion fetches only a cell's version word — one 8-byte wire
+// read, no body, no seqlock re-check, no lock waiting. The word is
+// returned exactly as read, lock bits included, so a caller comparing it
+// against a previously captured version must treat any mismatch
+// (including an in-flight lock word) as "the cell may have changed".
+// Client-side caches use this to revalidate a cached body for the price
+// of a word instead of re-fetching the cell.
+func (sp *Space) ReadCellVersion(ctx context.Context, cell int) (uint64, error) {
+	if err := sp.checkCell(cell); err != nil {
+		return 0, err
+	}
+	if _, err := sp.data.ReadAt(ctx, sp.cellOff(cell), sp.wordBuf, 0, 8); err != nil {
+		return 0, ctxErr(ctx, err)
+	}
+	return le64(sp.wordBuf.Bytes()), nil
+}
+
 // backoff waits before re-examining a contended cell: the first few
 // retries spin (a writer's critical section is a handful of one-sided
 // ops), then the wait doubles from 5µs to a 320µs cap. It surfaces
