@@ -5,6 +5,7 @@
 //
 //	rstore-bench -exp e1          # one experiment
 //	rstore-bench -exp all         # everything (takes a few minutes)
+//	rstore-bench -exp e1 -json    # also emit BENCH_E1.json (see -out)
 //
 // Experiment IDs follow DESIGN.md's per-experiment index: e1 latency,
 // e2 bandwidth, e3 control path, e4 pagerank, e5 sort, e6 notify,
@@ -57,6 +58,8 @@ func experiments() []experiment {
 func run() error {
 	exp := flag.String("exp", "all", "experiment id (e1..e10, a1..a4) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<ID>.json per experiment (machine-readable trajectory)")
+	outDir := flag.String("out", ".", "directory for -json reports")
 	flag.Parse()
 
 	exps := experiments()
@@ -94,6 +97,13 @@ func run() error {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		fmt.Println(tbl.String())
+		if *jsonOut {
+			path, err := bench.NewReport(e.id, tbl).Write(*outDir)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (use -list)", *exp)

@@ -11,6 +11,9 @@
 //	index  load an ordered B+tree index and print its shape (depth,
 //	       fanout, splits) plus the reading client's cache and bloom
 //	       telemetry
+//	health kill a memory server and follow the master's health engine
+//	       through the incident: the server-silent alert fires, repair
+//	       re-homes the data, and the alert resolves
 //
 // It doubles as a smoke test of the admin API (ClusterInfo / ListRegions /
 // ClusterStats) a real deployment's tooling would use.
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"rstore/internal/core"
+	"rstore/internal/health"
 	"rstore/internal/index"
 	"rstore/internal/kvstore"
 	"rstore/internal/telemetry"
@@ -247,6 +251,191 @@ func printRegionStatuses(statuses []core.RegionStatus) {
 		}
 	}
 	fmt.Println(ct.String())
+}
+
+// runHealth boots a cluster, shows it healthy, then kills a memory server
+// and follows the health engine through the incident: the server-silent
+// alert firing (detection), repair re-homing the data, and the alert
+// resolving (recovery) — plus the per-window rates the verdicts were
+// judged on. This is the monitoring loop an operator runs before the
+// stats/trace deep dives.
+func runHealth(machines, masters int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cmdTimeout)
+	defer cancel()
+	const beat = 20 * time.Millisecond
+	if machines < masters+4 {
+		// Two width-2 copies need 4 memory servers for disjoint placement.
+		machines = masters + 4
+	}
+	cluster, err := core.Start(ctx, core.Config{Machines: machines, MasterReplicas: masters, HeartbeatInterval: beat})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	// Windows bucket on *virtual* time, and this demo's whole incident
+	// spans only a millisecond or two of it; narrow the buckets so the
+	// closing rates table always has several sealed windows to show.
+	cluster.SetWindowWidth(50 * time.Microsecond)
+
+	cli, err := cluster.NewClient(ctx, 1)
+	if err != nil {
+		return err
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if len(cluster.Master().AliveServers()) >= machines-masters {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("servers still registering after 5s")
+		}
+		time.Sleep(beat)
+	}
+	reg, err := cli.AllocMap(ctx, "app/health-demo", 2<<20, core.AllocOptions{Replicas: 1, StripeWidth: 2})
+	if err != nil {
+		return err
+	}
+	buf, err := cli.AllocBuf(64 << 10)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 32; i++ {
+		off := uint64(i) * (64 << 10) % ((2 << 20) - (64 << 10))
+		if _, err := reg.WriteAt(ctx, off, buf, 0, 64<<10); err != nil {
+			return err
+		}
+		if _, err := reg.ReadAt(ctx, off, buf, 0, 64<<10); err != nil {
+			return err
+		}
+	}
+
+	report, err := waitHealth(ctx, cli, beat, func(r core.HealthReport) bool {
+		return len(firingAlerts(r)) == 0
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("healthy cluster:")
+	printHealthReport(report, false)
+
+	victim := reg.Info().Copies()[1][0].Server
+	fmt.Printf("killing memory server on node %d...\n\n", victim)
+	if err := cluster.KillServer(victim); err != nil {
+		return err
+	}
+	report, err = waitHealth(ctx, cli, beat, func(r core.HealthReport) bool {
+		return len(firingAlerts(r)) > 0
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("after failure (alert fired):")
+	printHealthReport(report, false)
+
+	// Repair re-homes the victim's extents onto survivors; once no copy
+	// references the dead server the alert resolves on its own.
+	report, err = waitHealth(ctx, cli, beat, func(r core.HealthReport) bool {
+		return len(firingAlerts(r)) == 0
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("after self-healing repair (alert resolved):")
+	printHealthReport(report, true)
+	return nil
+}
+
+// waitHealth polls ClusterHealth until ok(report) or a 15s deadline.
+func waitHealth(ctx context.Context, cli *core.Client, beat time.Duration, ok func(core.HealthReport) bool) (core.HealthReport, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		report, err := cli.ClusterHealth(ctx)
+		if err != nil {
+			return core.HealthReport{}, err
+		}
+		if ok(report) || time.Now().After(deadline) {
+			return report, nil
+		}
+		time.Sleep(beat)
+	}
+}
+
+// firingAlerts filters the report's alert table to the firing ones.
+func firingAlerts(r core.HealthReport) []health.Alert {
+	var out []health.Alert
+	for _, a := range r.Alerts {
+		if a.State == health.StateFiring {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printHealthReport renders the alert table and, when full is set, the
+// event history and the per-window rates the rules judged.
+func printHealthReport(r core.HealthReport, full bool) {
+	at := telemetry.NewTable("alerts", "severity", "state", "rule", "target", "message")
+	for _, a := range r.Alerts {
+		target := a.Target
+		if target == "" {
+			target = "cluster"
+		}
+		at.AddRow(a.Severity, a.State, a.Rule, target, a.Msg)
+	}
+	if len(r.Alerts) == 0 {
+		at.AddRow("-", "-", "-", "-", "no alerts")
+	}
+	fmt.Println(at.String())
+	if !full {
+		return
+	}
+
+	et := telemetry.NewTable("health events", "vtime", "severity", "rule", "target", "transition")
+	for _, ev := range r.Events {
+		verb := "fired"
+		if !ev.Firing {
+			verb = "resolved"
+		}
+		target := ev.Target
+		if target == "" {
+			target = "cluster"
+		}
+		et.AddRow(time.Duration(ev.V), ev.Severity, ev.Rule, target, verb)
+	}
+	fmt.Println(et.String())
+	printWindowRates(r.Windows)
+}
+
+// printWindowRates renders per-window counter rates and windowed latency
+// quantiles from a merged window snapshot.
+func printWindowRates(w telemetry.WindowSnapshot) {
+	names := make([]string, 0, len(w.Counters))
+	for name := range w.Counters {
+		if w.Counters[name].Sum() > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	rt := telemetry.NewTable("windowed rates", "metric", "windows", "delta", "per-sec (virtual)")
+	for _, name := range names {
+		ser := w.Counters[name]
+		rt.AddRow(name, len(ser.Vals), ser.Sum(), fmt.Sprintf("%.0f", w.CounterRate(name)))
+	}
+	fmt.Println(rt.String())
+
+	hnames := make([]string, 0, len(w.Histograms))
+	for name := range w.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	ht := telemetry.NewTable("windowed latencies", "metric", "n", "p50", "p99")
+	for _, name := range hnames {
+		h := w.HistogramWindow(name, 0)
+		if h.Count == 0 {
+			continue
+		}
+		ht.AddRow(name, h.Count, time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)))
+	}
+	fmt.Println(ht.String())
 }
 
 // runStats boots a cluster, drives a short mixed workload so every layer's
@@ -591,7 +780,9 @@ func main() {
 		fmt.Fprintf(out, "  trace [id]  trace a workload, assemble the slowest op's distributed trace\n")
 		fmt.Fprintf(out, "           (or the given hex trace id), and render its waterfall\n")
 		fmt.Fprintf(out, "  index    load an ordered B+tree index and print its shape plus the\n")
-		fmt.Fprintf(out, "           reader's cache/bloom telemetry\n\nflags:\n")
+		fmt.Fprintf(out, "           reader's cache/bloom telemetry\n")
+		fmt.Fprintf(out, "  health   kill a server and follow the health engine through the\n")
+		fmt.Fprintf(out, "           incident: alert fires, repair re-homes data, alert resolves\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	machines := flag.Int("machines", 4, "cluster size")
@@ -617,8 +808,10 @@ func main() {
 		err = runTrace(*machines, *masters, flag.Arg(1))
 	case "index":
 		err = runIndex(*machines, *masters)
+	case "health":
+		err = runHealth(*machines, *masters)
 	default:
-		err = fmt.Errorf("unknown command %q (want demo, stats, regions, trace, or index)", cmd)
+		err = fmt.Errorf("unknown command %q (want demo, stats, regions, trace, index, or health)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rstore-cli:", err)

@@ -14,22 +14,25 @@ import (
 // latency histograms live, with 1-in-64 op tracing on top, and with the
 // slow-op flight recorder armed (every op mints a provisional trace and
 // buffers fragment spans, dropped unless the op crosses the threshold —
-// the always-on production configuration). The acceptance bar is ≤5%
-// overhead for the enabled modes (EXPERIMENTS.md records the measured
-// numbers).
+// the always-on production configuration), and with windowed time-series
+// rings live on top (every histogram observation also lands in the
+// current virtual-time bucket). The acceptance bar is ≤5% overhead for
+// the enabled modes (EXPERIMENTS.md records the measured numbers).
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	modes := []struct {
 		name      string
 		enabled   bool
 		sampling  int
 		threshold time.Duration
+		window    time.Duration
 	}{
-		{"off", false, 0, 0},
-		{"counters", true, 0, 0},
-		{"counters+trace64", true, 64, 0},
+		{"off", false, 0, 0, 0},
+		{"counters", true, 0, 0, 0},
+		{"counters+trace64", true, 64, 0, 0},
 		// 1ms >> the ~12µs modeled op latency: provisional traces are
 		// minted and buffered on every op but never pinned.
-		{"counters+flight", true, 0, time.Millisecond},
+		{"counters+flight", true, 0, time.Millisecond, 0},
+		{"counters+windows", true, 0, 0, time.Millisecond},
 	}
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
@@ -55,6 +58,9 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			cluster.SetTelemetryEnabled(mode.enabled)
 			cluster.SetTraceSampling(mode.sampling)
 			cluster.SetSlowOpThreshold(mode.threshold)
+			// Windows default on; zero width isolates their cost out of the
+			// other modes so this mode alone measures the ring tax.
+			cluster.SetWindowWidth(mode.window)
 			b.SetBytes(opSize)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

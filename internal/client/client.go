@@ -919,6 +919,21 @@ func (c *Client) ClusterStats(ctx context.Context) ([]proto.NodeStats, error) {
 	return out, nil
 }
 
+// ClusterHealth fetches the primary master's health-engine state: the
+// current alert table (firing first), the bounded health-event ring, and
+// the cluster-merged windowed telemetry backing the verdicts.
+func (c *Client) ClusterHealth(ctx context.Context) (proto.HealthReport, error) {
+	resp, err := c.call(ctx, proto.MtHealth, nil)
+	if err != nil {
+		return proto.HealthReport{}, fmt.Errorf("cluster health: %w", err)
+	}
+	report, err := proto.DecodeHealthReport(rpc.NewDecoder(resp))
+	if err != nil {
+		return proto.HealthReport{}, fmt.Errorf("cluster health: %w", err)
+	}
+	return report, nil
+}
+
 // MasterStatus is one master replica's self-reported replication role, as
 // probed by MasterStatuses. Err is set when the replica was unreachable.
 type MasterStatus struct {

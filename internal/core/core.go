@@ -47,6 +47,8 @@ type (
 	NodeStats = proto.NodeStats
 	// RegionStatus is the master's repair-plane view of one region.
 	RegionStatus = proto.RegionStatus
+
+	HealthReport = proto.HealthReport
 	// MasterStatus is one master replica's self-reported replication role.
 	MasterStatus = client.MasterStatus
 )
@@ -370,6 +372,35 @@ func (c *Cluster) SetTraceSampling(n int) {
 func (c *Cluster) SetSlowOpThreshold(d time.Duration) {
 	for _, r := range c.registries() {
 		r.Tracer().SetSlowOpThreshold(d)
+	}
+}
+
+// SetWindowWidth sets the virtual-time bucket width of every node's
+// windowed telemetry (0 disables windowing entirely — the overhead guard
+// uses this to isolate the window rings' cost).
+func (c *Cluster) SetWindowWidth(d time.Duration) {
+	for _, r := range c.registries() {
+		r.SetWindowWidth(d)
+	}
+}
+
+// WindowSnapshot merges every node's windowed telemetry directly from the
+// in-process registries (the local counterpart of Client.ClusterHealth's
+// rates, exact and heartbeat-free).
+func (c *Cluster) WindowSnapshot() telemetry.WindowSnapshot {
+	var out telemetry.WindowSnapshot
+	for _, r := range c.registries() {
+		out.Merge(r.WindowSnapshot())
+	}
+	return out
+}
+
+// DumpHealth writes every master replica's health-engine state to w —
+// the health counterpart of DumpFlight, attached to chaos artifacts.
+func (c *Cluster) DumpHealth(w io.Writer) {
+	for _, m := range c.Masters() {
+		fmt.Fprintf(w, "== master node %d ==\n", m.Node())
+		m.DumpHealth(w)
 	}
 }
 

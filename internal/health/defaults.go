@@ -1,0 +1,90 @@
+package health
+
+import "fmt"
+
+// recentWindows is how many newest windows the default rate rules look
+// at. With the default 1ms virtual-time bucket this is the last ~8ms of
+// modeled work — long enough to smooth a single unlucky window, short
+// enough that a spike fires within one heartbeat round.
+const recentWindows = 8
+
+// Default rule thresholds.
+const (
+	// abortRateLimit is the windowed abort fraction above which the txn
+	// abort-spike rule fires; minAbortSample is the attempt floor below
+	// which the ratio is not trusted.
+	abortRateLimit = 0.5
+	minAbortSample = 16
+	// retraversalRateLimit is the windowed retraversal-per-lookup
+	// fraction above which the index-storm rule fires (retraversals are
+	// the ordered index's cache-miss full-path walks; a storm means the
+	// client caches are thrashing). minLookupSample is the lookup floor.
+	retraversalRateLimit = 0.25
+	minLookupSample      = 32
+	// backlogEvals is how many consecutive non-draining evaluations the
+	// repair backlog tolerates before the trend rule fires.
+	backlogEvals = 3
+)
+
+// DefaultRules is the standard cluster rule set, built fresh per engine
+// (the trend rule carries private state).
+//
+// Detection latency: the master evaluates after every monitor tick, and a
+// server is declared dead after Config.HeartbeatMisses missed beats, so a
+// killed server fires server-silent within HeartbeatMisses+2 heartbeat
+// intervals — the K the chaos tests assert.
+func DefaultRules() []Rule {
+	return []Rule{
+		serverSilent(),
+		NotDraining("repair-backlog", SevWarn,
+			GaugeWindow("master.repair_queue_depth"), backlogEvals,
+			func(v float64) string {
+				return fmt.Sprintf("repair queue depth %.0f is not draining", v)
+			}),
+		Threshold("txn-abort-spike", SevWarn,
+			Ratio(
+				WindowDelta("txn.aborts", recentWindows),
+				Sum(WindowDelta("txn.aborts", recentWindows), WindowDelta("txn.commits", recentWindows)),
+				minAbortSample),
+			abortRateLimit,
+			func(v float64) string {
+				return fmt.Sprintf("txn abort rate %.0f%% over recent windows", v*100)
+			}),
+		Threshold("master-failover", SevInfo,
+			WindowDelta("master.failovers", recentWindows), 0,
+			func(v float64) string {
+				return fmt.Sprintf("%.0f master failover(s) in recent windows", v)
+			}),
+		Threshold("index-retraversal-storm", SevWarn,
+			Ratio(
+				WindowDelta("index.retraversals", recentWindows),
+				WindowDelta("index.lookups", recentWindows),
+				minLookupSample),
+			retraversalRateLimit,
+			func(v float64) string {
+				return fmt.Sprintf("index retraversal rate %.0f%% of lookups", v*100)
+			}),
+	}
+}
+
+// serverSilent fires per server that the master has declared dead while
+// region copies still reference it, and resolves when the server either
+// revives or repair re-homes the last copy off it (RF restored). It is an
+// absence rule: a dead server's telemetry freezes rather than reporting
+// zeros, so silence is judged from the liveness verdict, not from metrics.
+func serverSilent() Rule {
+	return Absence("server-silent", SevCrit, func(in Input) []Finding {
+		var out []Finding
+		for _, s := range in.Cluster.Servers {
+			if s.Alive || !s.HoldsData {
+				continue
+			}
+			out = append(out, Finding{
+				Target: nodeTarget(s.Node),
+				Msg: fmt.Sprintf("server %d silent for %v and still referenced by region copies",
+					s.Node, s.SilentFor),
+			})
+		}
+		return out
+	})
+}

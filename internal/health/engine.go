@@ -1,0 +1,234 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"rstore/internal/simnet"
+)
+
+// AlertState is where an alert is in its lifecycle.
+type AlertState uint8
+
+const (
+	StateFiring AlertState = iota
+	StateResolved
+)
+
+// String renders the state for dumps and the CLI.
+func (s AlertState) String() string {
+	if s == StateFiring {
+		return "firing"
+	}
+	return "resolved"
+}
+
+// Alert is one (rule, target) instance's current lifecycle state.
+type Alert struct {
+	Rule     string
+	Target   string
+	Kind     string
+	Severity Severity
+	State    AlertState
+	// Msg is the most recent finding's message (the last one before
+	// resolution, for resolved alerts).
+	Msg string
+	// FiredV and ResolvedV are the virtual instants of the transitions;
+	// ResolvedV is zero while firing.
+	FiredV    simnet.VTime
+	ResolvedV simnet.VTime
+}
+
+// Event is one alert transition, kept in a bounded ring for postmortems.
+type Event struct {
+	V        simnet.VTime
+	Rule     string
+	Target   string
+	Severity Severity
+	// Firing is true for a fire transition, false for a resolution.
+	Firing bool
+	Msg    string
+}
+
+const (
+	// eventRingCap bounds the engine's transition history.
+	eventRingCap = 256
+	// maxResolvedAlerts bounds how many resolved alerts linger in the
+	// alert table (the event ring keeps the longer history).
+	maxResolvedAlerts = 64
+)
+
+// Engine evaluates a fixed rule set and tracks alert lifecycles. Safe for
+// concurrent use; evaluations are serialized.
+type Engine struct {
+	mu     sync.Mutex
+	rules  []Rule
+	alerts map[alertKey]*Alert
+	events []Event // ring: events[evHead] is the oldest once full
+	evHead int
+	evals  int64
+}
+
+type alertKey struct{ rule, target string }
+
+// NewEngine creates an engine over the given rules (which it owns: rules
+// with trend state must not be reused elsewhere).
+func NewEngine(rules []Rule) *Engine {
+	return &Engine{rules: rules, alerts: make(map[alertKey]*Alert)}
+}
+
+// Eval runs every rule against in and applies alert transitions, stamping
+// them with in.Now. It returns how many alerts fired and resolved.
+func (e *Engine) Eval(in Input) (fired, resolved int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals++
+	for _, r := range e.rules {
+		findings := r.Eval(in)
+		present := make(map[string]bool, len(findings))
+		for _, f := range findings {
+			present[f.Target] = true
+			key := alertKey{r.Name, f.Target}
+			a := e.alerts[key]
+			if a != nil && a.State == StateFiring {
+				a.Msg = f.Msg // still firing: refresh the description
+				continue
+			}
+			e.alerts[key] = &Alert{
+				Rule:     r.Name,
+				Target:   f.Target,
+				Kind:     r.Kind,
+				Severity: r.Severity,
+				State:    StateFiring,
+				Msg:      f.Msg,
+				FiredV:   in.Now,
+			}
+			e.pushEventLocked(Event{V: in.Now, Rule: r.Name, Target: f.Target, Severity: r.Severity, Firing: true, Msg: f.Msg})
+			fired++
+		}
+		for key, a := range e.alerts {
+			if key.rule != r.Name || a.State != StateFiring || present[a.Target] {
+				continue
+			}
+			a.State = StateResolved
+			a.ResolvedV = in.Now
+			e.pushEventLocked(Event{V: in.Now, Rule: a.Rule, Target: a.Target, Severity: a.Severity, Firing: false, Msg: a.Msg})
+			resolved++
+		}
+	}
+	e.pruneResolvedLocked()
+	return fired, resolved
+}
+
+func (e *Engine) pushEventLocked(ev Event) {
+	if len(e.events) < eventRingCap {
+		e.events = append(e.events, ev)
+		return
+	}
+	e.events[e.evHead] = ev
+	e.evHead = (e.evHead + 1) % eventRingCap
+}
+
+func (e *Engine) pruneResolvedLocked() {
+	var res []*Alert
+	for _, a := range e.alerts {
+		if a.State == StateResolved {
+			res = append(res, a)
+		}
+	}
+	if len(res) <= maxResolvedAlerts {
+		return
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].ResolvedV < res[j].ResolvedV })
+	for _, a := range res[:len(res)-maxResolvedAlerts] {
+		delete(e.alerts, alertKey{a.Rule, a.Target})
+	}
+}
+
+// Evals returns how many evaluations have run.
+func (e *Engine) Evals() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+// Alerts returns the alert table: firing alerts first (highest severity
+// first), then resolved ones newest first.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	out := make([]Alert, 0, len(e.alerts))
+	for _, a := range e.alerts {
+		out = append(out, *a)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.State != b.State {
+			return a.State == StateFiring
+		}
+		if a.State == StateFiring {
+			if a.Severity != b.Severity {
+				return a.Severity > b.Severity
+			}
+			if a.Rule != b.Rule {
+				return a.Rule < b.Rule
+			}
+			return a.Target < b.Target
+		}
+		if a.ResolvedV != b.ResolvedV {
+			return a.ResolvedV > b.ResolvedV
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Target < b.Target
+	})
+	return out
+}
+
+// Events returns the transition ring, oldest first.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, 0, len(e.events))
+	out = append(out, e.events[e.evHead:]...)
+	out = append(out, e.events[:e.evHead]...)
+	return out
+}
+
+// Dump writes a human-readable report of the alert table and event ring —
+// the health counterpart of the tracer's flight-recorder dump, attached
+// to chaos-test artifacts.
+func (e *Engine) Dump(w io.Writer) {
+	alerts := e.Alerts()
+	events := e.Events()
+	fmt.Fprintf(w, "health: %d alert(s), %d event(s), %d evaluation(s)\n", len(alerts), len(events), e.Evals())
+	for _, a := range alerts {
+		line := fmt.Sprintf("  [%s] %s %s", a.Severity, a.State, a.Rule)
+		if a.Target != "" {
+			line += " " + a.Target
+		}
+		line += fmt.Sprintf(" fired=%v", time.Duration(a.FiredV))
+		if a.State == StateResolved {
+			line += fmt.Sprintf(" resolved=%v", time.Duration(a.ResolvedV))
+		}
+		fmt.Fprintf(w, "%s: %s\n", line, a.Msg)
+	}
+	if len(events) > 0 {
+		fmt.Fprintf(w, "events (oldest first):\n")
+		for _, ev := range events {
+			verb := "fired"
+			if !ev.Firing {
+				verb = "resolved"
+			}
+			target := ev.Rule
+			if ev.Target != "" {
+				target += " " + ev.Target
+			}
+			fmt.Fprintf(w, "  %12v [%s] %s %s: %s\n", time.Duration(ev.V), ev.Severity, target, verb, ev.Msg)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/health"
+	"rstore/internal/simnet"
+)
+
+// detectBeats bounds how many heartbeat intervals may pass between a
+// server's death and the server-silent alert firing. The master declares a
+// server dead after HeartbeatMisses (3) missed intervals and evaluates the
+// health rules on the next monitor tick (one more interval), plus one
+// interval of heartbeat phase — 5 beats in the worst case. The budget is
+// doubled to absorb race-detector scheduling jitter without giving up the
+// latency assertion.
+const detectBeats = 10
+
+// findAlert returns the alert for (rule, target), if present.
+func findAlert(alerts []health.Alert, rule, target string) (health.Alert, bool) {
+	for _, a := range alerts {
+		if a.Rule == rule && a.Target == target {
+			return a, true
+		}
+	}
+	return health.Alert{}, false
+}
+
+// Chaos acceptance for the health subsystem: kill a replica-holding memory
+// server and assert the server-silent alert fires within detectBeats
+// heartbeats; once repair re-homes the last copy off the dead node, the
+// alert must resolve on its own. The whole incident must also be readable
+// through the MtHealth RPC surface a remote operator uses.
+func TestHealthDetectsServerDeathAndResolution(t *testing.T) {
+	const beat = 20 * time.Millisecond
+	c := startClusterCfg(t, core.Config{
+		Machines:          7,
+		ExtraClientNodes:  1,
+		ServerCapacity:    64 << 20,
+		HeartbeatInterval: beat,
+	})
+	// Virtual time advances with simulated traffic, not wall time; narrow
+	// the buckets so the short incident spans several sealed windows and
+	// the report's rate assertions are deterministic.
+	c.SetWindowWidth(50 * time.Microsecond)
+	ctx := context.Background()
+	clientNode := simnet.NodeID(c.Fabric().Size() - 1)
+	cli, err := c.NewClient(ctx, clientNode)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	reg, err := cli.AllocMap(ctx, "health/chaos", 2<<20, client.AllocOptions{
+		StripeUnit: 256 << 10, StripeWidth: 2, Replicas: 1,
+	})
+	if err != nil {
+		t.Fatalf("AllocMap: %v", err)
+	}
+	if err := reg.Write(ctx, 0, pattern(2<<20, 5)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// Healthy baseline: nothing may be firing before the failure.
+	for _, a := range c.Master().HealthAlerts() {
+		if a.State == health.StateFiring {
+			t.Fatalf("alert %s/%s firing before any fault: %s", a.Rule, a.Target, a.Msg)
+		}
+	}
+
+	victim := reg.Info().Copies()[1][0].Server
+	target := fmt.Sprintf("node-%d", victim)
+	killedAt := time.Now()
+	if err := c.KillServer(victim); err != nil {
+		t.Fatalf("KillServer: %v", err)
+	}
+
+	// Detection: poll the primary's alert table directly (no RPC jitter in
+	// the measurement) until server-silent fires for the victim.
+	var fired health.Alert
+	for {
+		if a, ok := findAlert(c.Master().HealthAlerts(), "server-silent", target); ok && a.State == health.StateFiring {
+			fired = a
+			break
+		}
+		if time.Since(killedAt) > detectBeats*beat {
+			t.Fatalf("server-silent not firing for %s within %d heartbeats", target, detectBeats)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Logf("server-silent fired %v after kill", time.Since(killedAt))
+	if fired.Severity != health.SevCrit {
+		t.Errorf("severity = %v, want crit", fired.Severity)
+	}
+
+	// The same incident must be visible through the RPC surface, windows
+	// included (the report carries the merged cluster snapshot).
+	report, err := cli.ClusterHealth(ctx)
+	if err != nil {
+		t.Fatalf("ClusterHealth: %v", err)
+	}
+	if a, ok := findAlert(report.Alerts, "server-silent", target); !ok || a.State != health.StateFiring {
+		t.Fatalf("MtHealth alert table missing firing server-silent for %s: %+v", target, report.Alerts)
+	}
+	if report.Windows.Width() <= 0 {
+		t.Error("MtHealth report carries no window width")
+	}
+	if report.Windows.CounterDelta("master.heartbeats", 32) <= 0 {
+		t.Error("MtHealth windows show no recent heartbeats")
+	}
+
+	// Recovery: repair restores full replication without the dead server;
+	// once no copy references it, the alert must resolve even though the
+	// node stays down.
+	waitRegionHealed(t, cli, "health/chaos", 0, 15*time.Second)
+	resolveDeadline := time.Now().Add(detectBeats * beat)
+	var resolved health.Alert
+	for {
+		if a, ok := findAlert(c.Master().HealthAlerts(), "server-silent", target); ok && a.State == health.StateResolved {
+			resolved = a
+			break
+		}
+		if time.Now().After(resolveDeadline) {
+			t.Fatalf("server-silent for %s never resolved after repair", target)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resolved.ResolvedV <= resolved.FiredV {
+		t.Errorf("resolution stamp %v not after fire stamp %v", resolved.ResolvedV, resolved.FiredV)
+	}
+
+	// The transition ring holds the full incident for postmortems, and the
+	// engine's own activity counters moved.
+	report, err = cli.ClusterHealth(ctx)
+	if err != nil {
+		t.Fatalf("ClusterHealth after resolve: %v", err)
+	}
+	var sawFire, sawResolve bool
+	for _, ev := range report.Events {
+		if ev.Rule != "server-silent" || ev.Target != target {
+			continue
+		}
+		if ev.Firing {
+			sawFire = true
+		} else if sawFire {
+			sawResolve = true
+		}
+	}
+	if !sawFire || !sawResolve {
+		t.Errorf("event ring missing fire/resolve pair: %+v", report.Events)
+	}
+	snap := c.TelemetrySnapshot()
+	if snap.Counter("master.health_alerts_fired") <= 0 {
+		t.Error("master.health_alerts_fired did not move")
+	}
+	if snap.Counter("master.health_alerts_resolved") <= 0 {
+		t.Error("master.health_alerts_resolved did not move")
+	}
+}
+
+// A standby master must refuse MtHealth (its engine never evaluates), so a
+// client polling health always lands on the primary's verdicts.
+func TestHealthServedByPrimaryOnly(t *testing.T) {
+	const beat = 20 * time.Millisecond
+	c := startClusterCfg(t, core.Config{
+		Machines:          6,
+		MasterReplicas:    2,
+		ExtraClientNodes:  1,
+		ServerCapacity:    64 << 20,
+		HeartbeatInterval: beat,
+	})
+	ctx := context.Background()
+	cli, err := c.NewClient(ctx, simnet.NodeID(c.Fabric().Size()-1))
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	report, err := cli.ClusterHealth(ctx)
+	if err != nil {
+		t.Fatalf("ClusterHealth: %v", err)
+	}
+	// The client retries onto the primary internally; the report must come
+	// from an engine that has actually evaluated (monitor ticks at the
+	// heartbeat interval, so by now evals > 0 on the primary).
+	if report.Windows.Width() <= 0 {
+		t.Error("report carries no windows")
+	}
+	if got := c.Master().HealthAlerts(); len(got) != len(report.Alerts) {
+		t.Errorf("report alerts = %d, primary table = %d", len(report.Alerts), len(got))
+	}
+}

@@ -63,6 +63,23 @@ func startClusterCfg(t *testing.T, cfg core.Config) *core.Cluster {
 		fmt.Fprintf(f, "=== flight recorder: %s ===\n", t.Name())
 		c.DumpFlight(f)
 	})
+	// Same idea for the health engine: when RSTORE_HEALTH_DUMP is set, a
+	// failing test leaves the masters' alert tables and transition rings
+	// beside the flight-recorder spans.
+	t.Cleanup(func() {
+		path := os.Getenv("RSTORE_HEALTH_DUMP")
+		if path == "" || !t.Failed() {
+			return
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Logf("health dump: %v", err)
+			return
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "=== health events: %s ===\n", t.Name())
+		c.DumpHealth(f)
+	})
 	return c
 }
 

@@ -1,0 +1,108 @@
+package master
+
+// The master is the health engine's host: it is the one vantage point
+// that already holds liveness verdicts, repair-plane state, and — via the
+// windowed telemetry every heartbeat piggybacks — each server's current
+// rates. After every monitor tick the primary assembles an immutable
+// health.Input from that state and runs the rule engine over it; MtHealth
+// serves the resulting alert table, event ring, and merged windows.
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"rstore/internal/health"
+	"rstore/internal/proto"
+	"rstore/internal/rpc"
+	"rstore/internal/simnet"
+	"rstore/internal/telemetry"
+)
+
+// healthInputLocked assembles one evaluation's fact set: per-server
+// liveness (with whether region copies still reference the server — what
+// lets a server-silent alert resolve once repair re-homes everything),
+// repair-plane summary state, and the cluster-merged windowed telemetry.
+// Caller holds m.mu; ownWin is the master's own window snapshot, taken
+// before the lock.
+func (m *Master) healthInputLocked(now time.Time, ownWin telemetry.WindowSnapshot) health.Input {
+	referenced := make(map[simnet.NodeID]bool)
+	degraded := 0
+	for _, rs := range m.regionsByName {
+		bad := rs.lost
+		for ci := 0; ci < rs.copyCount(); ci++ {
+			if rs.dirty[ci] || rs.underRepair[ci] {
+				bad = true
+			}
+			for _, x := range rs.copyExtents(ci) {
+				referenced[x.Server] = true
+			}
+		}
+		if bad {
+			degraded++
+		}
+	}
+	view := health.ClusterView{
+		RepairQueueDepth: m.ctr.repairQueueDepth.Value(),
+		DegradedRegions:  degraded,
+	}
+	windows := ownWin
+	for _, s := range m.servers {
+		sh := health.ServerHealth{
+			Node:      s.node,
+			Alive:     s.alive,
+			HoldsData: referenced[s.node],
+		}
+		if !s.alive {
+			sh.SilentFor = now.Sub(s.lastBeat)
+		}
+		view.Servers = append(view.Servers, sh)
+		if s.hasWindows {
+			windows.Merge(s.windows)
+		}
+	}
+	return health.Input{Now: m.vnow(), Cluster: view, Windows: windows}
+}
+
+// evalHealth runs the engine over one assembled input.
+func (m *Master) evalHealth(in health.Input) {
+	fired, resolved := m.engine.Eval(in)
+	m.ctr.healthEvals.Inc()
+	m.ctr.healthFired.Add(int64(fired))
+	m.ctr.healthResolved.Add(int64(resolved))
+}
+
+// handleHealth serves MtHealth: the current alert table, the health-event
+// ring, and a freshly merged window snapshot. Primary-only — a standby's
+// engine has never evaluated (verdict inputs are firsthand only on the
+// primary), so its empty tables would read as "all healthy".
+func (m *Master) handleHealth(_ context.Context, _ simnet.NodeID, _ *rpc.Decoder) (*rpc.Encoder, error) {
+	m.ctr.healthRequests.Inc()
+	ownWin := m.tel.WindowSnapshot()
+	m.mu.Lock()
+	if err := m.requirePrimaryLocked(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	in := m.healthInputLocked(time.Now(), ownWin)
+	m.mu.Unlock()
+	report := proto.HealthReport{
+		Alerts:  m.engine.Alerts(),
+		Events:  m.engine.Events(),
+		Windows: in.Windows,
+	}
+	e := &rpc.Encoder{}
+	if err := report.Encode(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// HealthAlerts returns the engine's current alert table (tests and local
+// tooling; remote callers use MtHealth).
+func (m *Master) HealthAlerts() []health.Alert { return m.engine.Alerts() }
+
+// DumpHealth writes the engine's alert table and event ring — the health
+// counterpart of the tracer's flight-recorder dump, attached to chaos
+// artifacts on test failure.
+func (m *Master) DumpHealth(w io.Writer) { m.engine.Dump(w) }

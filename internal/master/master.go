@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"rstore/internal/health"
 	"rstore/internal/proto"
 	"rstore/internal/rdma"
 	"rstore/internal/rpc"
@@ -74,6 +75,9 @@ type Config struct {
 	// 0 means the 250ms default; negative disables leases entirely (both
 	// the client expiry and the candidate's wait).
 	LeaseTerm time.Duration
+	// HealthRules is the rule set the health engine evaluates every
+	// monitor tick (primary only). Nil means health.DefaultRules().
+	HealthRules []health.Rule
 	// RPC tunes the control connection buffering.
 	RPC rpc.Options
 }
@@ -119,6 +123,12 @@ type serverState struct {
 	// stats is the latest telemetry snapshot the server piggybacked on a
 	// heartbeat, kept marshaled and forwarded verbatim by MtStats.
 	stats []byte
+	// windows is the latest windowed telemetry the server piggybacked,
+	// decoded on receipt; hasWindows marks that at least one arrived. A
+	// dead server's windows freeze at their last beat (the staleness model
+	// the health rules are written against).
+	windows    telemetry.WindowSnapshot
+	hasWindows bool
 }
 
 // regionState tracks a region, its map refcount, and the repair plane's
@@ -223,6 +233,10 @@ type Master struct {
 	applySeq        uint64
 	repl            repl
 
+	// engine is the health rule engine, evaluated after every monitor tick
+	// while this replica is primary (see health.go).
+	engine *health.Engine
+
 	repair repairQueue
 	// ctrlConns are the repair plane's connections to the memory servers'
 	// control endpoints, guarded separately so pulls never hold m.mu.
@@ -264,6 +278,11 @@ type masterCounters struct {
 	regionsLost       *telemetry.Counter
 	repairQueueDepth  *telemetry.Gauge
 	repairDuration    *telemetry.Histogram
+
+	healthEvals    *telemetry.Counter
+	healthFired    *telemetry.Counter
+	healthResolved *telemetry.Counter
+	healthRequests *telemetry.Counter
 }
 
 // Start creates the master's RPC service on the device and begins serving
@@ -311,6 +330,11 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 			regionsLost:       tel.Counter("master.regions_lost"),
 			repairQueueDepth:  tel.Gauge("master.repair_queue_depth"),
 			repairDuration:    tel.Histogram("master.repair_duration"),
+
+			healthEvals:    tel.Counter("master.health_evals"),
+			healthFired:    tel.Counter("master.health_alerts_fired"),
+			healthResolved: tel.Counter("master.health_alerts_resolved"),
+			healthRequests: tel.Counter("master.health_requests"),
 		},
 		servers:       make(map[simnet.NodeID]*serverState),
 		regionsByName: make(map[string]*regionState),
@@ -335,6 +359,12 @@ func Start(dev *rdma.Device, cfg Config) (*Master, error) {
 	srv.Handle(proto.MtMasterStatus, m.handleMasterStatus)
 	srv.Handle(proto.MtReplHello, m.handleReplHello)
 	srv.Handle(proto.MtReplAppend, m.handleReplAppend)
+	srv.Handle(proto.MtHealth, m.handleHealth)
+	rules := cfg.HealthRules
+	if rules == nil {
+		rules = health.DefaultRules()
+	}
+	m.engine = health.NewEngine(rules)
 	m.repair.init()
 	m.repl.init()
 
@@ -408,6 +438,9 @@ func (m *Master) monitor() {
 			return
 		case now := <-ticker.C:
 			deadline := now.Add(-time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatInterval)
+			// Snapshot the master's own windowed telemetry before taking
+			// m.mu: the registry locks are leaves and must stay that way.
+			ownWin := m.tel.WindowSnapshot()
 			m.mu.Lock()
 			// Only the primary renders liveness verdicts: a standby's view
 			// of heartbeat recency is secondhand (servers beat at the
@@ -431,7 +464,9 @@ func (m *Master) monitor() {
 				m.scheduleRepairsLocked(died, true)
 			}
 			m.updateAliveGauge()
+			in := m.healthInputLocked(now, ownWin)
 			m.mu.Unlock()
+			m.evalHealth(in)
 		}
 	}
 }
@@ -548,12 +583,18 @@ func patchRKey(xs []proto.Extent, node simnet.NodeID, rkey uint32) {
 }
 
 func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, req *rpc.Decoder) (*rpc.Encoder, error) {
-	// Heartbeats optionally piggyback the server's telemetry snapshot; an
-	// empty payload (older senders, tests driving the wire directly) is a
-	// plain liveness beat.
-	var stats []byte
+	// Heartbeats optionally piggyback the server's telemetry snapshot and,
+	// after that, its windowed telemetry; an empty payload (older senders,
+	// tests driving the wire directly) is a plain liveness beat.
+	var stats, win []byte
 	if req.Remaining() > 0 {
 		stats = append([]byte(nil), req.Bytes32()...)
+		if err := req.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if req.Remaining() > 0 {
+		win = append([]byte(nil), req.Bytes32()...)
 		if err := req.Err(); err != nil {
 			return nil, err
 		}
@@ -575,6 +616,11 @@ func (m *Master) handleHeartbeat(_ context.Context, from simnet.NodeID, req *rpc
 	s.alive = true
 	if stats != nil {
 		s.stats = stats
+	}
+	if win != nil {
+		if err := s.windows.UnmarshalBinary(win); err == nil {
+			s.hasWindows = true
+		}
 	}
 	if wasDead {
 		// The same incarnation beat again without re-registering: the

@@ -57,6 +57,10 @@ const (
 	// a standby. An empty append doubles as the primary's lease renewal
 	// beat; a standby that misses them long enough starts an election.
 	MtReplAppend
+	// MtHealth returns the primary's health-engine state: the alert table,
+	// the health-event ring, and the cluster-merged windowed telemetry the
+	// last evaluation saw.
+	MtHealth
 )
 
 // Control message types served by the memory servers' control endpoint.

@@ -174,6 +174,9 @@ func (n *Network) OpenDevice(node simnet.NodeID) (*Device, error) {
 		return d, nil
 	}
 	tel := telemetry.New(node)
+	// Windowed series bucket on the fabric-wide virtual clock so every
+	// node's windows align cluster-wide.
+	tel.SetWindowClock(n.fabric.VNow)
 	d := &Device{
 		net:  n,
 		node: node,

@@ -2,8 +2,11 @@ package telemetry
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"rstore/internal/simnet"
 )
 
 // Micro-benchmarks for the primitives every layer's hot path touches.
@@ -32,6 +35,22 @@ func BenchmarkCounterIncDisabled(b *testing.B) {
 
 func BenchmarkHistogramRecord(b *testing.B) {
 	h := New(1).Histogram("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.RecordDuration(3 * time.Microsecond)
+		}
+	})
+}
+
+// BenchmarkHistogramRecordWindowed measures the same path with window
+// rings live: the common case where the observation lands in the current
+// bucket (no seal), which is what every hot-path record pays.
+func BenchmarkHistogramRecordWindowed(b *testing.B) {
+	r := New(1)
+	var vnow atomic.Int64
+	vnow.Store(int64(time.Millisecond))
+	r.SetWindowClock(func() simnet.VTime { return simnet.VTime(vnow.Load()) })
+	h := r.Histogram("bench")
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			h.RecordDuration(3 * time.Microsecond)

@@ -19,6 +19,7 @@ const reservoirSize = 4096
 // stream. The zero value is ready to use. Safe for concurrent use.
 type Histogram struct {
 	off *atomic.Bool
+	win *winShared // registry window config; nil on zero-value histograms
 
 	mu      sync.Mutex
 	count   int64
@@ -27,6 +28,21 @@ type Histogram struct {
 	max     float64
 	seen    int64 // observations offered to the reservoir
 	samples []float64
+
+	// In-progress window (bucket winBucket) and the ring of sealed
+	// windows ending at bucket winEnd, all guarded by mu. Observations
+	// bucket themselves here inline so windowed quantiles come from
+	// samples of that window alone (see window.go).
+	winInit    bool
+	winBucket  int64
+	curCount   int64
+	curSum     float64
+	curMin     float64
+	curMax     float64
+	curSeen    int64
+	curSamples []float64
+	winEnd     int64
+	winRing    []HistogramSnapshot
 }
 
 // RecordValue adds one observation.
@@ -70,6 +86,108 @@ func (h *Histogram) observe(v float64) {
 	h.count++
 	h.sum += v
 	h.reservoirAdd(v)
+	h.windowObserve(v)
+}
+
+// windowObserve buckets one observation into the current window, sealing
+// completed windows first. Caller holds h.mu. A nil or disabled window
+// config makes this a branch.
+func (h *Histogram) windowObserve(v float64) {
+	b, ok := h.win.bucketNow()
+	if !ok {
+		return
+	}
+	if !h.winInit {
+		h.winInit = true
+		h.winBucket = b
+	} else if b > h.winBucket {
+		h.sealWindowLocked(b)
+	}
+	if h.curCount == 0 || v < h.curMin {
+		h.curMin = v
+	}
+	if h.curCount == 0 || v > h.curMax {
+		h.curMax = v
+	}
+	h.curCount++
+	h.curSum += v
+	h.curSeen++
+	if len(h.curSamples) < winReservoir {
+		h.curSamples = append(h.curSamples, v)
+		return
+	}
+	// Same deterministic Vitter-R draw as the cumulative reservoir.
+	x := uint64(h.curSeen) * 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	if idx := x % uint64(h.curSeen); idx < winReservoir {
+		h.curSamples[idx] = v
+	}
+}
+
+// sealWindowLocked closes the in-progress window into the ring (gap-
+// filling skipped buckets with empty windows) and starts bucket now.
+// Caller holds h.mu and guarantees now > h.winBucket.
+func (h *Histogram) sealWindowLocked(now int64) {
+	snap := HistogramSnapshot{Count: h.curCount, Sum: h.curSum}
+	if h.curCount > 0 {
+		snap.Min, snap.Max = h.curMin, h.curMax
+		snap.Samples = h.curSamples
+	}
+	if h.winRing == nil {
+		h.winEnd = h.winBucket
+		h.winRing = append(h.winRing, snap)
+	} else if h.winBucket > h.winEnd {
+		gap := h.winBucket - h.winEnd - 1
+		if gap >= maxWindows {
+			h.winRing = h.winRing[:0]
+			for i := 0; i < maxWindows-1; i++ {
+				h.winRing = append(h.winRing, HistogramSnapshot{})
+			}
+		} else {
+			for i := int64(0); i < gap; i++ {
+				h.winRing = append(h.winRing, HistogramSnapshot{})
+			}
+		}
+		h.winRing = append(h.winRing, snap)
+		if len(h.winRing) > maxWindows {
+			h.winRing = append(h.winRing[:0], h.winRing[len(h.winRing)-maxWindows:]...)
+		}
+		h.winEnd = h.winBucket
+	}
+	h.curCount, h.curSum, h.curMin, h.curMax, h.curSeen = 0, 0, 0, 0, 0
+	h.curSamples = nil
+	h.winBucket = now
+}
+
+// resetWindow drops the in-progress window and the sealed ring; the next
+// observation re-initializes bucketing. Used when the bucket width changes
+// (old-width windows would misalign against new-width buckets).
+func (h *Histogram) resetWindow() {
+	h.mu.Lock()
+	h.winInit, h.winBucket = false, 0
+	h.curCount, h.curSum, h.curMin, h.curMax, h.curSeen = 0, 0, 0, 0, 0
+	h.curSamples = nil
+	h.winRing, h.winEnd = nil, 0
+	h.mu.Unlock()
+}
+
+// windowSnapshot seals any window completed before bucket now and freezes
+// the ring. ok is false when the histogram has never windowed anything.
+func (h *Histogram) windowSnapshot(now int64) (WindowHistogram, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.winInit && now > h.winBucket {
+		h.sealWindowLocked(now)
+	}
+	if len(h.winRing) == 0 {
+		return WindowHistogram{}, false
+	}
+	out := WindowHistogram{End: h.winEnd, Windows: make([]HistogramSnapshot, len(h.winRing))}
+	for i, s := range h.winRing {
+		s.Samples = append([]float64(nil), s.Samples...)
+		out.Windows[i] = s
+	}
+	return out, true
 }
 
 // reservoirAdd offers v to the sample reservoir. Caller holds h.mu.

@@ -24,11 +24,11 @@ package telemetry
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"rstore/internal/simnet"
 )
@@ -61,7 +61,18 @@ func (c *Counter) Add(n int64) {
 	if n <= 0 || (c.off != nil && c.off.Load()) {
 		return
 	}
-	c.shards[rand.Uint32()%counterShards].v.Add(n)
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// shardIndex picks a counter shard correlated with the calling goroutine:
+// the address of a stack variable, divided down to cache-line granularity.
+// Distinct goroutines live on distinct stacks, so concurrent writers
+// spread across shards without the per-increment PRNG draw the previous
+// implementation paid. The uintptr conversion keeps the variable on the
+// stack (no reference escapes).
+func shardIndex() uint32 {
+	var probe byte
+	return uint32(uintptr(unsafe.Pointer(&probe))/64) % counterShards
 }
 
 // Value returns the current total.
@@ -111,16 +122,30 @@ type Registry struct {
 	hists    map[string]*Histogram
 
 	tracer *Tracer
+
+	// Window sampler state (see window.go). win configures bucketing and
+	// is shared with every histogram; the winMu fields hold the sealed
+	// counter/gauge rings and the cumulative baseline of the last tick.
+	win         *winShared
+	winMu       sync.Mutex
+	winInit     bool
+	winBucket   int64
+	winBase     map[string]int64
+	winCounters map[string]*winSeries
+	winGauges   map[string]*winSeries
 }
 
 // New creates a registry for the given node with an attached tracer
 // (tracing starts disabled; see Tracer.SetSampling).
 func New(node simnet.NodeID) *Registry {
 	r := &Registry{
-		node:     node,
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		node:        node,
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		win:         newWinShared(),
+		winCounters: make(map[string]*winSeries),
+		winGauges:   make(map[string]*winSeries),
 	}
 	r.tracer = newTracer(node, defaultTraceRing)
 	return r
@@ -170,7 +195,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = &Histogram{off: &r.off}
+		h = &Histogram{off: &r.off, win: r.win}
 		r.hists[name] = h
 	}
 	return h
